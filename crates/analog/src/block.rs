@@ -1,0 +1,568 @@
+//! The PPUF basic building block (paper Fig 2) and its design evolution.
+//!
+//! A building block instantiates one directed edge of the flow graph. It is
+//! a series stack — input diode, one or two source-degenerated NMOS current
+//! limiters, output diode — whose terminal I–V curve delivers the three
+//! properties the equivalence proof needs:
+//!
+//! 1. **directionality** (diodes): `I ≥ 0` — the flow non-negativity
+//!    constraint;
+//! 2. **capacity** (saturating transistor): `I ≲ I_sat` set by the control
+//!    voltage `V_gs0` — the flow capacity constraint;
+//! 3. **incremental passivity**: `I` strictly increases with the terminal
+//!    voltage, so the whole crossbar settles to a unique steady state that
+//!    maximizes the source current (Mead & Ismail).
+//!
+//! The module implements all four design points of the paper's Fig 2:
+//! [`BlockDesign::Plain`] (a), [`BlockDesign::SingleSd`] (b),
+//! [`BlockDesign::DoubleSd`] (c), and the challenge-controllable serial
+//! block [`BlockDesign::Serial`] (d) used in the actual PPUF.
+//!
+//! # Evaluation strategy
+//!
+//! Every element in the stack is *monotone*, so the composite inverse
+//! curve `V(I) = Σ V_element(I)` is monotone too, built from closed-form
+//! element inverses. The forward curve `I(ΔV)` is then a bisection on `I`
+//! — numerically robust for arbitrarily stiff stacks (no Newton blow-ups
+//! on the nearly-flat saturation region).
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::diode::Diode;
+use crate::device::mos::MosTransistor;
+use crate::device::resistor::Resistor;
+use crate::units::{Amps, Celsius, Volts};
+
+/// A two-terminal circuit element: the interface the DC/transient solvers
+/// and the crossbar need from an edge.
+///
+/// Implementations must be *incrementally passive*: `current` must be
+/// non-decreasing in `dv` and zero for `dv ≤ 0`.
+pub trait TwoTerminal {
+    /// Terminal current at voltage `dv` across the element.
+    fn current(&self, dv: Volts, temp: Celsius) -> Amps;
+
+    /// Small-signal conductance `∂I/∂V` at `dv`.
+    ///
+    /// The default implementation uses a symmetric finite difference; the
+    /// DC solver floors it with `G_MIN`, so returning an approximation is
+    /// fine.
+    fn conductance(&self, dv: Volts, temp: Celsius) -> f64 {
+        let h = 1e-4;
+        let lo = self.current(Volts(dv.value() - h), temp).value();
+        let hi = self.current(Volts(dv.value() + h), temp).value();
+        ((hi - lo) / (2.0 * h)).max(0.0)
+    }
+}
+
+/// Which design point of the paper's Fig 2 a building block uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockDesign {
+    /// Fig 2(a): bare saturated transistor between two diodes. Full SCE
+    /// slope — the strawman.
+    Plain,
+    /// Fig 2(b): one level of source degeneration (R1 under M2).
+    SingleSd,
+    /// Fig 2(c): two nested levels (M1 over M2 + R1, with bias `V_b`).
+    DoubleSd,
+    /// Fig 2(d): two double-SD stacks in series; stack A is controlled by
+    /// `V_gs0`, stack B by `V_gs1 = V_c − V_gs0`, so a challenge bit picks
+    /// which stack (and which transistors' variation) limits the current.
+    Serial,
+}
+
+/// Control voltages applied to a block (paper §5 settings).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockBias {
+    /// Gate control voltage of stack A (and of the single stack for the
+    /// non-serial designs).
+    pub vgs0: Volts,
+    /// Level-shift bias keeping the upper device of a double-SD stack in
+    /// saturation.
+    pub vb: Volts,
+    /// Control-voltage budget: `V_gs0 + V_gs1 = V_c` for the serial block.
+    pub vc: Volts,
+}
+
+impl BlockBias {
+    /// Paper §5 bias for challenge bit 1 (`V_gs0` = 0.5 V).
+    ///
+    /// `V_b` is recalibrated from the paper's 0.1 V to 0.25 V so the upper
+    /// (cascode) device keeps enough overdrive for the lower device to be
+    /// the current limiter under this crate's technology card — see
+    /// DESIGN.md §4.
+    pub const INPUT_ONE: BlockBias = BlockBias { vgs0: Volts(0.5), vb: Volts(0.25), vc: Volts(1.2) };
+
+    /// Paper §5 bias for challenge bit 0 (`V_gs0` = 0.67 V).
+    pub const INPUT_ZERO: BlockBias =
+        BlockBias { vgs0: Volts(0.67), vb: Volts(0.25), vc: Volts(1.2) };
+
+    /// The bias the paper assigns to challenge bit `bit`.
+    pub fn for_input(bit: bool) -> Self {
+        if bit {
+            Self::INPUT_ONE
+        } else {
+            Self::INPUT_ZERO
+        }
+    }
+
+    /// Stack B's gate voltage `V_gs1 = V_c − V_gs0`.
+    pub fn vgs1(&self) -> Volts {
+        self.vc - self.vgs0
+    }
+}
+
+impl Default for BlockBias {
+    fn default() -> Self {
+        Self::INPUT_ONE
+    }
+}
+
+/// Per-block process variation: one threshold shift per transistor
+/// position (M1, M2 in stack A; M3, M4 in stack B).
+///
+/// Non-serial designs use the first one or two entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockVariation {
+    /// ΔV_th of M1..M4.
+    pub delta_vth: [Volts; 4],
+}
+
+impl BlockVariation {
+    /// No variation (the nominal block).
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// A uniform shift on every transistor (useful in tests).
+    pub fn uniform(delta: Volts) -> Self {
+        BlockVariation { delta_vth: [delta; 4] }
+    }
+}
+
+/// One PPUF building block instance.
+///
+/// ```
+/// use ppuf_analog::block::{BlockBias, BlockDesign, BuildingBlock, TwoTerminal};
+/// use ppuf_analog::units::{Celsius, Volts};
+///
+/// let block = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
+/// let i = block.current(Volts(1.8), Celsius::NOMINAL);
+/// // saturated in the tens of nanoamps
+/// assert!(i.value() > 1e-9 && i.value() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildingBlock {
+    design: BlockDesign,
+    bias: BlockBias,
+    mos: MosTransistor,
+    diode: Diode,
+    r1: Resistor,
+    variation: BlockVariation,
+}
+
+impl BuildingBlock {
+    /// Creates a nominal (variation-free) block with the default
+    /// technology card.
+    pub fn new(design: BlockDesign, bias: BlockBias) -> Self {
+        BuildingBlock {
+            design,
+            bias,
+            mos: MosTransistor::default(),
+            diode: Diode::default(),
+            r1: Resistor::default(),
+            variation: BlockVariation::nominal(),
+        }
+    }
+
+    /// Attaches process variation to this block.
+    pub fn with_variation(mut self, variation: BlockVariation) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Overrides the transistor technology card.
+    pub fn with_mos(mut self, mos: MosTransistor) -> Self {
+        self.mos = mos;
+        self
+    }
+
+    /// Overrides the degeneration resistor.
+    pub fn with_resistor(mut self, r1: Resistor) -> Self {
+        self.r1 = r1;
+        self
+    }
+
+    /// Re-programs the control voltages (what a type-B challenge does).
+    pub fn set_bias(&mut self, bias: BlockBias) {
+        self.bias = bias;
+    }
+
+    /// The design point of this block.
+    pub fn design(&self) -> BlockDesign {
+        self.design
+    }
+
+    /// The active control voltages.
+    pub fn bias(&self) -> BlockBias {
+        self.bias
+    }
+
+    /// The variation attached to this block.
+    pub fn variation(&self) -> BlockVariation {
+        self.variation
+    }
+
+    fn transistor(&self, index: usize) -> MosTransistor {
+        self.mos.with_delta_vth(self.variation.delta_vth[index])
+    }
+
+    /// Composite inverse curve: total terminal voltage needed to carry
+    /// current `i` (infinite if the stack cannot carry `i`).
+    ///
+    /// This is the sum of the element inverses; each element inverse is
+    /// closed-form, so the result is exact up to floating point.
+    pub fn voltage_for_current(&self, i: Amps, temp: Celsius) -> Volts {
+        if i.value() <= 0.0 {
+            return Volts(0.0);
+        }
+        let diodes = self.diode.voltage_for_current(i, temp) * 2.0;
+        let stacks = match self.design {
+            BlockDesign::Plain => self.plain_stack_voltage(i, self.bias.vgs0, 0, temp),
+            BlockDesign::SingleSd => self.single_sd_voltage(i, self.bias.vgs0, 0, temp),
+            BlockDesign::DoubleSd => self.double_sd_voltage(i, self.bias.vgs0, temp, [0, 1]),
+            BlockDesign::Serial => {
+                let a = self.double_sd_voltage(i, self.bias.vgs0, temp, [0, 1]);
+                let b = self.double_sd_voltage(i, self.bias.vgs1(), temp, [2, 3]);
+                a + b
+            }
+        };
+        diodes + stacks
+    }
+
+    /// Fig 2(a): bare transistor, gate at `vgs` above the stack bottom.
+    fn plain_stack_voltage(&self, i: Amps, vgs: Volts, idx: usize, temp: Celsius) -> Volts {
+        self.transistor(idx)
+            .vds_for_current(i, vgs, temp)
+            .unwrap_or(Volts(f64::INFINITY))
+    }
+
+    /// Fig 2(b): M(idx) degenerated by R1; gate referenced to stack bottom,
+    /// so the R1 drop subtracts from the effective `V_gs`.
+    fn single_sd_voltage(&self, i: Amps, vgs: Volts, idx: usize, temp: Celsius) -> Volts {
+        let vr = self.r1.voltage_for_current(i);
+        let vgs_eff = vgs - vr;
+        let vds = self
+            .transistor(idx)
+            .vds_for_current(i, vgs_eff, temp)
+            .unwrap_or(Volts(f64::INFINITY));
+        vds + vr
+    }
+
+    /// Fig 2(c): M(idx[0]) rides on the M(idx[1]) + R1 sub-stack; its gate
+    /// sits `V_b` above the lower gate, both referenced to the stack
+    /// bottom. Rising lower-stack voltage eats M1's effective `V_gs` —
+    /// that is the second, multiplicative level of slope suppression.
+    fn double_sd_voltage(&self, i: Amps, vgs: Volts, temp: Celsius, idx: [usize; 2]) -> Volts {
+        let lower = self.single_sd_voltage(i, vgs, idx[1], temp);
+        if !lower.is_finite() {
+            return lower;
+        }
+        let vgs_upper = vgs + self.bias.vb - lower;
+        let vds_upper = self
+            .transistor(idx[0])
+            .vds_for_current(i, vgs_upper, temp)
+            .unwrap_or(Volts(f64::INFINITY));
+        vds_upper + lower
+    }
+
+    /// Ideal saturation current of one degenerated stack at gate bias
+    /// `vgs`: the λ-free solution of `I = k/2 (V_gs − I·R₁ − V_th)²`
+    /// for the limiting (lower) transistor.
+    ///
+    /// This is what the public simulation model publishes as the edge
+    /// capacity; the SCE residual slope is deliberately excluded (Fig 6
+    /// measures how little that omission costs).
+    fn stack_capacity(&self, vgs: Volts, lower_idx: usize, temp: Celsius) -> Amps {
+        let mos = self.transistor(lower_idx);
+        let vov0 = mos.overdrive(vgs, temp).value();
+        if vov0 <= 0.0 {
+            return Amps(0.0);
+        }
+        let k = mos.k_eff(temp);
+        let r = match self.design {
+            BlockDesign::Plain => 0.0,
+            _ => self.r1.resistance.value(),
+        };
+        if r == 0.0 {
+            return Amps(0.5 * k * vov0 * vov0);
+        }
+        // solve I = k/2 (vov0 − I·r)² ; pick the root with I·r < vov0
+        // let x = I·r: x = (k·r/2)(vov0 − x)² → quadratic in x
+        let a = 0.5 * k * r;
+        // a·x² − (2a·vov0 + 1)·x + a·vov0² = 0
+        let b = -(2.0 * a * vov0 + 1.0);
+        let c = a * vov0 * vov0;
+        let disc = (b * b - 4.0 * a * c).max(0.0).sqrt();
+        let x = (-b - disc) / (2.0 * a);
+        Amps((x / r).max(0.0))
+    }
+
+    /// The published capacity of this block: the ideal saturation current
+    /// of the limiting stack.
+    ///
+    /// For the serial design this is the smaller of the two stack
+    /// capacities — which stack limits depends on the challenge bit, so an
+    /// attacker observing input-1 responses learns nothing about stack B's
+    /// variation (paper Requirement 3).
+    pub fn saturation_current(&self, temp: Celsius) -> Amps {
+        match self.design {
+            BlockDesign::Serial => {
+                let a = self.stack_capacity(self.bias.vgs0, 1, temp);
+                let b = self.stack_capacity(self.bias.vgs1(), 3, temp);
+                a.min(b)
+            }
+            _ => self.stack_capacity(self.bias.vgs0, 1.min(self.transistor_count() - 1), temp),
+        }
+    }
+
+    /// The capacity a characterization pass would publish: the block's
+    /// actual current at a reference terminal voltage.
+    ///
+    /// Unlike [`saturation_current`](Self::saturation_current) (the λ-free
+    /// ideal), this includes the residual SCE slope at the reference
+    /// point, which is what keeps the Fig 6 simulation-model inaccuracy
+    /// below 1 %: every operating point between the saturation knee and
+    /// the full supply differs from the published value only by the
+    /// (double-SD-suppressed) slope times the voltage offset.
+    pub fn characterized_capacity(&self, v_ref: Volts, temp: Celsius) -> Amps {
+        self.current(v_ref, temp)
+    }
+
+    /// Number of transistors in this design.
+    pub fn transistor_count(&self) -> usize {
+        match self.design {
+            BlockDesign::Plain => 1,
+            BlockDesign::SingleSd => 1,
+            BlockDesign::DoubleSd => 2,
+            BlockDesign::Serial => 4,
+        }
+    }
+
+    /// Forward curve `I(ΔV)` by bisection on the monotone inverse.
+    fn solve_current(&self, dv: Volts, temp: Celsius) -> Amps {
+        let dv = dv.value();
+        if dv <= 0.0 {
+            return Amps(0.0);
+        }
+        // bracket: double hi until V(hi) >= dv
+        let mut hi = 1e-12;
+        let mut guard = 0;
+        while self.voltage_for_current(Amps(hi), temp).value() < dv {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 120 {
+                break; // absurdly conductive; accept hi as bracket
+            }
+        }
+        let mut lo = 0.0f64;
+        for _ in 0..90 {
+            let mid = 0.5 * (lo + hi);
+            if self.voltage_for_current(Amps(mid), temp).value() < dv {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= lo * 1e-14 + 1e-24 {
+                break;
+            }
+        }
+        let i = 0.5 * (lo + hi);
+        // a cutoff stack brackets at an infinitesimal current; report 0
+        Amps(if i < 1e-18 { 0.0 } else { i })
+    }
+}
+
+impl TwoTerminal for BuildingBlock {
+    fn current(&self, dv: Volts, temp: Celsius) -> Amps {
+        self.solve_current(dv, temp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Celsius = Celsius::NOMINAL;
+
+    fn designs() -> [BlockDesign; 4] {
+        [
+            BlockDesign::Plain,
+            BlockDesign::SingleSd,
+            BlockDesign::DoubleSd,
+            BlockDesign::Serial,
+        ]
+    }
+
+    #[test]
+    fn blocks_are_directed() {
+        for d in designs() {
+            let b = BuildingBlock::new(d, BlockBias::INPUT_ONE);
+            assert_eq!(b.current(Volts(0.0), T).value(), 0.0, "{d:?}");
+            assert_eq!(b.current(Volts(-1.0), T).value(), 0.0, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_incrementally_passive() {
+        for d in designs() {
+            let b = BuildingBlock::new(d, BlockBias::INPUT_ONE);
+            let mut prev = -1.0;
+            for step in 1..=40 {
+                let i = b.current(Volts(step as f64 * 0.05), T).value();
+                assert!(i >= prev, "{d:?} non-monotone at step {step}");
+                prev = i;
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for d in designs() {
+            let b = BuildingBlock::new(d, BlockBias::INPUT_ONE);
+            for &dv in &[0.6, 1.0, 1.5, 1.9] {
+                let i = b.current(Volts(dv), T);
+                if i.value() > 0.0 {
+                    let back = b.voltage_for_current(i, T).value();
+                    assert!(
+                        (back - dv).abs() < 1e-6,
+                        "{d:?}: dv {dv} → i {} → {back}",
+                        i.value()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_current_is_tens_of_nanoamps() {
+        let b = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
+        let isat = b.saturation_current(T).value();
+        assert!((5e-9..100e-9).contains(&isat), "isat {isat}");
+    }
+
+    #[test]
+    fn operating_current_tracks_published_capacity() {
+        // Fig 6's premise: at the operating point the real current is
+        // within ~1 % of the published (ideal) capacity.
+        let b = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
+        let isat = b.saturation_current(T).value();
+        let i = b.current(Volts(1.6), T).value();
+        assert!(
+            (i / isat - 1.0).abs() < 0.05,
+            "operating {i} vs capacity {isat}"
+        );
+    }
+
+    #[test]
+    fn sd_levels_progressively_flatten_the_curve() {
+        // Fig 3(a): residual slope in saturation shrinks with each SD level
+        let slope = |design| {
+            let b = BuildingBlock::new(design, BlockBias::INPUT_ONE);
+            let i1 = b.current(Volts(1.2), T).value();
+            let i2 = b.current(Volts(1.9), T).value();
+            (i2 - i1) / i1 / 0.7 // relative slope per volt
+        };
+        let plain = slope(BlockDesign::Plain);
+        let single = slope(BlockDesign::SingleSd);
+        let double = slope(BlockDesign::DoubleSd);
+        assert!(plain > single, "plain {plain} vs single {single}");
+        assert!(single > double, "single {single} vs double {double}");
+        assert!(plain / double > 20.0, "total suppression {}", plain / double);
+    }
+
+    #[test]
+    fn requirement_2_variation_dominates_sce() {
+        // paper: PV-induced spread ≈ 130× the SCE-induced change
+        let nominal = BuildingBlock::new(BlockDesign::DoubleSd, BlockBias::INPUT_ONE);
+        let fast = nominal.with_variation(BlockVariation::uniform(Volts(-0.035)));
+        let slow = nominal.with_variation(BlockVariation::uniform(Volts(0.035)));
+        let i_n = nominal.current(Volts(1.5), T).value();
+        let pv_spread = (fast.current(Volts(1.5), T).value()
+            - slow.current(Volts(1.5), T).value())
+        .abs();
+        let sce_change =
+            (nominal.current(Volts(1.9), T).value() - nominal.current(Volts(1.1), T).value()).abs();
+        let ratio = pv_spread / sce_change;
+        assert!(ratio > 20.0, "PV/SCE ratio {ratio} (i_n {i_n})");
+    }
+
+    #[test]
+    fn serial_block_limited_by_weaker_stack() {
+        // hurt stack B only: input-1 current (limited by stack A) barely
+        // moves, but capacity for the serial block under input 0 drops
+        let bias = BlockBias::INPUT_ONE;
+        let clean = BuildingBlock::new(BlockDesign::Serial, bias);
+        let hurt_b = clean.with_variation(BlockVariation {
+            delta_vth: [Volts(0.0), Volts(0.0), Volts(0.1), Volts(0.1)],
+        });
+        let i_clean = clean.current(Volts(1.8), T).value();
+        let i_hurt = hurt_b.current(Volts(1.8), T).value();
+        // stack A limits under INPUT_ONE (vgs0=0.5 < vgs1=0.7), so stack B
+        // damage has only second-order effect
+        assert!(
+            (i_hurt / i_clean - 1.0).abs() < 0.15,
+            "clean {i_clean} hurt {i_hurt}"
+        );
+        // but hurting stack A directly collapses the current
+        let hurt_a = clean.with_variation(BlockVariation {
+            delta_vth: [Volts(0.1), Volts(0.1), Volts(0.0), Volts(0.0)],
+        });
+        assert!(hurt_a.current(Volts(1.8), T).value() < 0.7 * i_clean);
+    }
+
+    #[test]
+    fn bias_controls_capacity() {
+        // Fig 3(b): saturation current rises with vgs0 (single stack)
+        let lo = BuildingBlock::new(
+            BlockDesign::DoubleSd,
+            BlockBias { vgs0: Volts(0.45), ..BlockBias::INPUT_ONE },
+        );
+        let hi = BuildingBlock::new(
+            BlockDesign::DoubleSd,
+            BlockBias { vgs0: Volts(0.60), ..BlockBias::INPUT_ONE },
+        );
+        assert!(hi.saturation_current(T) > lo.saturation_current(T));
+    }
+
+    #[test]
+    fn conductance_matches_slope() {
+        let b = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
+        let dv = Volts(1.5);
+        let g = b.conductance(dv, T);
+        let h = 1e-4;
+        let num = (b.current(Volts(1.5 + h), T).value() - b.current(Volts(1.5 - h), T).value())
+            / (2.0 * h);
+        assert!(g >= 0.0);
+        assert!((g - num).abs() <= 1e-9 + num.abs() * 1e-3);
+    }
+
+    #[test]
+    fn cutoff_block_conducts_nothing() {
+        let b = BuildingBlock::new(
+            BlockDesign::Serial,
+            BlockBias { vgs0: Volts(0.1), vb: Volts(0.1), vc: Volts(1.2) },
+        )
+        .with_variation(BlockVariation::uniform(Volts(0.3)));
+        // vgs0 − vth(0.6) < 0 on stack A → whole series path blocked
+        assert_eq!(b.current(Volts(2.0), T).value(), 0.0);
+    }
+
+    #[test]
+    fn temperature_shifts_current() {
+        let b = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
+        let cold = b.current(Volts(1.6), Celsius(-20.0)).value();
+        let hot = b.current(Volts(1.6), Celsius(80.0)).value();
+        assert!(cold != hot, "temperature must matter: {cold} vs {hot}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Execution-delay bound (paper §3.3, after Lin & Mead).
+//!
+//! The paper upper-bounds the settling time of the crossbar by
+//! redistributing each node's capacitance over its incoming edges:
+//! for the worst-case node `u` (directly connected to the source in a
+//! complete graph),
+//!
+//! ```text
+//! T(u) = R(s,u) · C(s,u) ≤ R(s,u) · C(u)
+//! ```
+//!
+//! `R(s,u)` is one building block's effective resistance — independent of
+//! `n` — while `C(u)` grows linearly with `n` because `u` has `n − 1`
+//! incident edges each contributing its junction/wire capacitance. Hence
+//! execution delay scales **O(n)** while simulation scales **Ω(n²)**: the
+//! execution–simulation gap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Farads, Ohms, Seconds};
+
+/// Closed-form execution-delay model `T(n) = R_edge · c_edge · (n − 1)`.
+///
+/// The default calibration matches the paper's §5 operating point: a
+/// 900-node PPUF settles in ≈ 1.0 µs.
+///
+/// ```
+/// use ppuf_analog::delay::DelayModel;
+/// let model = DelayModel::default();
+/// let t900 = model.bound(900);
+/// assert!((t900.value() - 1.0e-6).abs() < 0.05e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    /// Effective resistance of one building block near its operating point
+    /// (`≈ V_edge / I_sat`; constant in `n`).
+    pub edge_resistance: Ohms,
+    /// Capacitance contributed by one incident edge to a node.
+    pub edge_capacitance: Farads,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        // R ≈ 1.5 V / 31 nA ≈ 48 MΩ; c chosen so T(900) = 1.0 µs
+        DelayModel {
+            edge_resistance: Ohms(4.8e7),
+            edge_capacitance: Farads(1.0e-6 / (4.8e7 * 899.0)),
+        }
+    }
+}
+
+impl DelayModel {
+    /// Creates a model from explicit per-edge parameters.
+    pub fn new(edge_resistance: Ohms, edge_capacitance: Farads) -> Self {
+        DelayModel { edge_resistance, edge_capacitance }
+    }
+
+    /// Calibrates the capacitance so that [`bound`](Self::bound) returns
+    /// `delay` at `n` nodes (used to anchor the model against a measured
+    /// transient).
+    pub fn calibrated(edge_resistance: Ohms, n: usize, delay: Seconds) -> Self {
+        let edges = (n.max(2) - 1) as f64;
+        DelayModel {
+            edge_resistance,
+            edge_capacitance: Farads(delay.value() / (edge_resistance.value() * edges)),
+        }
+    }
+
+    /// Worst-case node capacitance in an `n`-node complete crossbar.
+    pub fn node_capacitance(&self, n: usize) -> Farads {
+        Farads(self.edge_capacitance.value() * (n.saturating_sub(1)) as f64)
+    }
+
+    /// The Lin–Mead upper bound on settling time for an `n`-node PPUF:
+    /// `R_edge · C(u) = R_edge · c_edge · (n − 1)` — linear in `n`.
+    pub fn bound(&self, n: usize) -> Seconds {
+        self.edge_resistance * self.node_capacitance(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_operating_point() {
+        let m = DelayModel::default();
+        assert!((m.bound(900).value() - 1.0e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let m = DelayModel::default();
+        let t100 = m.bound(100).value();
+        let t200 = m.bound(200).value();
+        let t400 = m.bound(400).value();
+        assert!(((t200 - t100) - (t400 - t200) / 2.0).abs() < 1e-18);
+        // exactly proportional to (n − 1)
+        assert!((t200 / t100 - 199.0 / 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let m = DelayModel::calibrated(Ohms(1e7), 500, Seconds(2e-6));
+        assert!((m.bound(500).value() - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let m = DelayModel::default();
+        assert_eq!(m.bound(1).value(), 0.0);
+        assert_eq!(m.bound(0).value(), 0.0);
+        assert!(m.bound(2).value() > 0.0);
+    }
+}

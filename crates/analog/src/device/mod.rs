@@ -1,0 +1,9 @@
+//! Primitive device models: NMOS transistor, junction diode, resistor.
+
+pub mod diode;
+pub mod mos;
+pub mod resistor;
+
+pub use diode::Diode;
+pub use mos::MosTransistor;
+pub use resistor::Resistor;

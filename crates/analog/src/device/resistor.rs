@@ -1,0 +1,66 @@
+//! Linear resistor — the source-degeneration element of the building block.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Amps, Ohms, Volts};
+
+/// An ideal linear resistor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Resistor {
+    /// Resistance value.
+    pub resistance: Ohms,
+}
+
+impl Default for Resistor {
+    /// The default degeneration resistor of the building block (1 MΩ —
+    /// ~40 mV of feedback at the nominal ~40 nA operating current).
+    fn default() -> Self {
+        Resistor { resistance: Ohms(1e6) }
+    }
+}
+
+impl Resistor {
+    /// Creates a resistor with the given value.
+    pub fn new(resistance: Ohms) -> Self {
+        Resistor { resistance }
+    }
+
+    /// Current through the resistor at voltage `v`.
+    pub fn current(&self, v: Volts) -> Amps {
+        v / self.resistance
+    }
+
+    /// Inverse curve: voltage dropped at current `i`.
+    pub fn voltage_for_current(&self, i: Amps) -> Volts {
+        i * self.resistance
+    }
+
+    /// Conductance `1/R`.
+    pub fn conductance(&self) -> f64 {
+        1.0 / self.resistance.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_both_ways() {
+        let r = Resistor::new(Ohms(1e6));
+        assert!((r.current(Volts(1.0)).value() - 1e-6).abs() < 1e-18);
+        assert!((r.voltage_for_current(Amps(37e-9)).value() - 0.037).abs() < 1e-12);
+        assert!((r.conductance() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn default_is_one_megaohm() {
+        assert_eq!(Resistor::default().resistance, Ohms(1e6));
+    }
+
+    #[test]
+    fn negative_voltage_gives_negative_current() {
+        let r = Resistor::new(Ohms(100.0));
+        assert!(r.current(Volts(-1.0)).value() < 0.0);
+    }
+}

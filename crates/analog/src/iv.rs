@@ -1,0 +1,230 @@
+//! I–V characterization sweeps (the Fig 3 tooling).
+//!
+//! Thin utilities for sweeping any [`TwoTerminal`] element's terminal
+//! voltage or a [`BuildingBlock`]'s control voltage and collecting the
+//! curves the paper plots: terminal I–V per design stage (Fig 3a) and
+//! saturation current vs `V_gs0` (Fig 3b).
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{BlockBias, BlockDesign, BuildingBlock, TwoTerminal};
+use crate::units::{Amps, Celsius, Volts};
+
+/// One sampled point of an I–V curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IvPoint {
+    /// Swept voltage.
+    pub voltage: Volts,
+    /// Resulting current.
+    pub current: Amps,
+}
+
+/// A sampled I–V curve.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IvCurve {
+    points: Vec<IvPoint>,
+}
+
+impl IvCurve {
+    /// Sweeps an element's terminal voltage over `[start, stop]` in
+    /// `steps` uniform increments (inclusive endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or `stop <= start`.
+    pub fn sweep<E: TwoTerminal + ?Sized>(
+        element: &E,
+        start: Volts,
+        stop: Volts,
+        steps: usize,
+        temp: Celsius,
+    ) -> Self {
+        assert!(steps > 0, "need at least one step");
+        assert!(stop > start, "sweep range must be increasing");
+        let h = (stop.value() - start.value()) / steps as f64;
+        let points = (0..=steps)
+            .map(|k| {
+                let v = Volts(start.value() + h * k as f64);
+                IvPoint { voltage: v, current: element.current(v, temp) }
+            })
+            .collect();
+        IvCurve { points }
+    }
+
+    /// The sampled points, in sweep order.
+    pub fn points(&self) -> &[IvPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the curve has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest sampled current.
+    pub fn max_current(&self) -> Amps {
+        self.points.iter().map(|p| p.current).fold(Amps(0.0), Amps::max)
+    }
+
+    /// `true` if current never decreases along the sweep (incremental
+    /// passivity check).
+    pub fn is_monotone(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].current >= w[0].current)
+    }
+
+    /// Mean relative slope per volt over the sub-range `[from, to]`,
+    /// normalized by the current at `from` — the Fig 3(a) "saturation
+    /// current change" metric. Returns `None` if the range is outside the
+    /// sweep or the reference current is zero.
+    pub fn relative_slope(&self, from: Volts, to: Volts) -> Option<f64> {
+        let at = |v: Volts| -> Option<Amps> {
+            // nearest sample at or after v
+            self.points
+                .iter()
+                .find(|p| p.voltage.value() >= v.value() - 1e-12)
+                .map(|p| p.current)
+        };
+        let i0 = at(from)?.value();
+        let i1 = at(to)?.value();
+        if i0 <= 0.0 || to.value() <= from.value() {
+            return None;
+        }
+        Some((i1 - i0) / i0 / (to.value() - from.value()))
+    }
+
+    /// Iterates over the sampled points.
+    pub fn iter(&self) -> std::slice::Iter<'_, IvPoint> {
+        self.points.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a IvCurve {
+    type Item = &'a IvPoint;
+    type IntoIter = std::slice::Iter<'a, IvPoint>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+impl FromIterator<IvPoint> for IvCurve {
+    fn from_iter<I: IntoIterator<Item = IvPoint>>(iter: I) -> Self {
+        IvCurve { points: iter.into_iter().collect() }
+    }
+}
+
+/// Sweeps the control voltage `V_gs0` of a block design and records the
+/// published saturation current at each point — the Fig 3(b) curve.
+pub fn saturation_vs_control(
+    design: BlockDesign,
+    base: BlockBias,
+    start: Volts,
+    stop: Volts,
+    steps: usize,
+    temp: Celsius,
+) -> Vec<(Volts, Amps)> {
+    assert!(steps > 0, "need at least one step");
+    assert!(stop > start, "sweep range must be increasing");
+    let h = (stop.value() - start.value()) / steps as f64;
+    (0..=steps)
+        .map(|k| {
+            let vgs0 = Volts(start.value() + h * k as f64);
+            let block = BuildingBlock::new(design, BlockBias { vgs0, ..base });
+            (vgs0, block.saturation_current(temp))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Celsius = Celsius::NOMINAL;
+
+    fn serial_block() -> BuildingBlock {
+        BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE)
+    }
+
+    #[test]
+    fn sweep_shape_and_endpoints() {
+        let c = IvCurve::sweep(&serial_block(), Volts(0.0), Volts(2.0), 20, T);
+        assert_eq!(c.len(), 21);
+        assert_eq!(c.points()[0].voltage, Volts(0.0));
+        assert!((c.points()[20].voltage.value() - 2.0).abs() < 1e-12);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn sweep_is_monotone_for_blocks() {
+        for design in [
+            BlockDesign::Plain,
+            BlockDesign::SingleSd,
+            BlockDesign::DoubleSd,
+            BlockDesign::Serial,
+        ] {
+            let b = BuildingBlock::new(design, BlockBias::INPUT_ONE);
+            let c = IvCurve::sweep(&b, Volts(0.0), Volts(2.0), 40, T);
+            assert!(c.is_monotone(), "{design:?}");
+        }
+    }
+
+    #[test]
+    fn relative_slope_ranks_designs() {
+        // same check as the Fig 3(a) bench, through the public API
+        let slope = |design| {
+            let b = BuildingBlock::new(design, BlockBias::INPUT_ONE);
+            IvCurve::sweep(&b, Volts(0.0), Volts(2.0), 200, T)
+                .relative_slope(Volts(1.2), Volts(1.9))
+                .expect("in range")
+        };
+        assert!(slope(BlockDesign::Plain) > slope(BlockDesign::SingleSd));
+        assert!(slope(BlockDesign::SingleSd) > slope(BlockDesign::DoubleSd));
+    }
+
+    #[test]
+    fn relative_slope_out_of_range_is_none() {
+        let c = IvCurve::sweep(&serial_block(), Volts(0.0), Volts(1.0), 10, T);
+        assert_eq!(c.relative_slope(Volts(0.5), Volts(5.0)), None);
+    }
+
+    #[test]
+    fn max_current_is_the_top_sample() {
+        let c = IvCurve::sweep(&serial_block(), Volts(0.0), Volts(2.0), 20, T);
+        assert_eq!(c.max_current(), c.points().last().expect("non-empty").current);
+    }
+
+    #[test]
+    fn control_sweep_is_increasing() {
+        let points = saturation_vs_control(
+            BlockDesign::DoubleSd,
+            BlockBias::INPUT_ONE,
+            Volts(0.45),
+            Volts(0.70),
+            10,
+            T,
+        );
+        assert_eq!(points.len(), 11);
+        for w in points.windows(2) {
+            assert!(w[1].1 >= w[0].1, "Isat must rise with Vgs0");
+        }
+    }
+
+    #[test]
+    fn curve_collects_and_iterates() {
+        let c: IvCurve = (0..3)
+            .map(|k| IvPoint { voltage: Volts(k as f64), current: Amps(k as f64) })
+            .collect();
+        assert_eq!(c.iter().count(), 3);
+        assert_eq!((&c).into_iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn bad_range_panics() {
+        let _ = IvCurve::sweep(&serial_block(), Volts(1.0), Volts(0.5), 5, T);
+    }
+}

@@ -1,0 +1,88 @@
+//! Monte-Carlo plumbing: seeded independent RNG streams and a Gaussian
+//! sampler.
+//!
+//! Every statistical experiment in the paper (Fig 6, Table 1, Fig 9,
+//! Fig 10) is a population of PPUF instances. Reproducibility matters more
+//! than entropy here, so streams are derived deterministically from a
+//! master seed and an instance index with [`SplitMix64`][splitmix]-style
+//! mixing.
+//!
+//! [splitmix]: https://prng.di.unimi.it/splitmix64.c
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Derives an independent RNG stream for instance `index` of experiment
+/// `master_seed`.
+///
+/// ```
+/// use ppuf_analog::montecarlo::stream;
+/// use rand::Rng;
+/// let mut a = stream(42, 0);
+/// let mut b = stream(42, 1);
+/// let (x, y): (u64, u64) = (a.gen(), b.gen());
+/// assert_ne!(x, y);
+/// ```
+pub fn stream(master_seed: u64, index: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(splitmix(master_seed ^ splitmix(index)))
+}
+
+/// One SplitMix64 mixing round — turns correlated inputs into independent
+/// seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal deviate by the Box–Muller transform.
+///
+/// (The workspace deliberately avoids extra dependencies such as
+/// `rand_distr`; Box–Muller is exact and two lines.)
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // avoid ln(0)
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a: u64 = stream(1, 5).gen();
+        let b: u64 = stream(1, 5).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streams_differ_by_index_and_seed() {
+        let base: u64 = stream(1, 0).gen();
+        assert_ne!(base, stream(1, 1).gen::<u64>());
+        assert_ne!(base, stream(2, 0).gen::<u64>());
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = stream(9, 0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_tails_present() {
+        let mut rng = stream(11, 0);
+        let extreme = (0..20_000).filter(|_| gaussian(&mut rng).abs() > 2.0).count();
+        // P(|Z| > 2) ≈ 4.6 %
+        let frac = extreme as f64 / 20_000.0;
+        assert!((0.03..0.07).contains(&frac), "tail fraction {frac}");
+    }
+}

@@ -1,0 +1,582 @@
+//! Nonlinear DC operating-point solver (damped Newton on nodal voltages).
+//!
+//! The PPUF "executes" by settling to its DC steady state; because every
+//! edge element is incrementally passive, that steady state exists, is
+//! unique, and carries the maximum source current compatible with the
+//! capacity constraints — i.e. it *is* the max-flow solution (paper §3.2).
+//! This module computes it the way a circuit simulator would: Kirchhoff
+//! current-law residuals at every internal node, Newton iteration with a
+//! `G_min` floor and step damping, plus source-stepping continuation as a
+//! fallback for hard instances.
+
+use std::fmt;
+
+use crate::block::TwoTerminal;
+use crate::solver::linear::{lu_solve, Matrix};
+use crate::units::{Amps, Celsius, Volts};
+
+/// Minimum conductance floored onto the Jacobian diagonal (SPICE `GMIN`);
+/// keeps the system solvable when whole cut-off regions have zero slope.
+pub const G_MIN: f64 = 1e-13;
+
+/// One edge of a [`Circuit`]: a two-terminal element between two nodes,
+/// conducting from `from` to `to`.
+#[derive(Debug, Clone)]
+pub struct CircuitEdge<E> {
+    /// Tail node index.
+    pub from: u32,
+    /// Head node index.
+    pub to: u32,
+    /// The element on this edge.
+    pub element: E,
+}
+
+/// A network of two-terminal elements on `node_count` nodes.
+///
+/// Generic over the element type so the PPUF layer can choose between the
+/// exact [`BuildingBlock`](crate::block::BuildingBlock) curves and the fast
+/// [`TabulatedElement`](crate::solver::tabulated::TabulatedElement).
+#[derive(Debug, Clone)]
+pub struct Circuit<E> {
+    node_count: usize,
+    edges: Vec<CircuitEdge<E>>,
+}
+
+/// Errors from the DC / transient solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// A node index referenced a node outside the circuit.
+    InvalidNode {
+        /// The offending index.
+        node: u32,
+        /// Number of circuit nodes.
+        node_count: usize,
+    },
+    /// Source and sink coincide.
+    SourceIsSink,
+    /// Newton failed to reach the residual tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Best residual achieved (amps).
+        residual: f64,
+    },
+    /// The Jacobian became singular despite the `G_min` floor.
+    SingularJacobian,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidNode { node, node_count } => {
+                write!(f, "node {node} out of range for circuit with {node_count} nodes")
+            }
+            SolveError::SourceIsSink => write!(f, "source and sink are the same node"),
+            SolveError::NoConvergence { iterations, residual } => write!(
+                f,
+                "newton did not converge after {iterations} iterations (residual {residual:.3e} A)"
+            ),
+            SolveError::SingularJacobian => write!(f, "jacobian is singular"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Options controlling the Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcOptions {
+    /// Convergence threshold on the max KCL residual (amps).
+    pub residual_tolerance: Amps,
+    /// Maximum Newton iterations per continuation step.
+    pub max_iterations: usize,
+    /// Number of source-stepping continuation stages (1 = plain Newton).
+    pub continuation_steps: usize,
+    /// Ambient temperature.
+    pub temperature: Celsius,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            residual_tolerance: Amps(1e-14),
+            max_iterations: 200,
+            continuation_steps: 4,
+            temperature: Celsius::NOMINAL,
+        }
+    }
+}
+
+/// The DC operating point of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    /// Node voltages, indexed by node id (terminals included).
+    pub voltages: Vec<Volts>,
+    /// Net current flowing out of the source terminal.
+    pub source_current: Amps,
+    /// Newton iterations used (summed over continuation steps).
+    pub iterations: usize,
+    /// Final max KCL residual.
+    pub residual: Amps,
+}
+
+impl<E: TwoTerminal> Circuit<E> {
+    /// Creates an empty circuit with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Circuit { node_count, edges: Vec::new() }
+    }
+
+    /// Adds a directed element between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidNode`] if either node is out of range.
+    pub fn add_element(&mut self, from: u32, to: u32, element: E) -> Result<(), SolveError> {
+        for node in [from, to] {
+            if node as usize >= self.node_count {
+                return Err(SolveError::InvalidNode { node, node_count: self.node_count });
+            }
+        }
+        self.edges.push(CircuitEdge { from, to, element });
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The circuit's edges.
+    pub fn edges(&self) -> &[CircuitEdge<E>] {
+        &self.edges
+    }
+
+    /// Per-edge currents at the given node voltages.
+    pub fn edge_currents(&self, voltages: &[Volts], temp: Celsius) -> Vec<Amps> {
+        self.edges
+            .iter()
+            .map(|e| {
+                let dv = voltages[e.from as usize] - voltages[e.to as usize];
+                e.element.current(dv, temp)
+            })
+            .collect()
+    }
+
+    /// Solves for the DC operating point with `source` pinned at `vs` and
+    /// `sink` at 0 V; every other node floats (pure KCL).
+    ///
+    /// # Errors
+    ///
+    /// - [`SolveError::InvalidNode`] / [`SolveError::SourceIsSink`] for bad
+    ///   terminals.
+    /// - [`SolveError::NoConvergence`] if Newton stalls even after source
+    ///   stepping.
+    /// - [`SolveError::SingularJacobian`] if the `G_min`-floored Jacobian
+    ///   is still singular (indicates NaN elements).
+    pub fn solve_dc(
+        &self,
+        source: u32,
+        sink: u32,
+        vs: Volts,
+        options: &DcOptions,
+    ) -> Result<DcSolution, SolveError> {
+        for node in [source, sink] {
+            if node as usize >= self.node_count {
+                return Err(SolveError::InvalidNode { node, node_count: self.node_count });
+            }
+        }
+        if source == sink {
+            return Err(SolveError::SourceIsSink);
+        }
+        let n = self.node_count;
+        // unknown index per node (terminals excluded)
+        let mut unknown_of = vec![usize::MAX; n];
+        let mut unknowns = Vec::new();
+        for (v, slot) in unknown_of.iter_mut().enumerate() {
+            if v != source as usize && v != sink as usize {
+                *slot = unknowns.len();
+                unknowns.push(v);
+            }
+        }
+        let mut voltages = vec![Volts(vs.value() * 0.5); n];
+        voltages[source as usize] = Volts(0.0);
+        voltages[sink as usize] = Volts(0.0);
+        let mut total_iterations = 0;
+        let steps = options.continuation_steps.max(1);
+        for step in 1..=steps {
+            let target = Volts(vs.value() * step as f64 / steps as f64);
+            voltages[source as usize] = target;
+            let iters = self.newton(
+                &mut voltages,
+                &unknowns,
+                &unknown_of,
+                options,
+                // only the final step needs full accuracy
+                if step == steps {
+                    options.residual_tolerance.value()
+                } else {
+                    options.residual_tolerance.value() * 1e3
+                },
+            )?;
+            total_iterations += iters;
+        }
+        let temp = options.temperature;
+        let source_current: f64 = self
+            .edges
+            .iter()
+            .map(|e| {
+                let dv = voltages[e.from as usize] - voltages[e.to as usize];
+                let i = e.element.current(dv, temp).value();
+                if e.from == source {
+                    i
+                } else if e.to == source {
+                    -i
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        let residual = self.max_residual(&voltages, &unknowns, temp);
+        Ok(DcSolution {
+            voltages,
+            source_current: Amps(source_current),
+            iterations: total_iterations,
+            residual: Amps(residual),
+        })
+    }
+
+    /// Damped Newton iteration at fixed terminal voltages. Returns the
+    /// iteration count.
+    fn newton(
+        &self,
+        voltages: &mut [Volts],
+        unknowns: &[usize],
+        unknown_of: &[usize],
+        options: &DcOptions,
+        tol: f64,
+    ) -> Result<usize, SolveError> {
+        let temp = options.temperature;
+        let k = unknowns.len();
+        if k == 0 {
+            return Ok(0);
+        }
+        let mut residual = vec![0.0; k];
+        self.kcl_residuals(voltages, unknown_of, &mut residual, temp);
+        let mut res_norm = max_abs(&residual);
+        let mut iterations = 0;
+        let mut best_norm = res_norm;
+        let mut stalled = 0usize;
+        while res_norm > tol {
+            if iterations >= options.max_iterations {
+                return Err(SolveError::NoConvergence { iterations, residual: res_norm });
+            }
+            iterations += 1;
+            // assemble Laplacian-style Jacobian of the KCL residuals
+            let mut jac = Matrix::zeros(k, k);
+            for i in 0..k {
+                jac[(i, i)] = -G_MIN;
+            }
+            self.fill_jacobian(voltages, unknown_of, &mut jac, temp);
+            // newton step: J·Δ = −F
+            let mut delta: Vec<f64> = residual.iter().map(|r| -r).collect();
+            lu_solve(&mut jac, &mut delta).map_err(|_| SolveError::SingularJacobian)?;
+            // damped line search on the residual norm
+            let mut alpha = 1.0f64;
+            let base: Vec<Volts> = voltages.to_vec();
+            let mut accepted = false;
+            for _ in 0..30 {
+                for (idx, &node) in unknowns.iter().enumerate() {
+                    let v = base[node].value() + alpha * delta[idx];
+                    // keep iterates physical; terminals span [0, vs]
+                    voltages[node] = Volts(v.clamp(-1.0, 5.0));
+                }
+                self.kcl_residuals(voltages, unknown_of, &mut residual, temp);
+                let new_norm = max_abs(&residual);
+                if new_norm < res_norm || new_norm <= tol {
+                    res_norm = new_norm;
+                    accepted = true;
+                    break;
+                }
+                alpha *= 0.5;
+            }
+            if !accepted {
+                // Newton direction failed (piecewise-linear kinks can make
+                // it non-descending in the residual norm); fall back to
+                // nonlinear Gauss–Seidel. GS is coordinate descent on the
+                // convex network co-content, so it always makes progress in
+                // the true objective even when the max-residual temporarily
+                // bumps — accept its state unconditionally and let the
+                // patience counter below detect genuine stagnation.
+                voltages.copy_from_slice(&base);
+                for _ in 0..8 {
+                    self.gauss_seidel_sweep(voltages, unknowns, temp);
+                }
+                self.kcl_residuals(voltages, unknown_of, &mut residual, temp);
+                res_norm = max_abs(&residual);
+            }
+            // patience-based stagnation detection over both step kinds
+            if res_norm < 0.999 * best_norm {
+                best_norm = res_norm;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled > 25 {
+                    return Err(SolveError::NoConvergence { iterations, residual: res_norm });
+                }
+            }
+        }
+        Ok(iterations)
+    }
+
+    /// One nonlinear Gauss–Seidel sweep: each unknown node's voltage is
+    /// re-solved by bisection so its own KCL balances, holding every other
+    /// node fixed. The node residual is strictly decreasing in the node's
+    /// own voltage (incremental passivity), so the 1-D zero is unique.
+    fn gauss_seidel_sweep(&self, voltages: &mut [Volts], unknowns: &[usize], temp: Celsius) {
+        for &node in unknowns {
+            let residual_at = |v: f64, voltages: &[Volts]| -> f64 {
+                let mut r = 0.0;
+                for e in &self.edges {
+                    let (u, w) = (e.from as usize, e.to as usize);
+                    if w == node {
+                        let dv = voltages[u].value() - v;
+                        r += e.element.current(Volts(dv), temp).value();
+                    } else if u == node {
+                        let dv = v - voltages[w].value();
+                        r -= e.element.current(Volts(dv), temp).value();
+                    }
+                }
+                r
+            };
+            let (mut lo, mut hi) = (-1.0f64, 5.0f64);
+            // residual is decreasing in v: positive at lo, negative at hi
+            if residual_at(lo, voltages) < 0.0 {
+                voltages[node] = Volts(lo);
+                continue;
+            }
+            if residual_at(hi, voltages) > 0.0 {
+                voltages[node] = Volts(hi);
+                continue;
+            }
+            for _ in 0..50 {
+                let mid = 0.5 * (lo + hi);
+                if residual_at(mid, voltages) > 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            voltages[node] = Volts(0.5 * (lo + hi));
+        }
+    }
+
+    /// Adds `∂F/∂V` contributions (the negative weighted Laplacian of edge
+    /// conductances) into `jac`, indexed by unknown positions.
+    pub(crate) fn fill_jacobian(
+        &self,
+        voltages: &[Volts],
+        unknown_of: &[usize],
+        jac: &mut Matrix,
+        temp: Celsius,
+    ) {
+        for e in &self.edges {
+            let (u, v) = (e.from as usize, e.to as usize);
+            let dv = voltages[u] - voltages[v];
+            let g = e.element.conductance(dv, temp).max(0.0);
+            if g == 0.0 {
+                continue;
+            }
+            // residual[v] += I(Vu − Vv); residual[u] −= I(Vu − Vv)
+            let (iu, iv) = (unknown_of[u], unknown_of[v]);
+            if iu != usize::MAX {
+                jac[(iu, iu)] -= g;
+                if iv != usize::MAX {
+                    jac[(iu, iv)] += g;
+                }
+            }
+            if iv != usize::MAX {
+                jac[(iv, iv)] -= g;
+                if iu != usize::MAX {
+                    jac[(iv, iu)] += g;
+                }
+            }
+        }
+    }
+
+    /// KCL residual (net current *into* the node) for every unknown node.
+    pub(crate) fn kcl_residuals(
+        &self,
+        voltages: &[Volts],
+        unknown_of: &[usize],
+        out: &mut [f64],
+        temp: Celsius,
+    ) {
+        out.iter_mut().for_each(|r| *r = 0.0);
+        for e in &self.edges {
+            let (u, v) = (e.from as usize, e.to as usize);
+            let dv = voltages[u] - voltages[v];
+            let i = e.element.current(dv, temp).value();
+            if unknown_of[u] != usize::MAX {
+                out[unknown_of[u]] -= i;
+            }
+            if unknown_of[v] != usize::MAX {
+                out[unknown_of[v]] += i;
+            }
+        }
+    }
+
+    fn max_residual(&self, voltages: &[Volts], unknowns: &[usize], temp: Celsius) -> f64 {
+        let unknown_of = {
+            let mut m = vec![usize::MAX; self.node_count];
+            for (i, &v) in unknowns.iter().enumerate() {
+                m[v] = i;
+            }
+            m
+        };
+        let mut residual = vec![0.0; unknowns.len()];
+        self.kcl_residuals(voltages, &unknown_of, &mut residual, temp);
+        max_abs(&residual)
+    }
+}
+
+fn max_abs(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockBias, BlockDesign, BuildingBlock};
+    use crate::device::resistor::Resistor;
+    use crate::units::Ohms;
+
+    /// A resistor as a *directed* TwoTerminal (blocks reverse current),
+    /// handy for analytically checkable circuits.
+    #[derive(Debug, Clone, Copy)]
+    struct DirectedResistor(Resistor);
+
+    impl TwoTerminal for DirectedResistor {
+        fn current(&self, dv: Volts, _temp: Celsius) -> Amps {
+            if dv.value() <= 0.0 {
+                Amps(0.0)
+            } else {
+                self.0.current(dv)
+            }
+        }
+        fn conductance(&self, dv: Volts, _temp: Celsius) -> f64 {
+            if dv.value() <= 0.0 {
+                0.0
+            } else {
+                self.0.conductance()
+            }
+        }
+    }
+
+    #[test]
+    fn voltage_divider() {
+        // s -R- v -R- t : internal node sits at vs/2
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.add_element(1, 2, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        let sol = c.solve_dc(0, 2, Volts(2.0), &DcOptions::default()).unwrap();
+        assert!((sol.voltages[1].value() - 1.0).abs() < 1e-6, "{:?}", sol.voltages);
+        assert!((sol.source_current.value() - 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_divider() {
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.add_element(1, 2, DirectedResistor(Resistor::new(Ohms(3e6)))).unwrap();
+        let sol = c.solve_dc(0, 2, Volts(2.0), &DcOptions::default()).unwrap();
+        // current = 2 V / 4 MΩ = 0.5 µA; node at 2 − 0.5 = 1.5 V
+        assert!((sol.voltages[1].value() - 1.5).abs() < 1e-6);
+        assert!((sol.source_current.value() - 0.5e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_add() {
+        let mut c = Circuit::new(4);
+        // two 2-hop paths s→1→t and s→2→t, each 2 MΩ total
+        for mid in [1, 2] {
+            c.add_element(0, mid, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+            c.add_element(mid, 3, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        }
+        let sol = c.solve_dc(0, 3, Volts(2.0), &DcOptions::default()).unwrap();
+        assert!((sol.source_current.value() - 2e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn building_block_edge_saturates() {
+        // single serial block from source to sink carries its capacity
+        let block = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
+        let isat = block.saturation_current(Celsius::NOMINAL).value();
+        let mut c = Circuit::new(2);
+        c.add_element(0, 1, block).unwrap();
+        let sol = c.solve_dc(0, 1, Volts(2.0), &DcOptions::default()).unwrap();
+        assert!(
+            (sol.source_current.value() / isat - 1.0).abs() < 0.1,
+            "current {} vs capacity {}",
+            sol.source_current.value(),
+            isat
+        );
+    }
+
+    #[test]
+    fn two_hop_block_path() {
+        // s → v → t with serial blocks: both hops must saturate within 2 V
+        let block = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
+        let isat = block.saturation_current(Celsius::NOMINAL).value();
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, block).unwrap();
+        c.add_element(1, 2, block).unwrap();
+        let sol = c.solve_dc(0, 2, Volts(2.0), &DcOptions::default()).unwrap();
+        assert!(
+            (sol.source_current.value() / isat - 1.0).abs() < 0.1,
+            "two-hop current {} vs capacity {isat}",
+            sol.source_current.value()
+        );
+    }
+
+    #[test]
+    fn kcl_holds_at_solution() {
+        let block = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
+        let mut c = Circuit::new(4);
+        for (u, v) in [(0u32, 1u32), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            c.add_element(u, v, block).unwrap();
+        }
+        let sol = c.solve_dc(0, 3, Volts(2.0), &DcOptions::default()).unwrap();
+        assert!(sol.residual.value() < 1e-13, "residual {}", sol.residual.value());
+    }
+
+    #[test]
+    fn rejects_bad_terminals() {
+        let c: Circuit<DirectedResistor> = Circuit::new(2);
+        assert!(matches!(
+            c.solve_dc(0, 0, Volts(1.0), &DcOptions::default()),
+            Err(SolveError::SourceIsSink)
+        ));
+        assert!(matches!(
+            c.solve_dc(0, 9, Volts(1.0), &DcOptions::default()),
+            Err(SolveError::InvalidNode { .. })
+        ));
+    }
+
+    #[test]
+    fn add_element_validates_nodes() {
+        let mut c: Circuit<DirectedResistor> = Circuit::new(2);
+        assert!(c
+            .add_element(0, 5, DirectedResistor(Resistor::new(Ohms(1.0))))
+            .is_err());
+    }
+
+    #[test]
+    fn no_path_gives_zero_current() {
+        // edge pointing the wrong way: diode direction blocks everything
+        let mut c = Circuit::new(2);
+        c.add_element(1, 0, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        let sol = c.solve_dc(0, 1, Volts(2.0), &DcOptions::default()).unwrap();
+        assert!(sol.source_current.value().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Dense linear algebra: LU decomposition with partial pivoting.
+//!
+//! The nodal Jacobians of the PPUF crossbar are dense (the graph is
+//! complete), so a dense LU is the right tool; no sparse machinery needed.
+
+use std::fmt;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *out = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// Solves `A·x = b` in place by LU decomposition with partial pivoting.
+///
+/// `a` is destroyed (it holds the LU factors afterwards) and `b` is
+/// overwritten with the solution.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if a pivot underflows
+/// (`|pivot| < 1e-300`).
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+pub fn lu_solve(a: &mut Matrix, b: &mut [f64]) -> Result<(), SingularMatrixError> {
+    assert_eq!(a.rows, a.cols, "lu_solve requires a square matrix");
+    assert_eq!(b.len(), a.rows);
+    let n = a.rows;
+    for col in 0..n {
+        // pivot search
+        let mut pivot_row = col;
+        let mut pivot_val = a[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = a[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(SingularMatrixError);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = a[(col, c)];
+                a[(col, c)] = a[(pivot_row, c)];
+                a[(pivot_row, c)] = tmp;
+            }
+            b.swap(col, pivot_row);
+        }
+        // eliminate below
+        let pivot = a[(col, col)];
+        for r in (col + 1)..n {
+            let factor = a[(r, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            a[(r, col)] = 0.0;
+            for c in (col + 1)..n {
+                let v = a[(col, c)];
+                a[(r, c)] -= factor * v;
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // back substitution
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for c in (col + 1)..n {
+            sum -= a[(col, c)] * b[c];
+        }
+        b[col] = sum / a[(col, col)];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let mut a = Matrix::identity(3);
+        let mut b = vec![1.0, 2.0, 3.0];
+        lu_solve(&mut a, &mut b).unwrap();
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_system() {
+        // 2x + y = 5 ; x + 3y = 10 → x = 1, y = 3
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let mut b = vec![5.0, 10.0];
+        lu_solve(&mut a, &mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // zero on the diagonal forces a row swap
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 0.0;
+        let mut b = vec![2.0, 3.0];
+        lu_solve(&mut a, &mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(lu_solve(&mut a, &mut b), Err(SingularMatrixError));
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        // pseudo-random well-conditioned system; verify A·x = b
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = (((r * 31 + c * 17) % 13) as f64 - 6.0) / 7.0;
+            }
+            a[(r, r)] += 10.0; // diagonal dominance
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 - 5.0) / 3.0).collect();
+        let b0 = a.mul_vec(&x_true);
+        let mut a_work = a.clone();
+        let mut b = b0.clone();
+        lu_solve(&mut a_work, &mut b).unwrap();
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        // conductance matrices mix µS and pS entries
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1e-6;
+        a[(0, 1)] = -1e-12;
+        a[(1, 0)] = -1e-12;
+        a[(1, 1)] = 1e-12 + 1e-13;
+        let mut b = vec![1e-9, 1e-13];
+        let a_copy = a.clone();
+        lu_solve(&mut a, &mut b).unwrap();
+        let back = a_copy.mul_vec(&b);
+        assert!((back[0] - 1e-9).abs() < 1e-18);
+        assert!((back[1] - 1e-13).abs() < 1e-22);
+    }
+}

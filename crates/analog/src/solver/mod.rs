@@ -1,0 +1,12 @@
+//! Circuit solvers: dense LU, nonlinear DC operating point, backward-Euler
+//! transient, and tabulated fast-path element curves.
+
+pub mod dc;
+pub mod linear;
+pub mod tabulated;
+pub mod transient;
+
+pub use dc::{Circuit, CircuitEdge, DcOptions, DcSolution, SolveError, G_MIN};
+pub use linear::{lu_solve, Matrix, SingularMatrixError};
+pub use tabulated::{TabulatedElement, DEFAULT_SAMPLES};
+pub use transient::{simulate_step_response, TransientOptions, TransientResult};

@@ -1,0 +1,388 @@
+//! Backward-Euler transient analysis for execution-delay measurement.
+//!
+//! The PPUF's "execution time" is how long the source current takes to
+//! settle after the challenge is applied (paper §3.3). This module charges
+//! the crossbar's node capacitances from a cold start with an implicit
+//! (backward-Euler) integrator — implicit because the network is stiff:
+//! edge conductances span from `G_MIN` (cut-off) to microsiemens (triode).
+//!
+//! For each internal node `v` with capacitance `C_v`:
+//!
+//! ```text
+//! C_v · dV_v/dt = Σ I_in(v) − Σ I_out(v)
+//! ```
+//!
+//! and each step solves the implicit system with the same damped Newton
+//! machinery as the DC solver.
+
+use crate::block::TwoTerminal;
+use crate::solver::dc::{Circuit, DcOptions, SolveError, G_MIN};
+use crate::solver::linear::{lu_solve, Matrix};
+use crate::units::{Amps, Celsius, Farads, Seconds, Volts};
+
+/// Result of a transient settling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    /// Time at which the source current stayed within the tolerance band
+    /// of its final value.
+    ///
+    /// On the complete crossbar this can be almost immediate: when the
+    /// minimum cut sits at the source, the source edges saturate at `t≈0`
+    /// and the terminal current never moves even while internal nodes are
+    /// still charging.
+    pub settling_time: Seconds,
+    /// Time at which **every node voltage** stayed within
+    /// [`TransientOptions::voltage_tolerance`] of the DC solution — the
+    /// paper's §3.3 notion of execution delay (`T(v)` per node).
+    pub voltage_settling_time: Seconds,
+    /// Source current trajectory: `(time, current)` samples.
+    pub trajectory: Vec<(Seconds, Amps)>,
+    /// Final node voltages.
+    pub voltages: Vec<Volts>,
+}
+
+/// Options for a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Integration step.
+    pub step: Seconds,
+    /// Hard stop after this much simulated time.
+    pub max_time: Seconds,
+    /// Relative band around the final current that counts as settled.
+    pub settle_tolerance: f64,
+    /// Absolute voltage band around the DC solution that counts as
+    /// settled for [`TransientResult::voltage_settling_time`].
+    pub voltage_tolerance: Volts,
+    /// Ambient temperature.
+    pub temperature: Celsius,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions {
+            step: Seconds(2e-9),
+            max_time: Seconds(5e-6),
+            settle_tolerance: 1e-3,
+            voltage_tolerance: Volts(1e-3),
+            temperature: Celsius::NOMINAL,
+        }
+    }
+}
+
+/// Simulates the step response: at `t = 0` the source jumps to `vs` with
+/// all internal nodes at 0 V, and the run continues until the source
+/// current settles (or `max_time` elapses).
+///
+/// `node_capacitance[v]` is the total capacitance at node `v`; terminals'
+/// entries are ignored (they are voltage-pinned).
+///
+/// # Errors
+///
+/// - [`SolveError::InvalidNode`] / [`SolveError::SourceIsSink`] for bad
+///   terminals or a capacitance vector of the wrong length (reported as
+///   node `node_count`).
+/// - [`SolveError::NoConvergence`] if an implicit step fails.
+///
+/// The settling detection needs the final operating point; it is obtained
+/// from a DC solve up front, so DC failures surface here too.
+pub fn simulate_step_response<E: TwoTerminal>(
+    circuit: &Circuit<E>,
+    source: u32,
+    sink: u32,
+    vs: Volts,
+    node_capacitance: &[Farads],
+    options: &TransientOptions,
+) -> Result<TransientResult, SolveError> {
+    let n = circuit.node_count();
+    if node_capacitance.len() != n {
+        return Err(SolveError::InvalidNode { node: n as u32, node_count: n });
+    }
+    let temp = options.temperature;
+    // final operating point for settle detection
+    let dc = circuit.solve_dc(
+        source,
+        sink,
+        vs,
+        &DcOptions { temperature: temp, ..DcOptions::default() },
+    )?;
+    let i_final = dc.source_current.value();
+    let band = options.settle_tolerance * i_final.abs().max(1e-18);
+
+    let mut unknown_of = vec![usize::MAX; n];
+    let mut unknowns = Vec::new();
+    for (v, slot) in unknown_of.iter_mut().enumerate() {
+        if v != source as usize && v != sink as usize {
+            *slot = unknowns.len();
+            unknowns.push(v);
+        }
+    }
+    let k = unknowns.len();
+    let mut voltages = vec![Volts(0.0); n];
+    voltages[source as usize] = vs;
+    let h = options.step.value();
+    let steps = (options.max_time.value() / h).ceil() as usize;
+    let mut trajectory = Vec::with_capacity(steps + 1);
+    trajectory.push((Seconds(0.0), source_current(circuit, &voltages, source, temp)));
+    let mut settled_at: Option<f64> = None;
+    let mut voltage_settled_at: Option<f64> = None;
+    let mut time = 0.0;
+    for _ in 0..steps {
+        time += h;
+        backward_euler_step(
+            circuit,
+            &mut voltages,
+            &unknowns,
+            &unknown_of,
+            node_capacitance,
+            h,
+            temp,
+        )?;
+        let i_now = source_current(circuit, &voltages, source, temp);
+        trajectory.push((Seconds(time), i_now));
+        if (i_now.value() - i_final).abs() <= band {
+            settled_at.get_or_insert(time);
+        } else {
+            settled_at = None;
+        }
+        let max_voltage_error = voltages
+            .iter()
+            .zip(&dc.voltages)
+            .map(|(v, v_dc)| (v.value() - v_dc.value()).abs())
+            .fold(0.0f64, f64::max);
+        if max_voltage_error <= options.voltage_tolerance.value() {
+            voltage_settled_at.get_or_insert(time);
+        } else {
+            voltage_settled_at = None;
+        }
+        if k == 0 {
+            break;
+        }
+        // stop once fully settled (current AND voltages) for 10 steps
+        if let (Some(t0), Some(t1)) = (settled_at, voltage_settled_at) {
+            if time - t0.max(t1) >= 10.0 * h {
+                break;
+            }
+        }
+    }
+    Ok(TransientResult {
+        settling_time: Seconds(settled_at.unwrap_or(time)),
+        voltage_settling_time: Seconds(voltage_settled_at.unwrap_or(time)),
+        trajectory,
+        voltages,
+    })
+}
+
+/// One implicit step: solve `C/h (V⁺ − V) − F(V⁺) = 0` by damped Newton.
+fn backward_euler_step<E: TwoTerminal>(
+    circuit: &Circuit<E>,
+    voltages: &mut [Volts],
+    unknowns: &[usize],
+    unknown_of: &[usize],
+    node_capacitance: &[Farads],
+    h: f64,
+    temp: Celsius,
+) -> Result<(), SolveError> {
+    let k = unknowns.len();
+    if k == 0 {
+        return Ok(());
+    }
+    let previous: Vec<f64> = unknowns.iter().map(|&v| voltages[v].value()).collect();
+    let mut kcl = vec![0.0; k];
+    let residual_of = |volt: &[Volts], kcl: &mut [f64], circuit: &Circuit<E>| -> Vec<f64> {
+        circuit.kcl_residuals(volt, unknown_of, kcl, temp);
+        unknowns
+            .iter()
+            .enumerate()
+            .map(|(idx, &v)| {
+                let c = node_capacitance[v].value();
+                kcl[idx] - c / h * (voltages_value(volt, v) - previous[idx])
+            })
+            .collect()
+    };
+    let mut res = residual_of(voltages, &mut kcl, circuit);
+    let mut norm = max_abs(&res);
+    // implicit-step tolerance: scaled to the capacitive currents involved
+    let tol = 1e-16_f64.max(norm * 1e-9);
+    for _ in 0..100 {
+        if norm <= tol {
+            return Ok(());
+        }
+        let mut jac = Matrix::zeros(k, k);
+        for (idx, &v) in unknowns.iter().enumerate() {
+            jac[(idx, idx)] = -node_capacitance[v].value() / h - G_MIN;
+        }
+        circuit.fill_jacobian(voltages, unknown_of, &mut jac, temp);
+        let mut delta: Vec<f64> = res.iter().map(|r| -r).collect();
+        lu_solve(&mut jac, &mut delta).map_err(|_| SolveError::SingularJacobian)?;
+        let base: Vec<f64> = unknowns.iter().map(|&v| voltages[v].value()).collect();
+        let mut alpha = 1.0;
+        let mut improved = false;
+        for _ in 0..20 {
+            for (idx, &v) in unknowns.iter().enumerate() {
+                voltages[v] = Volts((base[idx] + alpha * delta[idx]).clamp(-1.0, 5.0));
+            }
+            res = residual_of(voltages, &mut kcl, circuit);
+            let new_norm = max_abs(&res);
+            if new_norm < norm || new_norm <= tol {
+                norm = new_norm;
+                improved = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        if !improved {
+            return Err(SolveError::NoConvergence { iterations: 0, residual: norm });
+        }
+    }
+    if norm <= tol * 10.0 {
+        Ok(())
+    } else {
+        Err(SolveError::NoConvergence { iterations: 100, residual: norm })
+    }
+}
+
+fn voltages_value(volt: &[Volts], node: usize) -> f64 {
+    volt[node].value()
+}
+
+fn source_current<E: TwoTerminal>(
+    circuit: &Circuit<E>,
+    voltages: &[Volts],
+    source: u32,
+    temp: Celsius,
+) -> Amps {
+    let mut total = 0.0;
+    for e in circuit.edges() {
+        let dv = voltages[e.from as usize] - voltages[e.to as usize];
+        let i = e.element.current(dv, temp).value();
+        if e.from == source {
+            total += i;
+        } else if e.to == source {
+            total -= i;
+        }
+    }
+    Amps(total)
+}
+
+fn max_abs(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::resistor::Resistor;
+    use crate::units::Ohms;
+
+    /// Directed resistor used to make RC behaviour analytically checkable.
+    #[derive(Debug, Clone, Copy)]
+    struct DirectedResistor(Resistor);
+
+    impl TwoTerminal for DirectedResistor {
+        fn current(&self, dv: Volts, _temp: Celsius) -> Amps {
+            if dv.value() <= 0.0 {
+                Amps(0.0)
+            } else {
+                self.0.current(dv)
+            }
+        }
+        fn conductance(&self, dv: Volts, _temp: Celsius) -> f64 {
+            if dv.value() <= 0.0 {
+                0.0
+            } else {
+                self.0.conductance()
+            }
+        }
+    }
+
+    fn rc_chain() -> (Circuit<DirectedResistor>, Vec<Farads>) {
+        // s -R- v -R- t, C at v: classic RC settling
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.add_element(1, 2, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        let caps = vec![Farads(0.0), Farads(1e-12), Farads(0.0)];
+        (c, caps)
+    }
+
+    #[test]
+    fn rc_settles_to_dc_solution() {
+        let (c, caps) = rc_chain();
+        let result = simulate_step_response(
+            &c,
+            0,
+            2,
+            Volts(2.0),
+            &caps,
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        // final node voltage = 1 V (divider), source current 1 µA
+        assert!((result.voltages[1].value() - 1.0).abs() < 5e-3, "{:?}", result.voltages);
+        let (_, i_last) = result.trajectory.last().copied().unwrap();
+        assert!((i_last.value() - 1e-6).abs() < 1e-8);
+    }
+
+    #[test]
+    fn settling_time_scales_with_capacitance() {
+        let (c, caps_small) = rc_chain();
+        let caps_big = vec![Farads(0.0), Farads(4e-12), Farads(0.0)];
+        let opts = TransientOptions { max_time: Seconds(5e-5), ..Default::default() };
+        let fast = simulate_step_response(&c, 0, 2, Volts(2.0), &caps_small, &opts).unwrap();
+        let slow = simulate_step_response(&c, 0, 2, Volts(2.0), &caps_big, &opts).unwrap();
+        assert!(
+            slow.settling_time.value() > 2.0 * fast.settling_time.value(),
+            "fast {} slow {}",
+            fast.settling_time,
+            slow.settling_time
+        );
+    }
+
+    #[test]
+    fn rc_time_constant_roughly_correct() {
+        // parallel R of the divider is 0.5 MΩ → τ = 0.5 µs; 0.1 % settle
+        // takes ~7 τ ≈ 3.5 µs
+        let (c, caps) = rc_chain();
+        let opts = TransientOptions {
+            step: Seconds(1e-8),
+            max_time: Seconds(2e-5),
+            ..Default::default()
+        };
+        let result = simulate_step_response(&c, 0, 2, Volts(2.0), &caps, &opts).unwrap();
+        let t = result.settling_time.value();
+        assert!((1e-6..8e-6).contains(&t), "settling {t}");
+    }
+
+    #[test]
+    fn wrong_capacitance_length_rejected() {
+        let (c, _) = rc_chain();
+        let err = simulate_step_response(
+            &c,
+            0,
+            2,
+            Volts(2.0),
+            &[Farads(0.0)],
+            &TransientOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidNode { .. }));
+    }
+
+    #[test]
+    fn trajectory_monotone_for_simple_rc() {
+        let (c, caps) = rc_chain();
+        let result = simulate_step_response(
+            &c,
+            0,
+            2,
+            Volts(2.0),
+            &caps,
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        // source current decays monotonically from the inrush peak
+        let currents: Vec<f64> = result.trajectory.iter().map(|(_, i)| i.value()).collect();
+        for w in currents.windows(2).skip(1) {
+            assert!(w[1] <= w[0] + 1e-12, "non-monotone: {w:?}");
+        }
+    }
+}

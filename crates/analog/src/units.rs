@@ -1,0 +1,335 @@
+//! Physical-quantity newtypes.
+//!
+//! Capacities, currents, and delays cross several crate boundaries in this
+//! workspace (analog solver → flow capacities → ESG seconds); the newtypes
+//! keep volts from being added to amperes along the way. Arithmetic is
+//! provided only where it is physically meaningful (`V / Ω = A`,
+//! `V · A = W`, `A · s = C`…).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The raw value in base SI units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// `true` if the value is neither NaN nor infinite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Element-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Element-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(v: f64) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let (scaled, prefix) = si_prefix(self.0);
+                write!(f, "{scaled:.4} {prefix}{}", $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Conductance in siemens.
+    Siemens,
+    "S"
+);
+
+/// Temperature in degrees Celsius (not an SI-prefixed quantity, so kept
+/// separate from the macro-generated units).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// Nominal characterization temperature (25 °C).
+    pub const NOMINAL: Celsius = Celsius(25.0);
+
+    /// The raw value in degrees Celsius.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kelvin.
+    #[inline]
+    pub fn kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} °C", self.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    #[inline]
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Siemens {
+    type Output = Amps;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Amps {
+        Amps(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+/// Picks an SI prefix for display.
+fn si_prefix(v: f64) -> (f64, &'static str) {
+    let a = v.abs();
+    if a == 0.0 || !a.is_finite() {
+        return (v, "");
+    }
+    const TABLE: &[(f64, &str)] = &[
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ];
+    for &(scale, prefix) in TABLE {
+        if a >= scale {
+            return (v / scale, prefix);
+        }
+    }
+    (v / 1e-18, "a")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law() {
+        let i = Volts(2.0) / Ohms(1e6);
+        assert!((i.value() - 2e-6).abs() < 1e-18);
+        let v = Amps(2e-6) * Ohms(1e6);
+        assert!((v.value() - 2.0).abs() < 1e-12);
+        let r = Volts(2.0) / Amps(2e-6);
+        assert!((r.value() - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_and_energy() {
+        let p = Volts(2.0) * Amps(33.6e-6);
+        assert!((p.value() - 67.2e-6).abs() < 1e-12);
+        let e = p * Seconds(1e-6);
+        assert!((e.value() - 67.2e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Ohms(1e6) * Farads(1e-12);
+        assert!((tau.value() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(Amps(33.6e-6).to_string(), "33.6000 µA");
+        assert_eq!(Volts(2.0).to_string(), "2.0000 V");
+        assert_eq!(Ohms(1e6).to_string(), "1.0000 MΩ");
+        assert_eq!(Seconds(1.0e-6).to_string(), "1.0000 µs");
+        assert_eq!(Amps(0.0).to_string(), "0.0000 A");
+    }
+
+    #[test]
+    fn celsius_to_kelvin() {
+        assert!((Celsius(25.0).kelvin() - 298.15).abs() < 1e-12);
+        assert!((Celsius(-20.0).kelvin() - 253.15).abs() < 1e-12);
+        assert_eq!(Celsius::NOMINAL.value(), 25.0);
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert_eq!(Volts(1.0) + Volts(0.5), Volts(1.5));
+        assert_eq!(Volts(1.0) - Volts(0.5), Volts(0.5));
+        assert_eq!(-Volts(1.0), Volts(-1.0));
+        assert_eq!(Volts(2.0) * 0.5, Volts(1.0));
+        assert_eq!(Volts(2.0) / 2.0, Volts(1.0));
+        assert_eq!(Volts(2.0) / Volts(0.5), 4.0);
+        assert!(Volts(1.0) < Volts(2.0));
+        assert_eq!(Volts(-3.0).abs(), Volts(3.0));
+        assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+        let total: Volts = [Volts(1.0), Volts(2.0)].into_iter().sum();
+        assert_eq!(total, Volts(3.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Environmental operating conditions: supply and temperature.
+//!
+//! The paper's intra-class Hamming distance (Table 1) accounts for ±10 %
+//! supply-voltage variation and −20 °C…80 °C ambient temperature. This
+//! module carries those conditions; the crossbar layer scales `V(s)` by
+//! `supply_scale` and hands `temperature` to every device model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Celsius, Volts};
+
+/// One environmental operating condition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// Multiplier on the nominal supply (1.0 = nominal; paper: 0.9…1.1).
+    pub supply_scale: f64,
+    /// Ambient temperature (paper: −20 °C…80 °C).
+    pub temperature: Celsius,
+}
+
+impl Environment {
+    /// Nominal conditions: full supply at 25 °C.
+    pub const NOMINAL: Environment = Environment { supply_scale: 1.0, temperature: Celsius(25.0) };
+
+    /// Creates an explicit condition.
+    pub fn new(supply_scale: f64, temperature: Celsius) -> Self {
+        Environment { supply_scale, temperature }
+    }
+
+    /// Samples a uniform condition from the paper's evaluation ranges
+    /// (supply 0.9…1.1, temperature −20…80 °C).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Environment {
+            supply_scale: rng.gen_range(0.9..=1.1),
+            temperature: Celsius(rng.gen_range(-20.0..=80.0)),
+        }
+    }
+
+    /// The paper's four evaluation corners plus nominal.
+    pub fn corners() -> [Environment; 5] {
+        [
+            Environment::NOMINAL,
+            Environment::new(0.9, Celsius(-20.0)),
+            Environment::new(0.9, Celsius(80.0)),
+            Environment::new(1.1, Celsius(-20.0)),
+            Environment::new(1.1, Celsius(80.0)),
+        ]
+    }
+
+    /// Applies the supply scale to a nominal supply voltage.
+    pub fn scaled_supply(&self, nominal: Volts) -> Volts {
+        nominal * self.supply_scale
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Self::NOMINAL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn nominal_is_identity() {
+        let e = Environment::NOMINAL;
+        assert_eq!(e.scaled_supply(Volts(2.0)), Volts(2.0));
+        assert_eq!(e.temperature, Celsius(25.0));
+    }
+
+    #[test]
+    fn sampling_stays_in_paper_ranges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let e = Environment::sample(&mut rng);
+            assert!((0.9..=1.1).contains(&e.supply_scale));
+            assert!((-20.0..=80.0).contains(&e.temperature.value()));
+        }
+    }
+
+    #[test]
+    fn corners_cover_extremes() {
+        let corners = Environment::corners();
+        assert!(corners.iter().any(|c| c.supply_scale == 0.9));
+        assert!(corners.iter().any(|c| c.supply_scale == 1.1));
+        assert!(corners.iter().any(|c| c.temperature == Celsius(-20.0)));
+        assert!(corners.iter().any(|c| c.temperature == Celsius(80.0)));
+    }
+
+    #[test]
+    fn supply_scaling() {
+        let e = Environment::new(0.9, Celsius(25.0));
+        assert!((e.scaled_supply(Volts(2.0)).value() - 1.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,8 @@
+//! Variation models: process (random + systematic) and environment
+//! (supply / temperature).
+
+pub mod environment;
+pub mod process;
+
+pub use environment::Environment;
+pub use process::{DiePosition, ProcessVariation};

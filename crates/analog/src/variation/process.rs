@@ -1,0 +1,141 @@
+//! Process variation: random per-device threshold shifts plus a
+//! systematic across-die gradient.
+//!
+//! The paper assumes `V_th` variation `~ N(0, 35 mV)` (ITRS-consistent for
+//! 32 nm) and adds a *systematic* component that the differential
+//! side-by-side placement of the two crossbars is designed to cancel
+//! (paper §4.1). Both are modelled here; the crossbar layer applies the
+//! same systematic field to both networks so the benches can demonstrate
+//! the cancellation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::block::BlockVariation;
+use crate::montecarlo::gaussian;
+use crate::units::Volts;
+
+/// Position of a block on the die, normalized to `[0, 1]²`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiePosition {
+    /// Horizontal coordinate in `[0, 1]`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1]`.
+    pub y: f64,
+}
+
+impl DiePosition {
+    /// Position of crossbar cell `(row, col)` in an `n × n` array.
+    pub fn from_cell(row: usize, col: usize, n: usize) -> Self {
+        let d = n.max(2) as f64 - 1.0;
+        DiePosition { x: col as f64 / d, y: row as f64 / d }
+    }
+}
+
+/// Statistical model of process variation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessVariation {
+    /// Standard deviation of the random `V_th` component.
+    pub sigma_vth: Volts,
+    /// Systematic `V_th` gradient along x across the full die.
+    pub gradient_x: Volts,
+    /// Systematic `V_th` gradient along y across the full die.
+    pub gradient_y: Volts,
+}
+
+impl Default for ProcessVariation {
+    /// The paper's setting: `σ(V_th)` = 35 mV, no systematic gradient.
+    fn default() -> Self {
+        ProcessVariation {
+            sigma_vth: Volts(0.035),
+            gradient_x: Volts(0.0),
+            gradient_y: Volts(0.0),
+        }
+    }
+}
+
+impl ProcessVariation {
+    /// The paper's random-only model (σ = 35 mV).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a systematic across-die gradient (worst-case corner shift of
+    /// `gradient_x + gradient_y`).
+    pub fn with_gradient(mut self, gradient_x: Volts, gradient_y: Volts) -> Self {
+        self.gradient_x = gradient_x;
+        self.gradient_y = gradient_y;
+        self
+    }
+
+    /// Systematic `V_th` offset at a die position.
+    pub fn systematic_offset(&self, position: DiePosition) -> Volts {
+        Volts(self.gradient_x.value() * position.x + self.gradient_y.value() * position.y)
+    }
+
+    /// Samples the variation of one building block (four transistors) at a
+    /// die position: independent Gaussian shifts plus the shared
+    /// systematic offset of that position.
+    pub fn sample_block<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        position: DiePosition,
+    ) -> BlockVariation {
+        let sys = self.systematic_offset(position).value();
+        let sigma = self.sigma_vth.value();
+        let mut delta = [Volts(0.0); 4];
+        for d in &mut delta {
+            *d = Volts(sys + sigma * gaussian(rng));
+        }
+        BlockVariation { delta_vth: delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let pv = ProcessVariation::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut samples = Vec::new();
+        for _ in 0..2000 {
+            let block = pv.sample_block(&mut rng, DiePosition { x: 0.0, y: 0.0 });
+            samples.extend(block.delta_vth.iter().map(|v| v.value()));
+        }
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 2e-3, "mean {mean}");
+        assert!((var.sqrt() - 0.035).abs() < 2e-3, "stdev {}", var.sqrt());
+    }
+
+    #[test]
+    fn systematic_offset_varies_with_position() {
+        let pv = ProcessVariation::new().with_gradient(Volts(0.02), Volts(0.01));
+        let origin = pv.systematic_offset(DiePosition { x: 0.0, y: 0.0 }).value();
+        let corner = pv.systematic_offset(DiePosition { x: 1.0, y: 1.0 }).value();
+        assert_eq!(origin, 0.0);
+        assert!((corner - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_reproduces_samples() {
+        let pv = ProcessVariation::new();
+        let pos = DiePosition::from_cell(3, 4, 10);
+        let a = pv.sample_block(&mut ChaCha8Rng::seed_from_u64(42), pos);
+        let b = pv.sample_block(&mut ChaCha8Rng::seed_from_u64(42), pos);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_positions_normalized() {
+        let p = DiePosition::from_cell(0, 0, 10);
+        assert_eq!((p.x, p.y), (0.0, 0.0));
+        let q = DiePosition::from_cell(9, 9, 10);
+        assert!((q.x - 1.0).abs() < 1e-12 && (q.y - 1.0).abs() < 1e-12);
+    }
+}

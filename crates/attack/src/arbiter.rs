@@ -1,0 +1,135 @@
+//! Arbiter PUF baseline — the classic *learnable* strong PUF.
+//!
+//! Fig 10 contrasts the PPUF's model-building resilience with an arbiter
+//! PUF of the same input length. The arbiter PUF follows the standard
+//! additive delay model: stage `i` contributes a delay difference
+//! `±w_i` depending on the challenge bit, so the response is
+//! `sign(w · Φ(c))` with the parity feature map `Φ` — linearly separable,
+//! which is exactly why SVMs break it with a few thousand CRPs
+//! (Rührmair et al., CCS 2010).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::features::parity_features;
+
+/// A simulated arbiter PUF instance (additive delay model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArbiterPuf {
+    /// Per-stage delay-difference weights (length = stages + 1; the last
+    /// entry is the arbiter offset).
+    weights: Vec<f64>,
+    /// Standard deviation of per-evaluation noise on the delay difference
+    /// (0 = noiseless).
+    noise: f64,
+}
+
+impl ArbiterPuf {
+    /// Samples an instance with `stages` switch stages; stage delays are
+    /// standard-normal (their scale cancels in the sign).
+    pub fn sample<R: Rng + ?Sized>(stages: usize, rng: &mut R) -> Self {
+        let weights = (0..=stages).map(|_| gaussian(rng)).collect();
+        ArbiterPuf { weights, noise: 0.0 }
+    }
+
+    /// Adds evaluation noise (relative to the unit weight scale).
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Number of challenge bits.
+    pub fn stages(&self) -> usize {
+        self.weights.len() - 1
+    }
+
+    /// Evaluates the response to a challenge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `challenge.len() != stages()`.
+    pub fn respond<R: Rng + ?Sized>(&self, challenge: &[bool], rng: &mut R) -> bool {
+        assert_eq!(challenge.len(), self.stages(), "wrong challenge length");
+        let phi = parity_features(challenge);
+        let mut delta: f64 = self.weights.iter().zip(&phi).map(|(w, p)| w * p).sum();
+        if self.noise > 0.0 {
+            delta += self.noise * gaussian(rng);
+        }
+        delta > 0.0
+    }
+}
+
+/// Box–Muller standard normal (kept local so the crate has no dependency
+/// on the analog substrate).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn responses_are_deterministic_without_noise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let puf = ArbiterPuf::sample(64, &mut rng);
+        let challenge: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let a = puf.respond(&challenge, &mut rng);
+        let b = puf.respond(&challenge, &mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_instances_differ() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p1 = ArbiterPuf::sample(64, &mut rng);
+        let p2 = ArbiterPuf::sample(64, &mut rng);
+        let mut differ = 0;
+        for seed in 0..200u64 {
+            let mut crng = ChaCha8Rng::seed_from_u64(seed);
+            let challenge: Vec<bool> = (0..64).map(|_| crng.gen()).collect();
+            if p1.respond(&challenge, &mut crng) != p2.respond(&challenge, &mut crng) {
+                differ += 1;
+            }
+        }
+        assert!((60..140).contains(&differ), "inter-device HD {differ}/200");
+    }
+
+    #[test]
+    fn responses_roughly_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let puf = ArbiterPuf::sample(64, &mut rng);
+        let ones = (0..500)
+            .filter(|_| {
+                let challenge: Vec<bool> = (0..64).map(|_| rng.gen()).collect();
+                puf.respond(&challenge, &mut rng)
+            })
+            .count();
+        assert!((150..350).contains(&ones), "ones {ones}/500");
+    }
+
+    #[test]
+    fn noise_flips_marginal_responses() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let puf = ArbiterPuf::sample(64, &mut rng).with_noise(0.5);
+        let challenge: Vec<bool> = (0..64).map(|_| rng.gen()).collect();
+        let responses: Vec<bool> = (0..200).map(|_| puf.respond(&challenge, &mut rng)).collect();
+        let flips = responses.windows(2).filter(|w| w[0] != w[1]).count();
+        // with noise, at least some evaluations should disagree for a
+        // typical (finite-margin) challenge — allow the rare solid one
+        let ones = responses.iter().filter(|&&b| b).count();
+        assert!(flips > 0 || ones == 0 || ones == 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong challenge length")]
+    fn wrong_length_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let puf = ArbiterPuf::sample(8, &mut rng);
+        let _ = puf.respond(&[true; 4], &mut rng);
+    }
+}

@@ -1,0 +1,128 @@
+//! Labeled datasets for model-building attacks.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A binary-labeled dataset: feature vectors with labels in `{−1, +1}`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one labeled sample (`label = true` maps to `+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimension differs from previous samples.
+    pub fn push(&mut self, features: Vec<f64>, label: bool) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), features.len(), "inconsistent feature dimension");
+        }
+        self.features.push(features);
+        self.labels.push(if label { 1.0 } else { -1.0 });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension (0 when empty).
+    pub fn dimension(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The labels (`±1`).
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// One sample.
+    pub fn sample(&self, i: usize) -> (&[f64], f64) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// A uniformly subsampled copy with at most `max` samples (used to cap
+    /// SMO training cost on large CRP sets).
+    pub fn subsampled<R: Rng + ?Sized>(&self, max: usize, rng: &mut R) -> Dataset {
+        if self.len() <= max {
+            return self.clone();
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        indices.truncate(max);
+        let mut out = Dataset::new();
+        for i in indices {
+            out.features.push(self.features[i].clone());
+            out.labels.push(self.labels[i]);
+        }
+        out
+    }
+
+    /// Fraction of `+1` labels (for sanity-checking balance).
+    pub fn positive_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&y| y > 0.0).count() as f64 / self.labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn push_and_shape() {
+        let mut d = Dataset::new();
+        assert!(d.is_empty());
+        d.push(vec![1.0, -1.0], true);
+        d.push(vec![0.5, 0.5], false);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dimension(), 2);
+        assert_eq!(d.labels(), &[1.0, -1.0]);
+        assert_eq!(d.sample(1).1, -1.0);
+        assert_eq!(d.positive_fraction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimension")]
+    fn dimension_mismatch_panics() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0], true);
+        d.push(vec![1.0, 2.0], false);
+    }
+
+    #[test]
+    fn subsample_caps_size() {
+        let mut d = Dataset::new();
+        for i in 0..100 {
+            d.push(vec![i as f64], i % 2 == 0);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let small = d.subsampled(10, &mut rng);
+        assert_eq!(small.len(), 10);
+        let same = d.subsampled(200, &mut rng);
+        assert_eq!(same.len(), 100);
+    }
+}

@@ -1,0 +1,64 @@
+//! Feature maps from challenges to attack-model inputs.
+
+/// Raw ±1 encoding of challenge bits (the natural features for the PPUF's
+//  grid-control challenge).
+pub fn sign_features(challenge: &[bool]) -> Vec<f64> {
+    challenge.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
+}
+
+/// The arbiter-PUF parity feature map:
+/// `Φ_i(c) = Π_{j=i}^{k−1} (1 − 2 c_j)` for `i = 0..k`, plus the constant
+/// feature `Φ_k = 1`.
+///
+/// Under this map the arbiter PUF's response is a linear threshold
+/// function — handing the attacker the representation in which the PUF is
+/// easiest to learn (the standard modelling-attack setup).
+pub fn parity_features(challenge: &[bool]) -> Vec<f64> {
+    let k = challenge.len();
+    let mut phi = vec![1.0f64; k + 1];
+    // suffix products, built right to left
+    for i in (0..k).rev() {
+        let sign = if challenge[i] { -1.0 } else { 1.0 };
+        phi[i] = sign * phi[i + 1];
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_features_map() {
+        assert_eq!(sign_features(&[true, false, true]), vec![1.0, -1.0, 1.0]);
+        assert!(sign_features(&[]).is_empty());
+    }
+
+    #[test]
+    fn parity_features_structure() {
+        // all-zero challenge: every suffix product is +1
+        assert_eq!(parity_features(&[false, false]), vec![1.0, 1.0, 1.0]);
+        // single one at the end flips every prefix feature
+        assert_eq!(parity_features(&[false, true]), vec![-1.0, -1.0, 1.0]);
+        // Φ_k (constant) is always 1
+        let phi = parity_features(&[true, true, false, true]);
+        assert_eq!(*phi.last().unwrap(), 1.0);
+        assert_eq!(phi.len(), 5);
+    }
+
+    #[test]
+    fn parity_features_suffix_products() {
+        let c = [true, false, true];
+        let phi = parity_features(&c);
+        // Φ_2 = (1−2c_2) = −1 ; Φ_1 = (1)·(−1) = −1 ; Φ_0 = (−1)·(−1) = +1
+        assert_eq!(phi, vec![1.0, -1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn features_are_plus_minus_one() {
+        let c: Vec<bool> = (0..32).map(|i| i % 5 == 0).collect();
+        for v in parity_features(&c).iter().chain(sign_features(&c).iter()) {
+            assert!(v.abs() == 1.0);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! K-nearest-neighbour classifier — the paper's non-parametric attack.
+//!
+//! The paper sweeps `K = 1, 3, …, 21` and reports the best; the harness in
+//! [`crate::harness`] does the same.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// A KNN classifier over a stored training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnModel {
+    train: Dataset,
+    k: usize,
+}
+
+impl KnnModel {
+    /// Stores the training set for `k`-nearest-neighbour voting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the dataset is empty.
+    pub fn new(train: Dataset, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(!train.is_empty(), "cannot build KNN over an empty dataset");
+        KnnModel { train, k }
+    }
+
+    /// The vote count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Majority vote of the `k` nearest training samples (squared
+    /// Euclidean distance; on ±1 features this is Hamming distance up to
+    /// scale).
+    pub fn predict(&self, x: &[f64]) -> bool {
+        let k = self.k.min(self.train.len());
+        // partial selection of the k smallest distances
+        let mut best: Vec<(f64, f64)> = Vec::with_capacity(k + 1);
+        for i in 0..self.train.len() {
+            let (xi, yi) = self.train.sample(i);
+            let d2: f64 = x.iter().zip(xi).map(|(a, b)| (a - b) * (a - b)).sum();
+            let pos = best.partition_point(|&(d, _)| d < d2);
+            if pos < k {
+                best.insert(pos, (d2, yi));
+                best.truncate(k);
+            }
+        }
+        let vote: f64 = best.iter().map(|&(_, y)| y).sum();
+        vote > 0.0
+    }
+
+    /// Misclassification rate on a labeled set.
+    pub fn error_rate(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let wrong = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.sample(i);
+                self.predict(x) != (y > 0.0)
+            })
+            .count();
+        wrong as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn clustered(n: usize, seed: u64) -> Dataset {
+        // two Gaussian-ish blobs at ±(1,1)
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n {
+            let label: bool = rng.gen();
+            let center = if label { 1.0 } else { -1.0 };
+            let x = center + rng.gen_range(-0.5..0.5);
+            let y = center + rng.gen_range(-0.5..0.5);
+            d.push(vec![x, y], label);
+        }
+        d
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let model = KnnModel::new(clustered(200, 1), 5);
+        let test = clustered(100, 2);
+        assert!(model.error_rate(&test) < 0.05);
+    }
+
+    #[test]
+    fn k_one_memorizes_training_set() {
+        let train = clustered(50, 3);
+        let model = KnnModel::new(train.clone(), 1);
+        assert_eq!(model.error_rate(&train), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_set_is_majority_label() {
+        let mut train = Dataset::new();
+        train.push(vec![0.0], true);
+        train.push(vec![1.0], true);
+        train.push(vec![2.0], false);
+        let model = KnnModel::new(train, 99);
+        assert!(model.predict(&[10.0]));
+    }
+
+    #[test]
+    fn random_labels_unlearnable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for i in 0..400 {
+            let x: Vec<f64> = (0..16).map(|_| if rng.gen() { 1.0 } else { -1.0 }).collect();
+            let label: bool = rng.gen();
+            if i < 300 {
+                train.push(x, label);
+            } else {
+                test.push(x, label);
+            }
+        }
+        let model = KnnModel::new(train, 7);
+        let err = model.error_rate(&test);
+        assert!((0.3..0.7).contains(&err), "error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let mut d = Dataset::new();
+        d.push(vec![0.0], true);
+        let _ = KnnModel::new(d, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Model-building attacks on PUFs (paper §5, Fig 10).
+//!
+//! From-scratch implementations of the paper's attack suite — an
+//! SMO-trained SVM with RBF/linear kernels and a K-nearest-neighbour
+//! classifier — plus the arbiter-PUF baseline they break and the harness
+//! that measures prediction error against observed CRPs.
+//!
+//! # Example: break an arbiter PUF, fail against a coin
+//!
+//! ```
+//! use ppuf_attack::arbiter::ArbiterPuf;
+//! use ppuf_attack::harness::{evaluate_attack, ArbiterOracle, AttackConfig};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), ppuf_core::PpufError> {
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let oracle = ArbiterOracle::new(ArbiterPuf::sample(32, &mut rng));
+//! let config = AttackConfig { test_size: 100, ..AttackConfig::default() };
+//! let results = evaluate_attack(&oracle, &[500], &config, &mut rng)?;
+//! assert!(results[0].min_error() < 0.2); // arbiter PUFs are learnable
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arbiter;
+pub mod dataset;
+pub mod features;
+pub mod harness;
+pub mod knn;
+pub mod linear;
+pub mod logistic;
+pub mod svm;
+
+pub use arbiter::ArbiterPuf;
+pub use dataset::Dataset;
+pub use harness::{
+    collect_crps, evaluate_attack, ArbiterOracle, AttackConfig, AttackResult, PpufOracle,
+    ResponseOracle,
+};
+pub use knn::KnnModel;
+pub use linear::{LinearSvm, LinearSvmParams};
+pub use logistic::{LogisticModel, LogisticParams};
+pub use svm::{Kernel, SvmModel, SvmParams};

@@ -1,0 +1,320 @@
+//! Support vector machine trained with (simplified) SMO.
+//!
+//! The paper's strongest parametric model-building attack: an SVM with a
+//! nonlinear radial-basis-function kernel (Rührmair et al. use the same
+//! family against arbiter PUFs). Implemented from scratch: Platt's
+//! sequential minimal optimization in the simplified two-α form, with a
+//! precomputed kernel matrix.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// SVM kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `K(x, z) = x · z` — enough to break the (linearly separable)
+    /// arbiter PUF.
+    Linear,
+    /// `K(x, z) = exp(−γ ‖x − z‖²)` — the paper's nonlinear attack.
+    Rbf {
+        /// Kernel width `γ`.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    pub fn eval(&self, x: &[f64], z: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => x.iter().zip(z).map(|(a, b)| a * b).sum(),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = x.iter().zip(z).map(|(a, b)| (a - b) * (a - b)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+
+    /// A reasonable default `γ = 1/dimension` for ±1 features.
+    pub fn rbf_for_dimension(dimension: usize) -> Kernel {
+        Kernel::Rbf { gamma: 1.0 / dimension.max(1) as f64 }
+    }
+}
+
+/// SMO training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvmParams {
+    /// Soft-margin penalty `C`.
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tolerance: f64,
+    /// Passes without α changes before stopping.
+    pub max_passes: usize,
+    /// Hard cap on optimization sweeps.
+    pub max_sweeps: usize,
+    /// The kernel.
+    pub kernel: Kernel,
+    /// RNG seed for the second-α choice.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams {
+            c: 1.0,
+            tolerance: 1e-3,
+            max_passes: 3,
+            max_sweeps: 60,
+            kernel: Kernel::Rbf { gamma: 0.05 },
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A trained SVM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmModel {
+    support_vectors: Vec<Vec<f64>>,
+    /// `α_i · y_i` for each support vector.
+    coefficients: Vec<f64>,
+    bias: f64,
+    kernel: Kernel,
+}
+
+impl SvmModel {
+    /// Trains on a dataset with simplified SMO.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn train(data: &Dataset, params: &SvmParams) -> SvmModel {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let n = data.len();
+        let x = data.features();
+        let y = data.labels();
+        // precomputed kernel matrix (training sets are capped upstream)
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = params.kernel.eval(&x[i], &x[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let f = |alpha: &[f64], b: f64, k: &[f64], idx: usize| -> f64 {
+            let mut s = b;
+            for (j, &a) in alpha.iter().enumerate() {
+                if a != 0.0 {
+                    s += a * y[j] * k[idx * n + j];
+                }
+            }
+            s
+        };
+        let mut passes = 0usize;
+        let mut sweeps = 0usize;
+        while passes < params.max_passes && sweeps < params.max_sweeps {
+            sweeps += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let e_i = f(&alpha, b, &k, i) - y[i];
+                let violates = (y[i] * e_i < -params.tolerance && alpha[i] < params.c)
+                    || (y[i] * e_i > params.tolerance && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // pick a random j ≠ i
+                let j = {
+                    let r = rng.gen_range(0..n - 1);
+                    if r >= i {
+                        r + 1
+                    } else {
+                        r
+                    }
+                };
+                let e_j = f(&alpha, b, &k, j) - y[j];
+                let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() > f64::EPSILON {
+                    (
+                        (a_j_old - a_i_old).max(0.0),
+                        (params.c + a_j_old - a_i_old).min(params.c),
+                    )
+                } else {
+                    (
+                        (a_i_old + a_j_old - params.c).max(0.0),
+                        (a_i_old + a_j_old).min(params.c),
+                    )
+                };
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut a_j = a_j_old - y[j] * (e_i - e_j) / eta;
+                a_j = a_j.clamp(lo, hi);
+                if (a_j - a_j_old).abs() < 1e-7 {
+                    continue;
+                }
+                let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
+                alpha[i] = a_i;
+                alpha[j] = a_j;
+                let b1 = b - e_i
+                    - y[i] * (a_i - a_i_old) * k[i * n + i]
+                    - y[j] * (a_j - a_j_old) * k[i * n + j];
+                let b2 = b - e_j
+                    - y[i] * (a_i - a_i_old) * k[i * n + j]
+                    - y[j] * (a_j - a_j_old) * k[j * n + j];
+                b = if alpha[i] > 0.0 && alpha[i] < params.c {
+                    b1
+                } else if alpha[j] > 0.0 && alpha[j] < params.c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+        // keep only support vectors
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-10 {
+                support_vectors.push(x[i].clone());
+                coefficients.push(alpha[i] * y[i]);
+            }
+        }
+        SvmModel { support_vectors, coefficients, bias: b, kernel: params.kernel }
+    }
+
+    /// The decision value `f(x)`; its sign is the predicted label.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        let mut s = self.bias;
+        for (sv, &c) in self.support_vectors.iter().zip(&self.coefficients) {
+            s += c * self.kernel.eval(sv, x);
+        }
+        s
+    }
+
+    /// Predicted boolean label (`decision > 0`).
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Number of support vectors retained.
+    pub fn support_vector_count(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// Misclassification rate on a labeled set.
+    pub fn error_rate(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let wrong = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.sample(i);
+                self.predict(x) != (y > 0.0)
+            })
+            .count();
+        wrong as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn linearly_separable(n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            let y: f64 = rng.gen_range(-1.0..1.0);
+            // margin around the separator keeps the problem easy
+            if (x + y).abs() < 0.2 {
+                continue;
+            }
+            d.push(vec![x, y], x + y > 0.0);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_linear_separation() {
+        let train = linearly_separable(150, 1);
+        let test = linearly_separable(150, 2);
+        let model = SvmModel::train(
+            &train,
+            &SvmParams { kernel: Kernel::Linear, ..SvmParams::default() },
+        );
+        assert!(model.error_rate(&test) < 0.1, "error {}", model.error_rate(&test));
+    }
+
+    #[test]
+    fn rbf_learns_xor() {
+        // XOR is the classic non-linearly-separable case
+        let mut train = Dataset::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            let y: f64 = rng.gen_range(-1.0..1.0);
+            if x.abs() < 0.1 || y.abs() < 0.1 {
+                continue;
+            }
+            train.push(vec![x, y], (x > 0.0) != (y > 0.0));
+        }
+        let model = SvmModel::train(
+            &train,
+            &SvmParams { kernel: Kernel::Rbf { gamma: 2.0 }, c: 10.0, ..SvmParams::default() },
+        );
+        assert!(model.error_rate(&train) < 0.1, "error {}", model.error_rate(&train));
+    }
+
+    #[test]
+    fn random_labels_unlearnable() {
+        // ~50 % error on fresh random labels regardless of training
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for i in 0..300 {
+            let x: Vec<f64> = (0..8).map(|_| if rng.gen() { 1.0 } else { -1.0 }).collect();
+            let label: bool = rng.gen();
+            if i < 200 {
+                train.push(x, label);
+            } else {
+                test.push(x, label);
+            }
+        }
+        let model = SvmModel::train(&train, &SvmParams::default());
+        let err = model.error_rate(&test);
+        assert!((0.3..0.7).contains(&err), "error {err}");
+    }
+
+    #[test]
+    fn kernel_values() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let rbf = Kernel::Rbf { gamma: 0.5 };
+        assert!((rbf.eval(&[0.0], &[0.0]) - 1.0).abs() < 1e-12);
+        assert!(rbf.eval(&[0.0], &[2.0]) < rbf.eval(&[0.0], &[1.0]));
+        assert_eq!(Kernel::rbf_for_dimension(10), Kernel::Rbf { gamma: 0.1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_training_panics() {
+        let _ = SvmModel::train(&Dataset::new(), &SvmParams::default());
+    }
+}

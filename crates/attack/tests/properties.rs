@@ -1,0 +1,129 @@
+//! Property-based tests for the attack substrate: learners behave sanely
+//! on arbitrary data, and the feature maps keep their algebraic structure.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use ppuf_attack::features::{parity_features, sign_features};
+use ppuf_attack::{
+    ArbiterPuf, Dataset, Kernel, KnnModel, LinearSvm, LinearSvmParams, LogisticModel,
+    LogisticParams, SvmModel, SvmParams,
+};
+
+fn labeled_points(
+    max: usize,
+) -> impl Strategy<Value = Vec<(Vec<f64>, bool)>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(-2.0f64..2.0, 4), any::<bool>()),
+        8..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn error_rates_are_probabilities(points in labeled_points(60)) {
+        let mut data = Dataset::new();
+        for (x, y) in &points {
+            data.push(x.clone(), *y);
+        }
+        let svm = SvmModel::train(&data, &SvmParams::default());
+        let knn = KnnModel::new(data.clone(), 3);
+        let lin = LinearSvm::train(&data, &LinearSvmParams { epochs: 5, ..Default::default() });
+        let logi = LogisticModel::train(
+            &data,
+            &LogisticParams { iterations: 10, ..Default::default() },
+        );
+        for err in [
+            svm.error_rate(&data),
+            knn.error_rate(&data),
+            lin.error_rate(&data),
+            logi.error_rate(&data),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&err));
+        }
+    }
+
+    #[test]
+    fn knn_k1_memorizes_distinct_points(points in labeled_points(40)) {
+        // deduplicate by feature vector: 1-NN must reproduce the training
+        // labels exactly when no two samples share features
+        let mut data = Dataset::new();
+        let mut seen: Vec<Vec<f64>> = Vec::new();
+        for (x, y) in &points {
+            if !seen.contains(x) {
+                seen.push(x.clone());
+                data.push(x.clone(), *y);
+            }
+        }
+        let knn = KnnModel::new(data.clone(), 1);
+        prop_assert_eq!(knn.error_rate(&data), 0.0);
+    }
+
+    #[test]
+    fn parity_features_flip_structure(bits in proptest::collection::vec(any::<bool>(), 1..32)) {
+        let phi = parity_features(&bits);
+        prop_assert_eq!(phi.len(), bits.len() + 1);
+        prop_assert_eq!(*phi.last().unwrap(), 1.0);
+        // flipping bit i negates features 0..=i and leaves the rest alone
+        for i in 0..bits.len() {
+            let mut flipped = bits.clone();
+            flipped[i] = !flipped[i];
+            let phi2 = parity_features(&flipped);
+            for j in 0..phi.len() {
+                if j <= i {
+                    prop_assert_eq!(phi2[j], -phi[j]);
+                } else {
+                    prop_assert_eq!(phi2[j], phi[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sign_features_preserve_hamming_distance(
+        a in proptest::collection::vec(any::<bool>(), 1..64),
+        flips in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let len = a.len().min(flips.len());
+        let a = &a[..len];
+        let b: Vec<bool> =
+            a.iter().zip(&flips[..len]).map(|(x, f)| x ^ f).collect();
+        let hd = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        let fa = sign_features(a);
+        let fb = sign_features(&b);
+        let d2: f64 = fa.iter().zip(&fb).map(|(x, y)| (x - y) * (x - y)).sum();
+        // each differing ±1 coordinate contributes exactly 4
+        prop_assert!((d2 - 4.0 * hd as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rbf_kernel_is_a_similarity(x in proptest::collection::vec(-3.0f64..3.0, 5),
+                                  z in proptest::collection::vec(-3.0f64..3.0, 5),
+                                  gamma in 0.01f64..2.0) {
+        let k = Kernel::Rbf { gamma };
+        let kxz = k.eval(&x, &z);
+        prop_assert!((0.0..=1.0).contains(&kxz));
+        prop_assert!((k.eval(&x, &x) - 1.0).abs() < 1e-12);
+        prop_assert!((kxz - k.eval(&z, &x)).abs() < 1e-12); // symmetry
+    }
+
+    #[test]
+    fn arbiter_instances_have_balanced_disagreement(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = ArbiterPuf::sample(32, &mut rng);
+        let b = ArbiterPuf::sample(32, &mut rng);
+        let mut differ = 0;
+        for i in 0..128u64 {
+            let mut crng = ChaCha8Rng::seed_from_u64(seed ^ (i + 1));
+            let challenge: Vec<bool> = (0..32).map(|_| rand::Rng::gen(&mut crng)).collect();
+            if a.respond(&challenge, &mut crng) != b.respond(&challenge, &mut crng) {
+                differ += 1;
+            }
+        }
+        // inter-device HD concentrated around 0.5
+        prop_assert!((20..=108).contains(&differ), "differ {differ}/128");
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion bench: attack-side costs — SMO training, KNN prediction,
+//! CRP collection from the PPUF oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use ppuf_attack::{collect_crps, ArbiterOracle, ArbiterPuf, Dataset, KnnModel, PpufOracle};
+use ppuf_attack::{Kernel, SvmModel, SvmParams};
+use ppuf_core::{Ppuf, PpufConfig};
+
+fn arbiter_dataset(samples: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let oracle = ArbiterOracle::new(ArbiterPuf::sample(64, &mut rng));
+    collect_crps(&oracle, samples, &mut rng).expect("collects")
+}
+
+fn bench_svm_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_training");
+    group.sample_size(10);
+    for &samples in &[250usize, 500, 1000] {
+        let data = arbiter_dataset(samples, 1);
+        for (name, kernel) in [
+            ("rbf", Kernel::Rbf { gamma: 1.0 / 65.0 }),
+            ("linear", Kernel::Linear),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, samples),
+                &samples,
+                |b, _| {
+                    b.iter(|| {
+                        SvmModel::train(&data, &SvmParams { kernel, ..SvmParams::default() })
+                            .support_vector_count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_knn_prediction(c: &mut Criterion) {
+    let train = arbiter_dataset(1000, 2);
+    let test = arbiter_dataset(100, 3);
+    let mut group = c.benchmark_group("knn_prediction");
+    for &k in &[1usize, 7, 21] {
+        let model = KnnModel::new(train.clone(), k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| model.error_rate(&test))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crp_collection(c: &mut Criterion) {
+    // collection cost is dominated by Dinic solves; keep samples modest
+    let ppuf = Ppuf::generate(PpufConfig::paper(16, 4), 11).expect("valid");
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let template = ppuf.challenge_space().random(&mut rng);
+    let oracle = PpufOracle::new(&ppuf, template);
+    c.bench_function("collect_100_ppuf_crps", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            collect_crps(&oracle, 100, &mut rng).expect("collects").len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_svm_training, bench_knn_prediction, bench_crp_collection);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: the ESG in microcosm — one device response computed
+//! by the chip path (analog DC) vs the attacker path (two max-flows on
+//! the public model) vs the verifier path (residual check only).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use ppuf_analog::variation::Environment;
+use ppuf_core::protocol::{prove, Verifier};
+use ppuf_core::{Ppuf, PpufConfig};
+use ppuf_maxflow::Dinic;
+
+fn bench_paths(c: &mut Criterion) {
+    let ppuf = Ppuf::generate(PpufConfig::paper(16, 4), 77).expect("valid");
+    let model = ppuf.public_model().expect("publishable");
+    let executor = ppuf.executor(Environment::NOMINAL);
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    let challenge = ppuf.challenge_space().random(&mut rng);
+    let answer = prove(&executor, &challenge).expect("proves");
+    let verifier = Verifier::new(model.clone());
+
+    let mut group = c.benchmark_group("response_paths_n16");
+    group.sample_size(10);
+    group.bench_function("execute_analog_dc", |b| {
+        b.iter(|| executor.execute(&challenge).expect("converges"))
+    });
+    group.bench_function("execute_flow_fast_path", |b| {
+        b.iter(|| executor.execute_flow(&challenge).expect("solves"))
+    });
+    group.bench_function("simulate_public_model", |b| {
+        b.iter(|| model.simulate(&challenge, &Dinic::new()).expect("solves"))
+    });
+    group.bench_function("verify_answer", |b| {
+        b.iter(|| verifier.verify(&challenge, &answer).expect("verifies"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

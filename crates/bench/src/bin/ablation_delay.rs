@@ -1,0 +1,6 @@
+//! Runs the §3.3 transient delay-scaling validation. Pass `--full` for
+//! more sizes.
+
+fn main() {
+    ppuf_bench::experiments::ablation_delay::run(ppuf_bench::Scale::from_args());
+}

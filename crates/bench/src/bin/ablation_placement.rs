@@ -1,0 +1,6 @@
+//! Runs the §4.1 differential-placement ablation. Pass `--full` for
+//! larger populations.
+
+fn main() {
+    ppuf_bench::experiments::ablation_placement::run(ppuf_bench::Scale::from_args());
+}

@@ -1,0 +1,19 @@
+//! Runs every experiment in sequence (the full paper reproduction).
+//! Pass `--full` for paper-scale populations.
+
+use ppuf_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("maxflow-ppuf experiment suite (scale: {scale:?})");
+    experiments::fig3::run(scale);
+    experiments::fig6::run(scale);
+    experiments::fig7::run(scale);
+    experiments::fig8::run(scale);
+    experiments::fig9::run(scale);
+    experiments::table1::run(scale);
+    experiments::fig10::run(scale);
+    experiments::crp_space::run(scale);
+    experiments::ablation_placement::run(scale);
+    experiments::ablation_delay::run(scale);
+}

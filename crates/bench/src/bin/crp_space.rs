@@ -1,0 +1,6 @@
+//! Regenerates the paper's crp_space output. Pass `--full` for paper-scale
+//! populations.
+
+fn main() {
+    ppuf_bench::experiments::crp_space::run(ppuf_bench::Scale::from_args());
+}

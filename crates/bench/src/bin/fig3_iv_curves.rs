@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig3 output. Pass `--full` for paper-scale
+//! populations.
+
+fn main() {
+    ppuf_bench::experiments::fig3::run(ppuf_bench::Scale::from_args());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 output. Pass `--full` for paper-scale
+//! populations.
+
+fn main() {
+    ppuf_bench::experiments::fig6::run(ppuf_bench::Scale::from_args());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 output. Pass `--full` for paper-scale
+//! populations.
+
+fn main() {
+    ppuf_bench::experiments::fig7::run(ppuf_bench::Scale::from_args());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig8 output. Pass `--full` for paper-scale
+//! populations.
+
+fn main() {
+    ppuf_bench::experiments::fig8::run(ppuf_bench::Scale::from_args());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 output. Pass `--full` for paper-scale
+//! populations.
+
+fn main() {
+    ppuf_bench::experiments::table1::run(ppuf_bench::Scale::from_args());
+}

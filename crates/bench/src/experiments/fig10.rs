@@ -1,0 +1,74 @@
+//! Fig 10 — model-building attack resilience vs the arbiter PUF.
+//!
+//! RBF-SVM + KNN (K = 1, 3, …, 21) attacks against the PPUF (fixed
+//! terminals, attacker drives the `l² = 64` control bits) and an arbiter
+//! PUF of the same input length; prediction error vs observed CRPs. The
+//! paper reports more than an order of magnitude higher prediction error
+//! for the PPUF.
+
+use ppuf_analog::montecarlo::stream;
+use ppuf_attack::{evaluate_attack, ArbiterOracle, ArbiterPuf, AttackConfig, PpufOracle};
+
+use crate::experiments::make_ppuf;
+use crate::report::{row, section};
+use crate::Scale;
+
+/// Runs the Fig 10 experiment.
+pub fn run(scale: Scale) {
+    let training_sizes: Vec<usize> =
+        scale.pick(vec![100, 300, 1000, 3000], vec![100, 300, 1000, 3000, 10000]);
+    let ppuf_sizes: Vec<usize> = scale.pick(vec![16], vec![40, 100]);
+    let grid = 8;
+    let config = AttackConfig {
+        test_size: scale.pick(300, 1000),
+        ..AttackConfig::default()
+    };
+    section("Fig 10: prediction error vs observed CRPs");
+    row(&[
+        format!("{:>22}", "oracle"),
+        format!("{:>8}", "CRPs"),
+        format!("{:>10}", "SVM err"),
+        format!("{:>10}", "KNN err"),
+        format!("{:>10}", "LR err"),
+        format!("{:>10}", "min err"),
+    ]);
+
+    for &nodes in &ppuf_sizes {
+        let ppuf = make_ppuf(nodes, grid.min(nodes), 0x1000 + nodes as u64);
+        let mut rng = stream(0x1001, nodes as u64);
+        let template = ppuf.challenge_space().random(&mut rng);
+        let oracle = PpufOracle::new(&ppuf, template);
+        let results = evaluate_attack(&oracle, &training_sizes, &config, &mut rng)
+            .expect("attack runs");
+        for r in results {
+            row(&[
+                format!("{:>22}", format!("{nodes}-node PPUF")),
+                format!("{:>8}", r.observed_crps),
+                format!("{:>10.4}", r.svm_error),
+                format!("{:>10.4}", r.knn_error),
+                format!("{:>10.4}", r.logistic_error),
+                format!("{:>10.4}", r.min_error()),
+            ]);
+        }
+    }
+
+    // arbiter baseline with the same input length (l² stages)
+    let stages = grid * grid;
+    let mut rng = stream(0x1002, 0);
+    let arbiter = ArbiterOracle::new(ArbiterPuf::sample(stages, &mut rng));
+    let results =
+        evaluate_attack(&arbiter, &training_sizes, &config, &mut rng).expect("attack runs");
+    for r in results {
+        row(&[
+            format!("{:>22}", format!("arbiter PUF ({stages}b)")),
+            format!("{:>8}", r.observed_crps),
+            format!("{:>10.4}", r.svm_error),
+            format!("{:>10.4}", r.knn_error),
+            format!("{:>10.4}", r.logistic_error),
+            format!("{:>10.4}", r.min_error()),
+        ]);
+    }
+    println!(
+        "\npaper: PPUF prediction error stays more than an order of magnitude above the arbiter PUF's"
+    );
+}

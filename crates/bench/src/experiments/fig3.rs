@@ -1,0 +1,101 @@
+//! Fig 3 — building-block I–V curves and the Requirement 2 margin.
+//!
+//! (a) saturation-current change vs `V_ds` for the Fig 2 design evolution
+//!     (plain / 1-level SD / 2-level SD);
+//! (b) saturation current vs control voltage `V_gs0`, with the paper's
+//!     input-0/1 bias points;
+//! plus the §3.1 check that process variation dwarfs the SCE residual
+//! (paper: ≈130×).
+
+use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock, TwoTerminal};
+use ppuf_analog::montecarlo::{gaussian, stream};
+use ppuf_analog::units::{Celsius, Volts};
+
+use crate::report::{mean, row, section, sig, stdev};
+use crate::Scale;
+
+/// Runs the Fig 3 experiment.
+pub fn run(scale: Scale) {
+    let temp = Celsius::NOMINAL;
+    section("Fig 3(a): I-V curves per design (input-1 bias)");
+    row(&[
+        format!("{:>6}", "Vds(V)"),
+        format!("{:>12}", "plain(A)"),
+        format!("{:>12}", "1-level(A)"),
+        format!("{:>12}", "2-level(A)"),
+    ]);
+    let designs = [BlockDesign::Plain, BlockDesign::SingleSd, BlockDesign::DoubleSd];
+    let blocks: Vec<BuildingBlock> = designs
+        .iter()
+        .map(|&d| BuildingBlock::new(d, BlockBias::INPUT_ONE))
+        .collect();
+    let mut vds = 0.2;
+    while vds <= 2.01 {
+        let cells: Vec<String> = std::iter::once(format!("{vds:>6.2}"))
+            .chain(blocks.iter().map(|b| {
+                format!("{:>12}", sig(b.current(Volts(vds), temp).value()))
+            }))
+            .collect();
+        row(&cells);
+        vds += 0.2;
+    }
+    println!("\nrelative saturation slope (per volt, 1.2 V → 1.9 V):");
+    for (d, b) in designs.iter().zip(&blocks) {
+        let i1 = b.current(Volts(1.2), temp).value();
+        let i2 = b.current(Volts(1.9), temp).value();
+        row(&[format!("{d:?}"), format!("{:.5} /V", (i2 - i1) / i1 / 0.7)]);
+    }
+
+    section("Fig 3(b): saturation current vs Vgs0 (2-level SD stack)");
+    row(&[format!("{:>8}", "Vgs0(V)"), format!("{:>12}", "Isat(A)")]);
+    let mut vgs0 = 0.42;
+    while vgs0 <= 0.72 {
+        let b = BuildingBlock::new(
+            BlockDesign::DoubleSd,
+            BlockBias { vgs0: Volts(vgs0), ..BlockBias::INPUT_ONE },
+        );
+        row(&[
+            format!("{vgs0:>8.2}"),
+            format!("{:>12}", sig(b.saturation_current(temp).value())),
+        ]);
+        vgs0 += 0.03;
+    }
+    println!("\nserial-block bias points (paper: equal nominal currents):");
+    for (name, bias) in [("input 1", BlockBias::INPUT_ONE), ("input 0", BlockBias::INPUT_ZERO)] {
+        let b = BuildingBlock::new(BlockDesign::Serial, bias);
+        row(&[
+            name.into(),
+            format!("Vgs0 = {:.2} V", bias.vgs0.value()),
+            format!("Isat = {}", sig(b.saturation_current(temp).value())),
+        ]);
+    }
+
+    section("Requirement 2: process-variation spread vs SCE change");
+    let samples = scale.pick(200, 2000);
+    let mut rng = stream(0xF1_63, 0);
+    let nominal = BuildingBlock::new(BlockDesign::DoubleSd, BlockBias::INPUT_ONE);
+    let mut sat_currents = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let variation = BlockVariation {
+            delta_vth: [
+                Volts(0.035 * gaussian(&mut rng)),
+                Volts(0.035 * gaussian(&mut rng)),
+                Volts(0.0),
+                Volts(0.0),
+            ],
+        };
+        let b = nominal.with_variation(variation);
+        sat_currents.push(b.current(Volts(1.5), Celsius::NOMINAL).value());
+    }
+    let pv_sigma = stdev(&sat_currents);
+    let sce_change = (nominal.current(Volts(1.9), temp).value()
+        - nominal.current(Volts(1.1), temp).value())
+    .abs();
+    row(&["mean Isat".into(), sig(mean(&sat_currents))]);
+    row(&["sigma(Isat) from PV".into(), sig(pv_sigma)]);
+    row(&["delta(I) from SCE over 0.8 V".into(), sig(sce_change)]);
+    row(&[
+        "PV/SCE ratio".into(),
+        format!("{:.0}x  (paper: ~130x)", pv_sigma / sce_change),
+    ]);
+}

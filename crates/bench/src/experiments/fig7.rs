@@ -1,0 +1,114 @@
+//! Fig 7 — execution vs simulation scaling and the ESG crossover.
+//!
+//! (a) wall-clock simulation time (Dinic and push–relabel, the Boost
+//!     algorithms the paper used) on complete graphs vs the calibrated
+//!     `O(n)` execution-delay model, with power-law fits;
+//! (b) the extrapolated ESG with and without the feedback loop (`k = n`),
+//!     and the device sizes reaching a 1-second gap (paper: ~900 nodes
+//!     plain, ~190 with feedback on their 2.93 GHz Xeon).
+
+use ppuf_analog::delay::DelayModel;
+use ppuf_analog::montecarlo::stream;
+use ppuf_analog::units::Seconds;
+use ppuf_core::esg::{measure_simulation_times, EsgAnalysis, PowerLawFit};
+use ppuf_maxflow::{Dinic, HighestLabel, PushRelabel};
+
+use crate::report::{row, section, sig};
+use crate::Scale;
+
+/// Runs the Fig 7 experiment.
+pub fn run(scale: Scale) {
+    let sizes: Vec<usize> = scale.pick(
+        vec![20, 40, 60, 80, 100],
+        vec![20, 40, 60, 80, 100, 140, 180, 240, 300],
+    );
+    let reps = scale.pick(3, 7);
+    let mut rng = stream(0x0700, 0);
+    section("Fig 7(a): execution delay vs simulation time");
+    let dinic_times =
+        measure_simulation_times(&Dinic::new(), &sizes, reps, &mut rng).expect("solvable");
+    let pr_times = measure_simulation_times(&PushRelabel::new(), &sizes, reps, &mut rng)
+        .expect("solvable");
+    let hl_times = measure_simulation_times(&HighestLabel::new(), &sizes, reps, &mut rng)
+        .expect("solvable");
+    let delay = DelayModel::default();
+    row(&[
+        format!("{:>6}", "nodes"),
+        format!("{:>14}", "exec delay(s)"),
+        format!("{:>14}", "sim dinic(s)"),
+        format!("{:>16}", "sim push-rel(s)"),
+        format!("{:>16}", "sim high-lbl(s)"),
+    ]);
+    for (i, &n) in sizes.iter().enumerate() {
+        row(&[
+            format!("{n:>6}"),
+            format!("{:>14}", sig(delay.bound(n).value())),
+            format!("{:>14}", sig(dinic_times[i].1.value())),
+            format!("{:>16}", sig(pr_times[i].1.value())),
+            format!("{:>16}", sig(hl_times[i].1.value())),
+        ]);
+    }
+
+    // fits
+    let exe_fit = PowerLawFit::fit(
+        &sizes.iter().map(|&n| (n, delay.bound(n))).collect::<Vec<_>>(),
+    )
+    .expect("delay model fits");
+    let dinic_fit = PowerLawFit::fit(&dinic_times).expect("timings fit");
+    let pr_fit = PowerLawFit::fit(&pr_times).expect("timings fit");
+    let hl_fit = PowerLawFit::fit(&hl_times).expect("timings fit");
+    println!("\npower-law fits t = a * n^b:");
+    for (name, fit) in [
+        ("execution", exe_fit),
+        ("dinic", dinic_fit),
+        ("push-relabel", pr_fit),
+        ("highest-label", hl_fit),
+    ] {
+        row(&[
+            format!("{name:<14}"),
+            format!("a = {}", sig(fit.coefficient)),
+            format!("b = {:.3}", fit.exponent),
+        ]);
+    }
+    println!("(paper bound: execution O(n), simulation >= O(n^2))");
+
+    section("Fig 7(b): ESG scaling and 1-second crossover");
+    // conservative: the *fastest* measured solver bounds the attacker
+    let sim_fit = [dinic_fit, pr_fit, hl_fit]
+        .into_iter()
+        .min_by(|a, b| {
+            a.predict(200)
+                .value()
+                .partial_cmp(&b.predict(200).value())
+                .expect("finite predictions")
+        })
+        .expect("non-empty");
+    match EsgAnalysis::new(exe_fit, sim_fit) {
+        Ok(esg) => {
+            row(&[
+                format!("{:>8}", "nodes"),
+                format!("{:>14}", "ESG plain(s)"),
+                format!("{:>16}", "ESG feedback(s)"),
+            ]);
+            for &n in &[100usize, 300, 1000, 3000, 10000] {
+                row(&[
+                    format!("{n:>8}"),
+                    format!("{:>14}", sig(esg.gap(n).value())),
+                    format!("{:>16}", sig(esg.gap_with_feedback(n, n).value())),
+                ]);
+            }
+            let plain = esg.crossover(Seconds(1.0), false);
+            let feedback = esg.crossover(Seconds(1.0), true);
+            println!("\n1-second ESG crossover:");
+            row(&[
+                "without feedback loop".into(),
+                format!("{plain} nodes  (paper: ~900 on a 2.93 GHz Xeon)"),
+            ]);
+            row(&[
+                "with feedback loop (k = n)".into(),
+                format!("{feedback} nodes  (paper: ~190)"),
+            ]);
+        }
+        Err(e) => println!("ESG analysis unavailable: {e}"),
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig 8 — output measurability: average output current and A/B current
+//! difference vs device size, with the §5 power estimate.
+//!
+//! The average current scales linearly (the min cut isolates a terminal:
+//! `n − 1` edges of ~tens of nA) while the difference grows more slowly —
+//! both must stay within a realistic comparator's input range and
+//! resolution. Paper operating point: 33.6 µA average, 2.89 µA difference
+//! at 900 nodes; 134.4 µW crossbars + 153 µW comparator × 1.0 µs
+//! ≈ 287.4 pJ per evaluation.
+
+use ppuf_analog::delay::DelayModel;
+use ppuf_analog::montecarlo::stream;
+use ppuf_analog::units::Amps;
+use ppuf_analog::variation::Environment;
+use ppuf_core::esg::PowerLawFit;
+
+use crate::experiments::make_ppuf;
+use crate::report::{mean, row, section, sig};
+use crate::Scale;
+
+/// Runs the Fig 8 experiment.
+pub fn run(scale: Scale) {
+    let sizes: Vec<usize> = scale.pick(vec![10, 20, 30, 40], (1..=10).map(|i| i * 10).collect());
+    let instances = scale.pick(12, 60);
+    section("Fig 8: output current average and A/B difference");
+    row(&[
+        format!("{:>6}", "nodes"),
+        format!("{:>14}", "avg current(A)"),
+        format!("{:>14}", "difference(A)"),
+    ]);
+    let mut avg_series = Vec::new();
+    let mut diff_series = Vec::new();
+    for &n in &sizes {
+        let grid = (n / 5).clamp(1, 8);
+        let mut avgs = Vec::new();
+        let mut diffs = Vec::new();
+        for instance in 0..instances {
+            let ppuf = make_ppuf(n, grid, 0x0800 + instance as u64);
+            let mut rng = stream(0x0801, instance as u64);
+            let challenge = ppuf.challenge_space().random(&mut rng);
+            let outcome = ppuf
+                .executor(Environment::NOMINAL)
+                .execute_flow(&challenge)
+                .expect("solvable");
+            avgs.push(0.5 * (outcome.current_a.value() + outcome.current_b.value()));
+            diffs.push(outcome.difference().value());
+        }
+        let (a, d) = (mean(&avgs), mean(&diffs));
+        row(&[
+            format!("{n:>6}"),
+            format!("{:>14}", sig(a)),
+            format!("{:>14}", sig(d)),
+        ]);
+        avg_series.push((n, a));
+        diff_series.push((n, d));
+    }
+    let avg_fit = PowerLawFit::fit_values(&avg_series).expect("fits");
+    let diff_fit = PowerLawFit::fit_values(&diff_series).expect("fits");
+    println!("\nfits (x = nodes):");
+    row(&[
+        "average current".into(),
+        format!("{} * n^{:.2}", sig(avg_fit.coefficient), avg_fit.exponent),
+    ]);
+    row(&[
+        "difference".into(),
+        format!("{} * n^{:.2}", sig(diff_fit.coefficient), diff_fit.exponent),
+    ]);
+    let avg900 = avg_fit.predict(900).value();
+    let diff900 = diff_fit.predict(900).value();
+    println!("\nextrapolation to 900 nodes:");
+    row(&[
+        "average current".into(),
+        format!("{}  (paper: 33.6 uA)", sig(avg900)),
+    ]);
+    row(&[
+        "current difference".into(),
+        format!("{}  (paper: 2.89 uA)", sig(diff900)),
+    ]);
+
+    section("Power estimate at 900 nodes (paper Section 5)");
+    let ppuf = make_ppuf(10, 2, 0x08FF);
+    let delay = DelayModel::default().bound(900);
+    let (power, energy) = ppuf.power_estimate(Amps(avg900), delay);
+    row(&["execution delay".into(), format!("{delay}  (paper: 1.0 us)")]);
+    row(&[
+        "total power (2 crossbars + comparator)".into(),
+        format!("{power}  (paper: 134.4 uW + 153 uW)"),
+    ]);
+    row(&["energy per evaluation".into(), format!("{energy}  (paper: 287.4 pJ)")]);
+}

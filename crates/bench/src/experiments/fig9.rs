@@ -1,0 +1,88 @@
+//! Fig 9 — output flip probability vs minimum challenge distance `d`.
+//!
+//! The CRP-space pruning of §4.2 keeps only challenges at pairwise
+//! Hamming distance ≥ `d`; this experiment justifies the choice of `d` by
+//! flipping exactly `d` control bits and measuring how often the response
+//! flips. Paper setting: 100 40-node PPUFs, grid `l = 8`, 1000 input
+//! vectors per point; the flip probability approaches the ideal 0.5 at
+//! `d = 16`.
+
+use ppuf_analog::montecarlo::stream;
+use ppuf_analog::variation::Environment;
+
+use crate::experiments::make_ppuf;
+use crate::report::{row, section};
+use crate::Scale;
+
+/// Runs the Fig 9 experiment.
+pub fn run(scale: Scale) {
+    let nodes = scale.pick(16, 40);
+    let grid = 8;
+    let devices = scale.pick(10, 100);
+    let vectors = scale.pick(200, 1000);
+    section(&format!(
+        "Fig 9: flip probability vs minimum distance ({devices} x {nodes}-node PPUFs, l = {grid}, {vectors} vectors)"
+    ));
+    row(&[
+        format!("{:>4}", "d"),
+        format!("{:>10}", "P(flip)"),
+        format!("{:>16}", "P(flip|terminal)"),
+    ]);
+    let ppufs: Vec<_> = (0..devices)
+        .map(|i| make_ppuf(nodes, grid, 0x0900 + i as u64))
+        .collect();
+    let executors: Vec<_> = ppufs.iter().map(|p| p.executor(Environment::NOMINAL)).collect();
+    for d in (1..=18).step_by(1) {
+        if d > grid * grid {
+            break;
+        }
+        let mut flips = 0usize;
+        let mut terminal_flips = 0usize;
+        let mut total = 0usize;
+        let mut terminal_total = 0usize;
+        for (i, executor) in executors.iter().enumerate() {
+            let mut rng = stream(0x0901 + d as u64, i as u64);
+            for _ in 0..vectors / devices.max(1) {
+                let base = ppufs[i].challenge_space().random(&mut rng);
+                let r0 = executor.execute_flow(&base).expect("solvable");
+                // raw differential sign: the statistics question is about
+                // the boundary, not comparator metastability
+                let b0 = r0.current_a.value() > r0.current_b.value();
+                // uniform flips (the paper's Fig 9 protocol)
+                let perturbed = base.flip_control_bits(d, &mut rng);
+                let r1 = executor.execute_flow(&perturbed).expect("solvable");
+                total += 1;
+                if b0 != (r1.current_a.value() > r1.current_b.value()) {
+                    flips += 1;
+                }
+                // terminal-aware flips (this repo's protocol fix: only
+                // response-relevant cells are perturbed)
+                let cells = ppufs[i].grid().terminal_cells(base.source, base.sink);
+                if d <= cells.len() {
+                    let perturbed = base.flip_control_bits_among(&cells, d, &mut rng);
+                    let r2 = executor.execute_flow(&perturbed).expect("solvable");
+                    terminal_total += 1;
+                    if b0 != (r2.current_a.value() > r2.current_b.value()) {
+                        terminal_flips += 1;
+                    }
+                }
+            }
+        }
+        let term = if terminal_total > 0 {
+            format!("{:>16.4}", terminal_flips as f64 / terminal_total as f64)
+        } else {
+            format!("{:>16}", "-")
+        };
+        row(&[
+            format!("{d:>4}"),
+            format!("{:>10.4}", flips as f64 / total.max(1) as f64),
+            term,
+        ]);
+    }
+    println!(
+        "\npaper: flip probability approaches 0.5 around d = 16 (l = 8).\n\
+         the terminal-aware column concentrates the d flips on the grid cells\n\
+         the min-cut actually crosses (see EXPERIMENTS.md for why uniform flips\n\
+         saturate below 0.5 in the max-flow abstraction)."
+    );
+}

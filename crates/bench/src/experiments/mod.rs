@@ -1,0 +1,20 @@
+//! One module per paper table/figure; each exposes `run(scale)`.
+
+pub mod ablation_delay;
+pub mod ablation_placement;
+pub mod crp_space;
+pub mod fig10;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+use ppuf_core::{Ppuf, PpufConfig};
+
+/// Fabricates a paper-configuration device for experiments.
+pub fn make_ppuf(nodes: usize, grid: usize, seed: u64) -> Ppuf {
+    Ppuf::generate(PpufConfig::paper(nodes, grid), seed)
+        .expect("paper configuration is valid")
+}

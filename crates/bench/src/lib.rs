@@ -1,0 +1,58 @@
+//! Experiment harness regenerating every table and figure of the DAC'16
+//! max-flow PPUF paper.
+//!
+//! Each `experiments::figN` / `experiments::table1` module exposes a
+//! `run(scale)` function that prints the same rows/series the paper
+//! reports; the `src/bin/*` binaries are thin wrappers. `Scale::Quick`
+//! (default) uses reduced population sizes for minute-scale runs;
+//! `Scale::Full` (`--full`) approaches the paper's populations.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes: minutes of wall-clock for the whole suite.
+    Quick,
+    /// Paper-scale populations (can take hours).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--full` from a binary's argument list.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Picks a value per scale.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn make_ppuf_produces_requested_size() {
+        let ppuf = experiments::make_ppuf(8, 2, 1);
+        assert_eq!(ppuf.nodes(), 8);
+    }
+}

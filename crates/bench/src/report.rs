@@ -1,0 +1,62 @@
+//! Minimal table/series printing for experiment output.
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one table row of `(label, value)` columns.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("  "));
+}
+
+/// Formats a float with engineering-style precision.
+pub fn sig(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if (1e-2..1e4).contains(&a) {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Mean of a sample set.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stdev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(stdev(&[1.0, 3.0]), 1.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stdev(&[]), 0.0);
+    }
+
+    #[test]
+    fn sig_formats() {
+        assert_eq!(sig(0.0), "0");
+        assert_eq!(sig(1.5), "1.5000");
+        assert!(sig(3.3e-8).contains('e'));
+    }
+}

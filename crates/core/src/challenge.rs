@@ -1,0 +1,292 @@
+//! PPUF challenges: terminal selection (type A) + grid control bits
+//! (type B).
+//!
+//! Paper §4.2 splits the challenge into two input classes:
+//!
+//! - **type A** selects which circuit node is tied to `V(s)` and which to
+//!   ground — `n(n − 1)` possibilities;
+//! - **type B** programs one control bit per `l × l` grid cell, setting the
+//!   gate bias (and hence the capacity) of every building block inside that
+//!   cell — `2^{l²}` raw patterns.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ppuf_maxflow::NodeId;
+
+use crate::error::PpufError;
+
+/// A complete PPUF challenge.
+///
+/// ```
+/// use ppuf_core::challenge::{Challenge, ChallengeSpace};
+/// use rand::SeedableRng;
+///
+/// let space = ChallengeSpace::new(40, 8).unwrap();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let c = space.random(&mut rng);
+/// assert_ne!(c.source, c.sink);
+/// assert_eq!(c.control_bits.len(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Challenge {
+    /// Node tied to the supply `V(s)` (type-A input).
+    pub source: NodeId,
+    /// Node tied to ground (type-A input).
+    pub sink: NodeId,
+    /// One capacity-control bit per grid cell, row-major (type-B input).
+    pub control_bits: Vec<bool>,
+}
+
+impl Challenge {
+    /// Hamming distance between this challenge's control bits and
+    /// another's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two challenges have different bit counts.
+    pub fn control_distance(&self, other: &Challenge) -> usize {
+        assert_eq!(self.control_bits.len(), other.control_bits.len());
+        self.control_bits
+            .iter()
+            .zip(&other.control_bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Returns a copy with exactly `d` distinct control bits flipped,
+    /// chosen uniformly (the Fig 9 perturbation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` exceeds the number of control bits.
+    pub fn flip_control_bits<R: Rng + ?Sized>(&self, d: usize, rng: &mut R) -> Challenge {
+        let all: Vec<usize> = (0..self.control_bits.len()).collect();
+        self.flip_control_bits_among(&all, d, rng)
+    }
+
+    /// Returns a copy with exactly `d` distinct control bits flipped,
+    /// drawn only from the given bit positions — e.g. the response-relevant
+    /// terminal cells from
+    /// [`GridPartition::terminal_cells`](crate::grid::GridPartition::terminal_cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` exceeds `positions.len()` or a position is out of
+    /// range.
+    pub fn flip_control_bits_among<R: Rng + ?Sized>(
+        &self,
+        positions: &[usize],
+        d: usize,
+        rng: &mut R,
+    ) -> Challenge {
+        assert!(
+            d <= positions.len(),
+            "cannot flip {d} of {} allowed bits",
+            positions.len()
+        );
+        let mut picked = vec![false; positions.len()];
+        let mut remaining = d;
+        while remaining > 0 {
+            let idx = rng.gen_range(0..positions.len());
+            if !picked[idx] {
+                picked[idx] = true;
+                remaining -= 1;
+            }
+        }
+        let mut out = self.clone();
+        for (slot, &position) in picked.iter().zip(positions) {
+            if *slot {
+                out.control_bits[position] = !out.control_bits[position];
+            }
+        }
+        out
+    }
+}
+
+/// The challenge space of an `n`-node PPUF with an `l × l` control grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChallengeSpace {
+    nodes: usize,
+    grid: usize,
+}
+
+impl ChallengeSpace {
+    /// Creates the space for `nodes` circuit nodes and an `l × l` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] unless `nodes ≥ 2` and
+    /// `1 ≤ grid ≤ nodes` (paper: `l ≤ n`).
+    pub fn new(nodes: usize, grid: usize) -> Result<Self, PpufError> {
+        if nodes < 2 {
+            return Err(PpufError::InvalidConfig {
+                reason: format!("need at least 2 nodes, got {nodes}"),
+            });
+        }
+        if grid == 0 || grid > nodes {
+            return Err(PpufError::InvalidConfig {
+                reason: format!("grid size {grid} must be in 1..={nodes}"),
+            });
+        }
+        Ok(ChallengeSpace { nodes, grid })
+    }
+
+    /// Number of circuit nodes `n`.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Grid dimension `l`.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Number of control bits `l²`.
+    pub fn control_bit_count(&self) -> usize {
+        self.grid * self.grid
+    }
+
+    /// Size of the type-A space: `n(n − 1)` ordered terminal pairs.
+    pub fn type_a_count(&self) -> u128 {
+        (self.nodes as u128) * (self.nodes as u128 - 1)
+    }
+
+    /// Samples a uniform random challenge.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Challenge {
+        let source = rng.gen_range(0..self.nodes as u32);
+        let sink = loop {
+            let t = rng.gen_range(0..self.nodes as u32);
+            if t != source {
+                break t;
+            }
+        };
+        Challenge {
+            source: NodeId::new(source),
+            sink: NodeId::new(sink),
+            control_bits: (0..self.control_bit_count()).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Validates that a challenge belongs to this space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::ChallengeMismatch`] on terminal or bit-count
+    /// mismatch.
+    pub fn validate(&self, challenge: &Challenge) -> Result<(), PpufError> {
+        if challenge.source.index() >= self.nodes || challenge.sink.index() >= self.nodes {
+            return Err(PpufError::ChallengeMismatch {
+                reason: format!(
+                    "terminals ({}, {}) out of range for {} nodes",
+                    challenge.source, challenge.sink, self.nodes
+                ),
+            });
+        }
+        if challenge.source == challenge.sink {
+            return Err(PpufError::ChallengeMismatch {
+                reason: "source equals sink".into(),
+            });
+        }
+        if challenge.control_bits.len() != self.control_bit_count() {
+            return Err(PpufError::ChallengeMismatch {
+                reason: format!(
+                    "expected {} control bits, got {}",
+                    self.control_bit_count(),
+                    challenge.control_bits.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn space_validation() {
+        assert!(ChallengeSpace::new(1, 1).is_err());
+        assert!(ChallengeSpace::new(10, 0).is_err());
+        assert!(ChallengeSpace::new(10, 11).is_err());
+        let s = ChallengeSpace::new(40, 8).unwrap();
+        assert_eq!(s.control_bit_count(), 64);
+        assert_eq!(s.type_a_count(), 40 * 39);
+    }
+
+    #[test]
+    fn random_challenges_are_valid() {
+        let s = ChallengeSpace::new(20, 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let c = s.random(&mut rng);
+            s.validate(&c).unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_mismatches() {
+        let s = ChallengeSpace::new(10, 3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let good = s.random(&mut rng);
+        let mut bad_terminal = good.clone();
+        bad_terminal.sink = bad_terminal.source;
+        assert!(s.validate(&bad_terminal).is_err());
+        let mut bad_bits = good.clone();
+        bad_bits.control_bits.pop();
+        assert!(s.validate(&bad_bits).is_err());
+        let mut bad_node = good;
+        bad_node.source = NodeId::new(99);
+        assert!(s.validate(&bad_node).is_err());
+    }
+
+    #[test]
+    fn flip_control_bits_exact_distance() {
+        let s = ChallengeSpace::new(40, 8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let base = s.random(&mut rng);
+        for d in [0usize, 1, 5, 16, 64] {
+            let flipped = base.flip_control_bits(d, &mut rng);
+            assert_eq!(base.control_distance(&flipped), d);
+            assert_eq!(flipped.source, base.source);
+            assert_eq!(flipped.sink, base.sink);
+        }
+    }
+
+    #[test]
+    fn flip_among_respects_positions() {
+        let s = ChallengeSpace::new(40, 8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let base = s.random(&mut rng);
+        let allowed = vec![0usize, 5, 9, 17, 40];
+        let flipped = base.flip_control_bits_among(&allowed, 3, &mut rng);
+        assert_eq!(base.control_distance(&flipped), 3);
+        for (i, (a, b)) in base.control_bits.iter().zip(&flipped.control_bits).enumerate() {
+            if a != b {
+                assert!(allowed.contains(&i), "bit {i} flipped outside the allowed set");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot flip")]
+    fn flip_too_many_bits_panics() {
+        let s = ChallengeSpace::new(10, 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let c = s.random(&mut rng);
+        let _ = c.flip_control_bits(5, &mut rng);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let s = ChallengeSpace::new(12, 3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let a = s.random(&mut rng);
+        let b = s.random(&mut rng);
+        assert_eq!(a.control_distance(&b), b.control_distance(&a));
+        assert_eq!(a.control_distance(&a), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Challenge–response-pair space accounting (paper §4.2).
+//!
+//! Not every type-B pattern is a usable challenge: for good
+//! unpredictability the paper keeps only a subset whose pairwise Hamming
+//! distance is at least `d`, and counts it with the classic
+//! sphere-covering (Gilbert–Varshamov) bound on binary codes of length
+//! `l²`:
+//!
+//! ```text
+//! N_CRP ≥ n(n−1) · 2^{l²} / Σ_{i=0}^{d−1} C(l², i)
+//! ```
+//!
+//! For the paper's example (`n = 200`, `l = 15`, `d = 2l = 30`) this gives
+//! `≥ 6.5 × 10³⁵` usable CRPs. Counting is done in log space (the numbers
+//! overflow `u128` immediately); an explicit greedy code constructor is
+//! provided for the experiment sizes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::challenge::{Challenge, ChallengeSpace};
+use crate::error::PpufError;
+
+/// The usable CRP space of a PPUF with a minimum-distance constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrpSpace {
+    nodes: usize,
+    grid: usize,
+    min_distance: usize,
+}
+
+impl CrpSpace {
+    /// Creates the space for `nodes` nodes, an `l × l` grid, and minimum
+    /// challenge distance `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] unless `nodes ≥ 2`,
+    /// `1 ≤ grid ≤ nodes` and `1 ≤ d ≤ l²`.
+    pub fn new(nodes: usize, grid: usize, min_distance: usize) -> Result<Self, PpufError> {
+        ChallengeSpace::new(nodes, grid)?;
+        let bits = grid * grid;
+        if min_distance == 0 || min_distance > bits {
+            return Err(PpufError::InvalidConfig {
+                reason: format!("minimum distance {min_distance} must be in 1..={bits}"),
+            });
+        }
+        Ok(CrpSpace { nodes, grid, min_distance })
+    }
+
+    /// The paper's example point: `n = 200`, `l = 15`, `d = 2l = 30`.
+    pub fn paper_example() -> Self {
+        CrpSpace { nodes: 200, grid: 15, min_distance: 30 }
+    }
+
+    /// Number of control bits `l²`.
+    pub fn code_length(&self) -> usize {
+        self.grid * self.grid
+    }
+
+    /// The minimum pairwise challenge distance `d`.
+    pub fn min_distance(&self) -> usize {
+        self.min_distance
+    }
+
+    /// `log₂` of the type-A space size `n(n−1)`.
+    pub fn log2_type_a(&self) -> f64 {
+        ((self.nodes as f64) * (self.nodes as f64 - 1.0)).log2()
+    }
+
+    /// `log₂` of the Gilbert–Varshamov lower bound on the number of
+    /// distance-`d` type-B codewords: `l² − log₂ Σ_{i<d} C(l², i)`.
+    pub fn log2_type_b(&self) -> f64 {
+        let len = self.code_length();
+        len as f64 - log2_binomial_sum(len, self.min_distance - 1)
+    }
+
+    /// `log₂` of the CRP-count lower bound.
+    pub fn log2_total(&self) -> f64 {
+        self.log2_type_a() + self.log2_type_b()
+    }
+
+    /// `log₁₀` of the CRP-count lower bound.
+    pub fn log10_total(&self) -> f64 {
+        self.log2_total() * std::f64::consts::LOG10_2
+    }
+
+    /// Human-readable bound, e.g. `"≥ 6.5e35 CRPs"`.
+    pub fn describe(&self) -> String {
+        let log10 = self.log10_total();
+        let exponent = log10.floor();
+        let mantissa = 10f64.powf(log10 - exponent);
+        format!("≥ {mantissa:.2}e{exponent:.0} CRPs")
+    }
+
+    /// Greedily constructs up to `count` type-B codewords with pairwise
+    /// Hamming distance ≥ `d` (a random Gilbert–Varshamov-style code).
+    ///
+    /// Intended for experiment-scale parameters; the greedy loop gives up
+    /// after `64 × count` consecutive rejected candidates.
+    pub fn greedy_codewords<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<bool>> {
+        let len = self.code_length();
+        let mut code: Vec<Vec<bool>> = Vec::new();
+        let mut stale = 0usize;
+        let budget = 64 * count.max(1);
+        while code.len() < count && stale < budget {
+            let candidate: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+            let ok = code.iter().all(|word| {
+                word.iter().zip(&candidate).filter(|(a, b)| a != b).count() >= self.min_distance
+            });
+            if ok {
+                code.push(candidate);
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+        code
+    }
+
+    /// Builds full challenges from greedy codewords, cycling through
+    /// random terminal pairs.
+    pub fn greedy_challenges<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Challenge> {
+        let space = ChallengeSpace::new(self.nodes, self.grid)
+            .expect("validated at construction");
+        self.greedy_codewords(count, rng)
+            .into_iter()
+            .map(|bits| {
+                let mut c = space.random(rng);
+                c.control_bits = bits;
+                c
+            })
+            .collect()
+    }
+}
+
+/// `log₂ C(n, k)` via accumulated logarithms (exact enough for counting).
+pub fn log2_binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+    }
+    acc
+}
+
+/// `log₂ Σ_{i=0}^{top} C(n, i)` using log-sum-exp for stability.
+fn log2_binomial_sum(n: usize, top: usize) -> f64 {
+    let mut max_term = f64::NEG_INFINITY;
+    let terms: Vec<f64> = (0..=top.min(n)).map(|i| log2_binomial(n, i)).collect();
+    for &t in &terms {
+        max_term = max_term.max(t);
+    }
+    let sum: f64 = terms.iter().map(|t| 2f64.powf(t - max_term)).sum();
+    max_term + sum.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn binomial_log_values() {
+        assert!((log2_binomial(10, 0) - 0.0).abs() < 1e-12);
+        assert!((log2_binomial(10, 10) - 0.0).abs() < 1e-12);
+        assert!((log2_binomial(10, 5) - (252f64).log2()).abs() < 1e-9);
+        assert_eq!(log2_binomial(5, 9), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_sum_matches_direct() {
+        // Σ_{i≤3} C(10,i) = 1 + 10 + 45 + 120 = 176
+        let got = log2_binomial_sum(10, 3);
+        assert!((got - (176f64).log2()).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn paper_example_matches_claimed_count() {
+        // paper: n = 200, l = 15, d = 2l → N_CRP ≥ 6.53 × 10³⁵
+        let space = CrpSpace::paper_example();
+        let log10 = space.log10_total();
+        assert!((34.0..37.5).contains(&log10), "log10 = {log10}");
+        assert!(space.describe().contains("e3"), "{}", space.describe());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CrpSpace::new(1, 1, 1).is_err());
+        assert!(CrpSpace::new(10, 3, 0).is_err());
+        assert!(CrpSpace::new(10, 3, 10).is_err()); // > l² = 9
+        assert!(CrpSpace::new(10, 3, 9).is_ok());
+    }
+
+    #[test]
+    fn larger_min_distance_means_fewer_challenges() {
+        let loose = CrpSpace::new(40, 8, 2).unwrap();
+        let tight = CrpSpace::new(40, 8, 16).unwrap();
+        assert!(loose.log2_total() > tight.log2_total());
+    }
+
+    #[test]
+    fn greedy_code_respects_distance() {
+        let space = CrpSpace::new(40, 8, 16).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let code = space.greedy_codewords(20, &mut rng);
+        assert!(code.len() >= 10, "got only {} codewords", code.len());
+        for (i, a) in code.iter().enumerate() {
+            for b in &code[i + 1..] {
+                let d = a.iter().zip(b).filter(|(x, y)| x != y).count();
+                assert!(d >= 16, "distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_challenges_are_valid() {
+        let space = CrpSpace::new(20, 4, 4).unwrap();
+        let challenge_space = ChallengeSpace::new(20, 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for c in space.greedy_challenges(8, &mut rng) {
+            challenge_space.validate(&c).unwrap();
+        }
+    }
+}

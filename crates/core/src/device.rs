@@ -1,0 +1,585 @@
+//! The PPUF device: two crossbar networks plus a current comparator.
+//!
+//! A [`Ppuf`] is a fabricated instance (paper Fig 1). Its two evaluation
+//! paths embody the execution–simulation gap:
+//!
+//! - [`PpufExecutor::execute`] — the *chip*: solve the analog DC operating
+//!   point of both crossbars and compare the source currents. `O(n)`
+//!   settling time in hardware (here: a circuit solve standing in for the
+//!   physics).
+//! - [`PublicModel::simulate`] — the *attacker/verifier*: two max-flow
+//!   computations on the published capacities. `Ω(n²)` with the best known
+//!   algorithms.
+//!
+//! [`PpufExecutor::execute_flow`] is a third, repo-internal path: the
+//! device's ground truth evaluated through the flow model with
+//! *environment-specific* capacities. The paper runs its statistical
+//! populations (Table 1, Fig 9, Fig 10) through SPICE; we run them through
+//! this fast path, which Fig 6 justifies (the two differ by < 1 %).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ppuf_analog::block::BlockDesign;
+use ppuf_analog::montecarlo::stream;
+use ppuf_analog::solver::{DcOptions, SolveError};
+use ppuf_analog::units::{Amps, Joules, Seconds, Volts, Watts};
+use ppuf_analog::variation::{Environment, ProcessVariation};
+use ppuf_maxflow::{Dinic, Flow, FlowNetwork, MaxFlowSolver};
+
+use crate::challenge::{Challenge, ChallengeSpace};
+use crate::comparator::Comparator;
+use crate::crossbar::{edge_order, CrossbarNetwork};
+use crate::error::PpufError;
+use crate::grid::GridPartition;
+use crate::public_model::{NetworkSide, PublicModel, PublishedCapacities, SimulationOutcome};
+
+/// Construction parameters of a PPUF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpufConfig {
+    /// Number of circuit nodes `n`.
+    pub nodes: usize,
+    /// Control-grid dimension `l` (paper §4.2; `l ≤ n`).
+    pub grid: usize,
+    /// Building-block design (the real device uses [`BlockDesign::Serial`]).
+    pub design: BlockDesign,
+    /// Supply voltage `V(s)` (paper: 2 V).
+    pub supply: Volts,
+    /// Reference voltage at which capacities are characterized.
+    pub characterization_voltage: Volts,
+    /// Process-variation statistics.
+    pub process: ProcessVariation,
+    /// Comparator parameters.
+    pub comparator: Comparator,
+    /// Samples per tabulated I–V curve in the analog path.
+    pub table_samples: usize,
+    /// Paper §4.1 side-by-side differential placement: when `true`
+    /// (default) both networks share die positions so systematic
+    /// variation cancels in the comparator; `false` places network B a
+    /// die-length away (the mitigation ablation).
+    pub differential_placement: bool,
+}
+
+impl PpufConfig {
+    /// The paper's §5 configuration at a given size: serial blocks, 2 V
+    /// supply, σ(V_th) = 35 mV.
+    pub fn paper(nodes: usize, grid: usize) -> Self {
+        PpufConfig {
+            nodes,
+            grid,
+            design: BlockDesign::Serial,
+            supply: Volts(2.0),
+            characterization_voltage: Volts(1.0),
+            process: ProcessVariation::new(),
+            comparator: Comparator::default(),
+            table_samples: 1024,
+            differential_placement: true,
+        }
+    }
+
+    fn validate(&self) -> Result<(), PpufError> {
+        if self.nodes < 2 {
+            return Err(PpufError::InvalidConfig {
+                reason: format!("need at least 2 nodes, got {}", self.nodes),
+            });
+        }
+        if self.grid == 0 || self.grid > self.nodes {
+            return Err(PpufError::InvalidConfig {
+                reason: format!("grid {} must be in 1..={}", self.grid, self.nodes),
+            });
+        }
+        if self.supply.value() <= 0.0 || self.supply.value().is_nan() {
+            return Err(PpufError::InvalidConfig { reason: "supply must be positive".into() });
+        }
+        if self.table_samples < 2 {
+            return Err(PpufError::InvalidConfig {
+                reason: "need at least 2 table samples".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of one device evaluation (either path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionOutcome {
+    /// Source current of network A.
+    pub current_a: Amps,
+    /// Source current of network B.
+    pub current_b: Amps,
+    /// Comparator verdict; `None` inside the resolution dead-zone.
+    pub response: Option<bool>,
+}
+
+impl ExecutionOutcome {
+    /// Magnitude of the A−B current difference (the Fig 8 measurability
+    /// quantity).
+    pub fn difference(&self) -> Amps {
+        (self.current_a - self.current_b).abs()
+    }
+}
+
+/// A fabricated PPUF instance.
+///
+/// ```
+/// use ppuf_core::device::{Ppuf, PpufConfig};
+/// use ppuf_analog::variation::Environment;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ppuf_core::PpufError> {
+/// let ppuf = Ppuf::generate(PpufConfig::paper(10, 3), 42)?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let challenge = ppuf.challenge_space().random(&mut rng);
+/// let executor = ppuf.executor(Environment::NOMINAL);
+/// let outcome = executor.execute_flow(&challenge)?;
+/// assert!(outcome.current_a.value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ppuf {
+    config: PpufConfig,
+    grid: GridPartition,
+    network_a: CrossbarNetwork,
+    network_b: CrossbarNetwork,
+}
+
+impl Ppuf {
+    /// "Fabricates" a PPUF: samples process variation for both crossbars
+    /// from a deterministic seed.
+    ///
+    /// Both networks share positions (and therefore systematic variation)
+    /// per the §4.1 differential placement, but draw independent random
+    /// variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] for inconsistent parameters.
+    pub fn generate(config: PpufConfig, seed: u64) -> Result<Self, PpufError> {
+        config.validate()?;
+        let grid = GridPartition::new(config.nodes, config.grid)?;
+        let network_a = CrossbarNetwork::sample(
+            config.nodes,
+            config.design,
+            &config.process,
+            &mut stream(seed, 0xA),
+        )?;
+        let offset_b = if config.differential_placement { (0.0, 0.0) } else { (1.0, 1.0) };
+        let network_b = CrossbarNetwork::sample_at_offset(
+            config.nodes,
+            config.design,
+            &config.process,
+            &mut stream(seed, 0xB),
+            offset_b,
+        )?;
+        Ok(Ppuf { config, grid, network_a, network_b })
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &PpufConfig {
+        &self.config
+    }
+
+    /// Number of circuit nodes.
+    pub fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// The challenge space this device accepts.
+    pub fn challenge_space(&self) -> ChallengeSpace {
+        ChallengeSpace::new(self.config.nodes, self.config.grid)
+            .expect("config was validated at construction")
+    }
+
+    /// The control-grid partition.
+    pub fn grid(&self) -> &GridPartition {
+        &self.grid
+    }
+
+    /// One of the two crossbar networks.
+    pub fn network(&self, side: NetworkSide) -> &CrossbarNetwork {
+        match side {
+            NetworkSide::A => &self.network_a,
+            NetworkSide::B => &self.network_b,
+        }
+    }
+
+    /// Samples a uniform random challenge.
+    pub fn random_challenge<R: Rng + ?Sized>(&self, rng: &mut R) -> Challenge {
+        self.challenge_space().random(rng)
+    }
+
+    /// The characterization step: publishes per-edge capacities for both
+    /// networks and both input bits, measured at nominal conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] only if internal shapes are
+    /// inconsistent (a bug).
+    pub fn public_model(&self) -> Result<PublicModel, PpufError> {
+        let v_ref = self.config.characterization_voltage;
+        let env = Environment::NOMINAL;
+        let publish = |net: &CrossbarNetwork| -> Result<PublishedCapacities, PpufError> {
+            PublishedCapacities::new(
+                net.capacities_for_bit(false, v_ref, env),
+                net.capacities_for_bit(true, v_ref, env),
+            )
+        };
+        PublicModel::new(
+            self.config.nodes,
+            self.grid,
+            publish(&self.network_a)?,
+            publish(&self.network_b)?,
+            self.config.comparator,
+        )
+    }
+
+    /// Binds the device to an environmental condition, producing an
+    /// executor with that condition's capacities cached.
+    pub fn executor(&self, env: Environment) -> PpufExecutor<'_> {
+        let v_ref = self.config.characterization_voltage;
+        PpufExecutor {
+            device: self,
+            env,
+            caps_a: PerBitCapacities::build(&self.network_a, v_ref, env),
+            caps_b: PerBitCapacities::build(&self.network_b, v_ref, env),
+        }
+    }
+
+    /// Estimated energy per evaluation at size `n` (paper §5): crossbar
+    /// power (both networks at `V(s)`) plus comparator power, times the
+    /// execution delay.
+    pub fn power_estimate(
+        &self,
+        average_current: Amps,
+        delay: Seconds,
+    ) -> (Watts, Joules) {
+        let crossbars = self.config.supply * average_current * 2.0;
+        let total = Watts(crossbars.value() + self.config.comparator.power.value());
+        (total, total * delay)
+    }
+}
+
+/// Challenge-independent per-edge capacities for one network under one
+/// environment, both input bits.
+#[derive(Debug, Clone)]
+struct PerBitCapacities {
+    bit0: Vec<f64>,
+    bit1: Vec<f64>,
+}
+
+impl PerBitCapacities {
+    fn build(net: &CrossbarNetwork, v_ref: Volts, env: Environment) -> Self {
+        // supply scaling moves the characterization point with the rail
+        let v_eff = env.scaled_supply(v_ref);
+        PerBitCapacities {
+            bit0: net
+                .capacities_for_bit(false, v_eff, env)
+                .into_iter()
+                .map(|a| a.value())
+                .collect(),
+            bit1: net
+                .capacities_for_bit(true, v_eff, env)
+                .into_iter()
+                .map(|a| a.value())
+                .collect(),
+        }
+    }
+
+    fn capacity(&self, k: usize, bit: bool) -> f64 {
+        if bit {
+            self.bit1[k]
+        } else {
+            self.bit0[k]
+        }
+    }
+}
+
+/// A device bound to an environment, ready to answer challenges.
+#[derive(Debug, Clone)]
+pub struct PpufExecutor<'a> {
+    device: &'a Ppuf,
+    env: Environment,
+    caps_a: PerBitCapacities,
+    caps_b: PerBitCapacities,
+}
+
+impl PpufExecutor<'_> {
+    /// The bound environment.
+    pub fn environment(&self) -> Environment {
+        self.env
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Ppuf {
+        self.device
+    }
+
+    /// **Chip path**: solves the analog DC operating point of both
+    /// crossbars and compares the source currents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates challenge validation and Newton-convergence errors.
+    pub fn execute(&self, challenge: &Challenge) -> Result<ExecutionOutcome, PpufError> {
+        self.device.challenge_space().validate(challenge)?;
+        let i_a = self.execute_network(NetworkSide::A, challenge)?;
+        let i_b = self.execute_network(NetworkSide::B, challenge)?;
+        Ok(ExecutionOutcome {
+            current_a: i_a,
+            current_b: i_b,
+            response: self.device.config.comparator.compare(i_a, i_b),
+        })
+    }
+
+    /// Analog source current of one network under a challenge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates challenge validation and Newton-convergence errors.
+    pub fn execute_network(
+        &self,
+        side: NetworkSide,
+        challenge: &Challenge,
+    ) -> Result<Amps, PpufError> {
+        let cfg = &self.device.config;
+        let supply = self.env.scaled_supply(cfg.supply);
+        let circuit = self.device.network(side).circuit(
+            challenge,
+            &self.device.grid,
+            self.env,
+            Volts(supply.value() * 1.25),
+            cfg.table_samples,
+        )?;
+        let options = DcOptions { temperature: self.env.temperature, ..DcOptions::default() };
+        let solution = circuit
+            .solve_dc(
+                challenge.source.index() as u32,
+                challenge.sink.index() as u32,
+                supply,
+                &options,
+            )
+            .map_err(PpufError::Execution)?;
+        Ok(solution.source_current)
+    }
+
+    /// **Fast ground-truth path**: the device's behaviour through the flow
+    /// model with environment-specific capacities. Used for the paper's
+    /// statistical populations; justified by the Fig 6 equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates challenge validation and solver errors.
+    pub fn execute_flow(&self, challenge: &Challenge) -> Result<ExecutionOutcome, PpufError> {
+        let (flow_a, flow_b) = self.flow_pair(challenge)?;
+        let (i_a, i_b) = (Amps(flow_a.value()), Amps(flow_b.value()));
+        Ok(ExecutionOutcome {
+            current_a: i_a,
+            current_b: i_b,
+            response: self.device.config.comparator.compare(i_a, i_b),
+        })
+    }
+
+    /// Like [`execute_flow`](Self::execute_flow) but returns the full flow
+    /// functions (for the verification protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates challenge validation and solver errors.
+    pub fn execute_flow_detailed(
+        &self,
+        challenge: &Challenge,
+    ) -> Result<SimulationOutcome, PpufError> {
+        let (flow_a, flow_b) = self.flow_pair(challenge)?;
+        let (i_a, i_b) = (Amps(flow_a.value()), Amps(flow_b.value()));
+        Ok(SimulationOutcome {
+            current_a: i_a,
+            current_b: i_b,
+            response: self.device.config.comparator.compare(i_a, i_b),
+            flow_a,
+            flow_b,
+        })
+    }
+
+    /// The environment-specific max-flow instance of one network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates challenge validation errors.
+    pub fn flow_network(
+        &self,
+        side: NetworkSide,
+        challenge: &Challenge,
+    ) -> Result<FlowNetwork, PpufError> {
+        self.device.challenge_space().validate(challenge)?;
+        let caps = match side {
+            NetworkSide::A => &self.caps_a,
+            NetworkSide::B => &self.caps_b,
+        };
+        let n = self.device.config.nodes;
+        let grid = &self.device.grid;
+        let mut net = FlowNetwork::new(n);
+        for (k, (from, to)) in edge_order(n).enumerate() {
+            let bit = challenge.control_bits[grid.cell_of_edge(from, to)];
+            net.add_edge(from, to, caps.capacity(k, bit))
+                .map_err(PpufError::Simulation)?;
+        }
+        Ok(net)
+    }
+
+    /// The response bit via the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::UnresolvableResponse`] on a metastable
+    /// comparison, plus any solver errors.
+    pub fn response(&self, challenge: &Challenge) -> Result<bool, PpufError> {
+        let outcome = self.execute_flow(challenge)?;
+        outcome.response.ok_or(PpufError::UnresolvableResponse {
+            difference: outcome.difference().value(),
+            resolution: self.device.config.comparator.resolution.value(),
+        })
+    }
+
+    fn flow_pair(&self, challenge: &Challenge) -> Result<(Flow, Flow), PpufError> {
+        let net_a = self.flow_network(NetworkSide::A, challenge)?;
+        let net_b = self.flow_network(NetworkSide::B, challenge)?;
+        let solver = Dinic::new();
+        let flow_a = solver
+            .max_flow(&net_a, challenge.source, challenge.sink)
+            .map_err(PpufError::Simulation)?;
+        let flow_b = solver
+            .max_flow(&net_b, challenge.source, challenge.sink)
+            .map_err(PpufError::Simulation)?;
+        Ok((flow_a, flow_b))
+    }
+}
+
+/// Convenience: the error type for a failed analog convergence, re-exported
+/// for downstream matching.
+pub type ExecutionError = SolveError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_ppuf(seed: u64) -> Ppuf {
+        Ppuf::generate(PpufConfig::paper(8, 2), seed).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Ppuf::generate(PpufConfig::paper(1, 1), 0).is_err());
+        assert!(Ppuf::generate(PpufConfig::paper(10, 11), 0).is_err());
+        let mut cfg = PpufConfig::paper(10, 2);
+        cfg.supply = Volts(0.0);
+        assert!(Ppuf::generate(cfg, 0).is_err());
+        let mut cfg = PpufConfig::paper(10, 2);
+        cfg.table_samples = 1;
+        assert!(Ppuf::generate(cfg, 0).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(small_ppuf(5), small_ppuf(5));
+        assert_ne!(small_ppuf(5), small_ppuf(6));
+    }
+
+    #[test]
+    fn networks_differ_but_share_design() {
+        let p = small_ppuf(1);
+        assert_ne!(p.network(NetworkSide::A), p.network(NetworkSide::B));
+        assert_eq!(
+            p.network(NetworkSide::A).design(),
+            p.network(NetworkSide::B).design()
+        );
+    }
+
+    #[test]
+    fn flow_path_produces_sane_currents() {
+        let p = small_ppuf(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let executor = p.executor(Environment::NOMINAL);
+        for _ in 0..10 {
+            let c = p.random_challenge(&mut rng);
+            let out = executor.execute_flow(&c).unwrap();
+            // 7 source edges × tens of nA → order 100 nA
+            for i in [out.current_a, out.current_b] {
+                assert!((1e-9..1e-5).contains(&i.value()), "{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn analog_and_flow_paths_agree_per_network() {
+        // the Fig 6 property at unit-test scale
+        let p = small_ppuf(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let c = p.random_challenge(&mut rng);
+        let executor = p.executor(Environment::NOMINAL);
+        for side in NetworkSide::BOTH {
+            let analog = executor.execute_network(side, &c).unwrap().value();
+            let flow_net = executor.flow_network(side, &c).unwrap();
+            let flow = Dinic::new().max_flow(&flow_net, c.source, c.sink).unwrap().value();
+            let inaccuracy = (analog - flow).abs() / analog;
+            assert!(inaccuracy < 0.02, "{side:?}: analog {analog} vs flow {flow}");
+        }
+    }
+
+    #[test]
+    fn response_is_deterministic() {
+        let p = small_ppuf(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let c = p.random_challenge(&mut rng);
+        let executor = p.executor(Environment::NOMINAL);
+        let r1 = executor.response(&c);
+        let r2 = executor.response(&c);
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(PpufError::UnresolvableResponse { .. }), Err(_)) => {}
+            (a, b) => panic!("inconsistent: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn public_model_matches_nominal_executor() {
+        let p = small_ppuf(9);
+        let model = p.public_model().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let executor = p.executor(Environment::NOMINAL);
+        for _ in 0..10 {
+            let c = p.random_challenge(&mut rng);
+            let device = executor.execute_flow(&c).unwrap();
+            let public = model.simulate(&c, &Dinic::new()).unwrap();
+            assert!((device.current_a.value() - public.current_a.value()).abs() < 1e-15);
+            assert_eq!(device.response, public.response);
+        }
+    }
+
+    #[test]
+    fn environment_changes_currents() {
+        let p = small_ppuf(11);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let c = p.random_challenge(&mut rng);
+        let nominal = p.executor(Environment::NOMINAL).execute_flow(&c).unwrap();
+        let hot = p
+            .executor(Environment::new(0.9, ppuf_analog::units::Celsius(80.0)))
+            .execute_flow(&c)
+            .unwrap();
+        assert!(
+            (nominal.current_a.value() - hot.current_a.value()).abs() > 1e-12,
+            "environment must shift the operating point"
+        );
+    }
+
+    #[test]
+    fn power_estimate_matches_paper_arithmetic() {
+        let p = small_ppuf(13);
+        // paper §5: 33.6 µA per crossbar, 2 V, comparator 153 µW, 1 µs
+        let (power, energy) = p.power_estimate(Amps(33.6e-6), Seconds(1e-6));
+        assert!((power.value() - (134.4e-6 + 153e-6)).abs() < 1e-9, "{power}");
+        assert!((energy.value() - 287.4e-12).abs() < 1e-15, "{energy}");
+    }
+}

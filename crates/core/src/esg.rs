@@ -1,0 +1,264 @@
+//! Execution–simulation-gap analysis (paper §3, Fig 7).
+//!
+//! The security argument is asymptotic: execution delay grows `O(n)`
+//! (Lin–Mead bound, [`ppuf_analog::delay`]) while the best known
+//! simulation is `Ω(n²)`. This module measures simulation wall-clock on
+//! real solver runs, fits power laws to both curves, and extrapolates to
+//! find the device size at which the gap reaches a target (the paper's
+//! 1-second requirement: ~900 nodes plain, ~190 with the feedback loop).
+
+use std::time::Instant;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ppuf_analog::units::Seconds;
+use ppuf_maxflow::{FlowNetwork, MaxFlowSolver, NodeId};
+
+use crate::error::PpufError;
+
+/// A fitted power law `t(n) = a · n^b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Coefficient `a` (seconds).
+    pub coefficient: f64,
+    /// Exponent `b`.
+    pub exponent: f64,
+}
+
+impl PowerLawFit {
+    /// Least-squares fit of `ln t = ln a + b ln n` over timing samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] with fewer than two distinct
+    /// positive samples.
+    pub fn fit(samples: &[(usize, Seconds)]) -> Result<Self, PpufError> {
+        Self::fit_values(
+            &samples.iter().map(|(n, t)| (*n, t.value())).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Least-squares power-law fit over unitless samples (used for e.g.
+    /// current-vs-size scaling in Fig 8 as well as timings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] with fewer than two distinct
+    /// positive samples.
+    pub fn fit_values(samples: &[(usize, f64)]) -> Result<Self, PpufError> {
+        let points: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|(n, t)| *n >= 1 && *t > 0.0)
+            .map(|(n, t)| ((*n as f64).ln(), t.ln()))
+            .collect();
+        if points.len() < 2 {
+            return Err(PpufError::InvalidConfig {
+                reason: "power-law fit needs at least two positive samples".into(),
+            });
+        }
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|(x, _)| x).sum();
+        let sy: f64 = points.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return Err(PpufError::InvalidConfig {
+                reason: "power-law fit needs at least two distinct sizes".into(),
+            });
+        }
+        let b = (n * sxy - sx * sy) / denom;
+        let ln_a = (sy - b * sx) / n;
+        Ok(PowerLawFit { coefficient: ln_a.exp(), exponent: b })
+    }
+
+    /// Creates a fit from explicit parameters.
+    pub fn from_parameters(coefficient: f64, exponent: f64) -> Self {
+        PowerLawFit { coefficient, exponent }
+    }
+
+    /// Predicted time at size `n`.
+    pub fn predict(&self, n: usize) -> Seconds {
+        Seconds(self.coefficient * (n as f64).powf(self.exponent))
+    }
+}
+
+/// The combined execution/simulation scaling analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EsgAnalysis {
+    /// Fit of the chip's execution delay.
+    pub execution: PowerLawFit,
+    /// Fit of the attacker's simulation time.
+    pub simulation: PowerLawFit,
+}
+
+impl EsgAnalysis {
+    /// Creates the analysis from two fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] if the simulation does not
+    /// scale strictly faster than execution (no asymptotic gap).
+    pub fn new(execution: PowerLawFit, simulation: PowerLawFit) -> Result<Self, PpufError> {
+        if simulation.exponent <= execution.exponent {
+            return Err(PpufError::InvalidConfig {
+                reason: format!(
+                    "simulation exponent {:.2} does not exceed execution exponent {:.2}",
+                    simulation.exponent, execution.exponent
+                ),
+            });
+        }
+        Ok(EsgAnalysis { execution, simulation })
+    }
+
+    /// The gap at size `n`: `t_sim(n) − t_exe(n)` (may be negative for
+    /// tiny devices where constants dominate).
+    pub fn gap(&self, n: usize) -> Seconds {
+        self.simulation.predict(n) - self.execution.predict(n)
+    }
+
+    /// The gap with the §3.3 feedback loop at `k` rounds:
+    /// `k · (t_sim − t_exe)`.
+    pub fn gap_with_feedback(&self, n: usize, k: usize) -> Seconds {
+        self.gap(n) * k as f64
+    }
+
+    /// Smallest device size whose gap reaches `target` (paper: 1 s).
+    ///
+    /// With `feedback_rounds_equal_n` the loop count is set to `n`, the
+    /// paper's Fig 7(b) setting.
+    pub fn crossover(&self, target: Seconds, feedback_rounds_equal_n: bool) -> usize {
+        let reaches = |n: usize| {
+            let gap = if feedback_rounds_equal_n {
+                self.gap_with_feedback(n, n)
+            } else {
+                self.gap(n)
+            };
+            gap.value() >= target.value()
+        };
+        // exponential bracket, then binary search
+        let mut hi = 4usize;
+        while !reaches(hi) && hi < 1 << 40 {
+            hi *= 2;
+        }
+        let mut lo = hi / 2;
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if reaches(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+/// Wall-clock measurement of one solver on random complete graphs: for
+/// each size, the mean time of `repetitions` solves.
+///
+/// Capacities are uniform in `[0.5, 1.5] × scale` — the shape of the
+/// PPUF's saturation-current distribution without its nanoamp magnitude
+/// (solver time is scale-invariant).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn measure_simulation_times<S, R>(
+    solver: &S,
+    sizes: &[usize],
+    repetitions: usize,
+    rng: &mut R,
+) -> Result<Vec<(usize, Seconds)>, PpufError>
+where
+    S: MaxFlowSolver,
+    R: Rng + ?Sized,
+{
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let mut total = 0.0;
+        for _ in 0..repetitions.max(1) {
+            let caps: Vec<f64> =
+                (0..n * n).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let net = FlowNetwork::complete(n, |u, v| caps[u.index() * n + v.index()])
+                .map_err(PpufError::Simulation)?;
+            let (s, t) = (NodeId::new(0), NodeId::new(n as u32 - 1));
+            let start = Instant::now();
+            // a response needs BOTH networks solved; measure two solves
+            solver.max_flow(&net, s, t).map_err(PpufError::Simulation)?;
+            solver.max_flow(&net, t, s).map_err(PpufError::Simulation)?;
+            total += start.elapsed().as_secs_f64();
+        }
+        out.push((n, Seconds(total / repetitions.max(1) as f64)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppuf_maxflow::Dinic;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fit_recovers_exact_power_law() {
+        let samples: Vec<(usize, Seconds)> =
+            [10usize, 20, 40, 80].iter().map(|&n| (n, Seconds(3e-9 * (n as f64).powf(2.5)))).collect();
+        let fit = PowerLawFit::fit(&samples).unwrap();
+        assert!((fit.exponent - 2.5).abs() < 1e-9, "{fit:?}");
+        assert!((fit.coefficient / 3e-9 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_requires_two_distinct_sizes() {
+        assert!(PowerLawFit::fit(&[]).is_err());
+        assert!(PowerLawFit::fit(&[(10, Seconds(1.0))]).is_err());
+        assert!(PowerLawFit::fit(&[(10, Seconds(1.0)), (10, Seconds(2.0))]).is_err());
+    }
+
+    #[test]
+    fn esg_requires_simulation_to_scale_faster() {
+        let exe = PowerLawFit::from_parameters(1e-9, 1.0);
+        let sim = PowerLawFit::from_parameters(1e-9, 0.9);
+        assert!(EsgAnalysis::new(exe, sim).is_err());
+    }
+
+    #[test]
+    fn crossover_matches_analytic_solution() {
+        // exe = 1e-9 n, sim = 1e-9 n²  →  gap(n) ≈ 1e-9 n(n−1)
+        // gap = 1 s  →  n ≈ 31 623
+        let exe = PowerLawFit::from_parameters(1e-9, 1.0);
+        let sim = PowerLawFit::from_parameters(1e-9, 2.0);
+        let esg = EsgAnalysis::new(exe, sim).unwrap();
+        let n = esg.crossover(Seconds(1.0), false);
+        assert!((31_000..32_400).contains(&n), "crossover {n}");
+        // feedback with k = n divides the required size by ~n^(1/3):
+        // n·n² = 1e9 → n = 1000
+        let nf = esg.crossover(Seconds(1.0), true);
+        assert!((995..=1005).contains(&nf), "feedback crossover {nf}");
+        assert!(nf < n);
+    }
+
+    #[test]
+    fn gap_with_feedback_scales_linearly_in_k() {
+        let esg = EsgAnalysis::new(
+            PowerLawFit::from_parameters(1e-9, 1.0),
+            PowerLawFit::from_parameters(1e-9, 2.0),
+        )
+        .unwrap();
+        let g1 = esg.gap_with_feedback(100, 1).value();
+        let g10 = esg.gap_with_feedback(100, 10).value();
+        assert!((g10 / g1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_times_grow_with_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let times =
+            measure_simulation_times(&Dinic::new(), &[8, 32], 3, &mut rng).unwrap();
+        assert_eq!(times.len(), 2);
+        assert!(times[1].1.value() > times[0].1.value());
+    }
+}

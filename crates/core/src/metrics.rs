@@ -1,0 +1,324 @@
+//! PUF quality metrics (paper Table 1, after Maiti et al.).
+//!
+//! All metrics operate on a *response matrix*: one row per device, one
+//! column per challenge, entries in `{0, 1}`.
+//!
+//! - **inter-class HD**: fractional Hamming distance between different
+//!   devices' rows (ideal 0.5 — uniqueness);
+//! - **intra-class HD**: distance between the same device's row at nominal
+//!   vs. perturbed conditions (ideal 0 — reliability);
+//! - **uniformity**: per-challenge fraction of 1s across devices (ideal
+//!   0.5);
+//! - **randomness**: per-device fraction of 1s across challenges (ideal
+//!   0.5).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PpufError;
+use crate::response::ResponseVector;
+
+/// Mean and standard deviation of a metric population.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Stats {
+    /// Population mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stdev: f64,
+}
+
+impl Stats {
+    /// Computes mean/stdev of a sample set (0/0 for an empty set).
+    pub fn of(samples: &[f64]) -> Stats {
+        if samples.is_empty() {
+            return Stats::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Stats { mean, stdev: var.sqrt() }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.stdev)
+    }
+}
+
+/// A devices × challenges response matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseMatrix {
+    rows: Vec<ResponseVector>,
+}
+
+impl ResponseMatrix {
+    /// Builds a matrix from per-device response vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] if rows have differing lengths
+    /// or the matrix is empty.
+    pub fn new(rows: Vec<ResponseVector>) -> Result<Self, PpufError> {
+        let Some(first) = rows.first() else {
+            return Err(PpufError::InvalidConfig { reason: "empty response matrix".into() });
+        };
+        let width = first.len();
+        if width == 0 {
+            return Err(PpufError::InvalidConfig { reason: "zero-width response matrix".into() });
+        }
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(PpufError::InvalidConfig {
+                reason: "response rows have differing lengths".into(),
+            });
+        }
+        Ok(ResponseMatrix { rows })
+    }
+
+    /// Number of devices (rows).
+    pub fn devices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of challenges (columns).
+    pub fn challenges(&self) -> usize {
+        self.rows.first().map_or(0, ResponseVector::len)
+    }
+
+    /// The response row of one device.
+    pub fn row(&self, device: usize) -> &ResponseVector {
+        &self.rows[device]
+    }
+
+    /// Inter-class HD: fractional distance over all device pairs.
+    pub fn inter_class_hd(&self) -> Stats {
+        let mut samples = Vec::new();
+        for i in 0..self.rows.len() {
+            for j in (i + 1)..self.rows.len() {
+                if let Some(d) = self.rows[i].fractional_distance(&self.rows[j]) {
+                    samples.push(d);
+                }
+            }
+        }
+        Stats::of(&samples)
+    }
+
+    /// Intra-class HD: distance between each device's row here (nominal)
+    /// and in `perturbed` matrices (same devices, other conditions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] on shape mismatch.
+    pub fn intra_class_hd(&self, perturbed: &[ResponseMatrix]) -> Result<Stats, PpufError> {
+        let mut samples = Vec::new();
+        for other in perturbed {
+            if other.devices() != self.devices() || other.challenges() != self.challenges() {
+                return Err(PpufError::InvalidConfig {
+                    reason: "perturbed matrix shape mismatch".into(),
+                });
+            }
+            for (a, b) in self.rows.iter().zip(&other.rows) {
+                if let Some(d) = a.fractional_distance(b) {
+                    samples.push(d);
+                }
+            }
+        }
+        Ok(Stats::of(&samples))
+    }
+
+    /// Uniformity: per-challenge fraction of 1s across the device
+    /// population.
+    pub fn uniformity(&self) -> Stats {
+        let challenges = self.challenges();
+        let devices = self.devices() as f64;
+        let samples: Vec<f64> = (0..challenges)
+            .map(|c| {
+                self.rows.iter().filter(|r| r.bits()[c]).count() as f64 / devices
+            })
+            .collect();
+        Stats::of(&samples)
+    }
+
+    /// Randomness: per-device fraction of 1s across challenges.
+    pub fn randomness(&self) -> Stats {
+        let samples: Vec<f64> =
+            self.rows.iter().filter_map(ResponseVector::ones_fraction).collect();
+        Stats::of(&samples)
+    }
+
+    /// Bit-aliasing (Maiti et al.): how biased each challenge's bit is
+    /// across the device population. Identical to [`uniformity`] under
+    /// this crate's axis convention; exposed under its canonical name for
+    /// the full Maiti metric set.
+    ///
+    /// [`uniformity`]: Self::uniformity
+    pub fn bit_aliasing(&self) -> Stats {
+        self.uniformity()
+    }
+
+    /// Reliability (Maiti et al.): `1 − intra-class HD` against perturbed
+    /// re-measurements — the fraction of response bits that survive an
+    /// environment change (ideal 1.0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] on shape mismatch.
+    pub fn reliability(&self, perturbed: &[ResponseMatrix]) -> Result<Stats, PpufError> {
+        let intra = self.intra_class_hd(perturbed)?;
+        Ok(Stats { mean: 1.0 - intra.mean, stdev: intra.stdev })
+    }
+}
+
+/// The Table 1 metric bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Uniqueness across devices (ideal 0.5).
+    pub inter_class_hd: Stats,
+    /// Instability across conditions (ideal 0).
+    pub intra_class_hd: Stats,
+    /// Per-challenge balance (ideal 0.5).
+    pub uniformity: Stats,
+    /// Per-device balance (ideal 0.5).
+    pub randomness: Stats,
+}
+
+impl MetricsReport {
+    /// Computes all four metrics from a nominal matrix and perturbed
+    /// re-measurements of the same population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] on shape mismatches.
+    pub fn evaluate(
+        nominal: &ResponseMatrix,
+        perturbed: &[ResponseMatrix],
+    ) -> Result<Self, PpufError> {
+        Ok(MetricsReport {
+            inter_class_hd: nominal.inter_class_hd(),
+            intra_class_hd: nominal.intra_class_hd(perturbed)?,
+            uniformity: nominal.uniformity(),
+            randomness: nominal.randomness(),
+        })
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<16} {:>8} {:>10} {:>10}", "Metric", "Ideal", "Mean", "Stdev")?;
+        for (name, ideal, stats) in [
+            ("Inter-class HD", 0.5, self.inter_class_hd),
+            ("Intra-class HD", 0.0, self.intra_class_hd),
+            ("Uniformity", 0.5, self.uniformity),
+            ("Randomness", 0.5, self.randomness),
+        ] {
+            writeln!(
+                f,
+                "{:<16} {:>8.1} {:>10.4} {:>10.4}",
+                name, ideal, stats.mean, stats.stdev
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[&[bool]]) -> ResponseMatrix {
+        ResponseMatrix::new(
+            rows.iter().map(|r| ResponseVector::from_bits(r.iter().copied())).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_of_known_samples() {
+        let s = Stats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stdev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(Stats::of(&[]), Stats::default());
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(ResponseMatrix::new(vec![]).is_err());
+        assert!(ResponseMatrix::new(vec![ResponseVector::new()]).is_err());
+        let uneven = vec![
+            ResponseVector::from_bits([true, false]),
+            ResponseVector::from_bits([true]),
+        ];
+        assert!(ResponseMatrix::new(uneven).is_err());
+    }
+
+    #[test]
+    fn inter_class_of_complementary_devices() {
+        let m = matrix(&[&[true, true, true, true], &[false, false, false, false]]);
+        let s = m.inter_class_hd();
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.stdev, 0.0);
+    }
+
+    #[test]
+    fn intra_class_of_identical_conditions_is_zero() {
+        let m = matrix(&[&[true, false, true], &[false, true, false]]);
+        let s = m.intra_class_hd(std::slice::from_ref(&m)).unwrap();
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn intra_class_counts_flips() {
+        let nominal = matrix(&[&[true, false, true, false]]);
+        let hot = matrix(&[&[true, true, true, false]]);
+        let s = nominal.intra_class_hd(&[hot]).unwrap();
+        assert!((s.mean - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intra_class_shape_mismatch() {
+        let a = matrix(&[&[true, false]]);
+        let b = matrix(&[&[true, false, true]]);
+        assert!(a.intra_class_hd(&[b]).is_err());
+    }
+
+    #[test]
+    fn uniformity_and_randomness_axes_differ() {
+        // device 0 answers all 1s, device 1 all 0s:
+        // per-challenge fraction = 0.5 everywhere (uniformity stdev 0),
+        // per-device fractions are {1, 0} (randomness stdev 0.5)
+        let m = matrix(&[&[true, true, true], &[false, false, false]]);
+        let u = m.uniformity();
+        let r = m.randomness();
+        assert_eq!((u.mean, u.stdev), (0.5, 0.0));
+        assert_eq!(r.mean, 0.5);
+        assert_eq!(r.stdev, 0.5);
+    }
+
+    #[test]
+    fn bit_aliasing_matches_uniformity_axis() {
+        let m = matrix(&[&[true, true, false], &[true, false, false]]);
+        assert_eq!(m.bit_aliasing(), m.uniformity());
+    }
+
+    #[test]
+    fn reliability_complements_intra_hd() {
+        let nominal = matrix(&[&[true, false, true, false]]);
+        let hot = matrix(&[&[true, true, true, false]]);
+        let r = nominal.reliability(&[hot]).unwrap();
+        assert!((r.mean - 0.75).abs() < 1e-12);
+        // shape mismatch propagates
+        let bad = matrix(&[&[true]]);
+        assert!(nominal.reliability(&[bad]).is_err());
+    }
+
+    #[test]
+    fn report_displays_all_rows() {
+        let m = matrix(&[&[true, false], &[false, true]]);
+        let report = MetricsReport::evaluate(&m, std::slice::from_ref(&m)).unwrap();
+        let text = report.to_string();
+        for needle in ["Inter-class", "Intra-class", "Uniformity", "Randomness"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

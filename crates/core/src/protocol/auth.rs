@@ -1,0 +1,287 @@
+//! The authentication protocol: cheap verification of expensive answers.
+//!
+//! Paper §3.2: the verifier never recomputes a max flow. It asks the
+//! prover for the response *and the flow functions behind it*, then checks
+//!
+//! 1. each flow is feasible on the published capacities (`O(m)`),
+//! 2. each flow is maximal — the sink is unreachable in the residual graph
+//!    (`O(n²/p)` parallel BFS),
+//! 3. the claimed response matches the comparator on the claimed values.
+//!
+//! A genuine device produces the answer in execution time `O(n)`; an
+//! impostor without the device must solve max-flow (`Ω(n²)`), which the
+//! verifier's response-deadline rules out.
+
+use serde::{Deserialize, Serialize};
+
+use ppuf_analog::units::Seconds;
+use ppuf_maxflow::{Flow, ResidualGraph};
+
+use crate::challenge::Challenge;
+use crate::device::PpufExecutor;
+use crate::error::PpufError;
+use crate::public_model::{NetworkSide, PublicModel};
+
+/// Absolute current tolerance used by the verifier's feasibility and
+/// optimality checks.
+///
+/// The device's physical current differs from the published model by the
+/// Fig 6 inaccuracy (< 1 % of a tens-of-nA per-edge scale), so the
+/// verifier must accept answers within that band; 1 nA is two decades
+/// above numerical noise and well below any single edge capacity.
+pub const VERIFY_TOLERANCE: f64 = 1e-9;
+
+/// The prover's answer to one challenge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProverAnswer {
+    /// Claimed response bit.
+    pub response: bool,
+    /// Claimed max flow on network A.
+    pub flow_a: Flow,
+    /// Claimed max flow on network B.
+    pub flow_b: Flow,
+}
+
+/// An honest prover: answers from the device's fast path.
+///
+/// # Errors
+///
+/// Propagates device errors; [`PpufError::UnresolvableResponse`] if the
+/// comparator cannot decide.
+pub fn prove(executor: &PpufExecutor<'_>, challenge: &Challenge) -> Result<ProverAnswer, PpufError> {
+    let outcome = executor.execute_flow_detailed(challenge)?;
+    let response = outcome.response.ok_or(PpufError::UnresolvableResponse {
+        difference: (outcome.current_a.value() - outcome.current_b.value()).abs(),
+        resolution: executor.device().config().comparator.resolution.value(),
+    })?;
+    Ok(ProverAnswer { response, flow_a: outcome.flow_a, flow_b: outcome.flow_b })
+}
+
+/// Per-network verification findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkVerdict {
+    /// Flow satisfies capacity + conservation on the public model.
+    pub feasible: bool,
+    /// No augmenting path remains (the optimality certificate).
+    pub maximal: bool,
+}
+
+/// Outcome of verifying one [`ProverAnswer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Findings for network A.
+    pub network_a: NetworkVerdict,
+    /// Findings for network B.
+    pub network_b: NetworkVerdict,
+    /// Claimed response agrees with the comparator on the claimed values.
+    pub response_consistent: bool,
+    /// Answer arrived within the deadline (`true` when no deadline was
+    /// enforced).
+    pub within_deadline: bool,
+}
+
+impl VerificationReport {
+    /// `true` iff every check passed.
+    pub fn accepted(&self) -> bool {
+        self.network_a.feasible
+            && self.network_a.maximal
+            && self.network_b.feasible
+            && self.network_b.maximal
+            && self.response_consistent
+            && self.within_deadline
+    }
+}
+
+/// The verifier: holds only the public model.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    model: PublicModel,
+    /// Threads used for the parallel residual BFS.
+    threads: usize,
+    /// Optional response deadline (the ESG enforcement knob).
+    deadline: Option<Seconds>,
+}
+
+impl Verifier {
+    /// Creates a verifier over a published model.
+    pub fn new(model: PublicModel) -> Self {
+        Verifier { model, threads: 1, deadline: None }
+    }
+
+    /// Uses `threads` workers for the residual-reachability check.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Rejects answers that took longer than `deadline` (pass the measured
+    /// elapsed time to [`verify_timed`](Self::verify_timed)).
+    pub fn with_deadline(mut self, deadline: Seconds) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The verifier's model.
+    pub fn model(&self) -> &PublicModel {
+        &self.model
+    }
+
+    /// Verifies an answer with no timing information.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::ChallengeMismatch`] or shape errors if the
+    /// answer does not even parse against the model; check *failures* are
+    /// reported in the `Ok` report instead.
+    pub fn verify(
+        &self,
+        challenge: &Challenge,
+        answer: &ProverAnswer,
+    ) -> Result<VerificationReport, PpufError> {
+        self.verify_timed(challenge, answer, None)
+    }
+
+    /// Verifies an answer that took `elapsed` to arrive.
+    ///
+    /// # Errors
+    ///
+    /// See [`verify`](Self::verify).
+    pub fn verify_timed(
+        &self,
+        challenge: &Challenge,
+        answer: &ProverAnswer,
+        elapsed: Option<Seconds>,
+    ) -> Result<VerificationReport, PpufError> {
+        let network_a = self.verify_network(NetworkSide::A, challenge, &answer.flow_a)?;
+        let network_b = self.verify_network(NetworkSide::B, challenge, &answer.flow_b)?;
+        let comparator_says = self
+            .model
+            .comparator()
+            .compare(
+                ppuf_analog::units::Amps(answer.flow_a.value()),
+                ppuf_analog::units::Amps(answer.flow_b.value()),
+            );
+        let response_consistent = comparator_says == Some(answer.response);
+        let within_deadline = match (self.deadline, elapsed) {
+            (Some(deadline), Some(elapsed)) => elapsed.value() <= deadline.value(),
+            (Some(_), None) => false,
+            (None, _) => true,
+        };
+        Ok(VerificationReport { network_a, network_b, response_consistent, within_deadline })
+    }
+
+    fn verify_network(
+        &self,
+        side: NetworkSide,
+        challenge: &Challenge,
+        flow: &Flow,
+    ) -> Result<NetworkVerdict, PpufError> {
+        let net = self.model.flow_network(side, challenge)?;
+        let feasible = flow
+            .check_feasible(&net, VERIFY_TOLERANCE)
+            .map_err(PpufError::Simulation)?
+            .is_feasible();
+        let residual =
+            ResidualGraph::new(&net, flow, VERIFY_TOLERANCE).map_err(PpufError::Simulation)?;
+        let maximal = !residual
+            .is_reachable_parallel(challenge.source, challenge.sink, self.threads)
+            .map_err(PpufError::Simulation)?;
+        Ok(NetworkVerdict { feasible, maximal })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Ppuf, PpufConfig};
+    use ppuf_analog::variation::Environment;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Ppuf, Challenge) {
+        let ppuf = Ppuf::generate(PpufConfig::paper(8, 2), 21).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let challenge = ppuf.challenge_space().random(&mut rng);
+        (ppuf, challenge)
+    }
+
+    #[test]
+    fn honest_prover_accepted() {
+        let (ppuf, challenge) = setup();
+        let executor = ppuf.executor(Environment::NOMINAL);
+        let answer = prove(&executor, &challenge).unwrap();
+        let verifier = Verifier::new(ppuf.public_model().unwrap()).with_threads(2);
+        let report = verifier.verify(&challenge, &answer).unwrap();
+        assert!(report.accepted(), "{report:?}");
+    }
+
+    #[test]
+    fn suboptimal_flow_rejected() {
+        let (ppuf, challenge) = setup();
+        let executor = ppuf.executor(Environment::NOMINAL);
+        let mut answer = prove(&executor, &challenge).unwrap();
+        // lazy prover: claims the zero flow for network A
+        let model = ppuf.public_model().unwrap();
+        let net = model.flow_network(NetworkSide::A, &challenge).unwrap();
+        answer.flow_a = Flow::zero(&net, challenge.source, challenge.sink);
+        let verifier = Verifier::new(model);
+        let report = verifier.verify(&challenge, &answer).unwrap();
+        assert!(report.network_a.feasible);
+        assert!(!report.network_a.maximal);
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn infeasible_flow_rejected() {
+        let (ppuf, challenge) = setup();
+        let executor = ppuf.executor(Environment::NOMINAL);
+        let mut answer = prove(&executor, &challenge).unwrap();
+        // cheating prover: inflates every edge flow 10×
+        let inflated: Vec<f64> =
+            answer.flow_a.edge_flows().iter().map(|f| f * 10.0).collect();
+        answer.flow_a = Flow::from_edge_flows(
+            challenge.source,
+            challenge.sink,
+            answer.flow_a.value() * 10.0,
+            inflated,
+        );
+        let verifier = Verifier::new(ppuf.public_model().unwrap());
+        let report = verifier.verify(&challenge, &answer).unwrap();
+        assert!(!report.network_a.feasible);
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn flipped_response_rejected() {
+        let (ppuf, challenge) = setup();
+        let executor = ppuf.executor(Environment::NOMINAL);
+        let mut answer = prove(&executor, &challenge).unwrap();
+        answer.response = !answer.response;
+        let verifier = Verifier::new(ppuf.public_model().unwrap());
+        let report = verifier.verify(&challenge, &answer).unwrap();
+        assert!(!report.response_consistent);
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn deadline_enforced() {
+        let (ppuf, challenge) = setup();
+        let executor = ppuf.executor(Environment::NOMINAL);
+        let answer = prove(&executor, &challenge).unwrap();
+        let verifier = Verifier::new(ppuf.public_model().unwrap())
+            .with_deadline(Seconds(1e-3));
+        // answer arrived fast: accepted
+        let fast = verifier
+            .verify_timed(&challenge, &answer, Some(Seconds(1e-4)))
+            .unwrap();
+        assert!(fast.accepted());
+        // answer arrived slow (attacker simulated): rejected
+        let slow = verifier
+            .verify_timed(&challenge, &answer, Some(Seconds(1.0)))
+            .unwrap();
+        assert!(!slow.accepted());
+        // no timing provided while a deadline exists: rejected
+        let untimed = verifier.verify(&challenge, &answer).unwrap();
+        assert!(!untimed.accepted());
+    }
+}

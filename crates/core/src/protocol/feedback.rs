@@ -1,0 +1,225 @@
+//! Feedback-loop ESG amplification (paper §3.3, after Rührmair's SIMPL
+//! systems).
+//!
+//! Instead of one challenge, the verifier issues `C₁` and demands the
+//! chain `(C₁,R₁), …, (C_k,R_k)`: each later challenge is *derived from
+//! the previous response*, so the k rounds cannot be parallelized — the
+//! prover's cost is `k` executions (`O(kn)`) while the attacker's is `k`
+//! simulations (`Ω(kn²)`), multiplying the gap by `k`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::challenge::{Challenge, ChallengeSpace};
+use crate::error::PpufError;
+
+/// One completed feedback chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedbackChain {
+    /// The `(C_i, R_i)` rounds in order.
+    pub rounds: Vec<(Challenge, bool)>,
+}
+
+impl FeedbackChain {
+    /// The final response `R_k` — the value reported to the verifier.
+    pub fn final_response(&self) -> Option<bool> {
+        self.rounds.last().map(|(_, r)| *r)
+    }
+
+    /// Number of rounds `k`.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` if the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+}
+
+/// Derives `C_{i+1}` from `(C_i, R_i)`.
+///
+/// The derivation must be public, deterministic, and must depend on the
+/// response (otherwise an attacker could precompute the whole chain in
+/// parallel). It seeds a counter-mixed PRF (SplitMix64) with a digest of
+/// the previous challenge plus the response bit, then samples a fresh
+/// challenge from the space.
+pub fn derive_next_challenge(
+    space: &ChallengeSpace,
+    previous: &Challenge,
+    response: bool,
+) -> Challenge {
+    let mut state = 0x8000_0000_0000_2026u64 ^ (response as u64);
+    state = mix(state ^ previous.source.index() as u64);
+    state = mix(state ^ previous.sink.index() as u64);
+    for (i, &bit) in previous.control_bits.iter().enumerate() {
+        if bit {
+            state = mix(state ^ (i as u64 + 1));
+        }
+    }
+    // sample terminals and bits from the PRF stream
+    let n = space.nodes() as u64;
+    let source = {
+        state = mix(state);
+        state % n
+    };
+    let sink = {
+        loop {
+            state = mix(state);
+            let t = state % n;
+            if t != source {
+                break t;
+            }
+        }
+    };
+    let control_bits = (0..space.control_bit_count())
+        .map(|_| {
+            state = mix(state);
+            state & 1 == 1
+        })
+        .collect();
+    Challenge {
+        source: ppuf_maxflow::NodeId::new(source as u32),
+        sink: ppuf_maxflow::NodeId::new(sink as u32),
+        control_bits,
+    }
+}
+
+/// Runs a `k`-round chain against any response oracle (device executor,
+/// public-model simulation, or an attack model).
+///
+/// # Errors
+///
+/// Propagates the oracle's error for the failing round.
+pub fn run_chain<F>(
+    space: &ChallengeSpace,
+    first: Challenge,
+    k: usize,
+    mut respond: F,
+) -> Result<FeedbackChain, PpufError>
+where
+    F: FnMut(&Challenge) -> Result<bool, PpufError>,
+{
+    let mut rounds = Vec::with_capacity(k);
+    let mut challenge = first;
+    for _ in 0..k {
+        let response = respond(&challenge)?;
+        let next = derive_next_challenge(space, &challenge, response);
+        rounds.push((challenge, response));
+        challenge = next;
+    }
+    Ok(FeedbackChain { rounds })
+}
+
+/// Verifies that a claimed chain is internally consistent (each challenge
+/// derives from its predecessor) and that every response matches the
+/// oracle — the verifier passes its public-model simulation here, paying
+/// `k` simulations (that is the amplification).
+///
+/// # Errors
+///
+/// Propagates oracle errors.
+pub fn verify_chain<F>(
+    space: &ChallengeSpace,
+    first: &Challenge,
+    chain: &FeedbackChain,
+    mut respond: F,
+) -> Result<bool, PpufError>
+where
+    F: FnMut(&Challenge) -> Result<bool, PpufError>,
+{
+    let mut expected = first.clone();
+    for (challenge, response) in &chain.rounds {
+        if *challenge != expected {
+            return Ok(false);
+        }
+        if respond(challenge)? != *response {
+            return Ok(false);
+        }
+        expected = derive_next_challenge(space, challenge, *response);
+    }
+    Ok(!chain.is_empty())
+}
+
+/// SplitMix64 mixing round.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn space() -> ChallengeSpace {
+        ChallengeSpace::new(12, 3).unwrap()
+    }
+
+    fn first_challenge() -> Challenge {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        space().random(&mut rng)
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_response_sensitive() {
+        let s = space();
+        let c = first_challenge();
+        let a = derive_next_challenge(&s, &c, true);
+        let b = derive_next_challenge(&s, &c, true);
+        let other = derive_next_challenge(&s, &c, false);
+        assert_eq!(a, b);
+        assert_ne!(a, other, "response bit must steer the chain");
+        s.validate(&a).unwrap();
+        s.validate(&other).unwrap();
+    }
+
+    #[test]
+    fn chain_runs_k_rounds() {
+        let s = space();
+        // toy oracle: parity of control bits
+        let oracle = |c: &Challenge| Ok(c.control_bits.iter().filter(|&&b| b).count() % 2 == 1);
+        let chain = run_chain(&s, first_challenge(), 5, oracle).unwrap();
+        assert_eq!(chain.len(), 5);
+        assert!(chain.final_response().is_some());
+        // consecutive challenges differ
+        for w in chain.rounds.windows(2) {
+            assert_ne!(w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn honest_chain_verifies() {
+        let s = space();
+        let oracle = |c: &Challenge| Ok(c.control_bits[0]);
+        let first = first_challenge();
+        let chain = run_chain(&s, first.clone(), 4, oracle).unwrap();
+        assert!(verify_chain(&s, &first, &chain, oracle).unwrap());
+    }
+
+    #[test]
+    fn tampered_chain_rejected() {
+        let s = space();
+        let oracle = |c: &Challenge| Ok(c.control_bits[0]);
+        let first = first_challenge();
+        let chain = run_chain(&s, first.clone(), 4, oracle).unwrap();
+        // flip one intermediate response
+        let mut tampered = chain.clone();
+        tampered.rounds[1].1 = !tampered.rounds[1].1;
+        assert!(!verify_chain(&s, &first, &tampered, oracle).unwrap());
+        // swap in a foreign challenge
+        let mut foreign = chain;
+        foreign.rounds[2].0 = first.clone();
+        assert!(!verify_chain(&s, &first, &foreign, oracle).unwrap());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let s = space();
+        let first = first_challenge();
+        let empty = FeedbackChain { rounds: vec![] };
+        assert!(!verify_chain(&s, &first, &empty, |_| Ok(true)).unwrap());
+    }
+}

@@ -1,0 +1,13 @@
+//! PPUF protocols: authentication with residual-graph verification and
+//! feedback-loop ESG amplification.
+
+pub mod auth;
+pub mod feedback;
+pub mod session;
+
+pub use auth::{prove, ProverAnswer, VerificationReport, Verifier};
+pub use feedback::{derive_next_challenge, run_chain, verify_chain, FeedbackChain};
+pub use session::{
+    AuthenticationSession, Prover, RejectReason, SessionConfig, SessionOutcome,
+    SimulatingAttacker,
+};

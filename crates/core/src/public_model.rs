@@ -1,0 +1,326 @@
+//! The published simulation model of a PPUF.
+//!
+//! A *public* PUF keeps no secrets: after fabrication, the maker
+//! characterizes every building block's saturation current under both
+//! challenge-bit biases and publishes the numbers. Anyone can then compute
+//! any response by solving two max-flow problems — it just takes
+//! asymptotically longer than asking the chip (the ESG).
+//!
+//! This module is that artifact: per-edge capacities for both networks and
+//! both input bits, plus the machinery to simulate a challenge with any
+//! [`MaxFlowSolver`].
+
+use serde::{Deserialize, Serialize};
+
+use ppuf_analog::units::Amps;
+use ppuf_maxflow::{Dinic, Flow, FlowNetwork, MaxFlowSolver};
+
+use crate::challenge::Challenge;
+use crate::comparator::Comparator;
+use crate::crossbar::edge_order;
+use crate::error::PpufError;
+use crate::grid::GridPartition;
+
+/// Which of the PPUF's two nominally identical networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkSide {
+    /// Network A (the `+` comparator input).
+    A,
+    /// Network B (the `−` comparator input).
+    B,
+}
+
+impl NetworkSide {
+    /// Both sides, A first.
+    pub const BOTH: [NetworkSide; 2] = [NetworkSide::A, NetworkSide::B];
+}
+
+/// Per-network published capacities: one value per edge (dense-index
+/// order) per challenge bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedCapacities {
+    /// Capacities when the controlling challenge bit is 0.
+    pub bit0: Vec<f64>,
+    /// Capacities when the controlling challenge bit is 1.
+    pub bit1: Vec<f64>,
+}
+
+impl PublishedCapacities {
+    /// Builds from per-bit capacity vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] if the vectors' lengths differ.
+    pub fn new(bit0: Vec<Amps>, bit1: Vec<Amps>) -> Result<Self, PpufError> {
+        if bit0.len() != bit1.len() {
+            return Err(PpufError::InvalidConfig {
+                reason: format!("capacity vectors differ: {} vs {}", bit0.len(), bit1.len()),
+            });
+        }
+        Ok(PublishedCapacities {
+            bit0: bit0.into_iter().map(|a| a.value()).collect(),
+            bit1: bit1.into_iter().map(|a| a.value()).collect(),
+        })
+    }
+
+    /// Capacity of edge `k` under challenge bit `bit`.
+    pub fn capacity(&self, k: usize, bit: bool) -> f64 {
+        if bit {
+            self.bit1[k]
+        } else {
+            self.bit0[k]
+        }
+    }
+}
+
+/// Result of simulating one challenge on the public model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// Max-flow value (source current) of network A.
+    pub current_a: Amps,
+    /// Max-flow value (source current) of network B.
+    pub current_b: Amps,
+    /// Comparator verdict; `None` if inside the resolution dead-zone.
+    pub response: Option<bool>,
+    /// The full flow function on network A (for the residual-graph
+    /// verification protocol).
+    pub flow_a: Flow,
+    /// The full flow function on network B.
+    pub flow_b: Flow,
+}
+
+/// The published model of one PPUF: everything an attacker (or verifier)
+/// legitimately knows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublicModel {
+    nodes: usize,
+    grid: GridPartition,
+    capacities_a: PublishedCapacities,
+    capacities_b: PublishedCapacities,
+    comparator: Comparator,
+}
+
+impl PublicModel {
+    /// Assembles a public model from published capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::InvalidConfig`] if a capacity vector does not
+    /// have `n(n−1)` entries.
+    pub fn new(
+        nodes: usize,
+        grid: GridPartition,
+        capacities_a: PublishedCapacities,
+        capacities_b: PublishedCapacities,
+        comparator: Comparator,
+    ) -> Result<Self, PpufError> {
+        let m = nodes * nodes.saturating_sub(1);
+        for (side, caps) in [("A", &capacities_a), ("B", &capacities_b)] {
+            if caps.bit0.len() != m {
+                return Err(PpufError::InvalidConfig {
+                    reason: format!(
+                        "network {side} publishes {} capacities, expected {m}",
+                        caps.bit0.len()
+                    ),
+                });
+            }
+        }
+        Ok(PublicModel { nodes, grid, capacities_a, capacities_b, comparator })
+    }
+
+    /// Number of circuit nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The grid partition mapping challenge bits to edges.
+    pub fn grid(&self) -> &GridPartition {
+        &self.grid
+    }
+
+    /// The published comparator parameters.
+    pub fn comparator(&self) -> &Comparator {
+        &self.comparator
+    }
+
+    /// The published capacities of one network.
+    pub fn capacities(&self, side: NetworkSide) -> &PublishedCapacities {
+        match side {
+            NetworkSide::A => &self.capacities_a,
+            NetworkSide::B => &self.capacities_b,
+        }
+    }
+
+    /// Instantiates the max-flow problem one challenge poses to one
+    /// network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpufError::ChallengeMismatch`] for a challenge of the
+    /// wrong shape, or a simulation error if capacities are invalid.
+    pub fn flow_network(
+        &self,
+        side: NetworkSide,
+        challenge: &Challenge,
+    ) -> Result<FlowNetwork, PpufError> {
+        self.check_challenge(challenge)?;
+        let caps = self.capacities(side);
+        let mut net = FlowNetwork::new(self.nodes);
+        for (k, (from, to)) in edge_order(self.nodes).enumerate() {
+            let bit = challenge.control_bits[self.grid.cell_of_edge(from, to)];
+            net.add_edge(from, to, caps.capacity(k, bit))
+                .map_err(PpufError::Simulation)?;
+        }
+        Ok(net)
+    }
+
+    /// Simulates a challenge: two max-flow solves plus the comparator.
+    ///
+    /// This is what an attacker must do per challenge — the expensive side
+    /// of the ESG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates challenge and solver errors.
+    pub fn simulate<S: MaxFlowSolver>(
+        &self,
+        challenge: &Challenge,
+        solver: &S,
+    ) -> Result<SimulationOutcome, PpufError> {
+        let net_a = self.flow_network(NetworkSide::A, challenge)?;
+        let net_b = self.flow_network(NetworkSide::B, challenge)?;
+        let flow_a = solver
+            .max_flow(&net_a, challenge.source, challenge.sink)
+            .map_err(PpufError::Simulation)?;
+        let flow_b = solver
+            .max_flow(&net_b, challenge.source, challenge.sink)
+            .map_err(PpufError::Simulation)?;
+        let (ia, ib) = (Amps(flow_a.value()), Amps(flow_b.value()));
+        Ok(SimulationOutcome {
+            current_a: ia,
+            current_b: ib,
+            response: self.comparator.compare(ia, ib),
+            flow_a,
+            flow_b,
+        })
+    }
+
+    /// Convenience: simulate with the default [`Dinic`] solver and return
+    /// just the response bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; returns
+    /// [`PpufError::UnresolvableResponse`] if the comparator cannot
+    /// resolve the difference.
+    pub fn response(&self, challenge: &Challenge) -> Result<bool, PpufError> {
+        let outcome = self.simulate(challenge, &Dinic::new())?;
+        outcome.response.ok_or(PpufError::UnresolvableResponse {
+            difference: (outcome.current_a.value() - outcome.current_b.value()).abs(),
+            resolution: self.comparator.resolution.value(),
+        })
+    }
+
+    fn check_challenge(&self, challenge: &Challenge) -> Result<(), PpufError> {
+        if challenge.source.index() >= self.nodes
+            || challenge.sink.index() >= self.nodes
+            || challenge.source == challenge.sink
+        {
+            return Err(PpufError::ChallengeMismatch {
+                reason: format!("bad terminals ({}, {})", challenge.source, challenge.sink),
+            });
+        }
+        if challenge.control_bits.len() != self.grid.cell_count() {
+            return Err(PpufError::ChallengeMismatch {
+                reason: format!(
+                    "expected {} control bits, got {}",
+                    self.grid.cell_count(),
+                    challenge.control_bits.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppuf_maxflow::NodeId;
+
+    fn tiny_model() -> PublicModel {
+        let nodes = 4;
+        let m = nodes * (nodes - 1);
+        let grid = GridPartition::new(nodes, 2).unwrap();
+        let caps = |base: f64| PublishedCapacities {
+            bit0: (0..m).map(|k| base + k as f64 * 0.1).collect(),
+            bit1: (0..m).map(|k| 2.0 * base + k as f64 * 0.1).collect(),
+        };
+        PublicModel::new(nodes, grid, caps(1.0), caps(1.1), Comparator::new(Amps(1e-9))).unwrap()
+    }
+
+    fn tiny_challenge(bits: Vec<bool>) -> Challenge {
+        Challenge { source: NodeId::new(0), sink: NodeId::new(3), control_bits: bits }
+    }
+
+    #[test]
+    fn validates_capacity_length() {
+        let grid = GridPartition::new(4, 2).unwrap();
+        let short = PublishedCapacities { bit0: vec![1.0; 3], bit1: vec![1.0; 3] };
+        assert!(PublicModel::new(
+            4,
+            grid,
+            short.clone(),
+            short,
+            Comparator::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn published_capacities_shape_checked() {
+        assert!(PublishedCapacities::new(vec![Amps(1.0)], vec![Amps(1.0), Amps(2.0)]).is_err());
+        let ok = PublishedCapacities::new(vec![Amps(1.0)], vec![Amps(2.0)]).unwrap();
+        assert_eq!(ok.capacity(0, false), 1.0);
+        assert_eq!(ok.capacity(0, true), 2.0);
+    }
+
+    #[test]
+    fn flow_network_uses_challenge_bits() {
+        let model = tiny_model();
+        let all0 = tiny_challenge(vec![false; 4]);
+        let all1 = tiny_challenge(vec![true; 4]);
+        let n0 = model.flow_network(NetworkSide::A, &all0).unwrap();
+        let n1 = model.flow_network(NetworkSide::A, &all1).unwrap();
+        // bit-1 capacities are strictly larger in the tiny model
+        assert!(n1.total_capacity() > n0.total_capacity());
+    }
+
+    #[test]
+    fn simulate_produces_consistent_response() {
+        let model = tiny_model();
+        let challenge = tiny_challenge(vec![true, false, true, false]);
+        let outcome = model.simulate(&challenge, &Dinic::new()).unwrap();
+        // B has strictly larger capacities everywhere → B carries more
+        assert!(outcome.current_b > outcome.current_a);
+        assert_eq!(outcome.response, Some(false));
+        assert!(!model.response(&challenge).unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_challenges() {
+        let model = tiny_model();
+        let mut bad = tiny_challenge(vec![true; 4]);
+        bad.sink = bad.source;
+        assert!(model.simulate(&bad, &Dinic::new()).is_err());
+        let short = tiny_challenge(vec![true; 2]);
+        assert!(model.simulate(&short, &Dinic::new()).is_err());
+    }
+
+    #[test]
+    fn model_is_publishable() {
+        // the model is "published": it must implement Serialize/Deserialize
+        fn assert_serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serializable::<PublicModel>();
+    }
+}

@@ -1,0 +1,127 @@
+//! Responses and response vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// A multi-challenge response signature (one bit per challenge).
+///
+/// ```
+/// use ppuf_core::response::ResponseVector;
+/// let a = ResponseVector::from_bits([true, false, true, true]);
+/// let b = ResponseVector::from_bits([true, true, true, false]);
+/// assert_eq!(a.hamming_distance(&b), Some(2));
+/// assert_eq!(a.fractional_distance(&b), Some(0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ResponseVector {
+    bits: Vec<bool>,
+}
+
+impl ResponseVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a vector from bits.
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        ResponseVector { bits: bits.into_iter().collect() }
+    }
+
+    /// Appends one response.
+    pub fn push(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Number of responses.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if no responses are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The raw bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Fraction of 1-responses (the uniformity statistic), or `None` when
+    /// empty.
+    pub fn ones_fraction(&self) -> Option<f64> {
+        if self.bits.is_empty() {
+            return None;
+        }
+        Some(self.bits.iter().filter(|&&b| b).count() as f64 / self.bits.len() as f64)
+    }
+
+    /// Hamming distance to another vector, or `None` on length mismatch.
+    pub fn hamming_distance(&self, other: &ResponseVector) -> Option<usize> {
+        if self.bits.len() != other.bits.len() {
+            return None;
+        }
+        Some(self.bits.iter().zip(&other.bits).filter(|(a, b)| a != b).count())
+    }
+
+    /// Hamming distance normalized by length, or `None` on mismatch or
+    /// empty vectors.
+    pub fn fractional_distance(&self, other: &ResponseVector) -> Option<f64> {
+        if self.bits.is_empty() {
+            return None;
+        }
+        self.hamming_distance(other).map(|d| d as f64 / self.bits.len() as f64)
+    }
+}
+
+impl FromIterator<bool> for ResponseVector {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        ResponseVector::from_bits(iter)
+    }
+}
+
+impl Extend<bool> for ResponseVector {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_push() {
+        let mut v = ResponseVector::new();
+        assert!(v.is_empty());
+        v.push(true);
+        v.push(false);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.bits(), &[true, false]);
+    }
+
+    #[test]
+    fn ones_fraction() {
+        assert_eq!(ResponseVector::new().ones_fraction(), None);
+        let v = ResponseVector::from_bits([true, true, false, false]);
+        assert_eq!(v.ones_fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn hamming() {
+        let a = ResponseVector::from_bits([true, false, true]);
+        let b = ResponseVector::from_bits([false, false, true]);
+        assert_eq!(a.hamming_distance(&b), Some(1));
+        assert_eq!(a.hamming_distance(&ResponseVector::new()), None);
+        assert!((a.fractional_distance(&b).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: ResponseVector = [true, false].into_iter().collect();
+        assert_eq!(v.len(), 2);
+        let mut w = v.clone();
+        w.extend([true]);
+        assert_eq!(w.len(), 3);
+    }
+}

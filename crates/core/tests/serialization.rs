@@ -1,0 +1,82 @@
+//! Serialization fidelity of the *published* artifacts.
+//!
+//! The public model is literally published (that is the point of a PPUF),
+//! and challenges travel between verifier and prover — their wire format
+//! must round-trip without changing any response.
+
+use ppuf_analog::variation::Environment;
+use ppuf_core::{Challenge, Ppuf, PpufConfig, PublicModel};
+use ppuf_maxflow::Dinic;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn device() -> Ppuf {
+    Ppuf::generate(PpufConfig::paper(8, 2), 77).expect("valid configuration")
+}
+
+#[test]
+fn public_model_roundtrips_through_json() {
+    let ppuf = device();
+    let model = ppuf.public_model().expect("publishable");
+    let json = serde_json::to_string(&model).expect("serializes");
+    let restored: PublicModel = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(model, restored);
+    // and produces identical simulations
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for _ in 0..10 {
+        let challenge = ppuf.challenge_space().random(&mut rng);
+        let a = model.simulate(&challenge, &Dinic::new()).expect("solves");
+        let b = restored.simulate(&challenge, &Dinic::new()).expect("solves");
+        assert_eq!(a.current_a, b.current_a);
+        assert_eq!(a.current_b, b.current_b);
+        assert_eq!(a.response, b.response);
+    }
+}
+
+#[test]
+fn challenge_roundtrips_through_json() {
+    let ppuf = device();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let challenge = ppuf.challenge_space().random(&mut rng);
+    let json = serde_json::to_string(&challenge).expect("serializes");
+    let restored: Challenge = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(challenge, restored);
+}
+
+#[test]
+fn whole_device_roundtrips_through_json() {
+    // a fabricated instance (its variation data) can be archived and
+    // restored bit-exactly — useful for sharing reproducible populations
+    let ppuf = device();
+    let json = serde_json::to_string(&ppuf).expect("serializes");
+    let restored: Ppuf = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(ppuf, restored);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let challenge = ppuf.challenge_space().random(&mut rng);
+    let a = ppuf
+        .executor(Environment::NOMINAL)
+        .execute_flow(&challenge)
+        .expect("solves");
+    let b = restored
+        .executor(Environment::NOMINAL)
+        .execute_flow(&challenge)
+        .expect("solves");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn prover_answer_roundtrips_through_json() {
+    use ppuf_core::protocol::{prove, ProverAnswer, Verifier};
+    let ppuf = device();
+    let model = ppuf.public_model().expect("publishable");
+    let executor = ppuf.executor(Environment::NOMINAL);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let challenge = ppuf.challenge_space().random(&mut rng);
+    let answer = prove(&executor, &challenge).expect("proves");
+    let json = serde_json::to_string(&answer).expect("serializes");
+    let restored: ProverAnswer = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(answer, restored);
+    // the restored answer still verifies
+    let verifier = Verifier::new(model);
+    assert!(verifier.verify(&challenge, &restored).expect("verifies").accepted());
+}

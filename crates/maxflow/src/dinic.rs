@@ -1,0 +1,234 @@
+//! Dinic's blocking-flow algorithm.
+//!
+//! Builds a BFS level graph and saturates it with DFS blocking flows —
+//! `O(V² · E)` in general, and the paper's representative of the
+//! blocking-flow family (Dinits 1970). This is the default exact solver
+//! used as the PPUF *simulation model* because it is the fastest sequential
+//! algorithm in this crate on dense complete graphs.
+
+use std::collections::VecDeque;
+
+use crate::error::MaxFlowError;
+use crate::flow::{Flow, DEFAULT_TOLERANCE};
+use crate::graph::{FlowNetwork, NodeId};
+use crate::residual_state::ResidualArcs;
+use crate::solver::MaxFlowSolver;
+
+/// The Dinic blocking-flow solver.
+///
+/// ```
+/// use ppuf_maxflow::{Dinic, FlowNetwork, MaxFlowSolver, NodeId};
+/// # fn main() -> Result<(), ppuf_maxflow::MaxFlowError> {
+/// let net = FlowNetwork::complete(6, |_, _| 1.0)?;
+/// let flow = Dinic::new().max_flow(&net, NodeId::new(0), NodeId::new(5))?;
+/// assert!((flow.value() - 5.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dinic {
+    tolerance: f64,
+}
+
+impl Dinic {
+    /// Creates a solver with the [default tolerance](DEFAULT_TOLERANCE).
+    pub fn new() -> Self {
+        Dinic { tolerance: DEFAULT_TOLERANCE }
+    }
+
+    /// Creates a solver treating residual capacities below `tolerance` as
+    /// saturated.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        Dinic { tolerance }
+    }
+
+    /// The saturation tolerance in use.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+impl Default for Dinic {
+    fn default() -> Self {
+        Dinic::new()
+    }
+}
+
+struct DinicState<'a> {
+    arcs: &'a mut ResidualArcs,
+    level: Vec<i32>,
+    // iterator index into adj lists (current-arc optimization)
+    next: Vec<usize>,
+    tol: f64,
+}
+
+impl DinicState<'_> {
+    /// Rebuilds the BFS level graph; returns `true` if the sink is
+    /// reachable.
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s as u32);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.arcs.adj[u as usize] {
+                let v = self.arcs.to[a as usize] as usize;
+                if self.level[v] < 0 && self.arcs.residual[a as usize] > self.tol {
+                    self.level[v] = self.level[u as usize] + 1;
+                    queue.push_back(v as u32);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    /// Sends up to `limit` units of blocking flow from `u` to `t` via DFS.
+    fn dfs(&mut self, u: usize, t: usize, limit: f64) -> f64 {
+        if u == t {
+            return limit;
+        }
+        let mut sent = 0.0;
+        while self.next[u] < self.arcs.adj[u].len() {
+            let a = self.arcs.adj[u][self.next[u]];
+            let v = self.arcs.to[a as usize] as usize;
+            if self.level[v] == self.level[u] + 1 && self.arcs.residual[a as usize] > self.tol {
+                let pushed = self.dfs(
+                    v,
+                    t,
+                    (limit - sent).min(self.arcs.residual[a as usize]),
+                );
+                if pushed > 0.0 {
+                    self.arcs.push(a, pushed);
+                    sent += pushed;
+                    if limit - sent <= self.tol {
+                        return sent;
+                    }
+                    continue;
+                }
+            }
+            self.next[u] += 1;
+        }
+        sent
+    }
+}
+
+impl MaxFlowSolver for Dinic {
+    fn max_flow(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+    ) -> Result<Flow, MaxFlowError> {
+        net.check_terminals(source, sink)?;
+        let mut arcs = ResidualArcs::new(net);
+        let n = arcs.node_count();
+        let (s, t) = (source.index(), sink.index());
+        let mut state = DinicState {
+            arcs: &mut arcs,
+            level: vec![-1; n],
+            next: vec![0; n],
+            tol: self.tolerance,
+        };
+        while state.bfs(s, t) {
+            state.next.iter_mut().for_each(|x| *x = 0);
+            loop {
+                let pushed = state.dfs(s, t, f64::INFINITY);
+                if pushed <= self.tolerance {
+                    break;
+                }
+            }
+        }
+        Ok(arcs.into_flow(net, source, sink, self.tolerance))
+    }
+
+    fn name(&self) -> &'static str {
+        "dinic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edmonds_karp::EdmondsKarp;
+
+    fn solve(net: &FlowNetwork, s: u32, t: u32) -> Flow {
+        Dinic::new().max_flow(net, NodeId::new(s), NodeId::new(t)).unwrap()
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(NodeId::new(0), NodeId::new(1), 1.25).unwrap();
+        assert_eq!(solve(&net, 0, 1).value(), 1.25);
+    }
+
+    #[test]
+    fn classic_clrs_instance() {
+        let mut net = FlowNetwork::new(6);
+        let e = |net: &mut FlowNetwork, a: u32, b: u32, c: f64| {
+            net.add_edge(NodeId::new(a), NodeId::new(b), c).unwrap();
+        };
+        e(&mut net, 0, 1, 16.0);
+        e(&mut net, 0, 2, 13.0);
+        e(&mut net, 1, 3, 12.0);
+        e(&mut net, 2, 1, 4.0);
+        e(&mut net, 2, 4, 14.0);
+        e(&mut net, 3, 2, 9.0);
+        e(&mut net, 3, 5, 20.0);
+        e(&mut net, 4, 3, 7.0);
+        e(&mut net, 4, 5, 4.0);
+        let flow = solve(&net, 0, 5);
+        assert!((flow.value() - 23.0).abs() < 1e-9);
+        assert!(flow.check_feasible(&net, 1e-9).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn zero_capacity_edges_carry_nothing() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(NodeId::new(0), NodeId::new(1), 0.0).unwrap();
+        net.add_edge(NodeId::new(1), NodeId::new(2), 1.0).unwrap();
+        assert_eq!(solve(&net, 0, 2).value(), 0.0);
+    }
+
+    #[test]
+    fn agrees_with_edmonds_karp_on_random_complete_graphs() {
+        for n in [4usize, 6, 9] {
+            let net = FlowNetwork::complete(n, |u, v| {
+                 0.1 + (((u.index() * 31 + v.index() * 17) % 13) as f64) / 3.0
+            })
+            .unwrap();
+            let (s, t) = (NodeId::new(0), NodeId::new(n as u32 - 1));
+            let d = Dinic::new().max_flow(&net, s, t).unwrap();
+            let ek = EdmondsKarp::new().max_flow(&net, s, t).unwrap();
+            assert!(
+                (d.value() - ek.value()).abs() < 1e-9,
+                "n={n}: dinic {} vs ek {}",
+                d.value(),
+                ek.value()
+            );
+            assert!(d.check_feasible(&net, 1e-9).unwrap().is_feasible());
+        }
+    }
+
+    #[test]
+    fn layered_network_multi_phase() {
+        // two BFS phases needed: long path plus short path
+        let mut net = FlowNetwork::new(5);
+        let e = |net: &mut FlowNetwork, a: u32, b: u32, c: f64| {
+            net.add_edge(NodeId::new(a), NodeId::new(b), c).unwrap();
+        };
+        e(&mut net, 0, 4, 1.0);
+        e(&mut net, 0, 1, 1.0);
+        e(&mut net, 1, 2, 1.0);
+        e(&mut net, 2, 3, 1.0);
+        e(&mut net, 3, 4, 1.0);
+        assert!((solve(&net, 0, 4).value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_terminals() {
+        let net = FlowNetwork::new(3);
+        assert!(Dinic::new().max_flow(&net, NodeId::new(0), NodeId::new(9)).is_err());
+        assert!(Dinic::new().max_flow(&net, NodeId::new(1), NodeId::new(1)).is_err());
+    }
+}

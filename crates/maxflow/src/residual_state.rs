@@ -1,0 +1,173 @@
+//! Internal mutable residual representation shared by the solvers.
+//!
+//! Every network edge `k` becomes an arc pair: arc `2k` (forward, residual
+//! capacity = capacity) and arc `2k + 1` (backward, residual 0). Pushing
+//! along an arc moves residual capacity to its twin (`arc ^ 1`), so the flow
+//! on edge `k` can be read back as the residual of arc `2k + 1`.
+
+use crate::flow::Flow;
+use crate::graph::{FlowNetwork, NodeId};
+
+/// Mutable residual arcs for one solve.
+#[derive(Debug, Clone)]
+pub(crate) struct ResidualArcs {
+    /// Head vertex of each arc.
+    pub to: Vec<u32>,
+    /// Remaining residual capacity of each arc.
+    pub residual: Vec<f64>,
+    /// Arc ids incident from each vertex (both directions).
+    pub adj: Vec<Vec<u32>>,
+    node_count: usize,
+}
+
+impl ResidualArcs {
+    /// Builds the residual representation of `net`.
+    pub fn new(net: &FlowNetwork) -> Self {
+        let n = net.node_count();
+        let m = net.edge_count();
+        let mut to = Vec::with_capacity(2 * m);
+        let mut residual = Vec::with_capacity(2 * m);
+        let mut adj = vec![Vec::new(); n];
+        for (_, edge) in net.edges() {
+            let fwd = to.len() as u32;
+            to.push(edge.to.index() as u32);
+            residual.push(edge.capacity);
+            adj[edge.from.index()].push(fwd);
+            let bwd = to.len() as u32;
+            to.push(edge.from.index() as u32);
+            residual.push(0.0);
+            adj[edge.to.index()].push(bwd);
+        }
+        ResidualArcs { to, residual, adj, node_count: n }
+    }
+
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Pushes `amount` along arc `a` (decrementing its residual and
+    /// incrementing the twin's).
+    #[inline]
+    pub fn push(&mut self, a: u32, amount: f64) {
+        self.residual[a as usize] -= amount;
+        self.residual[(a ^ 1) as usize] += amount;
+    }
+
+    /// Extracts the per-edge flow assignment accumulated so far.
+    ///
+    /// Backward residual above the original 0 means pushed flow; numerical
+    /// dust below `tol` is clamped to zero.
+    pub fn into_flow(self, net: &FlowNetwork, source: NodeId, sink: NodeId, tol: f64) -> Flow {
+        let m = net.edge_count();
+        let mut edge_flow = vec![0.0; m];
+        for (k, f) in edge_flow.iter_mut().enumerate() {
+            let pushed = self.residual[2 * k + 1];
+            *f = if pushed.abs() <= tol { 0.0 } else { pushed };
+        }
+        let out: f64 = net.out_edges(source).iter().map(|&e| edge_flow[e.index()]).sum();
+        let inward: f64 = net.in_edges(source).iter().map(|&e| edge_flow[e.index()]).sum();
+        Flow::from_edge_flows(source, sink, out - inward, edge_flow)
+    }
+}
+
+/// Cancels stranded excess by routing it back toward the source.
+///
+/// Push–relabel variants can finish their main loop with excess parked at
+/// vertices lifted above `n` (no residual path to the sink). This "second
+/// phase" repeatedly finds a residual path from such a vertex back to the
+/// source and cancels the bottleneck, restoring flow conservation.
+pub(crate) fn return_excess(
+    arcs: &mut ResidualArcs,
+    excess: &mut [f64],
+    s: usize,
+    t: usize,
+    tol: f64,
+) {
+    use std::collections::VecDeque;
+    let n = arcs.node_count();
+    loop {
+        let Some(v) = (0..n).find(|&v| v != s && v != t && excess[v] > tol) else {
+            return;
+        };
+        let mut prev = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        queue.push_back(v as u32);
+        prev[v] = u32::MAX - 1;
+        let mut found = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &a in &arcs.adj[u as usize] {
+                let w = arcs.to[a as usize] as usize;
+                if prev[w] == u32::MAX && arcs.residual[a as usize] > tol {
+                    prev[w] = a;
+                    if w == s {
+                        found = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(w as u32);
+                }
+            }
+        }
+        if !found {
+            // no residual path back to source: numerically stuck; zero it
+            excess[v] = 0.0;
+            continue;
+        }
+        let mut bottleneck = excess[v];
+        let mut w = s;
+        while w != v {
+            let a = prev[w];
+            bottleneck = bottleneck.min(arcs.residual[a as usize]);
+            w = arcs.to[(a ^ 1) as usize] as usize;
+        }
+        let mut w = s;
+        while w != v {
+            let a = prev[w];
+            arcs.push(a, bottleneck);
+            w = arcs.to[(a ^ 1) as usize] as usize;
+        }
+        excess[v] -= bottleneck;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn arc_pairing_and_push() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(NodeId::new(0), NodeId::new(1), 3.0).unwrap();
+        let mut r = ResidualArcs::new(&net);
+        assert_eq!(r.residual, vec![3.0, 0.0]);
+        r.push(0, 2.0);
+        assert_eq!(r.residual, vec![1.0, 2.0]);
+        // pushing back along the twin cancels flow
+        r.push(1, 1.0);
+        assert_eq!(r.residual, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn into_flow_reads_backward_residual() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(NodeId::new(0), NodeId::new(1), 3.0).unwrap();
+        net.add_edge(NodeId::new(1), NodeId::new(2), 3.0).unwrap();
+        let mut r = ResidualArcs::new(&net);
+        r.push(0, 2.5);
+        r.push(2, 2.5);
+        let flow = r.into_flow(&net, NodeId::new(0), NodeId::new(2), 1e-12);
+        assert_eq!(flow.value(), 2.5);
+        assert_eq!(flow.edge_flows(), &[2.5, 2.5]);
+    }
+
+    #[test]
+    fn tiny_dust_clamped() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        let mut r = ResidualArcs::new(&net);
+        r.push(0, 1e-15);
+        let flow = r.into_flow(&net, NodeId::new(0), NodeId::new(1), 1e-12);
+        assert_eq!(flow.edge_flows(), &[0.0]);
+    }
+}

@@ -1,0 +1,71 @@
+//! The [`MaxFlowSolver`] trait implemented by every algorithm in this crate.
+
+use crate::error::MaxFlowError;
+use crate::flow::Flow;
+use crate::graph::{FlowNetwork, NodeId};
+
+/// A maximum-flow algorithm.
+///
+/// Implementations are stateless configuration objects (e.g. a tolerance or
+/// a thread count); each [`max_flow`](MaxFlowSolver::max_flow) call builds
+/// its own working state, so one solver value can be reused and shared
+/// across threads.
+///
+/// ```
+/// use ppuf_maxflow::{Dinic, FlowNetwork, MaxFlowSolver, NodeId};
+/// # fn main() -> Result<(), ppuf_maxflow::MaxFlowError> {
+/// let net = FlowNetwork::complete(4, |_, _| 1.0)?;
+/// let flow = Dinic::new().max_flow(&net, NodeId::new(0), NodeId::new(3))?;
+/// // 1 direct path + 2 two-hop paths through the other vertices
+/// assert!((flow.value() - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub trait MaxFlowSolver {
+    /// Computes a maximum `source`→`sink` flow on `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaxFlowError::InvalidNode`] or
+    /// [`MaxFlowError::SourceIsSink`] for bad terminals; individual solvers
+    /// document any further error conditions.
+    fn max_flow(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+    ) -> Result<Flow, MaxFlowError>;
+
+    /// Human-readable algorithm name (used in benchmark reports).
+    fn name(&self) -> &'static str;
+}
+
+impl<S: MaxFlowSolver + ?Sized> MaxFlowSolver for &S {
+    fn max_flow(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+    ) -> Result<Flow, MaxFlowError> {
+        (**self).max_flow(net, source, sink)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl MaxFlowSolver for Box<dyn MaxFlowSolver + Send + Sync> {
+    fn max_flow(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+    ) -> Result<Flow, MaxFlowError> {
+        (**self).max_flow(net, source, sink)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,52 @@
+//! Model-building attack demo: RBF-SVM + KNN against the PPUF and against
+//! an arbiter PUF of the same input length (a compact Fig 10).
+//!
+//! ```sh
+//! cargo run --release --example attack_resilience
+//! ```
+
+use maxflow_ppuf::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), PpufError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let training_sizes = [100usize, 400, 1600];
+    let config = AttackConfig { test_size: 400, ..AttackConfig::default() };
+
+    // the PPUF under attack: fixed terminals, attacker drives the 16
+    // control bits (grid l = 4 on a 16-node device)
+    let ppuf = Ppuf::generate(PpufConfig::paper(16, 8), 3)?;
+    let template = ppuf.challenge_space().random(&mut rng);
+    let ppuf_oracle = PpufOracle::new(&ppuf, template);
+    println!("attacking a 16-node PPUF (64 control bits)…");
+    let ppuf_results = evaluate_attack(&ppuf_oracle, &training_sizes, &config, &mut rng)?;
+
+    // the learnable baseline: 64-stage arbiter PUF
+    let arbiter = ArbiterOracle::new(ArbiterPuf::sample(64, &mut rng));
+    println!("attacking a 64-stage arbiter PUF…");
+    let arbiter_results = evaluate_attack(&arbiter, &training_sizes, &config, &mut rng)?;
+
+    println!("\n{:>8}  {:>16}  {:>16}", "CRPs", "PPUF min error", "arbiter min error");
+    for (p, a) in ppuf_results.iter().zip(&arbiter_results) {
+        println!(
+            "{:>8}  {:>16.4}  {:>16.4}",
+            p.observed_crps,
+            p.min_error(),
+            a.min_error()
+        );
+    }
+
+    let last_ppuf = ppuf_results.last().expect("non-empty").min_error();
+    let last_arbiter = arbiter_results.last().expect("non-empty").min_error();
+    println!(
+        "\nat {} CRPs the PPUF resists {:.1}x better than the arbiter PUF",
+        training_sizes.last().expect("non-empty"),
+        last_ppuf / last_arbiter.max(1e-4)
+    );
+    assert!(
+        last_ppuf > last_arbiter,
+        "the PPUF must be harder to learn than the arbiter baseline"
+    );
+    Ok(())
+}
