@@ -91,7 +91,8 @@ impl BlockBias {
     /// (cascode) device keeps enough overdrive for the lower device to be
     /// the current limiter under this crate's technology card — see
     /// DESIGN.md §4.
-    pub const INPUT_ONE: BlockBias = BlockBias { vgs0: Volts(0.5), vb: Volts(0.25), vc: Volts(1.2) };
+    pub const INPUT_ONE: BlockBias =
+        BlockBias { vgs0: Volts(0.5), vb: Volts(0.25), vc: Volts(1.2) };
 
     /// Paper §5 bias for challenge bit 0 (`V_gs0` = 0.67 V).
     pub const INPUT_ZERO: BlockBias =
@@ -242,9 +243,7 @@ impl BuildingBlock {
 
     /// Fig 2(a): bare transistor, gate at `vgs` above the stack bottom.
     fn plain_stack_voltage(&self, i: Amps, vgs: Volts, idx: usize, temp: Celsius) -> Volts {
-        self.transistor(idx)
-            .vds_for_current(i, vgs, temp)
-            .unwrap_or(Volts(f64::INFINITY))
+        self.transistor(idx).vds_for_current(i, vgs, temp).unwrap_or(Volts(f64::INFINITY))
     }
 
     /// Fig 2(b): M(idx) degenerated by R1; gate referenced to stack bottom,
@@ -252,10 +251,8 @@ impl BuildingBlock {
     fn single_sd_voltage(&self, i: Amps, vgs: Volts, idx: usize, temp: Celsius) -> Volts {
         let vr = self.r1.voltage_for_current(i);
         let vgs_eff = vgs - vr;
-        let vds = self
-            .transistor(idx)
-            .vds_for_current(i, vgs_eff, temp)
-            .unwrap_or(Volts(f64::INFINITY));
+        let vds =
+            self.transistor(idx).vds_for_current(i, vgs_eff, temp).unwrap_or(Volts(f64::INFINITY));
         vds + vr
     }
 
@@ -396,12 +393,7 @@ mod tests {
     const T: Celsius = Celsius::NOMINAL;
 
     fn designs() -> [BlockDesign; 4] {
-        [
-            BlockDesign::Plain,
-            BlockDesign::SingleSd,
-            BlockDesign::DoubleSd,
-            BlockDesign::Serial,
-        ]
+        [BlockDesign::Plain, BlockDesign::SingleSd, BlockDesign::DoubleSd, BlockDesign::Serial]
     }
 
     #[test]
@@ -434,11 +426,7 @@ mod tests {
                 let i = b.current(Volts(dv), T);
                 if i.value() > 0.0 {
                     let back = b.voltage_for_current(i, T).value();
-                    assert!(
-                        (back - dv).abs() < 1e-6,
-                        "{d:?}: dv {dv} → i {} → {back}",
-                        i.value()
-                    );
+                    assert!((back - dv).abs() < 1e-6, "{d:?}: dv {dv} → i {} → {back}", i.value());
                 }
             }
         }
@@ -458,10 +446,7 @@ mod tests {
         let b = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
         let isat = b.saturation_current(T).value();
         let i = b.current(Volts(1.6), T).value();
-        assert!(
-            (i / isat - 1.0).abs() < 0.05,
-            "operating {i} vs capacity {isat}"
-        );
+        assert!((i / isat - 1.0).abs() < 0.05, "operating {i} vs capacity {isat}");
     }
 
     #[test]
@@ -488,9 +473,8 @@ mod tests {
         let fast = nominal.with_variation(BlockVariation::uniform(Volts(-0.035)));
         let slow = nominal.with_variation(BlockVariation::uniform(Volts(0.035)));
         let i_n = nominal.current(Volts(1.5), T).value();
-        let pv_spread = (fast.current(Volts(1.5), T).value()
-            - slow.current(Volts(1.5), T).value())
-        .abs();
+        let pv_spread =
+            (fast.current(Volts(1.5), T).value() - slow.current(Volts(1.5), T).value()).abs();
         let sce_change =
             (nominal.current(Volts(1.9), T).value() - nominal.current(Volts(1.1), T).value()).abs();
         let ratio = pv_spread / sce_change;
@@ -510,10 +494,7 @@ mod tests {
         let i_hurt = hurt_b.current(Volts(1.8), T).value();
         // stack A limits under INPUT_ONE (vgs0=0.5 < vgs1=0.7), so stack B
         // damage has only second-order effect
-        assert!(
-            (i_hurt / i_clean - 1.0).abs() < 0.15,
-            "clean {i_clean} hurt {i_hurt}"
-        );
+        assert!((i_hurt / i_clean - 1.0).abs() < 0.15, "clean {i_clean} hurt {i_hurt}");
         // but hurting stack A directly collapses the current
         let hurt_a = clean.with_variation(BlockVariation {
             delta_vth: [Volts(0.1), Volts(0.1), Volts(0.0), Volts(0.0)],

@@ -84,10 +84,7 @@ impl IvCurve {
     pub fn relative_slope(&self, from: Volts, to: Volts) -> Option<f64> {
         let at = |v: Volts| -> Option<Amps> {
             // nearest sample at or after v
-            self.points
-                .iter()
-                .find(|p| p.voltage.value() >= v.value() - 1e-12)
-                .map(|p| p.current)
+            self.points.iter().find(|p| p.voltage.value() >= v.value() - 1e-12).map(|p| p.current)
         };
         let i0 = at(from)?.value();
         let i1 = at(to)?.value();
@@ -160,12 +157,9 @@ mod tests {
 
     #[test]
     fn sweep_is_monotone_for_blocks() {
-        for design in [
-            BlockDesign::Plain,
-            BlockDesign::SingleSd,
-            BlockDesign::DoubleSd,
-            BlockDesign::Serial,
-        ] {
+        for design in
+            [BlockDesign::Plain, BlockDesign::SingleSd, BlockDesign::DoubleSd, BlockDesign::Serial]
+        {
             let b = BuildingBlock::new(design, BlockBias::INPUT_ONE);
             let c = IvCurve::sweep(&b, Volts(0.0), Volts(2.0), 40, T);
             assert!(c.is_monotone(), "{design:?}");
@@ -215,9 +209,8 @@ mod tests {
 
     #[test]
     fn curve_collects_and_iterates() {
-        let c: IvCurve = (0..3)
-            .map(|k| IvPoint { voltage: Volts(k as f64), current: Amps(k as f64) })
-            .collect();
+        let c: IvCurve =
+            (0..3).map(|k| IvPoint { voltage: Volts(k as f64), current: Amps(k as f64) }).collect();
         assert_eq!(c.iter().count(), 3);
         assert_eq!((&c).into_iter().count(), 3);
     }

@@ -11,6 +11,8 @@
 
 use std::fmt;
 
+use ppuf_telemetry::{Recorder, Span, NOOP};
+
 use crate::block::TwoTerminal;
 use crate::solver::linear::{lu_solve, Matrix};
 use crate::units::{Amps, Celsius, Volts};
@@ -61,6 +63,9 @@ pub enum SolveError {
         iterations: usize,
         /// Best residual achieved (amps).
         residual: f64,
+        /// Circuit node carrying the largest KCL residual when the solve
+        /// gave up — the place to look when diagnosing a stiff instance.
+        worst_node: usize,
     },
     /// The Jacobian became singular despite the `G_min` floor.
     SingularJacobian,
@@ -73,9 +78,10 @@ impl fmt::Display for SolveError {
                 write!(f, "node {node} out of range for circuit with {node_count} nodes")
             }
             SolveError::SourceIsSink => write!(f, "source and sink are the same node"),
-            SolveError::NoConvergence { iterations, residual } => write!(
+            SolveError::NoConvergence { iterations, residual, worst_node } => write!(
                 f,
-                "newton did not converge after {iterations} iterations (residual {residual:.3e} A)"
+                "newton did not converge after {iterations} iterations \
+                 (residual {residual:.3e} A, worst at node {worst_node})"
             ),
             SolveError::SingularJacobian => write!(f, "jacobian is singular"),
         }
@@ -106,6 +112,41 @@ impl Default for DcOptions {
             temperature: Celsius::NOMINAL,
         }
     }
+}
+
+/// Work counters shared by the DC and transient Newton loops, accumulated
+/// locally and emitted to a [`Recorder`] once per solve (no recorder calls
+/// inside the hot loop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct NewtonWork {
+    /// Newton iterations performed.
+    pub iterations: u64,
+    /// Dense LU factorizations of the Jacobian.
+    pub factorizations: u64,
+    /// Damping events: line-search step halvings after a rejected trial.
+    pub backtracks: u64,
+    /// Times the Newton direction was abandoned for Gauss–Seidel sweeps.
+    pub fallbacks: u64,
+}
+
+impl NewtonWork {
+    /// Emits the counters under `prefix.<name>`; zero counters are still
+    /// cheap to emit (memory recorders skip zero deltas).
+    pub fn record(&self, recorder: &dyn Recorder, prefix: &str) {
+        recorder.counter_add(&format!("{prefix}.newton_iterations"), self.iterations);
+        recorder.counter_add(&format!("{prefix}.jacobian_factorizations"), self.factorizations);
+        recorder.counter_add(&format!("{prefix}.damping_backtracks"), self.backtracks);
+        recorder.counter_add(&format!("{prefix}.gauss_seidel_fallbacks"), self.fallbacks);
+    }
+}
+
+/// The node (in circuit numbering) whose KCL residual is largest.
+pub(crate) fn worst_node_of(residual: &[f64], unknowns: &[usize]) -> usize {
+    residual
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.abs().total_cmp(&b.abs()))
+        .map_or(0, |(idx, _)| unknowns[idx])
 }
 
 /// The DC operating point of a circuit.
@@ -181,6 +222,28 @@ impl<E: TwoTerminal> Circuit<E> {
         vs: Volts,
         options: &DcOptions,
     ) -> Result<DcSolution, SolveError> {
+        self.solve_dc_traced(source, sink, vs, options, &NOOP)
+    }
+
+    /// [`solve_dc`](Self::solve_dc) with telemetry: emits
+    /// `analog.dc.newton_iterations`, `analog.dc.jacobian_factorizations`,
+    /// `analog.dc.damping_backtracks`, `analog.dc.gauss_seidel_fallbacks`
+    /// and `analog.dc.continuation_steps` counters, observes the final
+    /// residual norm under `analog.dc.residual_norm`, times the whole solve
+    /// as the `analog.dc.solve` span, and warns (once) on non-convergence.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_dc`](Self::solve_dc).
+    pub fn solve_dc_traced(
+        &self,
+        source: u32,
+        sink: u32,
+        vs: Volts,
+        options: &DcOptions,
+        recorder: &dyn Recorder,
+    ) -> Result<DcSolution, SolveError> {
+        let _span = Span::enter(recorder, "analog.dc.solve");
         for node in [source, sink] {
             if node as usize >= self.node_count {
                 return Err(SolveError::InvalidNode { node, node_count: self.node_count });
@@ -203,11 +266,12 @@ impl<E: TwoTerminal> Circuit<E> {
         voltages[source as usize] = Volts(0.0);
         voltages[sink as usize] = Volts(0.0);
         let mut total_iterations = 0;
+        let mut work = NewtonWork::default();
         let steps = options.continuation_steps.max(1);
         for step in 1..=steps {
             let target = Volts(vs.value() * step as f64 / steps as f64);
             voltages[source as usize] = target;
-            let iters = self.newton(
+            let attempt = self.newton(
                 &mut voltages,
                 &unknowns,
                 &unknown_of,
@@ -218,9 +282,22 @@ impl<E: TwoTerminal> Circuit<E> {
                 } else {
                     options.residual_tolerance.value() * 1e3
                 },
-            )?;
-            total_iterations += iters;
+                &mut work,
+            );
+            recorder.counter_add("analog.dc.continuation_steps", 1);
+            match attempt {
+                Ok(iters) => total_iterations += iters,
+                Err(err) => {
+                    work.record(recorder, "analog.dc");
+                    recorder.counter_add("analog.dc.nonconvergence", 1);
+                    recorder.warn(&format!(
+                        "dc solve failed at continuation step {step}/{steps}: {err}"
+                    ));
+                    return Err(err);
+                }
+            }
         }
+        work.record(recorder, "analog.dc");
         let temp = options.temperature;
         let source_current: f64 = self
             .edges
@@ -238,6 +315,7 @@ impl<E: TwoTerminal> Circuit<E> {
             })
             .sum();
         let residual = self.max_residual(&voltages, &unknowns, temp);
+        recorder.observe("analog.dc.residual_norm", residual);
         Ok(DcSolution {
             voltages,
             source_current: Amps(source_current),
@@ -255,6 +333,7 @@ impl<E: TwoTerminal> Circuit<E> {
         unknown_of: &[usize],
         options: &DcOptions,
         tol: f64,
+        work: &mut NewtonWork,
     ) -> Result<usize, SolveError> {
         let temp = options.temperature;
         let k = unknowns.len();
@@ -269,9 +348,14 @@ impl<E: TwoTerminal> Circuit<E> {
         let mut stalled = 0usize;
         while res_norm > tol {
             if iterations >= options.max_iterations {
-                return Err(SolveError::NoConvergence { iterations, residual: res_norm });
+                return Err(SolveError::NoConvergence {
+                    iterations,
+                    residual: res_norm,
+                    worst_node: worst_node_of(&residual, unknowns),
+                });
             }
             iterations += 1;
+            work.iterations += 1;
             // assemble Laplacian-style Jacobian of the KCL residuals
             let mut jac = Matrix::zeros(k, k);
             for i in 0..k {
@@ -280,6 +364,7 @@ impl<E: TwoTerminal> Circuit<E> {
             self.fill_jacobian(voltages, unknown_of, &mut jac, temp);
             // newton step: J·Δ = −F
             let mut delta: Vec<f64> = residual.iter().map(|r| -r).collect();
+            work.factorizations += 1;
             lu_solve(&mut jac, &mut delta).map_err(|_| SolveError::SingularJacobian)?;
             // damped line search on the residual norm
             let mut alpha = 1.0f64;
@@ -299,8 +384,10 @@ impl<E: TwoTerminal> Circuit<E> {
                     break;
                 }
                 alpha *= 0.5;
+                work.backtracks += 1;
             }
             if !accepted {
+                work.fallbacks += 1;
                 // Newton direction failed (piecewise-linear kinks can make
                 // it non-descending in the residual norm); fall back to
                 // nonlinear Gauss–Seidel. GS is coordinate descent on the
@@ -322,7 +409,11 @@ impl<E: TwoTerminal> Circuit<E> {
             } else {
                 stalled += 1;
                 if stalled > 25 {
-                    return Err(SolveError::NoConvergence { iterations, residual: res_norm });
+                    return Err(SolveError::NoConvergence {
+                        iterations,
+                        residual: res_norm,
+                        worst_node: worst_node_of(&residual, unknowns),
+                    });
                 }
             }
         }
@@ -566,9 +657,51 @@ mod tests {
     #[test]
     fn add_element_validates_nodes() {
         let mut c: Circuit<DirectedResistor> = Circuit::new(2);
-        assert!(c
-            .add_element(0, 5, DirectedResistor(Resistor::new(Ohms(1.0))))
-            .is_err());
+        assert!(c.add_element(0, 5, DirectedResistor(Resistor::new(Ohms(1.0)))).is_err());
+    }
+
+    #[test]
+    fn traced_solve_emits_work_counters() {
+        let recorder = ppuf_telemetry::MemoryRecorder::new();
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.add_element(1, 2, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        let sol = c.solve_dc_traced(0, 2, Volts(2.0), &DcOptions::default(), &recorder).unwrap();
+        assert!(recorder.counter("analog.dc.newton_iterations") >= sol.iterations as u64);
+        assert!(recorder.counter("analog.dc.jacobian_factorizations") >= 1);
+        assert_eq!(
+            recorder.counter("analog.dc.continuation_steps"),
+            DcOptions::default().continuation_steps as u64
+        );
+        let residuals = recorder.histogram("analog.dc.residual_norm").unwrap();
+        assert_eq!(residuals.count, 1);
+        assert!(residuals.max <= DcOptions::default().residual_tolerance.value());
+        let span = recorder.span_stats("analog.dc.solve").unwrap();
+        assert_eq!(span.count, 1);
+        assert!(recorder.warnings().is_empty());
+    }
+
+    #[test]
+    fn nonconvergence_reports_worst_node_and_warns() {
+        let recorder = ppuf_telemetry::MemoryRecorder::new();
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.add_element(1, 2, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        // a zero-iteration budget cannot converge from the cold start
+        let options = DcOptions { max_iterations: 0, ..DcOptions::default() };
+        let err = c.solve_dc_traced(0, 2, Volts(2.0), &options, &recorder).unwrap_err();
+        match err {
+            SolveError::NoConvergence { iterations, residual, worst_node } => {
+                assert_eq!(iterations, 0);
+                assert!(residual > 0.0);
+                assert_eq!(worst_node, 1, "only internal node must be the worst");
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+        assert_eq!(recorder.counter("analog.dc.nonconvergence"), 1);
+        let warnings = recorder.warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("worst at node 1"), "{warnings:?}");
     }
 
     #[test]

@@ -9,4 +9,6 @@ pub mod transient;
 pub use dc::{Circuit, CircuitEdge, DcOptions, DcSolution, SolveError, G_MIN};
 pub use linear::{lu_solve, Matrix, SingularMatrixError};
 pub use tabulated::{TabulatedElement, DEFAULT_SAMPLES};
-pub use transient::{simulate_step_response, TransientOptions, TransientResult};
+pub use transient::{
+    simulate_step_response, simulate_step_response_traced, TransientOptions, TransientResult,
+};

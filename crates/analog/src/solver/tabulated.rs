@@ -40,12 +40,7 @@ impl TabulatedElement {
     /// # Panics
     ///
     /// Panics if `samples < 2` or `v_max` is not positive.
-    pub fn from_block(
-        block: &BuildingBlock,
-        v_max: Volts,
-        samples: usize,
-        temp: Celsius,
-    ) -> Self {
+    pub fn from_block(block: &BuildingBlock, v_max: Volts, samples: usize, temp: Celsius) -> Self {
         assert!(samples >= 2, "need at least two samples");
         assert!(v_max.value() > 0.0, "v_max must be positive");
         // current reached at v_max bounds the grid

@@ -15,10 +15,16 @@
 //! and each step solves the implicit system with the same damped Newton
 //! machinery as the DC solver.
 
+use ppuf_telemetry::{Recorder, Span, NOOP};
+
 use crate::block::TwoTerminal;
-use crate::solver::dc::{Circuit, DcOptions, SolveError, G_MIN};
+use crate::solver::dc::{worst_node_of, Circuit, DcOptions, NewtonWork, SolveError, G_MIN};
 use crate::solver::linear::{lu_solve, Matrix};
 use crate::units::{Amps, Celsius, Farads, Seconds, Volts};
+
+/// How many times a failed implicit step is retried with a halved step
+/// before the failure is surfaced as [`SolveError::NoConvergence`].
+pub const MAX_STEP_HALVINGS: u32 = 2;
 
 /// Result of a transient settling run.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,17 +99,45 @@ pub fn simulate_step_response<E: TwoTerminal>(
     node_capacitance: &[Farads],
     options: &TransientOptions,
 ) -> Result<TransientResult, SolveError> {
+    simulate_step_response_traced(circuit, source, sink, vs, node_capacitance, options, &NOOP)
+}
+
+/// [`simulate_step_response`] with telemetry: counts accepted and rejected
+/// integration steps (`analog.transient.steps_accepted` /
+/// `analog.transient.steps_rejected` — a step is *rejected* when its
+/// implicit Newton solve stalls and the step is retried at half size),
+/// accumulates the inner Newton work under `analog.transient.*`, observes
+/// the settle times, times the run as the `analog.transient.simulate`
+/// span, and warns when the run fails. The up-front DC solve reports
+/// through the same recorder under `analog.dc.*`.
+///
+/// # Errors
+///
+/// Same as [`simulate_step_response`]; additionally, a step that still
+/// fails after [`MAX_STEP_HALVINGS`] retries surfaces the final
+/// [`SolveError::NoConvergence`].
+pub fn simulate_step_response_traced<E: TwoTerminal>(
+    circuit: &Circuit<E>,
+    source: u32,
+    sink: u32,
+    vs: Volts,
+    node_capacitance: &[Farads],
+    options: &TransientOptions,
+    recorder: &dyn Recorder,
+) -> Result<TransientResult, SolveError> {
+    let _span = Span::enter(recorder, "analog.transient.simulate");
     let n = circuit.node_count();
     if node_capacitance.len() != n {
         return Err(SolveError::InvalidNode { node: n as u32, node_count: n });
     }
     let temp = options.temperature;
     // final operating point for settle detection
-    let dc = circuit.solve_dc(
+    let dc = circuit.solve_dc_traced(
         source,
         sink,
         vs,
         &DcOptions { temperature: temp, ..DcOptions::default() },
+        recorder,
     )?;
     let i_final = dc.source_current.value();
     let band = options.settle_tolerance * i_final.abs().max(1e-18);
@@ -126,9 +160,12 @@ pub fn simulate_step_response<E: TwoTerminal>(
     let mut settled_at: Option<f64> = None;
     let mut voltage_settled_at: Option<f64> = None;
     let mut time = 0.0;
+    let mut work = NewtonWork::default();
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
     for _ in 0..steps {
         time += h;
-        backward_euler_step(
+        let step_result = advance_step(
             circuit,
             &mut voltages,
             &unknowns,
@@ -136,7 +173,17 @@ pub fn simulate_step_response<E: TwoTerminal>(
             node_capacitance,
             h,
             temp,
-        )?;
+            &mut work,
+            &mut accepted,
+            &mut rejected,
+        );
+        if let Err(err) = step_result {
+            work.record(recorder, "analog.transient");
+            recorder.counter_add("analog.transient.steps_accepted", accepted);
+            recorder.counter_add("analog.transient.steps_rejected", rejected);
+            recorder.warn(&format!("transient step at t = {time:.3e} s failed: {err}"));
+            return Err(err);
+        }
         let i_now = source_current(circuit, &voltages, source, temp);
         trajectory.push((Seconds(time), i_now));
         if (i_now.value() - i_final).abs() <= band {
@@ -164,15 +211,72 @@ pub fn simulate_step_response<E: TwoTerminal>(
             }
         }
     }
-    Ok(TransientResult {
+    work.record(recorder, "analog.transient");
+    recorder.counter_add("analog.transient.steps_accepted", accepted);
+    recorder.counter_add("analog.transient.steps_rejected", rejected);
+    let result = TransientResult {
         settling_time: Seconds(settled_at.unwrap_or(time)),
         voltage_settling_time: Seconds(voltage_settled_at.unwrap_or(time)),
         trajectory,
         voltages,
-    })
+    };
+    recorder.observe("analog.transient.settle_time_s", result.settling_time.value());
+    recorder
+        .observe("analog.transient.voltage_settle_time_s", result.voltage_settling_time.value());
+    Ok(result)
+}
+
+/// Advances the state by one nominal step `h`, retrying a non-converging
+/// implicit solve with halved substeps (up to [`MAX_STEP_HALVINGS`] times).
+/// Rejected attempts restore the pre-attempt state before retrying, so a
+/// failed Newton iterate never leaks into the trajectory.
+#[allow(clippy::too_many_arguments)]
+fn advance_step<E: TwoTerminal>(
+    circuit: &Circuit<E>,
+    voltages: &mut [Volts],
+    unknowns: &[usize],
+    unknown_of: &[usize],
+    node_capacitance: &[Farads],
+    h: f64,
+    temp: Celsius,
+    work: &mut NewtonWork,
+    accepted: &mut u64,
+    rejected: &mut u64,
+) -> Result<(), SolveError> {
+    let mut pending = vec![h];
+    let mut halvings = 0u32;
+    while let Some(dt) = pending.pop() {
+        let before: Vec<Volts> = voltages.to_vec();
+        match backward_euler_step(
+            circuit,
+            voltages,
+            unknowns,
+            unknown_of,
+            node_capacitance,
+            dt,
+            temp,
+            work,
+        ) {
+            Ok(()) => *accepted += 1,
+            Err(err @ SolveError::NoConvergence { .. }) => {
+                *rejected += 1;
+                if halvings >= MAX_STEP_HALVINGS {
+                    return Err(err);
+                }
+                halvings += 1;
+                voltages.copy_from_slice(&before);
+                // redo the same interval as two half-size substeps
+                pending.push(dt * 0.5);
+                pending.push(dt * 0.5);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(())
 }
 
 /// One implicit step: solve `C/h (V⁺ − V) − F(V⁺) = 0` by damped Newton.
+#[allow(clippy::too_many_arguments)]
 fn backward_euler_step<E: TwoTerminal>(
     circuit: &Circuit<E>,
     voltages: &mut [Volts],
@@ -181,6 +285,7 @@ fn backward_euler_step<E: TwoTerminal>(
     node_capacitance: &[Farads],
     h: f64,
     temp: Celsius,
+    work: &mut NewtonWork,
 ) -> Result<(), SolveError> {
     let k = unknowns.len();
     if k == 0 {
@@ -207,12 +312,14 @@ fn backward_euler_step<E: TwoTerminal>(
         if norm <= tol {
             return Ok(());
         }
+        work.iterations += 1;
         let mut jac = Matrix::zeros(k, k);
         for (idx, &v) in unknowns.iter().enumerate() {
             jac[(idx, idx)] = -node_capacitance[v].value() / h - G_MIN;
         }
         circuit.fill_jacobian(voltages, unknown_of, &mut jac, temp);
         let mut delta: Vec<f64> = res.iter().map(|r| -r).collect();
+        work.factorizations += 1;
         lu_solve(&mut jac, &mut delta).map_err(|_| SolveError::SingularJacobian)?;
         let base: Vec<f64> = unknowns.iter().map(|&v| voltages[v].value()).collect();
         let mut alpha = 1.0;
@@ -229,15 +336,25 @@ fn backward_euler_step<E: TwoTerminal>(
                 break;
             }
             alpha *= 0.5;
+            work.backtracks += 1;
         }
         if !improved {
-            return Err(SolveError::NoConvergence { iterations: 0, residual: norm });
+            work.fallbacks += 1;
+            return Err(SolveError::NoConvergence {
+                iterations: 0,
+                residual: norm,
+                worst_node: worst_node_of(&res, unknowns),
+            });
         }
     }
     if norm <= tol * 10.0 {
         Ok(())
     } else {
-        Err(SolveError::NoConvergence { iterations: 100, residual: norm })
+        Err(SolveError::NoConvergence {
+            iterations: 100,
+            residual: norm,
+            worst_node: worst_node_of(&res, unknowns),
+        })
     }
 }
 
@@ -307,15 +424,9 @@ mod tests {
     #[test]
     fn rc_settles_to_dc_solution() {
         let (c, caps) = rc_chain();
-        let result = simulate_step_response(
-            &c,
-            0,
-            2,
-            Volts(2.0),
-            &caps,
-            &TransientOptions::default(),
-        )
-        .unwrap();
+        let result =
+            simulate_step_response(&c, 0, 2, Volts(2.0), &caps, &TransientOptions::default())
+                .unwrap();
         // final node voltage = 1 V (divider), source current 1 µA
         assert!((result.voltages[1].value() - 1.0).abs() < 5e-3, "{:?}", result.voltages);
         let (_, i_last) = result.trajectory.last().copied().unwrap();
@@ -342,11 +453,8 @@ mod tests {
         // parallel R of the divider is 0.5 MΩ → τ = 0.5 µs; 0.1 % settle
         // takes ~7 τ ≈ 3.5 µs
         let (c, caps) = rc_chain();
-        let opts = TransientOptions {
-            step: Seconds(1e-8),
-            max_time: Seconds(2e-5),
-            ..Default::default()
-        };
+        let opts =
+            TransientOptions { step: Seconds(1e-8), max_time: Seconds(2e-5), ..Default::default() };
         let result = simulate_step_response(&c, 0, 2, Volts(2.0), &caps, &opts).unwrap();
         let t = result.settling_time.value();
         assert!((1e-6..8e-6).contains(&t), "settling {t}");
@@ -368,17 +476,37 @@ mod tests {
     }
 
     #[test]
-    fn trajectory_monotone_for_simple_rc() {
+    fn traced_run_counts_steps_and_settle_time() {
+        let recorder = ppuf_telemetry::MemoryRecorder::new();
         let (c, caps) = rc_chain();
-        let result = simulate_step_response(
+        let result = simulate_step_response_traced(
             &c,
             0,
             2,
             Volts(2.0),
             &caps,
             &TransientOptions::default(),
+            &recorder,
         )
         .unwrap();
+        let accepted = recorder.counter("analog.transient.steps_accepted");
+        assert!(accepted as usize >= result.trajectory.len() - 1);
+        assert_eq!(recorder.counter("analog.transient.steps_rejected"), 0);
+        assert!(recorder.counter("analog.transient.newton_iterations") >= accepted);
+        let settle = recorder.histogram("analog.transient.settle_time_s").unwrap();
+        assert_eq!(settle.count, 1);
+        assert!((settle.max - result.settling_time.value()).abs() < 1e-15);
+        assert_eq!(recorder.span_stats("analog.transient.simulate").unwrap().count, 1);
+        // the up-front DC solve reports through the same recorder
+        assert!(recorder.counter("analog.dc.newton_iterations") >= 1);
+    }
+
+    #[test]
+    fn trajectory_monotone_for_simple_rc() {
+        let (c, caps) = rc_chain();
+        let result =
+            simulate_step_response(&c, 0, 2, Volts(2.0), &caps, &TransientOptions::default())
+                .unwrap();
         // source current decays monotonically from the inrush peak
         let currents: Vec<f64> = result.trajectory.iter().map(|(_, i)| i.value()).collect();
         for w in currents.windows(2).skip(1) {

@@ -46,11 +46,7 @@ pub struct ProcessVariation {
 impl Default for ProcessVariation {
     /// The paper's setting: `σ(V_th)` = 35 mV, no systematic gradient.
     fn default() -> Self {
-        ProcessVariation {
-            sigma_vth: Volts(0.035),
-            gradient_x: Volts(0.0),
-            gradient_y: Volts(0.0),
-        }
+        ProcessVariation { sigma_vth: Volts(0.035), gradient_x: Volts(0.0), gradient_y: Volts(0.0) }
     }
 }
 

@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 
 use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock, TwoTerminal};
-use ppuf_analog::solver::{simulate_step_response, Circuit, DcOptions, TabulatedElement, TransientOptions};
+use ppuf_analog::solver::{
+    simulate_step_response, Circuit, DcOptions, TabulatedElement, TransientOptions,
+};
 use ppuf_analog::units::{Amps, Celsius, Farads, Seconds, Volts};
 
 fn any_design() -> impl Strategy<Value = BlockDesign> {
@@ -26,11 +28,8 @@ fn any_variation() -> impl Strategy<Value = BlockVariation> {
 fn any_block() -> impl Strategy<Value = BuildingBlock> {
     (any_design(), any_variation(), 0.45f64..0.7, -20.0f64..80.0).prop_map(
         |(design, variation, vgs0, _)| {
-            BuildingBlock::new(
-                design,
-                BlockBias { vgs0: Volts(vgs0), ..BlockBias::INPUT_ONE },
-            )
-            .with_variation(variation)
+            BuildingBlock::new(design, BlockBias { vgs0: Volts(vgs0), ..BlockBias::INPUT_ONE })
+                .with_variation(variation)
         },
     )
 }
@@ -142,9 +141,7 @@ fn transient_settles_to_dc_for_block_chain() {
     let block = BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE);
     circuit.add_element(0, 1, block).expect("valid");
     circuit.add_element(1, 2, block).expect("valid");
-    let dc = circuit
-        .solve_dc(0, 2, Volts(2.0), &DcOptions::default())
-        .expect("converges");
+    let dc = circuit.solve_dc(0, 2, Volts(2.0), &DcOptions::default()).expect("converges");
     let caps = vec![Farads(0.0), Farads(5e-15), Farads(0.0)];
     let transient = simulate_step_response(
         &circuit,

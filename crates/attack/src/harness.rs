@@ -5,12 +5,15 @@
 //! (`K = 1, 3, …, 21`), and reports the **minimum** prediction error on a
 //! held-out test set — the paper's (attacker-favouring) convention.
 
+use std::time::Instant;
+
 use rand::Rng;
 
 use ppuf_analog::variation::Environment;
 use ppuf_core::challenge::Challenge;
 use ppuf_core::device::Ppuf;
 use ppuf_core::PpufError;
+use ppuf_telemetry::{Recorder, Span, NOOP};
 
 use crate::arbiter::ArbiterPuf;
 use crate::dataset::Dataset;
@@ -159,6 +162,25 @@ pub fn collect_crps<O: ResponseOracle, R: Rng + ?Sized>(
     count: usize,
     rng: &mut R,
 ) -> Result<Dataset, PpufError> {
+    collect_crps_traced(oracle, count, rng, &NOOP)
+}
+
+/// [`collect_crps`] with telemetry: counts collected CRPs and failed
+/// queries (`attack.crps_collected` / `attack.crp_failures`), observes the
+/// attacker's query throughput under `attack.crp_throughput_per_s`, and
+/// times the collection as the `attack.collect_crps` span.
+///
+/// # Errors
+///
+/// Same as [`collect_crps`].
+pub fn collect_crps_traced<O: ResponseOracle, R: Rng + ?Sized>(
+    oracle: &O,
+    count: usize,
+    rng: &mut R,
+    recorder: &dyn Recorder,
+) -> Result<Dataset, PpufError> {
+    let _span = Span::enter(recorder, "attack.collect_crps");
+    let started = Instant::now();
     let bits = oracle.challenge_bits();
     let mut data = Dataset::new();
     let mut failures = 0usize;
@@ -169,10 +191,19 @@ pub fn collect_crps<O: ResponseOracle, R: Rng + ?Sized>(
             Err(e) => {
                 failures += 1;
                 if failures > count.max(8) {
+                    recorder.counter_add("attack.crp_failures", failures as u64);
+                    recorder
+                        .warn(&format!("crp collection aborted after {failures} failures: {e}"));
                     return Err(e);
                 }
             }
         }
+    }
+    recorder.counter_add("attack.crps_collected", data.len() as u64);
+    recorder.counter_add("attack.crp_failures", failures as u64);
+    let elapsed = started.elapsed().as_secs_f64();
+    if elapsed > 0.0 && count > 0 {
+        recorder.observe("attack.crp_throughput_per_s", count as f64 / elapsed);
     }
     Ok(data)
 }
@@ -188,11 +219,31 @@ pub fn evaluate_attack<O: ResponseOracle, R: Rng + ?Sized>(
     config: &AttackConfig,
     rng: &mut R,
 ) -> Result<Vec<AttackResult>, PpufError> {
+    evaluate_attack_traced(oracle, training_sizes, config, rng, &NOOP)
+}
+
+/// [`evaluate_attack`] with telemetry: CRP collection reports through
+/// [`collect_crps_traced`], each model family's training is timed as an
+/// `attack.train.*` span, the logistic attacker's loss trajectory is
+/// recorded via [`LogisticModel::train_traced`], and every per-size best
+/// error lands in the `attack.best_error` histogram.
+///
+/// # Errors
+///
+/// Same as [`evaluate_attack`].
+pub fn evaluate_attack_traced<O: ResponseOracle, R: Rng + ?Sized>(
+    oracle: &O,
+    training_sizes: &[usize],
+    config: &AttackConfig,
+    rng: &mut R,
+    recorder: &dyn Recorder,
+) -> Result<Vec<AttackResult>, PpufError> {
     let max_train = training_sizes.iter().copied().max().unwrap_or(0);
-    let pool = collect_crps(oracle, max_train, rng)?;
-    let test = collect_crps(oracle, config.test_size, rng)?;
+    let pool = collect_crps_traced(oracle, max_train, rng, recorder)?;
+    let test = collect_crps_traced(oracle, config.test_size, rng, recorder)?;
     let mut results = Vec::with_capacity(training_sizes.len());
     for &size in training_sizes {
+        recorder.counter_add("attack.training_runs", 1);
         let train = pool.subsampled(size, rng);
         let svm_train = train.subsampled(config.svm_training_cap, rng);
         let svm_error_for = |kernel: Kernel| {
@@ -202,27 +253,40 @@ pub fn evaluate_attack<O: ResponseOracle, R: Rng + ?Sized>(
             )
             .error_rate(&test)
         };
-        let svm_rbf_error = svm_error_for(Kernel::rbf_for_dimension(oracle.challenge_bits()));
+        let svm_rbf_error = {
+            let _span = Span::enter(recorder, "attack.train.svm_rbf");
+            svm_error_for(Kernel::rbf_for_dimension(oracle.challenge_bits()))
+        };
         // the linear side uses Pegasos on the *full* training set (no cap
         // needed: it is O(epochs · n · d)), which actually converges on
         // the arbiter PUF's linearly separable representation
-        let svm_linear_error =
-            LinearSvm::train(&train, &LinearSvmParams::default()).error_rate(&test);
-        let logistic_error =
-            LogisticModel::train(&train, &LogisticParams::default()).error_rate(&test);
-        let knn_error = config
-            .knn_ks
-            .iter()
-            .map(|&k| KnnModel::new(train.clone(), k).error_rate(&test))
-            .fold(f64::INFINITY, f64::min);
-        results.push(AttackResult {
+        let svm_linear_error = {
+            let _span = Span::enter(recorder, "attack.train.svm_linear");
+            LinearSvm::train(&train, &LinearSvmParams::default()).error_rate(&test)
+        };
+        let logistic_error = {
+            let _span = Span::enter(recorder, "attack.train.logistic");
+            LogisticModel::train_traced(&train, &LogisticParams::default(), recorder)
+                .error_rate(&test)
+        };
+        let knn_error = {
+            let _span = Span::enter(recorder, "attack.train.knn");
+            config
+                .knn_ks
+                .iter()
+                .map(|&k| KnnModel::new(train.clone(), k).error_rate(&test))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let result = AttackResult {
             observed_crps: size,
             svm_rbf_error,
             svm_linear_error,
             logistic_error,
             svm_error: svm_rbf_error.min(svm_linear_error),
             knn_error,
-        });
+        };
+        recorder.observe("attack.best_error", result.min_error());
+        results.push(result);
     }
     Ok(results)
 }
@@ -240,10 +304,7 @@ mod tests {
         let config = AttackConfig { test_size: 200, ..AttackConfig::default() };
         let results = evaluate_attack(&oracle, &[200, 1000], &config, &mut rng).unwrap();
         // error drops with more CRPs and ends well below guessing
-        assert!(
-            results[1].min_error() < 0.1,
-            "arbiter should be broken: {results:?}"
-        );
+        assert!(results[1].min_error() < 0.1, "arbiter should be broken: {results:?}");
         assert!(results[1].svm_error <= results[0].svm_error + 0.05);
     }
 
@@ -277,13 +338,39 @@ mod tests {
         fn challenge_bits(&self) -> usize {
             16
         }
-        fn respond<R: Rng + ?Sized>(
-            &self,
-            _bits: &[bool],
-            rng: &mut R,
-        ) -> Result<bool, PpufError> {
+        fn respond<R: Rng + ?Sized>(&self, _bits: &[bool], rng: &mut R) -> Result<bool, PpufError> {
             Ok(rng.gen())
         }
+    }
+
+    #[test]
+    fn traced_attack_records_throughput_epochs_and_loss() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let oracle = ArbiterOracle::new(ArbiterPuf::sample(16, &mut rng));
+        let recorder = ppuf_telemetry::MemoryRecorder::new();
+        let config = AttackConfig { test_size: 100, ..AttackConfig::default() };
+        let results =
+            evaluate_attack_traced(&oracle, &[150], &config, &mut rng, &recorder).unwrap();
+        assert_eq!(results.len(), 1);
+        // pool + test set
+        assert_eq!(recorder.counter("attack.crps_collected"), 150 + 100);
+        assert_eq!(recorder.span_stats("attack.collect_crps").unwrap().count, 2);
+        assert!(recorder.histogram("attack.crp_throughput_per_s").unwrap().min > 0.0);
+        assert_eq!(recorder.counter("attack.training_runs"), 1);
+        assert_eq!(
+            recorder.counter("attack.logistic.epochs"),
+            LogisticParams::default().iterations as u64
+        );
+        let loss = recorder.histogram("attack.logistic.loss").unwrap();
+        assert_eq!(loss.count as usize, LogisticParams::default().iterations);
+        assert!(loss.min <= loss.max && loss.min > 0.0);
+        for family in ["svm_rbf", "svm_linear", "logistic", "knn"] {
+            let span = recorder.span_stats(&format!("attack.train.{family}")).unwrap();
+            assert_eq!(span.count, 1, "{family}");
+        }
+        let best = recorder.histogram("attack.best_error").unwrap();
+        assert_eq!(best.count, 1);
+        assert!((best.max - results[0].min_error()).abs() < 1e-15);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! suite, which only makes the PPUF's measured resilience more
 //! conservative.
 
+use ppuf_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
@@ -56,6 +57,33 @@ impl LogisticModel {
     ///
     /// Panics on an empty dataset.
     pub fn train(data: &Dataset, params: &LogisticParams) -> LogisticModel {
+        Self::train_with(data, params, None)
+    }
+
+    /// [`train`](Self::train) with telemetry: counts the epochs under
+    /// `attack.logistic.epochs` and observes the mean logistic loss after
+    /// every full-batch pass under `attack.logistic.loss`, so the recorded
+    /// histogram summarizes the whole loss trajectory (first/last epoch =
+    /// max/min for a converging run).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn train_traced(
+        data: &Dataset,
+        params: &LogisticParams,
+        recorder: &dyn Recorder,
+    ) -> LogisticModel {
+        Self::train_with(data, params, Some(recorder))
+    }
+
+    /// Shared training loop; the loss trajectory is only computed when a
+    /// recorder asks for it, so the untraced path pays nothing.
+    fn train_with(
+        data: &Dataset,
+        params: &LogisticParams,
+        recorder: Option<&dyn Recorder>,
+    ) -> LogisticModel {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let n = data.len();
         let d = data.dimension();
@@ -65,19 +93,27 @@ impl LogisticModel {
         let mut grad = vec![0.0f64; d + 1];
         for _ in 0..params.iterations {
             grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut loss = 0.0f64;
             for i in 0..n {
                 let (x, y) = data.sample(i);
                 let y01 = if y > 0.0 { 1.0 } else { 0.0 };
-                let z: f64 =
-                    w[..d].iter().zip(x).map(|(wj, xj)| wj * xj).sum::<f64>() + w[d];
+                let z: f64 = w[..d].iter().zip(x).map(|(wj, xj)| wj * xj).sum::<f64>() + w[d];
                 let p = sigmoid(z);
                 let err = p - y01;
                 for (gj, xj) in grad[..d].iter_mut().zip(x) {
                     *gj += err * xj;
                 }
                 grad[d] += err;
+                if recorder.is_some() {
+                    // cross-entropy, clamped away from ln(0)
+                    let p = p.clamp(1e-12, 1.0 - 1e-12);
+                    loss -= y01 * p.ln() + (1.0 - y01) * (1.0 - p).ln();
+                }
             }
             let inv_n = 1.0 / n as f64;
+            if let Some(r) = recorder {
+                r.observe("attack.logistic.loss", loss * inv_n);
+            }
             for j in 0..=d {
                 grad[j] = grad[j] * inv_n + if j < d { params.l2 * w[j] } else { 0.0 };
                 // RProp update
@@ -95,6 +131,9 @@ impl LogisticModel {
                 prev_grad[j] = grad[j];
             }
         }
+        if let Some(r) = recorder {
+            r.counter_add("attack.logistic.epochs", params.iterations as u64);
+        }
         let bias = w[d];
         w.truncate(d);
         LogisticModel { weights: w, bias }
@@ -102,8 +141,7 @@ impl LogisticModel {
 
     /// The predicted probability of label 1.
     pub fn probability(&self, x: &[f64]) -> f64 {
-        let z: f64 =
-            self.weights.iter().zip(x).map(|(wj, xj)| wj * xj).sum::<f64>() + self.bias;
+        let z: f64 = self.weights.iter().zip(x).map(|(wj, xj)| wj * xj).sum::<f64>() + self.bias;
         sigmoid(z)
     }
 

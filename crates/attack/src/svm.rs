@@ -140,15 +140,9 @@ impl SvmModel {
                 let e_j = f(&alpha, b, &k, j) - y[j];
                 let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
                 let (lo, hi) = if (y[i] - y[j]).abs() > f64::EPSILON {
-                    (
-                        (a_j_old - a_i_old).max(0.0),
-                        (params.c + a_j_old - a_i_old).min(params.c),
-                    )
+                    ((a_j_old - a_i_old).max(0.0), (params.c + a_j_old - a_i_old).min(params.c))
                 } else {
-                    (
-                        (a_i_old + a_j_old - params.c).max(0.0),
-                        (a_i_old + a_j_old).min(params.c),
-                    )
+                    ((a_i_old + a_j_old - params.c).max(0.0), (a_i_old + a_j_old).min(params.c))
                 };
                 if hi - lo < 1e-12 {
                     continue;
@@ -165,10 +159,12 @@ impl SvmModel {
                 let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
                 alpha[i] = a_i;
                 alpha[j] = a_j;
-                let b1 = b - e_i
+                let b1 = b
+                    - e_i
                     - y[i] * (a_i - a_i_old) * k[i * n + i]
                     - y[j] * (a_j - a_j_old) * k[i * n + j];
-                let b2 = b - e_j
+                let b2 = b
+                    - e_j
                     - y[i] * (a_i - a_i_old) * k[i * n + j]
                     - y[j] * (a_j - a_j_old) * k[j * n + j];
                 b = if alpha[i] > 0.0 && alpha[i] < params.c {
@@ -256,10 +252,8 @@ mod tests {
     fn learns_linear_separation() {
         let train = linearly_separable(150, 1);
         let test = linearly_separable(150, 2);
-        let model = SvmModel::train(
-            &train,
-            &SvmParams { kernel: Kernel::Linear, ..SvmParams::default() },
-        );
+        let model =
+            SvmModel::train(&train, &SvmParams { kernel: Kernel::Linear, ..SvmParams::default() });
         assert!(model.error_rate(&test) < 0.1, "error {}", model.error_rate(&test));
     }
 

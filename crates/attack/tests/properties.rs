@@ -11,13 +11,8 @@ use ppuf_attack::{
     LogisticParams, SvmModel, SvmParams,
 };
 
-fn labeled_points(
-    max: usize,
-) -> impl Strategy<Value = Vec<(Vec<f64>, bool)>> {
-    proptest::collection::vec(
-        (proptest::collection::vec(-2.0f64..2.0, 4), any::<bool>()),
-        8..max,
-    )
+fn labeled_points(max: usize) -> impl Strategy<Value = Vec<(Vec<f64>, bool)>> {
+    proptest::collection::vec((proptest::collection::vec(-2.0f64..2.0, 4), any::<bool>()), 8..max)
 }
 
 proptest! {

@@ -20,20 +20,15 @@ fn bench_svm_training(c: &mut Criterion) {
     group.sample_size(10);
     for &samples in &[250usize, 500, 1000] {
         let data = arbiter_dataset(samples, 1);
-        for (name, kernel) in [
-            ("rbf", Kernel::Rbf { gamma: 1.0 / 65.0 }),
-            ("linear", Kernel::Linear),
-        ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, samples),
-                &samples,
-                |b, _| {
-                    b.iter(|| {
-                        SvmModel::train(&data, &SvmParams { kernel, ..SvmParams::default() })
-                            .support_vector_count()
-                    })
-                },
-            );
+        for (name, kernel) in
+            [("rbf", Kernel::Rbf { gamma: 1.0 / 65.0 }), ("linear", Kernel::Linear)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, samples), &samples, |b, _| {
+                b.iter(|| {
+                    SvmModel::train(&data, &SvmParams { kernel, ..SvmParams::default() })
+                        .support_vector_count()
+                })
+            });
         }
     }
     group.finish();

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use ppuf_analog::block::{BlockBias, BlockDesign, BuildingBlock, BlockVariation};
+use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock};
 use ppuf_analog::montecarlo::gaussian;
 use ppuf_analog::solver::{Circuit, DcOptions, TabulatedElement};
 use ppuf_analog::units::{Celsius, Volts};
@@ -69,17 +69,13 @@ fn bench_element_representation(c: &mut Criterion) {
             )
             .expect("valid");
         }
-        group.bench_with_input(
-            BenchmarkId::new("tabulated", samples),
-            &samples,
-            move |b, _| {
-                b.iter(|| {
-                    tab.solve_dc(0, n as u32 - 1, Volts(2.0), &DcOptions::default())
-                        .expect("converges")
-                        .source_current
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("tabulated", samples), &samples, move |b, _| {
+            b.iter(|| {
+                tab.solve_dc(0, n as u32 - 1, Volts(2.0), &DcOptions::default())
+                    .expect("converges")
+                    .source_current
+            })
+        });
     }
     group.finish();
 }

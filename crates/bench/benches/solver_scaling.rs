@@ -27,10 +27,7 @@ fn bench_solvers(c: &mut Criterion) {
             ("push_relabel", Box::new(PushRelabel::new())),
             ("highest_label", Box::new(HighestLabel::new())),
             ("edmonds_karp", Box::new(EdmondsKarp::new())),
-            (
-                "parallel_pr_4t",
-                Box::new(ParallelPushRelabel::with_threads(4).expect("threads")),
-            ),
+            ("parallel_pr_4t", Box::new(ParallelPushRelabel::with_threads(4).expect("threads"))),
             ("approx_1pct", Box::new(ApproxMaxFlow::new(0.01).expect("eps"))),
         ];
         for (name, solver) in solvers {

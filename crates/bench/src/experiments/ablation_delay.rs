@@ -46,10 +46,8 @@ fn run_corner(scale: Scale, sigma_vth: f64) {
         let mut times = Vec::new();
         for instance in 0..instances {
             let mut config = PpufConfig::paper(n, 2.min(n));
-            config.process = ProcessVariation {
-                sigma_vth: Volts(sigma_vth),
-                ..ProcessVariation::new()
-            };
+            config.process =
+                ProcessVariation { sigma_vth: Volts(sigma_vth), ..ProcessVariation::new() };
             let ppuf = Ppuf::generate(config, 0xDE1A + (n * 64 + instance) as u64)
                 .expect("valid configuration");
             let mut rng = stream(0xDE1B + instance as u64, n as u64);
@@ -111,11 +109,7 @@ fn run_corner(scale: Scale, sigma_vth: f64) {
         }
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = times[times.len() / 2];
-        row(&[
-            format!("{n:>6}"),
-            format!("{:>16}", sig(median)),
-            format!("{:>18}", sig(node_cap)),
-        ]);
+        row(&[format!("{n:>6}"), format!("{:>16}", sig(median)), format!("{:>18}", sig(node_cap))]);
         samples.push((n, Seconds(median)));
     }
     if samples.len() >= 2 {

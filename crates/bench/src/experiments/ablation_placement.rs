@@ -27,8 +27,7 @@ fn population_metrics(differential: bool, gradient: Volts, scale: Scale) -> (f64
     config.differential_placement = differential;
     let mut rng = stream(0xAB1A, differential as u64);
     let space = Ppuf::generate(config.clone(), 0).expect("valid").challenge_space();
-    let challenges: Vec<Challenge> =
-        (0..challenge_count).map(|_| space.random(&mut rng)).collect();
+    let challenges: Vec<Challenge> = (0..challenge_count).map(|_| space.random(&mut rng)).collect();
     let rows: Vec<ResponseVector> = (0..devices)
         .map(|i| {
             let ppuf = Ppuf::generate(config.clone(), 0xAB1B + i as u64).expect("valid");

@@ -15,21 +15,14 @@ use crate::Scale;
 pub fn run(scale: Scale) {
     section("CRP space: paper example (n = 200, l = 15, d = 2l)");
     let paper = CrpSpace::paper_example();
-    row(&[
-        "lower bound".into(),
-        format!("{}  (paper: >= 6.53e35)", paper.describe()),
-    ]);
+    row(&["lower bound".into(), format!("{}  (paper: >= 6.53e35)", paper.describe())]);
     row(&["log2(N_CRP)".into(), format!("{:.1} bits", paper.log2_total())]);
 
     section("CRP space vs grid size l (n = 200, d = 2l)");
     row(&[format!("{:>4}", "l"), format!("{:>10}", "bits"), format!("{:>16}", "bound")]);
     for l in [4usize, 8, 10, 15, 20] {
         let space = CrpSpace::new(200, l, 2 * l).expect("valid");
-        row(&[
-            format!("{l:>4}"),
-            format!("{:>10}", l * l),
-            format!("{:>16}", space.describe()),
-        ]);
+        row(&[format!("{l:>4}"), format!("{:>10}", l * l), format!("{:>16}", space.describe())]);
     }
 
     section("CRP space vs minimum distance d (n = 40, l = 8)");

@@ -19,10 +19,7 @@ pub fn run(scale: Scale) {
         scale.pick(vec![100, 300, 1000, 3000], vec![100, 300, 1000, 3000, 10000]);
     let ppuf_sizes: Vec<usize> = scale.pick(vec![16], vec![40, 100]);
     let grid = 8;
-    let config = AttackConfig {
-        test_size: scale.pick(300, 1000),
-        ..AttackConfig::default()
-    };
+    let config = AttackConfig { test_size: scale.pick(300, 1000), ..AttackConfig::default() };
     section("Fig 10: prediction error vs observed CRPs");
     row(&[
         format!("{:>22}", "oracle"),
@@ -38,8 +35,8 @@ pub fn run(scale: Scale) {
         let mut rng = stream(0x1001, nodes as u64);
         let template = ppuf.challenge_space().random(&mut rng);
         let oracle = PpufOracle::new(&ppuf, template);
-        let results = evaluate_attack(&oracle, &training_sizes, &config, &mut rng)
-            .expect("attack runs");
+        let results =
+            evaluate_attack(&oracle, &training_sizes, &config, &mut rng).expect("attack runs");
         for r in results {
             row(&[
                 format!("{:>22}", format!("{nodes}-node PPUF")),

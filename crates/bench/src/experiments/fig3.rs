@@ -25,16 +25,14 @@ pub fn run(scale: Scale) {
         format!("{:>12}", "2-level(A)"),
     ]);
     let designs = [BlockDesign::Plain, BlockDesign::SingleSd, BlockDesign::DoubleSd];
-    let blocks: Vec<BuildingBlock> = designs
-        .iter()
-        .map(|&d| BuildingBlock::new(d, BlockBias::INPUT_ONE))
-        .collect();
+    let blocks: Vec<BuildingBlock> =
+        designs.iter().map(|&d| BuildingBlock::new(d, BlockBias::INPUT_ONE)).collect();
     let mut vds = 0.2;
     while vds <= 2.01 {
         let cells: Vec<String> = std::iter::once(format!("{vds:>6.2}"))
-            .chain(blocks.iter().map(|b| {
-                format!("{:>12}", sig(b.current(Volts(vds), temp).value()))
-            }))
+            .chain(
+                blocks.iter().map(|b| format!("{:>12}", sig(b.current(Volts(vds), temp).value()))),
+            )
             .collect();
         row(&cells);
         vds += 0.2;
@@ -54,10 +52,7 @@ pub fn run(scale: Scale) {
             BlockDesign::DoubleSd,
             BlockBias { vgs0: Volts(vgs0), ..BlockBias::INPUT_ONE },
         );
-        row(&[
-            format!("{vgs0:>8.2}"),
-            format!("{:>12}", sig(b.saturation_current(temp).value())),
-        ]);
+        row(&[format!("{vgs0:>8.2}"), format!("{:>12}", sig(b.saturation_current(temp).value()))]);
         vgs0 += 0.03;
     }
     println!("\nserial-block bias points (paper: equal nominal currents):");
@@ -94,8 +89,5 @@ pub fn run(scale: Scale) {
     row(&["mean Isat".into(), sig(mean(&sat_currents))]);
     row(&["sigma(Isat) from PV".into(), sig(pv_sigma)]);
     row(&["delta(I) from SCE over 0.8 V".into(), sig(sce_change)]);
-    row(&[
-        "PV/SCE ratio".into(),
-        format!("{:.0}x  (paper: ~130x)", pv_sigma / sce_change),
-    ]);
+    row(&["PV/SCE ratio".into(), format!("{:.0}x  (paper: ~130x)", pv_sigma / sce_change)]);
 }

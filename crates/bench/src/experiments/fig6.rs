@@ -59,10 +59,7 @@ pub fn run(scale: Scale) {
         row(&[
             format!("{n:>6}"),
             format!("{:>14}", sig(mean(&inaccuracies))),
-            format!(
-                "{:>14}",
-                sig(inaccuracies.iter().copied().fold(0.0, f64::max))
-            ),
+            format!("{:>14}", sig(inaccuracies.iter().copied().fold(0.0, f64::max))),
         ]);
         last_currents = currents;
     }

@@ -18,19 +18,17 @@ use crate::Scale;
 
 /// Runs the Fig 7 experiment.
 pub fn run(scale: Scale) {
-    let sizes: Vec<usize> = scale.pick(
-        vec![20, 40, 60, 80, 100],
-        vec![20, 40, 60, 80, 100, 140, 180, 240, 300],
-    );
+    let sizes: Vec<usize> =
+        scale.pick(vec![20, 40, 60, 80, 100], vec![20, 40, 60, 80, 100, 140, 180, 240, 300]);
     let reps = scale.pick(3, 7);
     let mut rng = stream(0x0700, 0);
     section("Fig 7(a): execution delay vs simulation time");
     let dinic_times =
         measure_simulation_times(&Dinic::new(), &sizes, reps, &mut rng).expect("solvable");
-    let pr_times = measure_simulation_times(&PushRelabel::new(), &sizes, reps, &mut rng)
-        .expect("solvable");
-    let hl_times = measure_simulation_times(&HighestLabel::new(), &sizes, reps, &mut rng)
-        .expect("solvable");
+    let pr_times =
+        measure_simulation_times(&PushRelabel::new(), &sizes, reps, &mut rng).expect("solvable");
+    let hl_times =
+        measure_simulation_times(&HighestLabel::new(), &sizes, reps, &mut rng).expect("solvable");
     let delay = DelayModel::default();
     row(&[
         format!("{:>6}", "nodes"),
@@ -50,10 +48,8 @@ pub fn run(scale: Scale) {
     }
 
     // fits
-    let exe_fit = PowerLawFit::fit(
-        &sizes.iter().map(|&n| (n, delay.bound(n))).collect::<Vec<_>>(),
-    )
-    .expect("delay model fits");
+    let exe_fit = PowerLawFit::fit(&sizes.iter().map(|&n| (n, delay.bound(n))).collect::<Vec<_>>())
+        .expect("delay model fits");
     let dinic_fit = PowerLawFit::fit(&dinic_times).expect("timings fit");
     let pr_fit = PowerLawFit::fit(&pr_times).expect("timings fit");
     let hl_fit = PowerLawFit::fit(&hl_times).expect("timings fit");
@@ -77,10 +73,7 @@ pub fn run(scale: Scale) {
     let sim_fit = [dinic_fit, pr_fit, hl_fit]
         .into_iter()
         .min_by(|a, b| {
-            a.predict(200)
-                .value()
-                .partial_cmp(&b.predict(200).value())
-                .expect("finite predictions")
+            a.predict(200).value().partial_cmp(&b.predict(200).value()).expect("finite predictions")
         })
         .expect("non-empty");
     match EsgAnalysis::new(exe_fit, sim_fit) {
@@ -104,10 +97,7 @@ pub fn run(scale: Scale) {
                 "without feedback loop".into(),
                 format!("{plain} nodes  (paper: ~900 on a 2.93 GHz Xeon)"),
             ]);
-            row(&[
-                "with feedback loop (k = n)".into(),
-                format!("{feedback} nodes  (paper: ~190)"),
-            ]);
+            row(&["with feedback loop (k = n)".into(), format!("{feedback} nodes  (paper: ~190)")]);
         }
         Err(e) => println!("ESG analysis unavailable: {e}"),
     }

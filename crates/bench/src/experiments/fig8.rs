@@ -38,19 +38,13 @@ pub fn run(scale: Scale) {
             let ppuf = make_ppuf(n, grid, 0x0800 + instance as u64);
             let mut rng = stream(0x0801, instance as u64);
             let challenge = ppuf.challenge_space().random(&mut rng);
-            let outcome = ppuf
-                .executor(Environment::NOMINAL)
-                .execute_flow(&challenge)
-                .expect("solvable");
+            let outcome =
+                ppuf.executor(Environment::NOMINAL).execute_flow(&challenge).expect("solvable");
             avgs.push(0.5 * (outcome.current_a.value() + outcome.current_b.value()));
             diffs.push(outcome.difference().value());
         }
         let (a, d) = (mean(&avgs), mean(&diffs));
-        row(&[
-            format!("{n:>6}"),
-            format!("{:>14}", sig(a)),
-            format!("{:>14}", sig(d)),
-        ]);
+        row(&[format!("{n:>6}"), format!("{:>14}", sig(a)), format!("{:>14}", sig(d))]);
         avg_series.push((n, a));
         diff_series.push((n, d));
     }
@@ -68,14 +62,8 @@ pub fn run(scale: Scale) {
     let avg900 = avg_fit.predict(900).value();
     let diff900 = diff_fit.predict(900).value();
     println!("\nextrapolation to 900 nodes:");
-    row(&[
-        "average current".into(),
-        format!("{}  (paper: 33.6 uA)", sig(avg900)),
-    ]);
-    row(&[
-        "current difference".into(),
-        format!("{}  (paper: 2.89 uA)", sig(diff900)),
-    ]);
+    row(&["average current".into(), format!("{}  (paper: 33.6 uA)", sig(avg900))]);
+    row(&["current difference".into(), format!("{}  (paper: 2.89 uA)", sig(diff900))]);
 
     section("Power estimate at 900 nodes (paper Section 5)");
     let ppuf = make_ppuf(10, 2, 0x08FF);

@@ -28,9 +28,7 @@ pub fn run(scale: Scale) {
         format!("{:>10}", "P(flip)"),
         format!("{:>16}", "P(flip|terminal)"),
     ]);
-    let ppufs: Vec<_> = (0..devices)
-        .map(|i| make_ppuf(nodes, grid, 0x0900 + i as u64))
-        .collect();
+    let ppufs: Vec<_> = (0..devices).map(|i| make_ppuf(nodes, grid, 0x0900 + i as u64)).collect();
     let executors: Vec<_> = ppufs.iter().map(|p| p.executor(Environment::NOMINAL)).collect();
     for d in (1..=18).step_by(1) {
         if d > grid * grid {
@@ -73,11 +71,7 @@ pub fn run(scale: Scale) {
         } else {
             format!("{:>16}", "-")
         };
-        row(&[
-            format!("{d:>4}"),
-            format!("{:>10.4}", flips as f64 / total.max(1) as f64),
-            term,
-        ]);
+        row(&[format!("{d:>4}"), format!("{:>10.4}", flips as f64 / total.max(1) as f64), term]);
     }
     println!(
         "\npaper: flip probability approaches 0.5 around d = 16 (l = 8).\n\

@@ -15,6 +15,5 @@ use ppuf_core::{Ppuf, PpufConfig};
 
 /// Fabricates a paper-configuration device for experiments.
 pub fn make_ppuf(nodes: usize, grid: usize, seed: u64) -> Ppuf {
-    Ppuf::generate(PpufConfig::paper(nodes, grid), seed)
-        .expect("paper configuration is valid")
+    Ppuf::generate(PpufConfig::paper(nodes, grid), seed).expect("paper configuration is valid")
 }

@@ -41,14 +41,10 @@ pub fn run(scale: Scale) {
         let space = make_ppuf(nodes, grid, 0).challenge_space();
         let challenges: Vec<Challenge> =
             (0..challenge_count).map(|_| space.random(&mut rng)).collect();
-        let ppufs: Vec<Ppuf> = (0..devices)
-            .map(|i| make_ppuf(nodes, grid, 0x7AB2 + i as u64))
-            .collect();
+        let ppufs: Vec<Ppuf> =
+            (0..devices).map(|i| make_ppuf(nodes, grid, 0x7AB2 + i as u64)).collect();
         let nominal = ResponseMatrix::new(
-            ppufs
-                .iter()
-                .map(|p| response_row(p, Environment::NOMINAL, &challenges))
-                .collect(),
+            ppufs.iter().map(|p| response_row(p, Environment::NOMINAL, &challenges)).collect(),
         )
         .expect("well-formed matrix");
         // paper's intra-class conditions: ±10 % supply, −20…80 °C

@@ -1,4 +1,35 @@
-//! Minimal table/series printing for experiment output.
+//! Minimal table/series printing for experiment output, plus the
+//! machine-readable telemetry run-report writer backing
+//! `cargo run --bin telemetry_report`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ppuf_telemetry::Report;
+
+/// Default directory for machine-readable telemetry run reports.
+pub const TELEMETRY_DIR: &str = "results/telemetry";
+
+/// Writes a schema-versioned telemetry [`Report`] as
+/// `<dir>/<label>.json` (the label is sanitized to a safe file stem) and
+/// returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_telemetry_report(report: &Report, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let stem: String = report
+        .label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    let stem = if stem.is_empty() { "report".to_string() } else { stem };
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, report.to_json())?;
+    Ok(path)
+}
 
 /// Prints a section header.
 pub fn section(title: &str) {
@@ -58,5 +89,26 @@ mod tests {
         assert_eq!(sig(0.0), "0");
         assert_eq!(sig(1.5), "1.5000");
         assert!(sig(3.3e-8).contains('e'));
+    }
+
+    #[test]
+    fn telemetry_report_round_trips_through_disk() {
+        use ppuf_telemetry::{MemoryRecorder, Recorder, Report};
+
+        let recorder = MemoryRecorder::new();
+        recorder.counter_add("maxflow.dinic.bfs_passes", 7);
+        recorder.observe("analog.dc.residual_norm", 3.25e-15);
+        recorder.record_span("analog.dc.solve", std::time::Duration::from_micros(42));
+        recorder.warn("sample warning");
+        let report = recorder.snapshot("bench unit/test");
+
+        let dir =
+            std::env::temp_dir().join(format!("ppuf_bench_report_test_{}", std::process::id()));
+        let path = write_telemetry_report(&report, &dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "bench_unit_test.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let restored = Report::from_json(&text).unwrap();
+        assert_eq!(restored, report);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,205 @@
+//! Offline stand-in for [`criterion`]: executes every registered benchmark
+//! closure a small fixed number of times and prints the mean wall-clock
+//! time per iteration.
+//!
+//! No statistical analysis, outlier rejection, or HTML reports — the goal
+//! is that `cargo bench` compiles, runs every closure (so benchmarks keep
+//! compiling and don't rot), and emits one comparable line per benchmark.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Joint id from a function name and a parameter, printed `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Id carrying only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured code.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall-clock time per iteration, recorded by `iter`.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // one untimed call to warm caches and lazy statics
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// Top-level benchmark registry; handed to every target function.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: self.default_samples, _criterion: self }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let samples = self.default_samples;
+        run_one(None, &id.into(), samples, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into(), self.samples, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into(), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &BenchmarkId, samples: u64, mut f: F) {
+    let mut bencher = Bencher { samples, elapsed_per_iter: Duration::ZERO };
+    f(&mut bencher);
+    let full_name = match group {
+        Some(group) => format!("{group}/{}", id.label),
+        None => id.label.clone(),
+    };
+    println!(
+        "bench: {full_name:<50} {:>12.3?} per iter ({samples} samples)",
+        bencher.elapsed_per_iter,
+    );
+}
+
+/// Bundles benchmark target functions under one name for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counted", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        // 3 timed + 1 warmup call
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn standalone_bench_function() {
+        let mut c = Criterion::default();
+        let mut total = 0u64;
+        c.bench_function("sum", |b| b.iter(|| total += 1));
+        assert!(total > 0);
+    }
+
+    criterion_group!(demo_group, run_nothing);
+
+    fn run_nothing(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn macros_expand() {
+        demo_group();
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for [`crossbeam`]: the `scope` / `spawn` / `join`
+//! surface this workspace uses, backed by `std::thread::scope` (stable
+//! since Rust 1.63).
+//!
+//! Matching upstream, `scope` returns `Err` instead of unwinding when a
+//! spawned thread panics without being joined, and `spawn` closures take
+//! one (ignored) argument — upstream passes the scope itself; here it is
+//! `()` because every call site writes `|_|`.
+//!
+//! [`crossbeam`]: https://crates.io/crates/crossbeam
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scope handle passed to the `scope` closure; spawns threads that may
+/// borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread; `join` returns the thread's result.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument is always `()`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(())) }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a [`Scope`] whose threads all finish before this returns.
+///
+/// # Errors
+///
+/// Returns `Err` with the panic payload if `f` or an unjoined spawned
+/// thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawned_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum::<u64>()
+        })
+        .expect("crossbeam scope failed");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_panic_surfaces_through_join() {
+        let result = scope(|s| {
+            let handle = s.spawn(|_| panic!("boom"));
+            handle.join()
+        })
+        .expect("scope itself should not fail when the panic was joined");
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unjoined_panic_fails_the_scope() {
+        let result = scope(|s| {
+            let _ = s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Distributions: the [`Standard`] distribution and uniform range
+//! sampling used by `Rng::gen` / `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers and `bool`, uniform on `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        Distribution::<u128>::sample(&Standard, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // use the high bit: low bits of weak generators are weakest
+        rng.next_u32() >> 31 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits on [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling (`rng.gen_range(a..b)`).
+pub mod uniform {
+    use super::Standard;
+    use crate::{Distribution, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A type that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high)` (`high` inclusive when
+        /// `inclusive` is set).
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (high as i128 - low as i128 + if inclusive { 1 } else { 0 }) as u128;
+                    assert!(span > 0, "gen_range: empty range");
+                    // Lemire multiply-shift; bias ≤ span / 2^64, negligible
+                    // for the graph-sized ranges this workspace draws.
+                    let x = rng.next_u64() as u128;
+                    let offset = (x * span) >> 64;
+                    (low as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    assert!(low < high || (_inclusive && low == high),
+                        "gen_range: empty range");
+                    let unit: f64 = Standard.sample(rng);
+                    let v = low as f64 + (high as f64 - low as f64) * unit;
+                    v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_float!(f32, f64);
+
+    /// Range-like arguments accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(rng, *self.start(), *self.end(), true)
+        }
+    }
+
+    /// Eagerly-constructed uniform distribution (mirrors
+    /// `rand::distributions::Uniform`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform + Copy> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Uniform { low, high, inclusive: false }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            Uniform { low, high, inclusive: true }
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_between(rng, self.low, self.high, self.inclusive)
+        }
+    }
+}
+
+pub use uniform::Uniform;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rng, SeedableRng};
+
+    /// Tiny SplitMix64 generator for the tests of this crate itself.
+    struct SplitMix(u64);
+
+    impl SeedableRng for SplitMix {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Self {
+            SplitMix(u64::from_le_bytes(seed))
+        }
+    }
+
+    impl RngCore for SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SplitMix::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let f: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i: f64 = rng.gen_range(0.9..=1.1);
+            assert!((0.9..=1.1).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = SplitMix::seed_from_u64(11);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            low |= f < 0.1;
+            high |= f > 0.9;
+        }
+        assert!(low && high, "unit samples did not cover [0, 1)");
+    }
+
+    #[test]
+    fn bool_is_roughly_balanced() {
+        let mut rng = SplitMix::seed_from_u64(13);
+        let ones = (0..4000).filter(|_| rng.gen::<bool>()).count();
+        assert!((1700..2300).contains(&ones), "bias: {ones}/4000");
+    }
+}

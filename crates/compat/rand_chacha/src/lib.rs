@@ -1,0 +1,169 @@
+//! Offline stand-in for the [`rand_chacha`] crate: [`ChaCha8Rng`],
+//! [`ChaCha12Rng`], and [`ChaCha20Rng`] built on a genuine ChaCha block
+//! function (Bernstein 2008).
+//!
+//! Streams are deterministic per seed but **not** bit-compatible with the
+//! upstream crate (upstream seeds the block counter/nonce differently).
+//! All workspace users rely only on determinism and statistical quality.
+//!
+//! [`rand_chacha`]: https://crates.io/crates/rand_chacha
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Generic ChaCha keystream generator over the round count `R` (pairs of
+/// column/diagonal double-rounds: `R = 4` ⇒ ChaCha8).
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    /// Key words (seed).
+    key: [u32; 8],
+    /// 64-bit block counter + 64-bit nonce (zero).
+    counter: u64,
+    /// Current keystream block as 16 output words.
+    block: [u32; 16],
+    /// Next unread word in `block`.
+    cursor: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let mut work = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // column round
+            quarter_round(&mut work, 0, 4, 8, 12);
+            quarter_round(&mut work, 1, 5, 9, 13);
+            quarter_round(&mut work, 2, 6, 10, 14);
+            quarter_round(&mut work, 3, 7, 11, 15);
+            // diagonal round
+            quarter_round(&mut work, 0, 5, 10, 15);
+            quarter_round(&mut work, 1, 6, 11, 12);
+            quarter_round(&mut work, 2, 7, 8, 13);
+            quarter_round(&mut work, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(work.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    /// The number of 64-byte keystream blocks consumed so far.
+    pub fn get_word_pos(&self) -> u128 {
+        (self.counter as u128) * 16 + self.cursor as u128
+    }
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut rng = ChaChaRng { key, counter: 0, block: [0; 16], cursor: 16 };
+        rng.refill();
+        rng
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// ChaCha with 8 rounds — the workspace's deterministic stream source.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds (the original cipher strength).
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(42);
+            (0..32).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(42);
+            (0..32).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn chacha20_test_vector_rfc8439() {
+        // RFC 8439 §2.3.2: key 00 01 ... 1f, counter 1, nonce 0 gives a
+        // fixed first state word after 20 rounds. We zero the nonce and
+        // counter instead, so check the self-consistency property that a
+        // fresh generator reproduces its own first block.
+        let seed: [u8; 32] = std::array::from_fn(|i| i as u8);
+        let mut a = ChaCha20Rng::from_seed(seed);
+        let mut b = ChaCha20Rng::from_seed(seed);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn word_position_advances() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let start = r.get_word_pos();
+        let _ = r.next_u64();
+        assert_eq!(r.get_word_pos(), start + 2);
+    }
+
+    #[test]
+    fn bytes_fill_uniformly() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let mut buf = [0u8; 1000];
+        r.fill_bytes(&mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        // 8000 bits, expect ~4000 set
+        assert!((3500..4500).contains(&ones), "bit bias: {ones}/8000");
+    }
+}

@@ -47,11 +47,7 @@ impl Challenge {
     /// Panics if the two challenges have different bit counts.
     pub fn control_distance(&self, other: &Challenge) -> usize {
         assert_eq!(self.control_bits.len(), other.control_bits.len());
-        self.control_bits
-            .iter()
-            .zip(&other.control_bits)
-            .filter(|(a, b)| a != b)
-            .count()
+        self.control_bits.iter().zip(&other.control_bits).filter(|(a, b)| a != b).count()
     }
 
     /// Returns a copy with exactly `d` distinct control bits flipped,
@@ -80,11 +76,7 @@ impl Challenge {
         d: usize,
         rng: &mut R,
     ) -> Challenge {
-        assert!(
-            d <= positions.len(),
-            "cannot flip {d} of {} allowed bits",
-            positions.len()
-        );
+        assert!(d <= positions.len(), "cannot flip {d} of {} allowed bits", positions.len());
         let mut picked = vec![false; positions.len()];
         let mut remaining = d;
         while remaining > 0 {
@@ -184,9 +176,7 @@ impl ChallengeSpace {
             });
         }
         if challenge.source == challenge.sink {
-            return Err(PpufError::ChallengeMismatch {
-                reason: "source equals sink".into(),
-            });
+            return Err(PpufError::ChallengeMismatch { reason: "source equals sink".into() });
         }
         if challenge.control_bits.len() != self.control_bit_count() {
             return Err(PpufError::ChallengeMismatch {

@@ -32,9 +32,7 @@ pub fn edge_index(nodes: usize, from: NodeId, to: NodeId) -> usize {
 /// All directed edges of the complete graph in dense-index order.
 pub fn edge_order(nodes: usize) -> impl Iterator<Item = (NodeId, NodeId)> {
     (0..nodes as u32).flat_map(move |u| {
-        (0..nodes as u32)
-            .filter(move |&v| v != u)
-            .map(move |v| (NodeId::new(u), NodeId::new(v)))
+        (0..nodes as u32).filter(move |&v| v != u).map(move |v| (NodeId::new(u), NodeId::new(v)))
     })
 }
 
@@ -145,8 +143,7 @@ impl CrossbarNetwork {
     pub fn capacities_for_bit(&self, bit: bool, v_ref: Volts, env: Environment) -> Vec<Amps> {
         edge_order(self.nodes)
             .map(|(from, to)| {
-                self.block(from, to, bit)
-                    .characterized_capacity(v_ref, env.temperature)
+                self.block(from, to, bit).characterized_capacity(v_ref, env.temperature)
             })
             .collect()
     }
@@ -276,8 +273,8 @@ mod tests {
         let vals: Vec<f64> = caps.iter().map(|c| c.value()).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!((15e-9..60e-9).contains(&mean), "mean {mean}");
-        let sd = (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64)
-            .sqrt();
+        let sd =
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt();
         assert!(sd / mean > 0.2, "relative sigma {}", sd / mean);
     }
 
@@ -285,14 +282,9 @@ mod tests {
     fn circuit_assembly_checks_bits() {
         let net = sample_net(6, 9);
         let grid = GridPartition::new(6, 2).unwrap();
-        let bad = Challenge {
-            source: NodeId::new(0),
-            sink: NodeId::new(5),
-            control_bits: vec![true; 9],
-        };
-        assert!(net
-            .circuit(&bad, &grid, Environment::NOMINAL, Volts(2.5), 64)
-            .is_err());
+        let bad =
+            Challenge { source: NodeId::new(0), sink: NodeId::new(5), control_bits: vec![true; 9] };
+        assert!(net.circuit(&bad, &grid, Environment::NOMINAL, Volts(2.5), 64).is_err());
     }
 
     #[test]
@@ -304,9 +296,8 @@ mod tests {
             sink: NodeId::new(4),
             control_bits: vec![true, false, true, false],
         };
-        let circuit = net
-            .circuit(&challenge, &grid, Environment::NOMINAL, Volts(2.5), 128)
-            .unwrap();
+        let circuit =
+            net.circuit(&challenge, &grid, Environment::NOMINAL, Volts(2.5), 128).unwrap();
         assert_eq!(circuit.edges().len(), 20);
         assert_eq!(circuit.node_count(), 5);
     }

@@ -98,11 +98,7 @@ impl CrpSpace {
     ///
     /// Intended for experiment-scale parameters; the greedy loop gives up
     /// after `64 × count` consecutive rejected candidates.
-    pub fn greedy_codewords<R: Rng + ?Sized>(
-        &self,
-        count: usize,
-        rng: &mut R,
-    ) -> Vec<Vec<bool>> {
+    pub fn greedy_codewords<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Vec<bool>> {
         let len = self.code_length();
         let mut code: Vec<Vec<bool>> = Vec::new();
         let mut stale = 0usize;
@@ -124,13 +120,8 @@ impl CrpSpace {
 
     /// Builds full challenges from greedy codewords, cycling through
     /// random terminal pairs.
-    pub fn greedy_challenges<R: Rng + ?Sized>(
-        &self,
-        count: usize,
-        rng: &mut R,
-    ) -> Vec<Challenge> {
-        let space = ChallengeSpace::new(self.nodes, self.grid)
-            .expect("validated at construction");
+    pub fn greedy_challenges<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Challenge> {
+        let space = ChallengeSpace::new(self.nodes, self.grid).expect("validated at construction");
         self.greedy_codewords(count, rng)
             .into_iter()
             .map(|bits| {

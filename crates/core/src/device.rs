@@ -249,11 +249,7 @@ impl Ppuf {
     /// Estimated energy per evaluation at size `n` (paper §5): crossbar
     /// power (both networks at `V(s)`) plus comparator power, times the
     /// execution delay.
-    pub fn power_estimate(
-        &self,
-        average_current: Amps,
-        delay: Seconds,
-    ) -> (Watts, Joules) {
+    pub fn power_estimate(&self, average_current: Amps, delay: Seconds) -> (Watts, Joules) {
         let crossbars = self.config.supply * average_current * 2.0;
         let total = Watts(crossbars.value() + self.config.comparator.power.value());
         (total, total * delay)
@@ -278,11 +274,7 @@ impl PerBitCapacities {
                 .into_iter()
                 .map(|a| a.value())
                 .collect(),
-            bit1: net
-                .capacities_for_bit(true, v_eff, env)
-                .into_iter()
-                .map(|a| a.value())
-                .collect(),
+            bit1: net.capacities_for_bit(true, v_eff, env).into_iter().map(|a| a.value()).collect(),
         }
     }
 
@@ -421,8 +413,7 @@ impl PpufExecutor<'_> {
         let mut net = FlowNetwork::new(n);
         for (k, (from, to)) in edge_order(n).enumerate() {
             let bit = challenge.control_bits[grid.cell_of_edge(from, to)];
-            net.add_edge(from, to, caps.capacity(k, bit))
-                .map_err(PpufError::Simulation)?;
+            net.add_edge(from, to, caps.capacity(k, bit)).map_err(PpufError::Simulation)?;
         }
         Ok(net)
     }
@@ -491,10 +482,7 @@ mod tests {
     fn networks_differ_but_share_design() {
         let p = small_ppuf(1);
         assert_ne!(p.network(NetworkSide::A), p.network(NetworkSide::B));
-        assert_eq!(
-            p.network(NetworkSide::A).design(),
-            p.network(NetworkSide::B).design()
-        );
+        assert_eq!(p.network(NetworkSide::A).design(), p.network(NetworkSide::B).design());
     }
 
     #[test]

@@ -72,10 +72,7 @@ impl CrpDatabase {
     /// terminal pair (8 B) plus one bit per control bit plus the response
     /// bit (rounded up per entry).
     pub fn storage_bytes(&self) -> usize {
-        self.entries
-            .keys()
-            .map(|c| 8 + c.control_bits.len().div_ceil(8) + 1)
-            .sum()
+        self.entries.keys().map(|c| 8 + c.control_bits.len().div_ceil(8) + 1).sum()
     }
 }
 

@@ -34,9 +34,7 @@ impl PowerLawFit {
     /// Returns [`PpufError::InvalidConfig`] with fewer than two distinct
     /// positive samples.
     pub fn fit(samples: &[(usize, Seconds)]) -> Result<Self, PpufError> {
-        Self::fit_values(
-            &samples.iter().map(|(n, t)| (*n, t.value())).collect::<Vec<_>>(),
-        )
+        Self::fit_values(&samples.iter().map(|(n, t)| (*n, t.value())).collect::<Vec<_>>())
     }
 
     /// Least-squares power-law fit over unitless samples (used for e.g.
@@ -130,11 +128,8 @@ impl EsgAnalysis {
     /// paper's Fig 7(b) setting.
     pub fn crossover(&self, target: Seconds, feedback_rounds_equal_n: bool) -> usize {
         let reaches = |n: usize| {
-            let gap = if feedback_rounds_equal_n {
-                self.gap_with_feedback(n, n)
-            } else {
-                self.gap(n)
-            };
+            let gap =
+                if feedback_rounds_equal_n { self.gap_with_feedback(n, n) } else { self.gap(n) };
             gap.value() >= target.value()
         };
         // exponential bracket, then binary search
@@ -179,8 +174,7 @@ where
     for &n in sizes {
         let mut total = 0.0;
         for _ in 0..repetitions.max(1) {
-            let caps: Vec<f64> =
-                (0..n * n).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let caps: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.5..1.5)).collect();
             let net = FlowNetwork::complete(n, |u, v| caps[u.index() * n + v.index()])
                 .map_err(PpufError::Simulation)?;
             let (s, t) = (NodeId::new(0), NodeId::new(n as u32 - 1));
@@ -204,8 +198,10 @@ mod tests {
 
     #[test]
     fn fit_recovers_exact_power_law() {
-        let samples: Vec<(usize, Seconds)> =
-            [10usize, 20, 40, 80].iter().map(|&n| (n, Seconds(3e-9 * (n as f64).powf(2.5)))).collect();
+        let samples: Vec<(usize, Seconds)> = [10usize, 20, 40, 80]
+            .iter()
+            .map(|&n| (n, Seconds(3e-9 * (n as f64).powf(2.5))))
+            .collect();
         let fit = PowerLawFit::fit(&samples).unwrap();
         assert!((fit.exponent - 2.5).abs() < 1e-9, "{fit:?}");
         assert!((fit.coefficient / 3e-9 - 1.0).abs() < 1e-6);
@@ -256,8 +252,7 @@ mod tests {
     #[test]
     fn measured_times_grow_with_size() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let times =
-            measure_simulation_times(&Dinic::new(), &[8, 32], 3, &mut rng).unwrap();
+        let times = measure_simulation_times(&Dinic::new(), &[8, 32], 3, &mut rng).unwrap();
         assert_eq!(times.len(), 2);
         assert!(times[1].1.value() > times[0].1.value());
     }

@@ -86,11 +86,7 @@ impl GridPartition {
                 mask[self.cell_of_edge(v, sink)] = true;
             }
         }
-        mask.iter()
-            .enumerate()
-            .filter(|&(_, &m)| m)
-            .map(|(i, _)| i)
-            .collect()
+        mask.iter().enumerate().filter(|&(_, &m)| m).map(|(i, _)| i).collect()
     }
 
     /// Number of blocks controlled by each grid cell (row-major), counting
@@ -100,10 +96,8 @@ impl GridPartition {
         for from in 0..self.nodes {
             for to in 0..self.nodes {
                 if from != to {
-                    counts[self.cell_of_edge(
-                        NodeId::new(from as u32),
-                        NodeId::new(to as u32),
-                    )] += 1;
+                    counts[self.cell_of_edge(NodeId::new(from as u32), NodeId::new(to as u32))] +=
+                        1;
                 }
             }
         }

@@ -133,9 +133,7 @@ impl ResponseMatrix {
         let challenges = self.challenges();
         let devices = self.devices() as f64;
         let samples: Vec<f64> = (0..challenges)
-            .map(|c| {
-                self.rows.iter().filter(|r| r.bits()[c]).count() as f64 / devices
-            })
+            .map(|c| self.rows.iter().filter(|r| r.bits()[c]).count() as f64 / devices)
             .collect();
         Stats::of(&samples)
     }
@@ -212,11 +210,7 @@ impl fmt::Display for MetricsReport {
             ("Uniformity", 0.5, self.uniformity),
             ("Randomness", 0.5, self.randomness),
         ] {
-            writeln!(
-                f,
-                "{:<16} {:>8.1} {:>10.4} {:>10.4}",
-                name, ideal, stats.mean, stats.stdev
-            )?;
+            writeln!(f, "{:<16} {:>8.1} {:>10.4} {:>10.4}", name, ideal, stats.mean, stats.stdev)?;
         }
         Ok(())
     }
@@ -245,10 +239,8 @@ mod tests {
     fn shape_validation() {
         assert!(ResponseMatrix::new(vec![]).is_err());
         assert!(ResponseMatrix::new(vec![ResponseVector::new()]).is_err());
-        let uneven = vec![
-            ResponseVector::from_bits([true, false]),
-            ResponseVector::from_bits([true]),
-        ];
+        let uneven =
+            vec![ResponseVector::from_bits([true, false]), ResponseVector::from_bits([true])];
         assert!(ResponseMatrix::new(uneven).is_err());
     }
 

@@ -48,7 +48,10 @@ pub struct ProverAnswer {
 ///
 /// Propagates device errors; [`PpufError::UnresolvableResponse`] if the
 /// comparator cannot decide.
-pub fn prove(executor: &PpufExecutor<'_>, challenge: &Challenge) -> Result<ProverAnswer, PpufError> {
+pub fn prove(
+    executor: &PpufExecutor<'_>,
+    challenge: &Challenge,
+) -> Result<ProverAnswer, PpufError> {
     let outcome = executor.execute_flow_detailed(challenge)?;
     let response = outcome.response.ok_or(PpufError::UnresolvableResponse {
         difference: (outcome.current_a.value() - outcome.current_b.value()).abs(),
@@ -154,13 +157,10 @@ impl Verifier {
     ) -> Result<VerificationReport, PpufError> {
         let network_a = self.verify_network(NetworkSide::A, challenge, &answer.flow_a)?;
         let network_b = self.verify_network(NetworkSide::B, challenge, &answer.flow_b)?;
-        let comparator_says = self
-            .model
-            .comparator()
-            .compare(
-                ppuf_analog::units::Amps(answer.flow_a.value()),
-                ppuf_analog::units::Amps(answer.flow_b.value()),
-            );
+        let comparator_says = self.model.comparator().compare(
+            ppuf_analog::units::Amps(answer.flow_a.value()),
+            ppuf_analog::units::Amps(answer.flow_b.value()),
+        );
         let response_consistent = comparator_says == Some(answer.response);
         let within_deadline = match (self.deadline, elapsed) {
             (Some(deadline), Some(elapsed)) => elapsed.value() <= deadline.value(),
@@ -237,8 +237,7 @@ mod tests {
         let executor = ppuf.executor(Environment::NOMINAL);
         let mut answer = prove(&executor, &challenge).unwrap();
         // cheating prover: inflates every edge flow 10×
-        let inflated: Vec<f64> =
-            answer.flow_a.edge_flows().iter().map(|f| f * 10.0).collect();
+        let inflated: Vec<f64> = answer.flow_a.edge_flows().iter().map(|f| f * 10.0).collect();
         answer.flow_a = Flow::from_edge_flows(
             challenge.source,
             challenge.sink,
@@ -268,17 +267,12 @@ mod tests {
         let (ppuf, challenge) = setup();
         let executor = ppuf.executor(Environment::NOMINAL);
         let answer = prove(&executor, &challenge).unwrap();
-        let verifier = Verifier::new(ppuf.public_model().unwrap())
-            .with_deadline(Seconds(1e-3));
+        let verifier = Verifier::new(ppuf.public_model().unwrap()).with_deadline(Seconds(1e-3));
         // answer arrived fast: accepted
-        let fast = verifier
-            .verify_timed(&challenge, &answer, Some(Seconds(1e-4)))
-            .unwrap();
+        let fast = verifier.verify_timed(&challenge, &answer, Some(Seconds(1e-4))).unwrap();
         assert!(fast.accepted());
         // answer arrived slow (attacker simulated): rejected
-        let slow = verifier
-            .verify_timed(&challenge, &answer, Some(Seconds(1.0)))
-            .unwrap();
+        let slow = verifier.verify_timed(&challenge, &answer, Some(Seconds(1.0))).unwrap();
         assert!(!slow.accepted());
         // no timing provided while a deadline exists: rejected
         let untimed = verifier.verify(&challenge, &answer).unwrap();

@@ -8,6 +8,5 @@ pub mod session;
 pub use auth::{prove, ProverAnswer, VerificationReport, Verifier};
 pub use feedback::{derive_next_challenge, run_chain, verify_chain, FeedbackChain};
 pub use session::{
-    AuthenticationSession, Prover, RejectReason, SessionConfig, SessionOutcome,
-    SimulatingAttacker,
+    AuthenticationSession, Prover, RejectReason, SessionConfig, SessionOutcome, SimulatingAttacker,
 };

@@ -173,10 +173,7 @@ impl AuthenticationSession {
         rng: &mut R,
     ) -> Result<SessionOutcome, PpufError> {
         let model = self.verifier.model();
-        let space = crate::challenge::ChallengeSpace::new(
-            model.nodes(),
-            model.grid().grid(),
-        )?;
+        let space = crate::challenge::ChallengeSpace::new(model.nodes(), model.grid().grid())?;
         let mut round_times = Vec::with_capacity(self.config.rounds);
         for round in 0..self.config.rounds {
             let challenge = space.random(rng);
@@ -193,10 +190,7 @@ impl AuthenticationSession {
             let elapsed = Seconds(started.elapsed().as_secs_f64());
             let report = self.verifier.verify_timed(&challenge, &answer, Some(elapsed))?;
             if !report.accepted() {
-                return Ok(SessionOutcome::Rejected(RejectReason::BadAnswer {
-                    round,
-                    report,
-                }));
+                return Ok(SessionOutcome::Rejected(RejectReason::BadAnswer { round, report }));
             }
             round_times.push(elapsed);
         }
@@ -205,20 +199,18 @@ impl AuthenticationSession {
         if self.config.feedback_rounds > 0 {
             let first = space.random(rng);
             let started = Instant::now();
-            let chain: FeedbackChain = match run_chain(
-                &space,
-                first.clone(),
-                self.config.feedback_rounds,
-                |c| prover.respond(c),
-            ) {
-                Ok(chain) => chain,
-                Err(e) => {
-                    return Ok(SessionOutcome::Rejected(RejectReason::ProverFailed {
-                        round: usize::MAX,
-                        error: e.to_string(),
-                    }))
-                }
-            };
+            let chain: FeedbackChain =
+                match run_chain(&space, first.clone(), self.config.feedback_rounds, |c| {
+                    prover.respond(c)
+                }) {
+                    Ok(chain) => chain,
+                    Err(e) => {
+                        return Ok(SessionOutcome::Rejected(RejectReason::ProverFailed {
+                            round: usize::MAX,
+                            error: e.to_string(),
+                        }))
+                    }
+                };
             chain_time = Seconds(started.elapsed().as_secs_f64());
             let valid = verify_chain(&space, &first, &chain, |c| model.response(c))?;
             if !valid {
@@ -276,10 +268,7 @@ mod tests {
         let session = AuthenticationSession::new(model, config);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let outcome = session.run(&executor, &mut rng).unwrap();
-        assert!(matches!(
-            outcome,
-            SessionOutcome::Rejected(RejectReason::BadAnswer { .. })
-        ));
+        assert!(matches!(outcome, SessionOutcome::Rejected(RejectReason::BadAnswer { .. })));
     }
 
     /// A prover that lies about the response bit.
@@ -336,10 +325,7 @@ mod tests {
         let outcome = session.run(&guesser, &mut rng).unwrap();
         // 6 chained guesses all matching has probability ~1/64; the seed
         // is fixed so this is deterministic
-        assert!(
-            matches!(outcome, SessionOutcome::Rejected(RejectReason::BadChain)),
-            "{outcome:?}"
-        );
+        assert!(matches!(outcome, SessionOutcome::Rejected(RejectReason::BadChain)), "{outcome:?}");
     }
 
     #[test]

@@ -168,8 +168,7 @@ impl PublicModel {
         let mut net = FlowNetwork::new(self.nodes);
         for (k, (from, to)) in edge_order(self.nodes).enumerate() {
             let bit = challenge.control_bits[self.grid.cell_of_edge(from, to)];
-            net.add_edge(from, to, caps.capacity(k, bit))
-                .map_err(PpufError::Simulation)?;
+            net.add_edge(from, to, caps.capacity(k, bit)).map_err(PpufError::Simulation)?;
         }
         Ok(net)
     }
@@ -267,14 +266,7 @@ mod tests {
     fn validates_capacity_length() {
         let grid = GridPartition::new(4, 2).unwrap();
         let short = PublishedCapacities { bit0: vec![1.0; 3], bit1: vec![1.0; 3] };
-        assert!(PublicModel::new(
-            4,
-            grid,
-            short.clone(),
-            short,
-            Comparator::default()
-        )
-        .is_err());
+        assert!(PublicModel::new(4, grid, short.clone(), short, Comparator::default()).is_err());
     }
 
     #[test]

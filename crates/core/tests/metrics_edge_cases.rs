@@ -1,0 +1,95 @@
+//! Edge-case coverage for the Table 1 metric machinery: degenerate
+//! populations (one device, one challenge, identical devices) must produce
+//! well-defined statistics, not NaNs or panics.
+
+use ppuf_core::metrics::{ResponseMatrix, Stats};
+use ppuf_core::response::ResponseVector;
+use ppuf_core::MetricsReport;
+
+fn matrix(rows: &[&[bool]]) -> ResponseMatrix {
+    ResponseMatrix::new(rows.iter().map(|r| ResponseVector::from_bits(r.iter().copied())).collect())
+        .unwrap()
+}
+
+#[test]
+fn stats_of_single_sample_has_zero_spread() {
+    let s = Stats::of(&[0.75]);
+    assert_eq!((s.mean, s.stdev), (0.75, 0.0));
+}
+
+#[test]
+fn stats_of_constant_samples_has_zero_spread() {
+    let s = Stats::of(&[2.5; 100]);
+    assert!((s.mean - 2.5).abs() < 1e-12);
+    assert_eq!(s.stdev, 0.0);
+}
+
+#[test]
+fn stats_is_scale_invariant_up_to_scaling() {
+    let base = [0.1, 0.4, 0.9, 0.6];
+    let scaled: Vec<f64> = base.iter().map(|x| x * 1e12).collect();
+    let (a, b) = (Stats::of(&base), Stats::of(&scaled));
+    assert!((b.mean / a.mean - 1e12).abs() < 1.0);
+    assert!((b.stdev / a.stdev - 1e12).abs() < 1.0);
+}
+
+#[test]
+fn single_device_population_is_degenerate_but_defined() {
+    let m = matrix(&[&[true, false, true, true]]);
+    assert_eq!(m.devices(), 1);
+    // no device pairs: inter-class HD collapses to the empty-set default
+    assert_eq!(m.inter_class_hd(), Stats::default());
+    // per-device balance is the row's ones fraction, with zero spread
+    let r = m.randomness();
+    assert!((r.mean - 0.75).abs() < 1e-12);
+    assert_eq!(r.stdev, 0.0);
+    // per-challenge fractions across a single device are exactly 0 or 1
+    let u = m.uniformity();
+    assert!((u.mean - 0.75).abs() < 1e-12);
+    assert!((u.stdev - (0.1875f64).sqrt()).abs() < 1e-12);
+}
+
+#[test]
+fn single_challenge_population_is_defined() {
+    let m = matrix(&[&[true], &[false], &[true], &[true]]);
+    assert_eq!(m.challenges(), 1);
+    // one-bit rows differ fully or not at all
+    let inter = m.inter_class_hd();
+    assert!((inter.mean - 0.5).abs() < 1e-12, "3 of 6 pairs differ: {inter:?}");
+    // a single challenge means a single uniformity sample
+    let u = m.uniformity();
+    assert!((u.mean - 0.75).abs() < 1e-12);
+    assert_eq!(u.stdev, 0.0);
+}
+
+#[test]
+fn identical_devices_have_zero_uniqueness() {
+    let row: &[bool] = &[true, false, false, true, true];
+    let m = matrix(&[row, row, row]);
+    let inter = m.inter_class_hd();
+    assert_eq!((inter.mean, inter.stdev), (0.0, 0.0));
+    // per-challenge fractions are all 0 or 1: maximal bias, zero spread
+    let u = m.uniformity();
+    assert!((u.mean - 0.6).abs() < 1e-12);
+    assert!(u.stdev > 0.0, "columns are a mix of all-0 and all-1");
+    assert_eq!(m.bit_aliasing(), u);
+}
+
+#[test]
+fn self_comparison_is_perfectly_reliable() {
+    let m = matrix(&[&[true, false, true], &[false, false, true]]);
+    let rel = m.reliability(std::slice::from_ref(&m)).unwrap();
+    assert_eq!((rel.mean, rel.stdev), (1.0, 0.0));
+}
+
+#[test]
+fn full_report_on_degenerate_population_is_finite() {
+    let m = matrix(&[&[true, true, false, true]]);
+    let report = MetricsReport::evaluate(&m, std::slice::from_ref(&m)).unwrap();
+    for stats in
+        [report.inter_class_hd, report.intra_class_hd, report.uniformity, report.randomness]
+    {
+        assert!(stats.mean.is_finite() && stats.stdev.is_finite(), "{stats:?}");
+    }
+    assert_eq!(report.intra_class_hd.mean, 0.0);
+}

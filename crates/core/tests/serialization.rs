@@ -53,14 +53,8 @@ fn whole_device_roundtrips_through_json() {
     assert_eq!(ppuf, restored);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let challenge = ppuf.challenge_space().random(&mut rng);
-    let a = ppuf
-        .executor(Environment::NOMINAL)
-        .execute_flow(&challenge)
-        .expect("solves");
-    let b = restored
-        .executor(Environment::NOMINAL)
-        .execute_flow(&challenge)
-        .expect("solves");
+    let a = ppuf.executor(Environment::NOMINAL).execute_flow(&challenge).expect("solves");
+    let b = restored.executor(Environment::NOMINAL).execute_flow(&challenge).expect("solves");
     assert_eq!(a, b);
 }
 

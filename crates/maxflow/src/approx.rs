@@ -20,7 +20,7 @@ use crate::error::MaxFlowError;
 use crate::flow::{Flow, DEFAULT_TOLERANCE};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual_state::ResidualArcs;
-use crate::solver::MaxFlowSolver;
+use crate::solver::{MaxFlowSolver, SolveStats};
 
 /// Capacity-scaling ε-approximate max-flow solver.
 ///
@@ -65,21 +65,22 @@ impl ApproxMaxFlow {
 }
 
 impl MaxFlowSolver for ApproxMaxFlow {
-    fn max_flow(
+    fn max_flow_with_stats(
         &self,
         net: &FlowNetwork,
         source: NodeId,
         sink: NodeId,
-    ) -> Result<Flow, MaxFlowError> {
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
         net.check_terminals(source, sink)?;
         let mut arcs = ResidualArcs::new(net);
         let n = arcs.node_count();
         let m = net.edge_count().max(1) as f64;
         let (s, t) = (source.index(), sink.index());
+        let mut stats = SolveStats::default();
         let mut value = 0.0f64;
         let mut delta = net.max_capacity();
         if delta <= 0.0 {
-            return Ok(arcs.into_flow(net, source, sink, self.tolerance));
+            return Ok((arcs.into_flow(net, source, sink, self.tolerance), stats));
         }
         let mut prev = vec![u32::MAX; n];
         // Augment along paths with bottleneck >= delta; halve delta until
@@ -87,6 +88,7 @@ impl MaxFlowSolver for ApproxMaxFlow {
         while delta > self.tolerance {
             loop {
                 // BFS restricted to arcs with residual >= delta
+                stats.bfs_passes += 1;
                 prev.iter_mut().for_each(|p| *p = u32::MAX);
                 prev[s] = u32::MAX - 1;
                 let mut queue = VecDeque::new();
@@ -122,6 +124,7 @@ impl MaxFlowSolver for ApproxMaxFlow {
                     v = arcs.to[(a ^ 1) as usize] as usize;
                 }
                 value += bottleneck;
+                stats.augmenting_paths += 1;
             }
             // after this phase no augmenting path has bottleneck >= delta,
             // so OPT - value <= m * delta (each of <= m residual cut arcs
@@ -131,7 +134,7 @@ impl MaxFlowSolver for ApproxMaxFlow {
             }
             delta *= 0.5;
         }
-        Ok(arcs.into_flow(net, source, sink, self.tolerance))
+        Ok((arcs.into_flow(net, source, sink, self.tolerance), stats))
     }
 
     fn name(&self) -> &'static str {
@@ -161,10 +164,7 @@ mod tests {
             let (s, t) = (NodeId::new(0), NodeId::new(n as u32 - 1));
             let exact = Dinic::new().max_flow(&net, s, t).unwrap().value();
             for eps in [0.5, 0.1, 0.01] {
-                let approx = ApproxMaxFlow::new(eps)
-                    .unwrap()
-                    .max_flow(&net, s, t)
-                    .unwrap();
+                let approx = ApproxMaxFlow::new(eps).unwrap().max_flow(&net, s, t).unwrap();
                 assert!(
                     approx.value() >= exact / (1.0 + eps) - 1e-9,
                     "n={n} eps={eps}: {} vs {exact}",

@@ -71,10 +71,8 @@ pub fn decompose_flow(
         let Some(amount) = subtract_bottleneck(&mut remaining, &cycle, tol) else {
             break;
         };
-        let mut nodes: Vec<NodeId> = cycle
-            .iter()
-            .map(|e| net.edge(*e).expect("edge id in range").from)
-            .collect();
+        let mut nodes: Vec<NodeId> =
+            cycle.iter().map(|e| net.edge(*e).expect("edge id in range").from).collect();
         nodes.push(nodes[0]);
         paths.push(FlowPath { nodes, edges: cycle, amount, is_cycle: true });
     }
@@ -86,11 +84,8 @@ pub fn decompose_flow(
         let mut nodes = vec![source];
         let mut edges = Vec::new();
         let mut current = source;
-        while let Some(next) = net
-            .out_edges(current)
-            .iter()
-            .copied()
-            .find(|e| remaining[e.index()] > tol)
+        while let Some(next) =
+            net.out_edges(current).iter().copied().find(|e| remaining[e.index()] > tol)
         {
             edges.push(next);
             current = net.edge(next).expect("edge id in range").to;
@@ -171,10 +166,7 @@ fn find_cycle(net: &FlowNetwork, remaining: &[f64], tol: f64) -> Option<Vec<Edge
 }
 
 fn subtract_bottleneck(remaining: &mut [f64], edges: &[EdgeId], tol: f64) -> Option<f64> {
-    let bottleneck = edges
-        .iter()
-        .map(|e| remaining[e.index()])
-        .fold(f64::INFINITY, f64::min);
+    let bottleneck = edges.iter().map(|e| remaining[e.index()]).fold(f64::INFINITY, f64::min);
     // NaN-safe: only proceed for a definite, above-tolerance bottleneck
     if bottleneck.partial_cmp(&tol) != Some(std::cmp::Ordering::Greater) {
         return None;
@@ -209,8 +201,7 @@ mod tests {
     fn path_amounts_sum_to_value() {
         for n in [4usize, 6, 9] {
             let (_, flow, paths) = decomposed(n, 1);
-            let total: f64 =
-                paths.iter().filter(|p| !p.is_cycle).map(|p| p.amount).sum();
+            let total: f64 = paths.iter().filter(|p| !p.is_cycle).map(|p| p.amount).sum();
             assert!((total - flow.value()).abs() < 1e-9, "n={n}");
         }
     }

@@ -131,9 +131,7 @@ pub fn from_dimacs(text: &str) -> Result<DimacsInstance, ParseDimacsError> {
     let network = network.ok_or_else(|| ParseDimacsError::at(0, "missing problem line"))?;
     let source = source.ok_or_else(|| ParseDimacsError::at(0, "missing source line"))?;
     let sink = sink.ok_or_else(|| ParseDimacsError::at(0, "missing sink line"))?;
-    network
-        .check_terminals(source, sink)
-        .map_err(|e| ParseDimacsError::at(0, &e.to_string()))?;
+    network.check_terminals(source, sink).map_err(|e| ParseDimacsError::at(0, &e.to_string()))?;
     Ok(DimacsInstance { network, source, sink })
 }
 
@@ -179,10 +177,9 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_instance() {
-        let net = FlowNetwork::complete(5, |u, v| {
-            1.0 + ((u.index() * 3 + v.index()) % 4) as f64 * 0.25
-        })
-        .unwrap();
+        let net =
+            FlowNetwork::complete(5, |u, v| 1.0 + ((u.index() * 3 + v.index()) % 4) as f64 * 0.25)
+                .unwrap();
         let (s, t) = (NodeId::new(0), NodeId::new(4));
         let text = to_dimacs(&net, s, t);
         let parsed = from_dimacs(&text).unwrap();
@@ -192,10 +189,8 @@ mod tests {
         assert_eq!(parsed.network.edge_count(), 20);
         // same max flow either way
         let before = Dinic::new().max_flow(&net, s, t).unwrap().value();
-        let after = Dinic::new()
-            .max_flow(&parsed.network, parsed.source, parsed.sink)
-            .unwrap()
-            .value();
+        let after =
+            Dinic::new().max_flow(&parsed.network, parsed.source, parsed.sink).unwrap().value();
         assert!((before - after).abs() < 1e-9);
     }
 
@@ -211,9 +206,7 @@ mod tests {
                     a 3 4 3\n\
                     a 2 3 1\n";
         let inst = from_dimacs(text).unwrap();
-        let flow = Dinic::new()
-            .max_flow(&inst.network, inst.source, inst.sink)
-            .unwrap();
+        let flow = Dinic::new().max_flow(&inst.network, inst.source, inst.sink).unwrap();
         assert!((flow.value() - 5.0).abs() < 1e-12);
     }
 

@@ -12,7 +12,7 @@ use crate::error::MaxFlowError;
 use crate::flow::{Flow, DEFAULT_TOLERANCE};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual_state::ResidualArcs;
-use crate::solver::MaxFlowSolver;
+use crate::solver::{MaxFlowSolver, SolveStats};
 
 /// The Dinic blocking-flow solver.
 ///
@@ -60,6 +60,8 @@ struct DinicState<'a> {
     // iterator index into adj lists (current-arc optimization)
     next: Vec<usize>,
     tol: f64,
+    // arc saturation operations inside blocking-flow DFS
+    pushes: u64,
 }
 
 impl DinicState<'_> {
@@ -92,13 +94,10 @@ impl DinicState<'_> {
             let a = self.arcs.adj[u][self.next[u]];
             let v = self.arcs.to[a as usize] as usize;
             if self.level[v] == self.level[u] + 1 && self.arcs.residual[a as usize] > self.tol {
-                let pushed = self.dfs(
-                    v,
-                    t,
-                    (limit - sent).min(self.arcs.residual[a as usize]),
-                );
+                let pushed = self.dfs(v, t, (limit - sent).min(self.arcs.residual[a as usize]));
                 if pushed > 0.0 {
                     self.arcs.push(a, pushed);
+                    self.pushes += 1;
                     sent += pushed;
                     if limit - sent <= self.tol {
                         return sent;
@@ -113,32 +112,37 @@ impl DinicState<'_> {
 }
 
 impl MaxFlowSolver for Dinic {
-    fn max_flow(
+    fn max_flow_with_stats(
         &self,
         net: &FlowNetwork,
         source: NodeId,
         sink: NodeId,
-    ) -> Result<Flow, MaxFlowError> {
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
         net.check_terminals(source, sink)?;
         let mut arcs = ResidualArcs::new(net);
         let n = arcs.node_count();
         let (s, t) = (source.index(), sink.index());
+        let mut stats = SolveStats::default();
         let mut state = DinicState {
             arcs: &mut arcs,
             level: vec![-1; n],
             next: vec![0; n],
             tol: self.tolerance,
+            pushes: 0,
         };
         while state.bfs(s, t) {
+            stats.bfs_passes += 1;
             state.next.iter_mut().for_each(|x| *x = 0);
             loop {
                 let pushed = state.dfs(s, t, f64::INFINITY);
                 if pushed <= self.tolerance {
                     break;
                 }
+                stats.augmenting_paths += 1;
             }
         }
-        Ok(arcs.into_flow(net, source, sink, self.tolerance))
+        stats.pushes = state.pushes;
+        Ok((arcs.into_flow(net, source, sink, self.tolerance), stats))
     }
 
     fn name(&self) -> &'static str {
@@ -194,7 +198,7 @@ mod tests {
     fn agrees_with_edmonds_karp_on_random_complete_graphs() {
         for n in [4usize, 6, 9] {
             let net = FlowNetwork::complete(n, |u, v| {
-                 0.1 + (((u.index() * 31 + v.index() * 17) % 13) as f64) / 3.0
+                0.1 + (((u.index() * 31 + v.index() * 17) % 13) as f64) / 3.0
             })
             .unwrap();
             let (s, t) = (NodeId::new(0), NodeId::new(n as u32 - 1));

@@ -10,7 +10,7 @@ use crate::error::MaxFlowError;
 use crate::flow::{Flow, DEFAULT_TOLERANCE};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual_state::ResidualArcs;
-use crate::solver::MaxFlowSolver;
+use crate::solver::{MaxFlowSolver, SolveStats};
 
 /// The Edmonds–Karp augmenting-path solver.
 ///
@@ -55,21 +55,23 @@ impl Default for EdmondsKarp {
 }
 
 impl MaxFlowSolver for EdmondsKarp {
-    fn max_flow(
+    fn max_flow_with_stats(
         &self,
         net: &FlowNetwork,
         source: NodeId,
         sink: NodeId,
-    ) -> Result<Flow, MaxFlowError> {
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
         net.check_terminals(source, sink)?;
         let mut arcs = ResidualArcs::new(net);
         let n = arcs.node_count();
         let s = source.index();
         let t = sink.index();
+        let mut stats = SolveStats::default();
         // prev[v] = arc used to reach v, u32::MAX = unvisited
         let mut prev = vec![u32::MAX; n];
         let mut queue = VecDeque::with_capacity(n);
         loop {
+            stats.bfs_passes += 1;
             prev.iter_mut().for_each(|p| *p = u32::MAX);
             queue.clear();
             queue.push_back(s as u32);
@@ -107,8 +109,9 @@ impl MaxFlowSolver for EdmondsKarp {
                 arcs.push(a, bottleneck);
                 v = arcs.to[(a ^ 1) as usize] as usize;
             }
+            stats.augmenting_paths += 1;
         }
-        Ok(arcs.into_flow(net, source, sink, self.tolerance))
+        Ok((arcs.into_flow(net, source, sink, self.tolerance), stats))
     }
 
     fn name(&self) -> &'static str {
@@ -122,9 +125,7 @@ mod tests {
     use crate::flow::DEFAULT_TOLERANCE;
 
     fn solve(net: &FlowNetwork, s: u32, t: u32) -> Flow {
-        EdmondsKarp::new()
-            .max_flow(net, NodeId::new(s), NodeId::new(t))
-            .unwrap()
+        EdmondsKarp::new().max_flow(net, NodeId::new(s), NodeId::new(t)).unwrap()
     }
 
     #[test]
@@ -193,15 +194,14 @@ mod tests {
     #[test]
     fn rejects_equal_terminals() {
         let net = FlowNetwork::new(2);
-        assert!(EdmondsKarp::new()
-            .max_flow(&net, NodeId::new(0), NodeId::new(0))
-            .is_err());
+        assert!(EdmondsKarp::new().max_flow(&net, NodeId::new(0), NodeId::new(0)).is_err());
     }
 
     #[test]
     fn result_is_feasible_on_random_instance() {
-        let net = FlowNetwork::complete(8, |u, v| ((u.index() * 7 + v.index() * 3) % 5) as f64 + 0.5)
-            .unwrap();
+        let net =
+            FlowNetwork::complete(8, |u, v| ((u.index() * 7 + v.index() * 3) % 5) as f64 + 0.5)
+                .unwrap();
         let flow = solve(&net, 0, 7);
         assert!(flow.check_feasible(&net, 1e-9).unwrap().is_feasible());
     }

@@ -71,10 +71,7 @@ impl fmt::Display for MaxFlowError {
                 write!(f, "source and sink are the same vertex {node}")
             }
             MaxFlowError::FlowShapeMismatch { flow_edges, network_edges } => {
-                write!(
-                    f,
-                    "flow assignment has {flow_edges} edges but network has {network_edges}"
-                )
+                write!(f, "flow assignment has {flow_edges} edges but network has {network_edges}")
             }
             MaxFlowError::InvalidEpsilon { value } => {
                 write!(f, "approximation parameter {value} must lie in (0, 1)")

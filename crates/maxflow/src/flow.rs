@@ -42,12 +42,7 @@ impl Flow {
 
     /// The all-zero (trivially feasible) flow on a network.
     pub fn zero(net: &FlowNetwork, source: NodeId, sink: NodeId) -> Self {
-        Flow {
-            source,
-            sink,
-            value: 0.0,
-            edge_flow: vec![0.0; net.edge_count()],
-        }
+        Flow { source, sink, value: 0.0, edge_flow: vec![0.0; net.edge_count()] }
     }
 
     /// The flow value (net flow leaving the source).
@@ -93,16 +88,9 @@ impl Flow {
     /// not have one entry per network edge.
     pub fn net_out_of_source(&self, net: &FlowNetwork) -> Result<f64, MaxFlowError> {
         self.check_shape(net)?;
-        let out: f64 = net
-            .out_edges(self.source)
-            .iter()
-            .map(|&e| self.edge_flow[e.index()])
-            .sum();
-        let inward: f64 = net
-            .in_edges(self.source)
-            .iter()
-            .map(|&e| self.edge_flow[e.index()])
-            .sum();
+        let out: f64 = net.out_edges(self.source).iter().map(|&e| self.edge_flow[e.index()]).sum();
+        let inward: f64 =
+            net.in_edges(self.source).iter().map(|&e| self.edge_flow[e.index()]).sum();
         Ok(out - inward)
     }
 

@@ -228,10 +228,7 @@ impl FlowNetwork {
 
     /// Iterates over `(EdgeId, &Edge)` in insertion order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (EdgeId::new(i as u32), e))
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::new(i as u32), e))
     }
 
     /// Ids of edges leaving `v`.
@@ -278,10 +275,7 @@ impl FlowNetwork {
     ///
     /// Panics if `v` is out of range.
     pub fn out_capacity(&self, v: NodeId) -> f64 {
-        self.out_adj[v.index()]
-            .iter()
-            .map(|&e| self.edges[e.index()].capacity)
-            .sum()
+        self.out_adj[v.index()].iter().map(|&e| self.edges[e.index()].capacity).sum()
     }
 
     /// Sum of capacities of edges entering `v` (the in-cut bound).
@@ -290,10 +284,7 @@ impl FlowNetwork {
     ///
     /// Panics if `v` is out of range.
     pub fn in_capacity(&self, v: NodeId) -> f64 {
-        self.in_adj[v.index()]
-            .iter()
-            .map(|&e| self.edges[e.index()].capacity)
-            .sum()
+        self.in_adj[v.index()].iter().map(|&e| self.edges[e.index()].capacity).sum()
     }
 
     /// Replaces the capacity of edge `e`.
@@ -311,10 +302,7 @@ impl FlowNetwork {
         if !capacity.is_finite() || capacity < 0.0 {
             return Err(MaxFlowError::InvalidCapacity { value: capacity });
         }
-        let edge = self
-            .edges
-            .get_mut(e.index())
-            .ok_or(MaxFlowError::InvalidEdge { edge: e })?;
+        let edge = self.edges.get_mut(e.index()).ok_or(MaxFlowError::InvalidEdge { edge: e })?;
         edge.capacity = capacity;
         Ok(())
     }
@@ -326,10 +314,7 @@ impl FlowNetwork {
     /// Returns [`MaxFlowError::InvalidNode`] if `v.index() >= node_count`.
     pub fn check_node(&self, v: NodeId) -> Result<(), MaxFlowError> {
         if v.index() >= self.node_count {
-            return Err(MaxFlowError::InvalidNode {
-                node: v,
-                node_count: self.node_count,
-            });
+            return Err(MaxFlowError::InvalidNode { node: v, node_count: self.node_count });
         }
         Ok(())
     }

@@ -13,7 +13,7 @@ use crate::error::MaxFlowError;
 use crate::flow::{Flow, DEFAULT_TOLERANCE};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual_state::{return_excess, ResidualArcs};
-use crate::solver::MaxFlowSolver;
+use crate::solver::{MaxFlowSolver, SolveStats};
 
 /// The highest-label push–relabel solver.
 ///
@@ -65,11 +65,7 @@ struct Buckets {
 
 impl Buckets {
     fn new(n: usize) -> Self {
-        Buckets {
-            buckets: vec![Vec::new(); 2 * n + 2],
-            in_bucket: vec![false; n],
-            highest: 0,
-        }
+        Buckets { buckets: vec![Vec::new(); 2 * n + 2], in_bucket: vec![false; n], highest: 0 }
     }
 
     fn push(&mut self, v: usize, height: u32) {
@@ -97,20 +93,22 @@ impl Buckets {
 }
 
 impl MaxFlowSolver for HighestLabel {
-    fn max_flow(
+    fn max_flow_with_stats(
         &self,
         net: &FlowNetwork,
         source: NodeId,
         sink: NodeId,
-    ) -> Result<Flow, MaxFlowError> {
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
         net.check_terminals(source, sink)?;
         let mut arcs = ResidualArcs::new(net);
         let n = arcs.node_count();
         let (s, t) = (source.index(), sink.index());
         let lift = 2 * n as u32;
         let tol = self.tolerance;
+        let mut stats = SolveStats::default();
         // exact initial labels from a backward BFS
         let mut height = backward_bfs_labels(&arcs, s, t, tol);
+        stats.global_relabels = 1;
         let mut count = vec![0u32; 2 * n + 2];
         for &h in &height {
             count[h as usize] += 1;
@@ -147,6 +145,7 @@ impl MaxFlowSolver for HighestLabel {
                     if height[u] == height[v] + 1 {
                         let amount = excess[u].min(r);
                         arcs.push(a, amount);
+                        stats.pushes += 1;
                         excess[u] -= amount;
                         excess[v] += amount;
                         if v != s && v != t {
@@ -169,7 +168,9 @@ impl MaxFlowSolver for HighestLabel {
                     count[old as usize] -= 1;
                     height[u] = min_height.min(lift);
                     count[height[u] as usize] += 1;
+                    stats.relabels += 1;
                     if count[old as usize] == 0 && old < n as u32 {
+                        stats.gap_triggers += 1;
                         for v in 0..n {
                             if v != s && height[v] > old && height[v] < n as u32 {
                                 count[height[v] as usize] -= 1;
@@ -182,7 +183,7 @@ impl MaxFlowSolver for HighestLabel {
             }
         }
         return_excess(&mut arcs, &mut excess, s, t, tol);
-        Ok(arcs.into_flow(net, source, sink, tol))
+        Ok((arcs.into_flow(net, source, sink, tol), stats))
     }
 
     fn name(&self) -> &'static str {
@@ -291,8 +292,6 @@ mod tests {
     #[test]
     fn rejects_invalid_terminals() {
         let net = FlowNetwork::new(2);
-        assert!(HighestLabel::new()
-            .max_flow(&net, NodeId::new(0), NodeId::new(0))
-            .is_err());
+        assert!(HighestLabel::new().max_flow(&net, NodeId::new(0), NodeId::new(0)).is_err());
     }
 }

@@ -74,7 +74,7 @@ pub use mincut::MinCut;
 pub use parallel::ParallelPushRelabel;
 pub use push_relabel::PushRelabel;
 pub use residual::{ResidualEdge, ResidualGraph};
-pub use solver::MaxFlowSolver;
+pub use solver::{MaxFlowSolver, SolveStats};
 
 #[cfg(test)]
 mod tests {

@@ -21,7 +21,7 @@ use crate::error::MaxFlowError;
 use crate::flow::{Flow, DEFAULT_TOLERANCE};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual_state::{return_excess, ResidualArcs};
-use crate::solver::MaxFlowSolver;
+use crate::solver::{MaxFlowSolver, SolveStats};
 
 /// Round-synchronous parallel push–relabel solver.
 ///
@@ -86,13 +86,14 @@ struct PlannedPush {
 }
 
 impl MaxFlowSolver for ParallelPushRelabel {
-    fn max_flow(
+    fn max_flow_with_stats(
         &self,
         net: &FlowNetwork,
         source: NodeId,
         sink: NodeId,
-    ) -> Result<Flow, MaxFlowError> {
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
         net.check_terminals(source, sink)?;
+        let mut stats = SolveStats::default();
         let mut arcs = ResidualArcs::new(net);
         let n = arcs.node_count();
         let (s, t) = (source.index(), sink.index());
@@ -121,7 +122,8 @@ impl MaxFlowSolver for ParallelPushRelabel {
             if active.is_empty() {
                 break;
             }
-            // --- parallel planning phase -------------------------------
+            stats.bfs_passes += 1; // one synchronous round
+                                   // --- parallel planning phase -------------------------------
             let chunk = active.len().div_ceil(self.threads);
             let tol = self.tolerance;
             let plans: Vec<Vec<PlannedPush>> = if self.threads == 1 || active.len() < 64 {
@@ -150,6 +152,7 @@ impl MaxFlowSolver for ParallelPushRelabel {
                     let u = arcs.to[(p.arc ^ 1) as usize] as usize;
                     let v = arcs.to[p.arc as usize] as usize;
                     arcs.push(p.arc, p.amount);
+                    stats.pushes += 1;
                     excess[u] -= p.amount;
                     excess[v] += p.amount;
                     any_push = true;
@@ -181,6 +184,7 @@ impl MaxFlowSolver for ParallelPushRelabel {
                     height[u] = if min_h == u32::MAX { lift } else { min_h.min(lift) };
                     if height[u] != old_height[u] {
                         any_relabel = true;
+                        stats.relabels += 1;
                     }
                 }
             }
@@ -190,7 +194,7 @@ impl MaxFlowSolver for ParallelPushRelabel {
             }
         }
         return_excess(&mut arcs, &mut excess, s, t, self.tolerance);
-        Ok(arcs.into_flow(net, source, sink, self.tolerance))
+        Ok((arcs.into_flow(net, source, sink, self.tolerance), stats))
     }
 
     fn name(&self) -> &'static str {
@@ -239,10 +243,7 @@ mod tests {
 
     #[test]
     fn rejects_zero_threads() {
-        assert!(matches!(
-            ParallelPushRelabel::with_threads(0),
-            Err(MaxFlowError::ZeroThreads)
-        ));
+        assert!(matches!(ParallelPushRelabel::with_threads(0), Err(MaxFlowError::ZeroThreads)));
     }
 
     #[test]
@@ -288,10 +289,8 @@ mod tests {
         let (s, t) = (NodeId::new(0), NodeId::new(9));
         let want = Dinic::new().max_flow(&net, s, t).unwrap().value();
         for threads in [1usize, 2, 4] {
-            let flow = ParallelPushRelabel::with_threads(threads)
-                .unwrap()
-                .max_flow(&net, s, t)
-                .unwrap();
+            let flow =
+                ParallelPushRelabel::with_threads(threads).unwrap().max_flow(&net, s, t).unwrap();
             assert!(
                 (flow.value() - want).abs() < 1e-7,
                 "threads={threads}: {} vs {}",

@@ -12,7 +12,7 @@ use crate::error::MaxFlowError;
 use crate::flow::{Flow, DEFAULT_TOLERANCE};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::residual_state::ResidualArcs;
-use crate::solver::MaxFlowSolver;
+use crate::solver::{MaxFlowSolver, SolveStats};
 
 /// The FIFO push–relabel solver.
 ///
@@ -76,11 +76,13 @@ struct PrState {
     tol: f64,
     s: usize,
     t: usize,
+    stats: SolveStats,
 }
 
 impl PrState {
     /// Backward BFS from the sink assigning exact distance labels.
     fn global_relabel(&mut self) {
+        self.stats.global_relabels += 1;
         let n = self.arcs.node_count();
         let inf = 2 * n as u32;
         self.height.iter_mut().for_each(|h| *h = inf);
@@ -135,6 +137,7 @@ impl PrState {
                 if self.height[u] == self.height[v] + 1 {
                     let amount = self.excess[u].min(r);
                     self.arcs.push(a, amount);
+                    self.stats.pushes += 1;
                     self.excess[u] -= amount;
                     self.excess[v] += amount;
                     self.enqueue(v);
@@ -159,17 +162,16 @@ impl PrState {
                     self.height[u] = min_height;
                 }
                 relabels += 1;
+                self.stats.relabels += 1;
                 if (old as usize) < self.count.len() {
                     self.count[old as usize] -= 1;
                 }
                 if (self.height[u] as usize) < self.count.len() {
                     self.count[self.height[u] as usize] += 1;
                 }
-                if (old as usize) < self.count.len()
-                    && self.count[old as usize] == 0
-                    && old < n
-                {
+                if (old as usize) < self.count.len() && self.count[old as usize] == 0 && old < n {
                     // gap: lift every vertex above `old` out of play
+                    self.stats.gap_triggers += 1;
                     for v in 0..self.arcs.node_count() {
                         if self.height[v] > old && self.height[v] < n && v != self.s {
                             self.count[self.height[v] as usize] -= 1;
@@ -188,12 +190,12 @@ impl PrState {
 }
 
 impl MaxFlowSolver for PushRelabel {
-    fn max_flow(
+    fn max_flow_with_stats(
         &self,
         net: &FlowNetwork,
         source: NodeId,
         sink: NodeId,
-    ) -> Result<Flow, MaxFlowError> {
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
         net.check_terminals(source, sink)?;
         let arcs = ResidualArcs::new(net);
         let n = arcs.node_count();
@@ -208,6 +210,7 @@ impl MaxFlowSolver for PushRelabel {
             tol: self.tolerance,
             s,
             t,
+            stats: SolveStats::default(),
         };
         st.global_relabel();
         // saturate all source arcs
@@ -240,7 +243,8 @@ impl MaxFlowSolver for PushRelabel {
         // so the extracted flow satisfies conservation: push back along
         // incoming arcs' twins via reverse BFS augmentations.
         crate::residual_state::return_excess(&mut st.arcs, &mut st.excess, s, t, self.tolerance);
-        Ok(st.arcs.into_flow(net, source, sink, self.tolerance))
+        let stats = st.stats;
+        Ok((st.arcs.into_flow(net, source, sink, self.tolerance), stats))
     }
 
     fn name(&self) -> &'static str {
@@ -317,16 +321,11 @@ mod tests {
 
     #[test]
     fn without_global_relabel_still_correct() {
-        let net = FlowNetwork::complete(8, |u, v| {
-            0.1 + ((u.index() + 3 * v.index()) % 5) as f64
-        })
-        .unwrap();
+        let net = FlowNetwork::complete(8, |u, v| 0.1 + ((u.index() + 3 * v.index()) % 5) as f64)
+            .unwrap();
         let (s, t) = (NodeId::new(0), NodeId::new(7));
         let a = PushRelabel::new().max_flow(&net, s, t).unwrap();
-        let b = PushRelabel::new()
-            .without_global_relabel()
-            .max_flow(&net, s, t)
-            .unwrap();
+        let b = PushRelabel::new().without_global_relabel().max_flow(&net, s, t).unwrap();
         assert!((a.value() - b.value()).abs() < 1e-8);
     }
 

@@ -99,13 +99,7 @@ impl ResidualGraph {
                 });
             }
         }
-        Ok(ResidualGraph {
-            node_count: n,
-            source: flow.source(),
-            sink: flow.sink(),
-            edges,
-            adj,
-        })
+        Ok(ResidualGraph { node_count: n, source: flow.source(), sink: flow.sink(), edges, adj })
     }
 
     /// Reconstructs a residual graph from a prover-supplied edge list.
@@ -276,11 +270,7 @@ impl ResidualGraph {
                 }
             }
         }
-        seen.iter()
-            .enumerate()
-            .filter(|&(_, &s)| s)
-            .map(|(i, _)| NodeId::new(i as u32))
-            .collect()
+        seen.iter().enumerate().filter(|&(_, &s)| s).map(|(i, _)| NodeId::new(i as u32)).collect()
     }
 }
 
@@ -295,9 +285,7 @@ mod tests {
             0.3 + (((u.index() * 5 + v.index() * 11) % 7) as f64) / 2.0
         })
         .unwrap();
-        let flow = Dinic::new()
-            .max_flow(&net, NodeId::new(0), NodeId::new(5))
-            .unwrap();
+        let flow = Dinic::new().max_flow(&net, NodeId::new(0), NodeId::new(5)).unwrap();
         (net, flow)
     }
 
@@ -347,7 +335,9 @@ mod tests {
             edge: EdgeId::new(0),
             backward: false,
         };
-        assert!(ResidualGraph::from_edges(3, NodeId::new(0), NodeId::new(1), vec![bad_node]).is_err());
+        assert!(
+            ResidualGraph::from_edges(3, NodeId::new(0), NodeId::new(1), vec![bad_node]).is_err()
+        );
         let bad_cap = ResidualEdge {
             from: NodeId::new(0),
             to: NodeId::new(1),
@@ -355,7 +345,9 @@ mod tests {
             edge: EdgeId::new(0),
             backward: false,
         };
-        assert!(ResidualGraph::from_edges(3, NodeId::new(0), NodeId::new(1), vec![bad_cap]).is_err());
+        assert!(
+            ResidualGraph::from_edges(3, NodeId::new(0), NodeId::new(1), vec![bad_cap]).is_err()
+        );
     }
 
     #[test]

@@ -11,10 +11,7 @@ use ppuf_maxflow::{
 /// Strategy: a random sparse network with up to `max_n` nodes.
 fn sparse_network(max_n: usize) -> impl Strategy<Value = (FlowNetwork, NodeId, NodeId)> {
     (3..=max_n).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0.0f64..5.0),
-            1..(3 * n),
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.0f64..5.0), 1..(3 * n));
         edges.prop_map(move |list| {
             let mut net = FlowNetwork::new(n);
             for (u, v, c) in list {
@@ -29,12 +26,10 @@ fn sparse_network(max_n: usize) -> impl Strategy<Value = (FlowNetwork, NodeId, N
 
 /// Strategy: a random complete network (the PPUF topology).
 fn complete_network(max_n: usize) -> impl Strategy<Value = (FlowNetwork, NodeId, NodeId)> {
-    (3..=max_n, proptest::collection::vec(0.01f64..2.0, max_n * max_n)).prop_map(
-        |(n, caps)| {
-            let net = FlowNetwork::complete(n, |u, v| caps[u.index() * n + v.index()]).unwrap();
-            (net, NodeId::new(0), NodeId::new(n as u32 - 1))
-        },
-    )
+    (3..=max_n, proptest::collection::vec(0.01f64..2.0, max_n * max_n)).prop_map(|(n, caps)| {
+        let net = FlowNetwork::complete(n, |u, v| caps[u.index() * n + v.index()]).unwrap();
+        (net, NodeId::new(0), NodeId::new(n as u32 - 1))
+    })
 }
 
 proptest! {

@@ -1,0 +1,318 @@
+//! Observability for the maxflow-ppuf solver stack: monotonic counters,
+//! value histograms, lightweight wall-clock spans, and warnings, behind a
+//! [`Recorder`] trait whose default implementation ([`NoopRecorder`]) costs
+//! nothing.
+//!
+//! The crate is dependency-free. Instrumented code reports aggregates at
+//! *solve granularity* — a solver counts its iterations in locals and calls
+//! the recorder once per solve — so the dynamic dispatch here never sits on
+//! a hot inner loop.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use ppuf_telemetry::{MemoryRecorder, Recorder, Span};
+//!
+//! let recorder = MemoryRecorder::new();
+//! {
+//!     let _span = Span::enter(&recorder, "demo.solve");
+//!     recorder.counter_add("demo.iterations", 17);
+//!     recorder.observe("demo.residual", 1.5e-9);
+//! }
+//! assert_eq!(recorder.counter("demo.iterations"), 17);
+//! assert_eq!(recorder.span_stats("demo.solve").unwrap().count, 1);
+//! ```
+//!
+//! For machine-readable output, [`JsonReporter`] wraps a [`MemoryRecorder`]
+//! and renders a schema-versioned [`report::Report`].
+
+pub mod report;
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use report::{JsonReporter, Report, ReportError, SCHEMA_VERSION};
+
+/// Sink for instrumentation events.
+///
+/// All methods take `&self`; implementations are internally synchronized so
+/// one recorder can be shared across solver threads.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter_add(&self, name: &str, delta: u64);
+
+    /// Records one sample of the value distribution `name`.
+    fn observe(&self, name: &str, value: f64);
+
+    /// Records one timed interval for the span `name`. Usually called by
+    /// [`Span`]'s drop, not directly.
+    fn record_span(&self, name: &str, duration: Duration);
+
+    /// Reports a human-readable anomaly (non-convergence, fallback taken).
+    fn warn(&self, message: &str);
+
+    /// Starts a wall-clock span ended when the guard drops.
+    ///
+    /// On `&dyn Recorder` use [`Span::enter`] instead; this sugar is only
+    /// callable on concrete recorder types.
+    fn span<'a>(&'a self, name: &'a str) -> Span<'a>
+    where
+        Self: Sized,
+    {
+        Span::enter(self, name)
+    }
+}
+
+/// Recorder that discards everything. Every method is an empty inline body,
+/// so instrumented code paths run at full speed when nobody is listening.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    #[inline]
+    fn observe(&self, _name: &str, _value: f64) {}
+
+    #[inline]
+    fn record_span(&self, _name: &str, _duration: Duration) {}
+
+    #[inline]
+    fn warn(&self, _message: &str) {}
+}
+
+/// The shared no-op recorder, for APIs that want a `&'static dyn Recorder`
+/// default.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+/// RAII wall-clock timer; reports its lifetime to the recorder on drop.
+#[must_use = "a span measures until it is dropped; binding it to _ ends it immediately"]
+pub struct Span<'a> {
+    recorder: &'a dyn Recorder,
+    name: &'a str,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing `name` against `recorder`.
+    pub fn enter(recorder: &'a dyn Recorder, name: &'a str) -> Self {
+        Span { recorder, name, start: Instant::now() }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.recorder.record_span(self.name, self.start.elapsed());
+    }
+}
+
+/// Count / sum / min / max summary of an observed distribution.
+///
+/// Enough to answer "how many, how big on average, how bad in the worst
+/// case" without storing samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Arithmetic mean of the samples; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+#[derive(Default)]
+struct MemoryState {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Summary>,
+    spans: BTreeMap<String, Summary>,
+    warnings: Vec<String>,
+}
+
+/// Recorder that aggregates everything in memory behind a mutex.
+///
+/// Spans are stored as [`Summary`] distributions of seconds. Read results
+/// back with [`counter`](MemoryRecorder::counter),
+/// [`histogram`](MemoryRecorder::histogram),
+/// [`span_stats`](MemoryRecorder::span_stats), or snapshot the whole state
+/// as a [`Report`].
+#[derive(Default)]
+pub struct MemoryRecorder {
+    state: Mutex<MemoryState>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of a counter; 0 when never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Summary of an observed distribution, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<Summary> {
+        self.lock().histograms.get(name).copied()
+    }
+
+    /// Summary (in seconds) of a span's recorded intervals.
+    pub fn span_stats(&self, name: &str) -> Option<Summary> {
+        self.lock().spans.get(name).copied()
+    }
+
+    /// All warnings, in the order they were raised.
+    pub fn warnings(&self) -> Vec<String> {
+        self.lock().warnings.clone()
+    }
+
+    /// Copies the current state into a schema-versioned [`Report`].
+    pub fn snapshot(&self, label: &str) -> Report {
+        let state = self.lock();
+        Report {
+            schema_version: SCHEMA_VERSION,
+            label: label.to_string(),
+            counters: state.counters.clone(),
+            histograms: state.histograms.clone(),
+            spans: state.spans.clone(),
+            warnings: state.warnings.clone(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemoryState> {
+        // a poisoned lock only means another thread panicked mid-update;
+        // telemetry should still be readable afterwards
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter_add(&self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let mut state = self.lock();
+        match state.counters.get_mut(name) {
+            Some(current) => *current = current.saturating_add(delta),
+            None => {
+                state.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut state = self.lock();
+        state.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    fn record_span(&self, name: &str, duration: Duration) {
+        let mut state = self.lock();
+        state.spans.entry(name.to_string()).or_default().record(duration.as_secs_f64());
+    }
+
+    fn warn(&self, message: &str) {
+        let mut state = self.lock();
+        state.warnings.push(message.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MemoryRecorder::new();
+        r.counter_add("x", 3);
+        r.counter_add("x", 4);
+        r.counter_add("y", 0); // no-op, should not create the key
+        assert_eq!(r.counter("x"), 7);
+        assert_eq!(r.counter("y"), 0);
+        assert_eq!(r.counter("never"), 0);
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let r = MemoryRecorder::new();
+        for v in [2.0, -1.0, 5.0] {
+            r.observe("resid", v);
+        }
+        let h = r.histogram("resid").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -1.0);
+        assert_eq!(h.max, 5.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert!(r.histogram("other").is_none());
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let r = MemoryRecorder::new();
+        {
+            let _span = r.span("work");
+            std::hint::black_box(0u64);
+        }
+        {
+            let _span = Span::enter(&r as &dyn Recorder, "work");
+        }
+        let s = r.span_stats("work").unwrap();
+        assert_eq!(s.count, 2);
+        assert!(s.sum >= 0.0);
+    }
+
+    #[test]
+    fn warnings_keep_order() {
+        let r = MemoryRecorder::new();
+        r.warn("first");
+        r.warn("second");
+        assert_eq!(r.warnings(), vec!["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn noop_is_callable_through_dyn() {
+        let r: &dyn Recorder = &NOOP;
+        r.counter_add("x", 1);
+        r.observe("y", 1.0);
+        r.warn("z");
+        let _span = Span::enter(r, "s");
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let r = MemoryRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        r.counter_add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hits"), 400);
+    }
+}

@@ -1,0 +1,597 @@
+//! Schema-versioned JSON run reports.
+//!
+//! A [`Report`] is a snapshot of a [`MemoryRecorder`](crate::MemoryRecorder)
+//! that renders to and parses from JSON without external dependencies, so
+//! downstream tooling (and the `telemetry_report` binary in `ppuf-bench`)
+//! can diff runs across commits.
+//!
+//! Schema, version 1 — unknown keys are ignored on parse so the version
+//! only bumps on incompatible changes:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "label": "free text identifying the run",
+//!   "counters":   { "dc.newton_iterations": 42 },
+//!   "histograms": { "dc.final_residual": {"count":1,"sum":1e-10,"min":1e-10,"max":1e-10} },
+//!   "spans":      { "dc.solve": {"count":1,"sum":0.0031,"min":0.0031,"max":0.0031} },
+//!   "warnings":   [ "..." ]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::{MemoryRecorder, Recorder, Summary};
+
+/// Version written into every report; parsers reject other versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Snapshot of one instrumented run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Always [`SCHEMA_VERSION`] for reports produced by this crate.
+    pub schema_version: u32,
+    /// Free-text run identifier chosen by the producer.
+    pub label: String,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Observed value distributions by name.
+    pub histograms: BTreeMap<String, Summary>,
+    /// Span timings by name, in seconds.
+    pub spans: BTreeMap<String, Summary>,
+    /// Warnings in the order raised.
+    pub warnings: Vec<String>,
+}
+
+/// Failure parsing a report from JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportError(String);
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "telemetry report error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl Report {
+    /// Renders the report as indented JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"label\": {},", json_string(&self.label));
+        write_u64_map(&mut out, "counters", &self.counters);
+        out.push_str(",\n");
+        write_summary_map(&mut out, "histograms", &self.histograms);
+        out.push_str(",\n");
+        write_summary_map(&mut out, "spans", &self.spans);
+        out.push_str(",\n  \"warnings\": [");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(w));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a report produced by [`Report::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError`] on malformed JSON, a missing field, or a
+    /// schema version other than [`SCHEMA_VERSION`].
+    pub fn from_json(text: &str) -> Result<Report, ReportError> {
+        let value = json::parse(text).map_err(ReportError)?;
+        let map = value.as_map().ok_or_else(|| ReportError("top level is not an object".into()))?;
+        let schema_version = get(map, "schema_version")?
+            .as_u64()
+            .ok_or_else(|| ReportError("schema_version is not an integer".into()))?
+            as u32;
+        if schema_version != SCHEMA_VERSION {
+            return Err(ReportError(format!(
+                "unsupported schema_version {schema_version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let label = get(map, "label")?
+            .as_str()
+            .ok_or_else(|| ReportError("label is not a string".into()))?
+            .to_string();
+        let counters = get(map, "counters")?
+            .as_map()
+            .ok_or_else(|| ReportError("counters is not an object".into()))?
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| ReportError(format!("counter {k:?} is not an integer")))
+            })
+            .collect::<Result<_, _>>()?;
+        let histograms = parse_summary_map(get(map, "histograms")?, "histograms")?;
+        let spans = parse_summary_map(get(map, "spans")?, "spans")?;
+        let warnings = get(map, "warnings")?
+            .as_seq()
+            .ok_or_else(|| ReportError("warnings is not an array".into()))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ReportError("warning is not a string".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Report { schema_version, label, counters, histograms, spans, warnings })
+    }
+
+    /// Signed per-counter difference `self - baseline`, for diffing two
+    /// runs; counters absent on one side count as zero.
+    pub fn counter_delta(&self, baseline: &Report) -> BTreeMap<String, i128> {
+        let mut delta = BTreeMap::new();
+        for (name, value) in &self.counters {
+            let base = baseline.counters.get(name).copied().unwrap_or(0);
+            let diff = i128::from(*value) - i128::from(base);
+            if diff != 0 {
+                delta.insert(name.clone(), diff);
+            }
+        }
+        for (name, base) in &baseline.counters {
+            if !self.counters.contains_key(name) {
+                delta.insert(name.clone(), -i128::from(*base));
+            }
+        }
+        delta
+    }
+}
+
+fn get<'a>(map: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Value, ReportError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ReportError(format!("missing field {key:?}")))
+}
+
+fn parse_summary_map(
+    value: &json::Value,
+    what: &str,
+) -> Result<BTreeMap<String, Summary>, ReportError> {
+    let entries = value.as_map().ok_or_else(|| ReportError(format!("{what} is not an object")))?;
+    entries
+        .iter()
+        .map(|(name, v)| {
+            let fields = v
+                .as_map()
+                .ok_or_else(|| ReportError(format!("{what} entry {name:?} is not an object")))?;
+            let number = |key: &str| {
+                get(fields, key)?
+                    .as_f64()
+                    .ok_or_else(|| ReportError(format!("{what}.{name}.{key} is not a number")))
+            };
+            let count = get(fields, "count")?
+                .as_u64()
+                .ok_or_else(|| ReportError(format!("{what}.{name}.count is not an integer")))?;
+            Ok((
+                name.clone(),
+                Summary { count, sum: number("sum")?, min: number("min")?, max: number("max")? },
+            ))
+        })
+        .collect()
+}
+
+fn write_u64_map(out: &mut String, key: &str, map: &BTreeMap<String, u64>) {
+    let _ = write!(out, "  \"{key}\": {{");
+    for (i, (name, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: {value}", json_string(name));
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+fn write_summary_map(out: &mut String, key: &str, map: &BTreeMap<String, Summary>) {
+    let _ = write!(out, "  \"{key}\": {{");
+    for (i, (name, s)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+            json_string(name),
+            s.count,
+            json_f64(s.sum),
+            json_f64(s.min),
+            json_f64(s.max),
+        );
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}") // shortest form that round-trips
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Recorder that aggregates in memory and finishes by writing a JSON
+/// [`Report`] — the producer side of `results/telemetry/*.json`.
+pub struct JsonReporter {
+    label: String,
+    recorder: MemoryRecorder,
+}
+
+impl JsonReporter {
+    /// Creates a reporter whose report will carry `label`.
+    pub fn new(label: impl Into<String>) -> Self {
+        JsonReporter { label: label.into(), recorder: MemoryRecorder::new() }
+    }
+
+    /// The aggregating recorder, e.g. to read counters back mid-run.
+    pub fn recorder(&self) -> &MemoryRecorder {
+        &self.recorder
+    }
+
+    /// Snapshots the current state as a [`Report`].
+    pub fn report(&self) -> Report {
+        self.recorder.snapshot(&self.label)
+    }
+
+    /// Writes the report as JSON to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.report().to_json())
+    }
+}
+
+impl Recorder for JsonReporter {
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.recorder.counter_add(name, delta);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.recorder.observe(name, value);
+    }
+
+    fn record_span(&self, name: &str, duration: Duration) {
+        self.recorder.record_span(name, duration);
+    }
+
+    fn warn(&self, message: &str) {
+        self.recorder.warn(message);
+    }
+}
+
+/// Minimal JSON reader used only by [`Report::from_json`]; kept private so
+/// the crate stays dependency-free.
+mod json {
+    pub enum Value {
+        Null,
+        Bool(#[allow(dead_code)] bool),
+        Num(f64),
+        Str(String),
+        Seq(Vec<Value>),
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                Value::Null => Some(f64::NAN), // non-finite stats serialize as null
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, byte: u8) -> Result<(), String> {
+            if self.bytes.get(self.pos) == Some(&byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, text: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.bytes.get(self.pos) {
+                Some(b'n') if self.literal("null") => Ok(Value::Null),
+                Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+                Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b'[') => {
+                    self.pos += 1;
+                    let mut items = Vec::new();
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) == Some(&b']') {
+                        self.pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    loop {
+                        self.skip_ws();
+                        items.push(self.value()?);
+                        self.skip_ws();
+                        match self.bytes.get(self.pos) {
+                            Some(b',') => self.pos += 1,
+                            Some(b']') => {
+                                self.pos += 1;
+                                return Ok(Value::Seq(items));
+                            }
+                            _ => return Err(format!("bad array at byte {}", self.pos)),
+                        }
+                    }
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    let mut entries = Vec::new();
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) == Some(&b'}') {
+                        self.pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.skip_ws();
+                        self.eat(b':')?;
+                        self.skip_ws();
+                        let value = self.value()?;
+                        entries.push((key, value));
+                        self.skip_ws();
+                        match self.bytes.get(self.pos) {
+                            Some(b',') => self.pos += 1,
+                            Some(b'}') => {
+                                self.pos += 1;
+                                return Ok(Value::Map(entries));
+                            }
+                            _ => return Err(format!("bad object at byte {}", self.pos)),
+                        }
+                    }
+                }
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let escape = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match escape {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let digits = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = std::str::from_utf8(digits)
+                                    .ok()
+                                    .and_then(|t| u32::from_str_radix(t, 16).ok())
+                                    .and_then(char::from_u32)
+                                    .ok_or("invalid \\u escape")?;
+                                self.pos += 4;
+                                out.push(code);
+                            }
+                            other => return Err(format!("invalid escape '\\{}'", other as char)),
+                        }
+                    }
+                    Some(_) => {
+                        let start = self.pos;
+                        while let Some(&b) = self.bytes.get(self.pos) {
+                            if b == b'"' || b == b'\\' {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.pos])
+                                .map_err(|_| "invalid utf-8".to_string())?,
+                        );
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let reporter = JsonReporter::new("unit-test run");
+        reporter.counter_add("dc.newton_iterations", 42);
+        reporter.counter_add("maxflow.augmenting_paths", 7);
+        reporter.observe("dc.final_residual", 3.25e-11);
+        reporter.observe("dc.final_residual", 8.5e-12);
+        reporter.record_span("dc.solve", Duration::from_micros(1234));
+        reporter.warn("dc solver: fallback to gauss-seidel");
+        reporter.report()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = Report::from_json(&text).expect("report should parse back");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = JsonReporter::new("empty").report();
+        assert_eq!(Report::from_json(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn schema_version_is_enforced() {
+        let mut report = sample_report();
+        report.schema_version = 999;
+        let err = Report::from_json(&report.to_json()).unwrap_err();
+        assert!(err.to_string().contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        assert!(Report::from_json("{\"schema_version\": 1}").is_err());
+        assert!(Report::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn counter_delta_reports_signed_differences() {
+        let old = sample_report();
+        let mut new = old.clone();
+        new.counters.insert("dc.newton_iterations".into(), 50);
+        new.counters.remove("maxflow.augmenting_paths");
+        new.counters.insert("fresh".into(), 3);
+        let delta = new.counter_delta(&old);
+        assert_eq!(delta.get("dc.newton_iterations"), Some(&8));
+        assert_eq!(delta.get("maxflow.augmenting_paths"), Some(&-7));
+        assert_eq!(delta.get("fresh"), Some(&3));
+    }
+
+    #[test]
+    fn write_to_creates_directories() {
+        let dir = std::env::temp_dir().join("ppuf-telemetry-test").join("nested");
+        let path = dir.join("report.json");
+        let _ = std::fs::remove_file(&path);
+        let reporter = JsonReporter::new("io-test");
+        reporter.counter_add("k", 1);
+        reporter.write_to(&path).expect("write should succeed");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(Report::from_json(&text).unwrap(), reporter.report());
+        let _ = std::fs::remove_file(&path);
+    }
+}

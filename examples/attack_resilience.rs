@@ -29,12 +29,7 @@ fn main() -> Result<(), PpufError> {
 
     println!("\n{:>8}  {:>16}  {:>16}", "CRPs", "PPUF min error", "arbiter min error");
     for (p, a) in ppuf_results.iter().zip(&arbiter_results) {
-        println!(
-            "{:>8}  {:>16.4}  {:>16.4}",
-            p.observed_crps,
-            p.min_error(),
-            a.min_error()
-        );
+        println!("{:>8}  {:>16.4}  {:>16.4}", p.observed_crps, p.min_error(), a.min_error());
     }
 
     let last_ppuf = ppuf_results.last().expect("non-empty").min_error();
@@ -44,9 +39,6 @@ fn main() -> Result<(), PpufError> {
         training_sizes.last().expect("non-empty"),
         last_ppuf / last_arbiter.max(1e-4)
     );
-    assert!(
-        last_ppuf > last_arbiter,
-        "the PPUF must be harder to learn than the arbiter baseline"
-    );
+    assert!(last_ppuf > last_arbiter, "the PPUF must be harder to learn than the arbiter baseline");
     Ok(())
 }

@@ -68,10 +68,7 @@ fn main() -> Result<(), PpufError> {
     // simulations — exactly the k× gap amplification
     let replay_started = Instant::now();
     let valid = feedback::verify_chain(&space, &first, &device_chain, |c| model.response(c))?;
-    println!(
-        "verifier replayed the chain in {:?}: valid = {valid}",
-        replay_started.elapsed()
-    );
+    println!("verifier replayed the chain in {:?}: valid = {valid}", replay_started.elapsed());
     assert!(valid);
 
     // a forged chain (tampered round) fails
@@ -87,8 +84,7 @@ fn main() -> Result<(), PpufError> {
         &answer,
         Some(Seconds(elapsed.as_secs_f64())),
     )?;
-    let too_slow =
-        deadline_verifier.verify_timed(&challenge, &answer, Some(Seconds(3.0)))?;
+    let too_slow = deadline_verifier.verify_timed(&challenge, &answer, Some(Seconds(3.0)))?;
     println!(
         "\ndeadline check: timely accepted = {}, slow (simulating attacker) accepted = {}",
         timely.accepted(),

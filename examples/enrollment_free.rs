@@ -66,9 +66,6 @@ fn main() -> Result<(), PpufError> {
         "  PPUF public model:    {:>12} bytes (valid for the device's lifetime)",
         cmp.public_model_bytes()
     );
-    println!(
-        "  usable CRP space:     {}",
-        CrpSpace::paper_example().describe()
-    );
+    println!("  usable CRP space:     {}", CrpSpace::paper_example().describe());
     Ok(())
 }

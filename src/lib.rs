@@ -46,9 +46,7 @@ pub mod prelude {
     pub use ppuf_analog::delay::DelayModel;
     pub use ppuf_analog::units::{Amps, Celsius, Seconds, Volts, Watts};
     pub use ppuf_analog::variation::{Environment, ProcessVariation};
-    pub use ppuf_attack::{
-        evaluate_attack, ArbiterOracle, ArbiterPuf, AttackConfig, PpufOracle,
-    };
+    pub use ppuf_attack::{evaluate_attack, ArbiterOracle, ArbiterPuf, AttackConfig, PpufOracle};
     pub use ppuf_core::protocol::{prove, run_chain, verify_chain, Verifier};
     pub use ppuf_core::{
         Challenge, ChallengeSpace, CrpSpace, EsgAnalysis, ExecutionOutcome, MetricsReport,

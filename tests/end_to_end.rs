@@ -37,10 +37,8 @@ fn analog_execution_matches_simulation_within_one_percent() {
     for _ in 0..5 {
         let challenge = ppuf.challenge_space().random(&mut rng);
         for side in NetworkSide::BOTH {
-            let analog = executor
-                .execute_network(side, &challenge)
-                .expect("analog converges")
-                .value();
+            let analog =
+                executor.execute_network(side, &challenge).expect("analog converges").value();
             let net = model.flow_network(side, &challenge).expect("valid");
             let flow = Dinic::new()
                 .max_flow(&net, challenge.source, challenge.sink)
@@ -60,9 +58,7 @@ fn all_solvers_agree_on_ppuf_instances() {
     let executor = ppuf.executor(Environment::NOMINAL);
     let mut rng = ChaCha8Rng::seed_from_u64(6);
     let challenge = ppuf.challenge_space().random(&mut rng);
-    let net = executor
-        .flow_network(NetworkSide::A, &challenge)
-        .expect("valid challenge");
+    let net = executor.flow_network(NetworkSide::A, &challenge).expect("valid challenge");
     let (s, t) = (challenge.source, challenge.sink);
     let dinic = Dinic::new().max_flow(&net, s, t).expect("solves").value();
     let ek = EdmondsKarp::new().max_flow(&net, s, t).expect("solves").value();
@@ -96,9 +92,7 @@ fn approximation_error_bound_exceeds_the_response_margin() {
         let challenge = ppuf.challenge_space().random(&mut rng);
         let e = model.simulate(&challenge, &exact).expect("solves");
         let a = model.simulate(&challenge, &sloppy).expect("solves");
-        for (exact_v, approx_v) in
-            [(e.current_a, a.current_a), (e.current_b, a.current_b)]
-        {
+        for (exact_v, approx_v) in [(e.current_a, a.current_a), (e.current_b, a.current_b)] {
             assert!(approx_v.value() <= exact_v.value() + 1e-12);
             assert!(approx_v.value() >= exact_v.value() / (1.0 + eps) - 1e-12);
         }
@@ -145,8 +139,8 @@ fn feedback_chain_device_vs_model() {
     assert_eq!(chain.len(), 6);
     // the public model replays the whole chain successfully (Fig 6
     // equivalence transfers to chained responses)
-    let ok = feedback::verify_chain(&space, &first, &chain, |c| model.response(c))
-        .expect("replays");
+    let ok =
+        feedback::verify_chain(&space, &first, &chain, |c| model.response(c)).expect("replays");
     assert!(ok);
 }
 

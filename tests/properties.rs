@@ -11,10 +11,7 @@ fn any_device() -> impl Strategy<Value = (Ppuf, u64)> {
     ((4usize..10), (1usize..4), any::<u64>(), any::<u64>()).prop_map(
         |(nodes, grid, seed, challenge_seed)| {
             let grid = grid.min(nodes);
-            (
-                Ppuf::generate(PpufConfig::paper(nodes, grid), seed).expect("valid"),
-                challenge_seed,
-            )
+            (Ppuf::generate(PpufConfig::paper(nodes, grid), seed).expect("valid"), challenge_seed)
         },
     )
 }
