@@ -2,7 +2,7 @@
 //!
 //! Logistic regression with resilient backpropagation is the workhorse of
 //! the PUF modelling-attack literature (Rührmair et al., CCS 2010 — the
-//! paper's citation [18] for model-building attacks): it is what breaks
+//! paper's citation \[18\] for model-building attacks): it is what breaks
 //! arbiter PUFs and their XOR variants in practice. Including it makes
 //! this crate's attacker strictly stronger than the paper's SVM+KNN
 //! suite, which only makes the PPUF's measured resilience more

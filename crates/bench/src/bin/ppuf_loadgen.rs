@@ -1,0 +1,111 @@
+//! Drives the PPUF verification service with concurrent honest,
+//! impostor, and garbage clients over real TCP and writes a throughput /
+//! latency-percentile report under `results/service/`.
+//!
+//! ```text
+//! cargo run --release --bin ppuf_loadgen [-- --smoke] [--clients N]
+//!     [--requests N] [--workers N] [--nodes N] [--label NAME] [--out DIR]
+//! ```
+//!
+//! `--smoke` selects the CI profile (small device, 2 workers, 100
+//! requests) and additionally *checks* its invariants, exiting non-zero
+//! if any fails — honest traffic accepted, impostors rejected on the
+//! deadline, garbage answered with structured errors, repeated answers
+//! served from the verification cache.
+
+use ppuf_bench::report::{section, write_json_report, SERVICE_DIR};
+use ppuf_server::loadgen::{run_loadgen, CohortReport, LoadgenConfig};
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn cohort_row(name: &str, cohort: &CohortReport) {
+    print!(
+        "  {name:<9} {:>3} clients  {:>4} requests  {:>4} accepted  {:>4} deadline-rejected  {:>4} errors",
+        cohort.clients, cohort.requests, cohort.accepted, cohort.rejected_deadline,
+        cohort.structured_errors,
+    );
+    match &cohort.latency {
+        Some(l) => {
+            println!("  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms", l.p50_ms, l.p95_ms, l.p99_ms)
+        }
+        None => println!(),
+    }
+}
+
+fn main() {
+    let smoke = has_flag("--smoke");
+    let mut config = if smoke { LoadgenConfig::smoke() } else { LoadgenConfig::default() };
+    if let Some(n) = arg_after("--clients").and_then(|v| v.parse().ok()) {
+        config.honest_clients = n;
+    }
+    if let Some(n) = arg_after("--requests").and_then(|v| v.parse().ok()) {
+        config.requests_per_client = n;
+    }
+    if let Some(n) = arg_after("--workers").and_then(|v| v.parse().ok()) {
+        config.workers = n;
+    }
+    if let Some(n) = arg_after("--nodes").and_then(|v| v.parse().ok()) {
+        config.nodes = n;
+    }
+    if let Some(label) = arg_after("--label") {
+        config.label = label;
+    }
+    let out_dir = arg_after("--out").unwrap_or_else(|| SERVICE_DIR.to_string());
+
+    section(&format!("loadgen: {}", config.label));
+    println!(
+        "  device n={} grid={}  {} workers, queue {}  deadline {} s  {} total requests",
+        config.nodes,
+        config.grid,
+        config.workers,
+        config.queue_capacity,
+        config.deadline_s,
+        config.total_requests()
+    );
+
+    let report = match run_loadgen(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    section("cohorts");
+    cohort_row("honest", &report.honest);
+    cohort_row("impostor", &report.impostor);
+    cohort_row("garbage", &report.garbage);
+
+    section("totals");
+    println!(
+        "  {} requests in {:.2} s -> {:.1} req/s",
+        report.total_requests, report.duration_s, report.throughput_rps
+    );
+    let hits = report.server_counters.get("server.cache.hits").copied().unwrap_or(0);
+    let misses = report.server_counters.get("server.cache.misses").copied().unwrap_or(0);
+    println!("  verification cache: {hits} hits / {misses} misses");
+
+    let path =
+        write_json_report(&config.label, &report.to_json(), &out_dir).expect("report written");
+    println!("  report -> {}", path.display());
+
+    if smoke {
+        if let Err(violation) = report.check_smoke_invariants() {
+            eprintln!("smoke invariant violated: {violation}");
+            std::process::exit(1);
+        }
+        println!("  smoke invariants hold");
+    }
+}

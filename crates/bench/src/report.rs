@@ -10,6 +10,36 @@ use ppuf_telemetry::Report;
 /// Default directory for machine-readable telemetry run reports.
 pub const TELEMETRY_DIR: &str = "results/telemetry";
 
+/// Default directory for verification-service load reports
+/// (`cargo run --bin ppuf_loadgen`).
+pub const SERVICE_DIR: &str = "results/service";
+
+/// Writes an already-serialized JSON report as `<dir>/<label>.json` (the
+/// label is sanitized to a safe file stem) and returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_json_report(label: &str, json: &str, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", sanitize_stem(label)));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn sanitize_stem(label: &str) -> String {
+    let stem: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    if stem.is_empty() {
+        "report".to_string()
+    } else {
+        stem
+    }
+}
+
 /// Writes a schema-versioned telemetry [`Report`] as
 /// `<dir>/<label>.json` (the label is sanitized to a safe file stem) and
 /// returns the path written.
@@ -18,17 +48,7 @@ pub const TELEMETRY_DIR: &str = "results/telemetry";
 ///
 /// Propagates filesystem errors from directory creation or the write.
 pub fn write_telemetry_report(report: &Report, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
-    let dir = dir.as_ref();
-    std::fs::create_dir_all(dir)?;
-    let stem: String = report
-        .label
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
-        .collect();
-    let stem = if stem.is_empty() { "report".to_string() } else { stem };
-    let path = dir.join(format!("{stem}.json"));
-    std::fs::write(&path, report.to_json())?;
-    Ok(path)
+    write_json_report(&report.label, &report.to_json(), dir)
 }
 
 /// Prints a section header.

@@ -1,6 +1,7 @@
 //! Offline stand-in for [`crossbeam`]: the `scope` / `spawn` / `join`
 //! surface this workspace uses, backed by `std::thread::scope` (stable
-//! since Rust 1.63).
+//! since Rust 1.63), plus the [`channel`] module mirroring
+//! `crossbeam-channel`'s bounded/unbounded MPMC channels.
 //!
 //! Matching upstream, `scope` returns `Err` instead of unwinding when a
 //! spawned thread panics without being joined, and `spawn` closures take
@@ -8,6 +9,8 @@
 //! `()` because every call site writes `|_|`.
 //!
 //! [`crossbeam`]: https://crates.io/crates/crossbeam
+
+pub mod channel;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

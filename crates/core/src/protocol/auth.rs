@@ -22,8 +22,8 @@ use crate::device::PpufExecutor;
 use crate::error::PpufError;
 use crate::public_model::{NetworkSide, PublicModel};
 
-/// Absolute current tolerance used by the verifier's feasibility and
-/// optimality checks.
+/// Default absolute current tolerance for the verifier's feasibility and
+/// optimality checks (see [`Verifier::with_tolerance`]).
 ///
 /// The device's physical current differs from the published model by the
 /// Fig 6 inaccuracy (< 1 % of a tens-of-nA per-edge scale), so the
@@ -103,12 +103,15 @@ pub struct Verifier {
     threads: usize,
     /// Optional response deadline (the ESG enforcement knob).
     deadline: Option<Seconds>,
+    /// Absolute current tolerance for feasibility/optimality checks.
+    tolerance: f64,
 }
 
 impl Verifier {
-    /// Creates a verifier over a published model.
+    /// Creates a verifier over a published model with the default
+    /// [`VERIFY_TOLERANCE`].
     pub fn new(model: PublicModel) -> Self {
-        Verifier { model, threads: 1, deadline: None }
+        Verifier { model, threads: 1, deadline: None, tolerance: VERIFY_TOLERANCE }
     }
 
     /// Uses `threads` workers for the residual-reachability check.
@@ -122,6 +125,31 @@ impl Verifier {
     pub fn with_deadline(mut self, deadline: Seconds) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Overrides the absolute current tolerance (in amperes) used by the
+    /// feasibility and optimality checks.
+    ///
+    /// Deployments can tighten this below [`VERIFY_TOLERANCE`] when their
+    /// characterization is better than the paper's Fig 6 bound, or loosen
+    /// it for noisier devices; it must stay positive because exact `f64`
+    /// equality is meaningless on summed currents.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tolerance` is finite and positive.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "verify tolerance must be finite and positive, got {tolerance}"
+        );
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The absolute current tolerance in effect.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
     }
 
     /// The verifier's model.
@@ -177,12 +205,10 @@ impl Verifier {
         flow: &Flow,
     ) -> Result<NetworkVerdict, PpufError> {
         let net = self.model.flow_network(side, challenge)?;
-        let feasible = flow
-            .check_feasible(&net, VERIFY_TOLERANCE)
-            .map_err(PpufError::Simulation)?
-            .is_feasible();
+        let feasible =
+            flow.check_feasible(&net, self.tolerance).map_err(PpufError::Simulation)?.is_feasible();
         let residual =
-            ResidualGraph::new(&net, flow, VERIFY_TOLERANCE).map_err(PpufError::Simulation)?;
+            ResidualGraph::new(&net, flow, self.tolerance).map_err(PpufError::Simulation)?;
         let maximal = !residual
             .is_reachable_parallel(challenge.source, challenge.sink, self.threads)
             .map_err(PpufError::Simulation)?;
@@ -260,6 +286,52 @@ mod tests {
         let report = verifier.verify(&challenge, &answer).unwrap();
         assert!(!report.response_consistent);
         assert!(!report.accepted());
+    }
+
+    #[test]
+    fn tightened_tolerance_rejects_marginal_flows() {
+        let (ppuf, challenge) = setup();
+        let executor = ppuf.executor(Environment::NOMINAL);
+        let mut answer = prove(&executor, &challenge).unwrap();
+        // add 5e-10 A onto an idle edge between two internal nodes: the
+        // conservation violation at its endpoints is exactly 5e-10 —
+        // inside the default 1e-9 band, far outside a tightened 1e-12 one
+        let model = ppuf.public_model().unwrap();
+        let net = model.flow_network(NetworkSide::A, &challenge).unwrap();
+        let violation = 5e-10;
+        let edge_idx = net
+            .edges()
+            .find(|(id, e)| {
+                let internal =
+                    |v: ppuf_maxflow::NodeId| v != challenge.source && v != challenge.sink;
+                internal(e.from)
+                    && internal(e.to)
+                    && answer.flow_a.edge_flows()[id.index()] == 0.0
+                    && e.capacity > 1e-9
+            })
+            .map(|(id, _)| id.index())
+            .expect("an idle internal edge exists on a complete graph");
+        let mut flows = answer.flow_a.edge_flows().to_vec();
+        flows[edge_idx] += violation;
+        answer.flow_a =
+            Flow::from_edge_flows(challenge.source, challenge.sink, answer.flow_a.value(), flows);
+
+        let lenient = Verifier::new(model.clone());
+        assert_eq!(lenient.tolerance(), VERIFY_TOLERANCE);
+        let report = lenient.verify(&challenge, &answer).unwrap();
+        assert!(report.network_a.feasible, "default tolerance must absorb the nudge");
+
+        let strict = Verifier::new(model).with_tolerance(1e-12);
+        let report = strict.verify(&challenge, &answer).unwrap();
+        assert!(!report.network_a.feasible, "tightened tolerance must reject it");
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nonpositive_tolerance_rejected() {
+        let (ppuf, _) = setup();
+        let _ = Verifier::new(ppuf.public_model().unwrap()).with_tolerance(0.0);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Injectable time source for deadline and expiry logic.
+//!
+//! The authentication protocol is full of wall-clock decisions — answer
+//! deadlines ([`AuthenticationSession`](crate::protocol::session)), session
+//! expiry ([`ChallengeIssuer`](crate::protocol::issuer)) — and testing them
+//! against `std::time::Instant` means real sleeps. A [`Clock`] abstracts
+//! "now" as monotonic [`Seconds`] since an arbitrary per-clock origin:
+//! production code uses [`SystemClock`], tests drive a [`ManualClock`]
+//! forward explicitly.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ppuf_analog::units::Seconds;
+
+/// A monotonic time source.
+///
+/// Implementations return seconds since an arbitrary (per-clock) origin;
+/// only *differences* between two readings are meaningful, which is all
+/// deadline and expiry logic needs.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current monotonic time.
+    fn now(&self) -> Seconds;
+}
+
+/// The production clock: `std::time::Instant` against a fixed origin.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose origin is the moment of construction.
+    pub fn new() -> Self {
+        SystemClock { origin: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Seconds {
+        Seconds(self.origin.elapsed().as_secs_f64())
+    }
+}
+
+/// A hand-cranked clock for tests: time moves only when told to.
+///
+/// ```
+/// use ppuf_core::protocol::clock::{Clock, ManualClock};
+///
+/// let clock = ManualClock::new();
+/// assert_eq!(clock.now().value(), 0.0);
+/// clock.advance(2.5);
+/// assert_eq!(clock.now().value(), 2.5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Mutex<f64>,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock already at `now` seconds.
+    pub fn at(now: f64) -> Self {
+        ManualClock { now: Mutex::new(now) }
+    }
+
+    /// Moves the clock forward by `delta` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative — the clock is monotonic.
+    pub fn advance(&self, delta: f64) {
+        assert!(delta >= 0.0, "ManualClock cannot run backwards (delta = {delta})");
+        *self.lock() += delta;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, f64> {
+        self.now.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Seconds {
+        Seconds(*self.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b.value() >= a.value());
+    }
+
+    #[test]
+    fn manual_clock_advances_on_demand() {
+        let clock = ManualClock::at(10.0);
+        assert_eq!(clock.now().value(), 10.0);
+        clock.advance(0.5);
+        clock.advance(1.5);
+        assert_eq!(clock.now().value(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run backwards")]
+    fn manual_clock_rejects_negative_delta() {
+        ManualClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Box<dyn Clock>> =
+            vec![Box::new(SystemClock::new()), Box::new(ManualClock::new())];
+        for clock in &clocks {
+            let _ = clock.now();
+        }
+    }
+}

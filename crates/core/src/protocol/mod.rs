@@ -2,11 +2,15 @@
 //! feedback-loop ESG amplification.
 
 pub mod auth;
+pub mod clock;
 pub mod feedback;
+pub mod issuer;
 pub mod session;
 
 pub use auth::{prove, ProverAnswer, VerificationReport, Verifier};
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use feedback::{derive_next_challenge, run_chain, verify_chain, FeedbackChain};
+pub use issuer::{ChallengeIssuer, IssuedChallenge, RedeemError, RedeemedSession};
 pub use session::{
     AuthenticationSession, Prover, RejectReason, SessionConfig, SessionOutcome, SimulatingAttacker,
 };

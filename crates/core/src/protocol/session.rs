@@ -9,7 +9,7 @@
 //! deadline), followed by one `k`-round feedback chain that the verifier
 //! replays on its public model.
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -19,6 +19,7 @@ use crate::challenge::Challenge;
 use crate::device::PpufExecutor;
 use crate::error::PpufError;
 use crate::protocol::auth::{prove, ProverAnswer, VerificationReport, Verifier};
+use crate::protocol::clock::{Clock, SystemClock};
 use crate::protocol::feedback::{run_chain, verify_chain, FeedbackChain};
 use crate::public_model::PublicModel;
 
@@ -143,16 +144,24 @@ impl SessionOutcome {
 pub struct AuthenticationSession {
     verifier: Verifier,
     config: SessionConfig,
+    clock: Arc<dyn Clock>,
 }
 
 impl AuthenticationSession {
-    /// Creates a session over a published model.
+    /// Creates a session over a published model, timed by the wall clock.
     pub fn new(model: PublicModel, config: SessionConfig) -> Self {
         let mut verifier = Verifier::new(model).with_threads(config.verifier_threads);
         if let Some(deadline) = config.deadline {
             verifier = verifier.with_deadline(deadline);
         }
-        AuthenticationSession { verifier, config }
+        AuthenticationSession { verifier, config, clock: Arc::new(SystemClock::new()) }
+    }
+
+    /// Times answers against `clock` instead of the wall clock, so
+    /// deadline logic is testable without real sleeps.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The session parameters.
@@ -177,7 +186,7 @@ impl AuthenticationSession {
         let mut round_times = Vec::with_capacity(self.config.rounds);
         for round in 0..self.config.rounds {
             let challenge = space.random(rng);
-            let started = Instant::now();
+            let started = self.clock.now();
             let answer = match prover.answer(&challenge) {
                 Ok(a) => a,
                 Err(e) => {
@@ -187,7 +196,7 @@ impl AuthenticationSession {
                     }))
                 }
             };
-            let elapsed = Seconds(started.elapsed().as_secs_f64());
+            let elapsed = Seconds(self.clock.now().value() - started.value());
             let report = self.verifier.verify_timed(&challenge, &answer, Some(elapsed))?;
             if !report.accepted() {
                 return Ok(SessionOutcome::Rejected(RejectReason::BadAnswer { round, report }));
@@ -198,7 +207,7 @@ impl AuthenticationSession {
         let mut chain_time = Seconds(0.0);
         if self.config.feedback_rounds > 0 {
             let first = space.random(rng);
-            let started = Instant::now();
+            let started = self.clock.now();
             let chain: FeedbackChain =
                 match run_chain(&space, first.clone(), self.config.feedback_rounds, |c| {
                     prover.respond(c)
@@ -211,7 +220,7 @@ impl AuthenticationSession {
                         }))
                     }
                 };
-            chain_time = Seconds(started.elapsed().as_secs_f64());
+            chain_time = Seconds(self.clock.now().value() - started.value());
             let valid = verify_chain(&space, &first, &chain, |c| model.response(c))?;
             if !valid {
                 return Ok(SessionOutcome::Rejected(RejectReason::BadChain));
@@ -326,6 +335,50 @@ mod tests {
         // 6 chained guesses all matching has probability ~1/64; the seed
         // is fixed so this is deterministic
         assert!(matches!(outcome, SessionOutcome::Rejected(RejectReason::BadChain)), "{outcome:?}");
+    }
+
+    /// A prover that consumes simulated time on a [`ManualClock`] before
+    /// answering honestly — the attacker's `Ω(n²)` cost without a sleep.
+    struct SlowProver<'a> {
+        honest: PpufExecutor<'a>,
+        clock: Arc<crate::protocol::clock::ManualClock>,
+        cost: f64,
+    }
+
+    impl Prover for SlowProver<'_> {
+        fn answer(&self, challenge: &Challenge) -> Result<ProverAnswer, PpufError> {
+            self.clock.advance(self.cost);
+            prove(&self.honest, challenge)
+        }
+    }
+
+    #[test]
+    fn manual_clock_separates_fast_and_slow_provers() {
+        let (ppuf, model) = setup();
+        let clock = Arc::new(crate::protocol::clock::ManualClock::new());
+        let config = SessionConfig {
+            rounds: 1,
+            feedback_rounds: 0,
+            deadline: Some(Seconds(1.0)),
+            ..Default::default()
+        };
+
+        // under the deadline: accepted (the clock never moves, elapsed = 0)
+        let session = AuthenticationSession::new(model.clone(), config)
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let honest = ppuf.executor(Environment::NOMINAL);
+        assert!(session.run(&honest, &mut rng).unwrap().accepted());
+
+        // over the deadline: rejected, no real time elapsed in this test
+        let slow = SlowProver { honest: ppuf.executor(Environment::NOMINAL), clock, cost: 2.0 };
+        let outcome = session.run(&slow, &mut rng).unwrap();
+        match outcome {
+            SessionOutcome::Rejected(RejectReason::BadAnswer { report, .. }) => {
+                assert!(!report.within_deadline);
+            }
+            other => panic!("expected deadline rejection, got {other:?}"),
+        }
     }
 
     #[test]

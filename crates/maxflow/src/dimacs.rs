@@ -17,6 +17,7 @@
 //! format traditionally uses integers; real-valued capacities are a
 //! widely used extension and what PPUF instances need).
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 use crate::graph::{FlowNetwork, NodeId};
@@ -34,6 +35,11 @@ pub struct DimacsInstance {
 
 /// Serializes a network and its terminals to DIMACS text.
 ///
+/// Parallel arcs (which [`FlowNetwork`] permits) are merged into one
+/// `a` line with their capacities summed — max-flow-equivalent, and
+/// required because DIMACS text cannot distinguish a parallel arc from
+/// an accidental duplicate line ([`from_dimacs`] rejects duplicates).
+///
 /// ```
 /// use ppuf_maxflow::{dimacs, FlowNetwork, NodeId};
 /// # fn main() -> Result<(), ppuf_maxflow::MaxFlowError> {
@@ -44,18 +50,32 @@ pub struct DimacsInstance {
 /// # }
 /// ```
 pub fn to_dimacs(net: &FlowNetwork, source: NodeId, sink: NodeId) -> String {
+    // merge parallel arcs, preserving first-seen order for stable output
+    let mut order: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut merged: std::collections::HashMap<(NodeId, NodeId), f64> =
+        std::collections::HashMap::new();
+    for (_, edge) in net.edges() {
+        let key = (edge.from, edge.to);
+        match merged.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += edge.capacity,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(edge.capacity);
+                order.push(key);
+            }
+        }
+    }
     let mut out = String::new();
-    let _ = writeln!(out, "p max {} {}", net.node_count(), net.edge_count());
+    let _ = writeln!(out, "p max {} {}", net.node_count(), order.len());
     let _ = writeln!(out, "n {} s", source.index() + 1);
     let _ = writeln!(out, "n {} t", sink.index() + 1);
-    for (_, edge) in net.edges() {
+    for key in order {
         let _ = writeln!(
             out,
             "a {} {} {}",
-            edge.from.index() + 1,
-            edge.to.index() + 1,
+            key.0.index() + 1,
+            key.1.index() + 1,
             // shortest round-trip representation
-            format_capacity(edge.capacity)
+            format_capacity(merged[&key])
         );
     }
     out
@@ -74,12 +94,14 @@ fn format_capacity(c: f64) -> String {
 /// # Errors
 ///
 /// Returns a [`ParseDimacsError`] naming the offending line for malformed
-/// capacities, out-of-range or 0-based node ids, coinciding terminals,
-/// missing problem/terminal lines, and unknown line types.
+/// or duplicate problem lines, out-of-range or 0-based node ids,
+/// duplicate arcs, coinciding terminals, missing problem/terminal lines,
+/// malformed capacities, and unknown line types.
 pub fn from_dimacs(text: &str) -> Result<DimacsInstance, ParseDimacsError> {
     let mut network: Option<FlowNetwork> = None;
     let mut source = None;
     let mut sink = None;
+    let mut seen_arcs: HashSet<(usize, usize)> = HashSet::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('c') {
@@ -89,6 +111,9 @@ pub fn from_dimacs(text: &str) -> Result<DimacsInstance, ParseDimacsError> {
         let kind = parts.next().expect("non-empty line");
         match kind {
             "p" => {
+                if network.is_some() {
+                    return Err(ParseDimacsError::at(lineno, "duplicate problem line"));
+                }
                 let fmt = parts.next();
                 if fmt != Some("max") {
                     return Err(ParseDimacsError::at(lineno, "expected 'p max'"));
@@ -98,13 +123,14 @@ pub fn from_dimacs(text: &str) -> Result<DimacsInstance, ParseDimacsError> {
                 network = Some(FlowNetwork::new(nodes));
             }
             "n" => {
-                let id: usize = parse(parts.next(), lineno, "terminal id")?;
-                if id == 0 {
-                    return Err(ParseDimacsError::at(lineno, "node ids are 1-based"));
-                }
+                let nodes = network
+                    .as_ref()
+                    .ok_or_else(|| ParseDimacsError::at(lineno, "terminal before problem line"))?
+                    .node_count();
+                let id = node_id(parts.next(), nodes, lineno, "terminal id")?;
                 match parts.next() {
-                    Some("s") => source = Some(NodeId::new((id - 1) as u32)),
-                    Some("t") => sink = Some(NodeId::new((id - 1) as u32)),
+                    Some("s") => source = Some(id),
+                    Some("t") => sink = Some(id),
                     _ => return Err(ParseDimacsError::at(lineno, "terminal must be 's' or 't'")),
                 }
             }
@@ -112,18 +138,18 @@ pub fn from_dimacs(text: &str) -> Result<DimacsInstance, ParseDimacsError> {
                 let net = network
                     .as_mut()
                     .ok_or_else(|| ParseDimacsError::at(lineno, "arc before problem line"))?;
-                let from: usize = parse(parts.next(), lineno, "arc tail")?;
-                let to: usize = parse(parts.next(), lineno, "arc head")?;
+                let nodes = net.node_count();
+                let from = node_id(parts.next(), nodes, lineno, "arc tail")?;
+                let to = node_id(parts.next(), nodes, lineno, "arc head")?;
                 let capacity: f64 = parse(parts.next(), lineno, "capacity")?;
-                if from == 0 || to == 0 {
-                    return Err(ParseDimacsError::at(lineno, "node ids are 1-based"));
+                if !seen_arcs.insert((from.index(), to.index())) {
+                    return Err(ParseDimacsError::at(
+                        lineno,
+                        &format!("duplicate arc {} -> {}", from.index() + 1, to.index() + 1),
+                    ));
                 }
-                net.add_edge(
-                    NodeId::new((from - 1) as u32),
-                    NodeId::new((to - 1) as u32),
-                    capacity,
-                )
-                .map_err(|e| ParseDimacsError::at(lineno, &e.to_string()))?;
+                net.add_edge(from, to, capacity)
+                    .map_err(|e| ParseDimacsError::at(lineno, &e.to_string()))?;
             }
             _ => return Err(ParseDimacsError::at(lineno, "unknown line type")),
         }
@@ -143,6 +169,27 @@ fn parse<T: std::str::FromStr>(
     token
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| ParseDimacsError::at(lineno, &format!("missing or malformed {what}")))
+}
+
+/// Parses a 1-based DIMACS node id and range-checks it against the
+/// declared node count before converting to a 0-based [`NodeId`].
+fn node_id(
+    token: Option<&str>,
+    nodes: usize,
+    lineno: usize,
+    what: &str,
+) -> Result<NodeId, ParseDimacsError> {
+    let id: usize = parse(token, lineno, what)?;
+    if id == 0 {
+        return Err(ParseDimacsError::at(lineno, "node ids are 1-based"));
+    }
+    if id > nodes {
+        return Err(ParseDimacsError::at(
+            lineno,
+            &format!("{what} {id} out of range (instance has {nodes} nodes)"),
+        ));
+    }
+    Ok(NodeId::new((id - 1) as u32))
 }
 
 /// Error describing why DIMACS text failed to parse.
@@ -232,6 +279,47 @@ mod tests {
             ("p max 2 1\nn 1 s\na 1 2 1\n", "missing sink"),
         ] {
             assert!(from_dimacs(bad).is_err(), "{why}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        for (bad, want) in [
+            ("p\n", "expected 'p max'"),
+            ("p max\n", "node count"),
+            ("p max two 1\n", "node count"),
+            ("p max 2\n", "edge count"),
+            ("p max 2 -1\n", "edge count"),
+            ("p max 2 1\np max 3 1\nn 1 s\nn 2 t\n", "duplicate problem line"),
+            ("n 1 s\np max 2 1\nn 2 t\n", "terminal before problem line"),
+        ] {
+            let err = from_dimacs(bad).expect_err(bad);
+            assert!(err.message.contains(want), "input {bad:?}: got {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_arcs() {
+        let text = "p max 3 3\nn 1 s\nn 3 t\na 1 2 1\na 2 3 1\na 1 2 5\n";
+        let err = from_dimacs(text).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.message.contains("duplicate arc 1 -> 2"), "{err}");
+        // opposite direction is a different arc, not a duplicate
+        let ok = "p max 3 4\nn 1 s\nn 3 t\na 1 2 1\na 2 1 1\na 2 3 1\n";
+        assert!(from_dimacs(ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_node_ids() {
+        for (bad, want) in [
+            ("p max 3 1\nn 1 s\nn 9 t\na 1 2 1\n", "terminal id 9 out of range"),
+            ("p max 3 1\nn 1 s\nn 3 t\na 7 2 1\n", "arc tail 7 out of range"),
+            ("p max 3 1\nn 1 s\nn 3 t\na 1 8 1\n", "arc head 8 out of range"),
+            // larger than u32 — must error, not silently truncate
+            ("p max 3 1\nn 1 s\nn 3 t\na 1 4294967297 1\n", "out of range"),
+        ] {
+            let err = from_dimacs(bad).expect_err(bad);
+            assert!(err.message.contains(want), "input {bad:?}: got {err}");
         }
     }
 

@@ -1,0 +1,79 @@
+//! Verification service for max-flow PPUFs: the DAC'16 protocol as an
+//! online, multi-device system.
+//!
+//! The paper's authentication loop (`ppuf-core::protocol`) checks one
+//! answer for one device. This crate wraps it in the machinery a real
+//! deployment needs:
+//!
+//! - a [`DeviceRegistry`] mapping device ids to
+//!   published [`PublicModel`](ppuf_core::public_model::PublicModel)s,
+//!   with live registration and revocation;
+//! - a per-device [`ChallengeIssuer`](ppuf_core::protocol::issuer) minting
+//!   nonce-bound, deadline-stamped challenges and rejecting replays and
+//!   expired sessions;
+//! - a [`WorkerPool`] of verifier threads behind a
+//!   bounded queue with explicit backpressure (`Overloaded` + retry hint
+//!   instead of unbounded buffering);
+//! - a sharded [`VerificationCache`] so a
+//!   repeated (device, challenge, answer) triple skips the residual-BFS
+//!   optimality passes;
+//! - a length-prefixed JSON-over-TCP front-end ([`tcp::PpufServer`] /
+//!   [`tcp::Client`]) on `std::net`;
+//! - a [`loadgen`] module driving concurrent honest, impostor, and
+//!   garbage clients over real sockets and reporting throughput and
+//!   latency percentiles.
+//!
+//! Everything is instrumented through `ppuf-telemetry`; a service's
+//! recorder snapshot lands in the load-generation reports under
+//! `results/service/`.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ppuf_core::device::{Ppuf, PpufConfig};
+//! use ppuf_core::protocol::auth::prove;
+//! use ppuf_analog::variation::Environment;
+//! use ppuf_server::service::{ServiceConfig, VerificationService};
+//! use ppuf_server::tcp::{Client, PpufServer};
+//! use ppuf_server::wire::{Request, Response};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ppuf = Ppuf::generate(PpufConfig::paper(6, 2), 1)?;
+//! let service = Arc::new(VerificationService::new(ServiceConfig::default()));
+//! let server = PpufServer::bind("127.0.0.1:0", service)?;
+//!
+//! let mut client = Client::connect(server.local_addr())?;
+//! client.request(&Request::Register {
+//!     device_id: "chip-1".into(),
+//!     model: ppuf.public_model()?,
+//! })?;
+//! let Response::Challenge { nonce, challenge, .. } =
+//!     client.request(&Request::GetChallenge { device_id: "chip-1".into() })?
+//! else { panic!("expected a challenge") };
+//! let answer = prove(&ppuf.executor(Environment::NOMINAL), &challenge)?;
+//! let Response::Verdict { accepted, .. } = client.request(&Request::SubmitAnswer {
+//!     device_id: "chip-1".into(),
+//!     nonce,
+//!     answer,
+//! })? else { panic!("expected a verdict") };
+//! assert!(accepted);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod loadgen;
+pub mod pool;
+pub mod registry;
+pub mod service;
+pub mod tcp;
+pub mod wire;
+
+pub use cache::VerificationCache;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use pool::{SubmitError, VerifyOutcome, WorkerPool};
+pub use registry::{DeviceEntry, DeviceRegistry};
+pub use service::{ServiceConfig, VerificationService};
+pub use tcp::{Client, PpufServer};
+pub use wire::{ErrorKind, Request, Response};

@@ -1,0 +1,510 @@
+//! Load generator: concurrent honest, impostor, and garbage clients
+//! against a live TCP server, with latency-percentile reporting.
+//!
+//! [`run_loadgen`] stands up a real [`PpufServer`] on a loopback port,
+//! registers one generated device, and drives three client cohorts over
+//! real sockets:
+//!
+//! - **honest** clients answer from the device's fast path and must be
+//!   accepted;
+//! - **impostor** clients model a simulating attacker — the answer is
+//!   *correct* but arrives after the deadline (the paper's Ω(n²)
+//!   simulation gap, compressed into a sleep) and must be rejected on
+//!   timing;
+//! - **garbage** clients send malformed frames, non-requests, and bogus
+//!   nonces and must receive structured errors, never dropped
+//!   connections.
+//!
+//! The run report carries client-side latency percentiles (via
+//! [`SampleSeries`]) and the server's own telemetry snapshot, so one JSON
+//! file answers both "how fast" and "what did the server actually do".
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use ppuf_analog::units::Seconds;
+use ppuf_analog::variation::Environment;
+use ppuf_core::device::{Ppuf, PpufConfig};
+use ppuf_core::protocol::auth::{prove, ProverAnswer};
+use ppuf_telemetry::{SampleSeries, SampleSummary};
+
+use crate::service::{ServiceConfig, VerificationService};
+use crate::tcp::{Client, PpufServer};
+use crate::wire::{ErrorKind, Request, Response};
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenConfig {
+    /// Free-text label written into the report.
+    pub label: String,
+    /// Device size (circuit nodes).
+    pub nodes: usize,
+    /// Control-grid side length.
+    pub grid: usize,
+    /// Seed for device generation and server challenge sampling.
+    pub seed: u64,
+    /// Server verifier worker threads.
+    pub workers: usize,
+    /// Server verification queue capacity.
+    pub queue_capacity: usize,
+    /// Server rotating challenge pool (> 0 so repeated answers can hit
+    /// the verification cache).
+    pub challenge_pool: usize,
+    /// Server answer deadline in seconds.
+    pub deadline_s: f64,
+    /// Honest client threads.
+    pub honest_clients: usize,
+    /// Impostor (deadline-violating) client threads.
+    pub impostor_clients: usize,
+    /// Garbage (malformed-traffic) client threads.
+    pub garbage_clients: usize,
+    /// Requests each client thread performs.
+    pub requests_per_client: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            label: "loadgen".into(),
+            nodes: 8,
+            grid: 2,
+            seed: 7,
+            workers: 2,
+            queue_capacity: 64,
+            challenge_pool: 4,
+            deadline_s: 0.5,
+            honest_clients: 4,
+            impostor_clients: 2,
+            garbage_clients: 2,
+            requests_per_client: 5,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The CI smoke profile: a small device, 2 workers, 100 requests
+    /// total across all cohorts.
+    pub fn smoke() -> Self {
+        LoadgenConfig {
+            label: "smoke".into(),
+            honest_clients: 6,
+            impostor_clients: 2,
+            garbage_clients: 2,
+            requests_per_client: 10,
+            ..LoadgenConfig::default()
+        }
+    }
+
+    /// Total requests the run will attempt.
+    pub fn total_requests(&self) -> usize {
+        (self.honest_clients + self.impostor_clients + self.garbage_clients)
+            * self.requests_per_client
+    }
+}
+
+/// Latency statistics in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Samples behind these statistics.
+    pub count: usize,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Fastest request.
+    pub min_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    fn from_summary(summary: &SampleSummary) -> Self {
+        LatencyStats {
+            count: summary.count,
+            mean_ms: summary.mean,
+            min_ms: summary.min,
+            p50_ms: summary.p50,
+            p95_ms: summary.p95,
+            p99_ms: summary.p99,
+            max_ms: summary.max,
+        }
+    }
+}
+
+/// Outcome counts and latency for one client cohort.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortReport {
+    /// Client threads in the cohort.
+    pub clients: usize,
+    /// Request rounds attempted.
+    pub requests: usize,
+    /// Rounds ending in an accepted verdict.
+    pub accepted: usize,
+    /// Rounds rejected specifically for missing the deadline.
+    pub rejected_deadline: usize,
+    /// Rounds rejected for any other failed check.
+    pub rejected_other: usize,
+    /// Rounds answered with a structured error response.
+    pub structured_errors: usize,
+    /// Overload responses absorbed by retrying with a fresh session.
+    pub overload_retries: usize,
+    /// Transport-level failures (connection errors, protocol breaches).
+    pub io_errors: usize,
+    /// Full-round latency percentiles, if any round completed.
+    pub latency: Option<LatencyStats>,
+}
+
+/// The JSON run report written under `results/service/`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Echo of the run configuration.
+    pub config: LoadgenConfig,
+    /// Wall-clock duration of the traffic phase, seconds.
+    pub duration_s: f64,
+    /// Request rounds completed across all cohorts.
+    pub total_requests: usize,
+    /// Completed rounds per second of traffic.
+    pub throughput_rps: f64,
+    /// Honest cohort outcome.
+    pub honest: CohortReport,
+    /// Impostor cohort outcome.
+    pub impostor: CohortReport,
+    /// Garbage cohort outcome.
+    pub garbage: CohortReport,
+    /// The server's telemetry counters after the run.
+    pub server_counters: std::collections::BTreeMap<String, u64>,
+    /// The server's telemetry warnings after the run.
+    pub server_warnings: Vec<String>,
+}
+
+impl LoadgenReport {
+    /// Renders the report as indented JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Checks the invariants the smoke profile promises: honest traffic
+    /// accepted, impostors rejected on the deadline, garbage answered
+    /// with structured errors, no transport failures, and at least one
+    /// verification served from cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn check_smoke_invariants(&self) -> Result<(), String> {
+        let h = &self.honest;
+        if h.accepted != h.requests {
+            return Err(format!("honest: {}/{} accepted", h.accepted, h.requests));
+        }
+        let i = &self.impostor;
+        if i.rejected_deadline != i.requests {
+            return Err(format!(
+                "impostor: {}/{} rejected on deadline",
+                i.rejected_deadline, i.requests
+            ));
+        }
+        let g = &self.garbage;
+        if g.structured_errors != g.requests {
+            return Err(format!(
+                "garbage: {}/{} answered with structured errors",
+                g.structured_errors, g.requests
+            ));
+        }
+        for (name, cohort) in [("honest", h), ("impostor", i), ("garbage", g)] {
+            if cohort.io_errors != 0 {
+                return Err(format!("{name}: {} transport failures", cohort.io_errors));
+            }
+        }
+        let cache_hits = self.server_counters.get("server.cache.hits").copied().unwrap_or(0);
+        if cache_hits == 0 {
+            return Err("no verification was served from cache".into());
+        }
+        if !self.server_warnings.is_empty() {
+            return Err(format!("server warnings: {:?}", self.server_warnings));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct CohortStats {
+    requests: usize,
+    accepted: usize,
+    rejected_deadline: usize,
+    rejected_other: usize,
+    structured_errors: usize,
+    overload_retries: usize,
+    io_errors: usize,
+    latency: SampleSeries,
+}
+
+impl CohortStats {
+    fn merge(&mut self, other: CohortStats) {
+        self.requests += other.requests;
+        self.accepted += other.accepted;
+        self.rejected_deadline += other.rejected_deadline;
+        self.rejected_other += other.rejected_other;
+        self.structured_errors += other.structured_errors;
+        self.overload_retries += other.overload_retries;
+        self.io_errors += other.io_errors;
+        self.latency.merge(&other.latency);
+    }
+
+    fn into_report(self, clients: usize) -> CohortReport {
+        CohortReport {
+            clients,
+            requests: self.requests,
+            accepted: self.accepted,
+            rejected_deadline: self.rejected_deadline,
+            rejected_other: self.rejected_other,
+            structured_errors: self.structured_errors,
+            overload_retries: self.overload_retries,
+            io_errors: self.io_errors,
+            latency: self.latency.summary().as_ref().map(LatencyStats::from_summary),
+        }
+    }
+}
+
+const DEVICE_ID: &str = "loadgen-device";
+/// Overload retries per round before giving up and counting an error.
+const MAX_OVERLOAD_RETRIES: usize = 32;
+
+/// Runs one full load-generation session: server up, traffic, report.
+///
+/// # Errors
+///
+/// Returns a message if the device cannot be generated, the server
+/// cannot bind, or registration fails — per-request failures are
+/// *counted*, not propagated, so one flaky round cannot kill a run.
+pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let ppuf = Ppuf::generate(PpufConfig::paper(config.nodes, config.grid), config.seed)
+        .map_err(|e| format!("device generation failed: {e}"))?;
+    let model = ppuf.public_model().map_err(|e| format!("model publication failed: {e}"))?;
+
+    let service = VerificationService::new(ServiceConfig {
+        workers: config.workers,
+        queue_capacity: config.queue_capacity,
+        deadline: Some(Seconds(config.deadline_s)),
+        challenge_pool: config.challenge_pool,
+        seed: config.seed,
+        ..ServiceConfig::default()
+    });
+    let mut server = PpufServer::bind("127.0.0.1:0", Arc::new(service))
+        .map_err(|e| format!("server bind failed: {e}"))?;
+    let addr = server.local_addr();
+
+    let mut registrar =
+        Client::connect(addr).map_err(|e| format!("registration connect failed: {e}"))?;
+    match registrar
+        .request(&Request::Register { device_id: DEVICE_ID.into(), model })
+        .map_err(|e| format!("registration failed: {e}"))?
+    {
+        Response::Registered { .. } => {}
+        other => return Err(format!("registration rejected: {other:?}")),
+    }
+    drop(registrar);
+
+    let started = Instant::now();
+    let (honest, impostor, garbage) = crossbeam::scope(|scope| {
+        let mut honest_handles = Vec::new();
+        for _ in 0..config.honest_clients {
+            let ppuf = &ppuf;
+            honest_handles
+                .push(scope.spawn(move |_| honest_client(addr, ppuf, config.requests_per_client)));
+        }
+        let mut impostor_handles = Vec::new();
+        for _ in 0..config.impostor_clients {
+            let ppuf = &ppuf;
+            let delay = Duration::from_secs_f64(config.deadline_s * 1.5 + 0.05);
+            impostor_handles
+                .push(scope.spawn(move |_| {
+                    impostor_client(addr, ppuf, config.requests_per_client, delay)
+                }));
+        }
+        let mut garbage_handles = Vec::new();
+        for _ in 0..config.garbage_clients {
+            garbage_handles
+                .push(scope.spawn(move |_| garbage_client(addr, config.requests_per_client)));
+        }
+        let mut honest = CohortStats::default();
+        for handle in honest_handles {
+            honest.merge(handle.join().unwrap_or_default());
+        }
+        let mut impostor = CohortStats::default();
+        for handle in impostor_handles {
+            impostor.merge(handle.join().unwrap_or_default());
+        }
+        let mut garbage = CohortStats::default();
+        for handle in garbage_handles {
+            garbage.merge(handle.join().unwrap_or_default());
+        }
+        (honest, impostor, garbage)
+    })
+    .map_err(|_| "a load-generation thread panicked".to_string())?;
+    let duration = started.elapsed().as_secs_f64().max(1e-9);
+
+    let snapshot = server.service().recorder().snapshot(&config.label);
+    server.shutdown();
+
+    let total_requests = honest.requests + impostor.requests + garbage.requests;
+    Ok(LoadgenReport {
+        config: config.clone(),
+        duration_s: duration,
+        total_requests,
+        throughput_rps: total_requests as f64 / duration,
+        honest: honest.into_report(config.honest_clients),
+        impostor: impostor.into_report(config.impostor_clients),
+        garbage: garbage.into_report(config.garbage_clients),
+        server_counters: snapshot.counters,
+        server_warnings: snapshot.warnings,
+    })
+}
+
+/// One full challenge/answer round; returns the verdict response.
+fn answer_round(
+    client: &mut Client,
+    ppuf: &Ppuf,
+    delay: Option<Duration>,
+    stats: &mut CohortStats,
+) -> std::io::Result<Option<Response>> {
+    for _ in 0..=MAX_OVERLOAD_RETRIES {
+        let (nonce, challenge) =
+            match client.request(&Request::GetChallenge { device_id: DEVICE_ID.into() })? {
+                Response::Challenge { nonce, challenge, .. } => (nonce, challenge),
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("expected challenge, got {other:?}"),
+                    ))
+                }
+            };
+        if let Some(delay) = delay {
+            std::thread::sleep(delay);
+        }
+        let answer = match prove(&ppuf.executor(Environment::NOMINAL), &challenge) {
+            Ok(answer) => answer,
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            }
+        };
+        let response = client.request(&Request::SubmitAnswer {
+            device_id: DEVICE_ID.into(),
+            nonce,
+            answer,
+        })?;
+        if let Response::Error { kind: ErrorKind::Overloaded, retry_after_ms, .. } = &response {
+            stats.overload_retries += 1;
+            std::thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(50)));
+            continue; // fresh session: the shed one is spent
+        }
+        return Ok(Some(response));
+    }
+    Ok(None) // overloaded through every retry
+}
+
+fn honest_client(addr: std::net::SocketAddr, ppuf: &Ppuf, requests: usize) -> CohortStats {
+    let mut stats = CohortStats::default();
+    let Ok(mut client) = Client::connect(addr) else {
+        stats.io_errors = requests;
+        stats.requests = requests;
+        return stats;
+    };
+    for _ in 0..requests {
+        stats.requests += 1;
+        let round_start = Instant::now();
+        match answer_round(&mut client, ppuf, None, &mut stats) {
+            Ok(Some(Response::Verdict { accepted: true, .. })) => {
+                stats.accepted += 1;
+                stats.latency.record(round_start.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(Some(Response::Verdict { report, .. })) => {
+                if report.within_deadline {
+                    stats.rejected_other += 1;
+                } else {
+                    stats.rejected_deadline += 1;
+                }
+            }
+            Ok(Some(_)) => stats.structured_errors += 1,
+            Ok(None) | Err(_) => stats.io_errors += 1,
+        }
+    }
+    stats
+}
+
+fn impostor_client(
+    addr: std::net::SocketAddr,
+    ppuf: &Ppuf,
+    requests: usize,
+    delay: Duration,
+) -> CohortStats {
+    let mut stats = CohortStats::default();
+    let Ok(mut client) = Client::connect(addr) else {
+        stats.io_errors = requests;
+        stats.requests = requests;
+        return stats;
+    };
+    for _ in 0..requests {
+        stats.requests += 1;
+        let round_start = Instant::now();
+        match answer_round(&mut client, ppuf, Some(delay), &mut stats) {
+            Ok(Some(Response::Verdict { accepted: false, report, .. }))
+                if !report.within_deadline =>
+            {
+                stats.rejected_deadline += 1;
+                stats.latency.record(round_start.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(Some(Response::Verdict { accepted: true, .. })) => stats.accepted += 1,
+            Ok(Some(Response::Verdict { .. })) => stats.rejected_other += 1,
+            Ok(Some(_)) => stats.structured_errors += 1,
+            Ok(None) | Err(_) => stats.io_errors += 1,
+        }
+    }
+    stats
+}
+
+fn garbage_client(addr: std::net::SocketAddr, requests: usize) -> CohortStats {
+    let mut stats = CohortStats::default();
+    let Ok(mut client) = Client::connect(addr) else {
+        stats.io_errors = requests;
+        stats.requests = requests;
+        return stats;
+    };
+    for i in 0..requests {
+        stats.requests += 1;
+        let outcome = match i % 4 {
+            // not JSON at all
+            0 => client.send_raw(b"\x7bnot json at all"),
+            // valid JSON, not a request
+            1 => client.send_raw(b"{\"Bogus\": {\"x\": 1}}"),
+            // a request for a device that does not exist
+            2 => client.request(&Request::GetChallenge { device_id: "no-such-device".into() }),
+            // a well-formed answer for a nonce that was never issued
+            _ => client.request(&Request::SubmitAnswer {
+                device_id: DEVICE_ID.into(),
+                nonce: u64::MAX - i as u64,
+                answer: bogus_answer(),
+            }),
+        };
+        match outcome {
+            Ok(Response::Error { .. }) => stats.structured_errors += 1,
+            Ok(_) => stats.rejected_other += 1,
+            Err(_) => stats.io_errors += 1,
+        }
+    }
+    stats
+}
+
+/// A syntactically valid answer with nonsense content — it must die on
+/// the nonce check before any verifier ever sees it.
+fn bogus_answer() -> ProverAnswer {
+    use ppuf_maxflow::{Flow, NodeId};
+    let zero = Flow::from_edge_flows(NodeId::new(0), NodeId::new(1), 0.0, vec![0.0; 4]);
+    ProverAnswer { response: true, flow_a: zero.clone(), flow_b: zero }
+}

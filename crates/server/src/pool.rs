@@ -1,0 +1,269 @@
+//! Verifier worker pool: bounded queue, explicit backpressure.
+//!
+//! Connection threads do no verification themselves — they enqueue a
+//! [`VerifyJob`] and block on its private reply channel. The queue is a
+//! bounded crossbeam channel: when it is full, [`WorkerPool::submit`]
+//! fails *immediately* with [`SubmitError::QueueFull`] instead of
+//! blocking, and the service turns that into an `Overloaded` response
+//! with a retry hint. Load is shed at the front door, visible to
+//! clients, rather than silently stacking latency.
+//!
+//! Workers serve the flow checks from the [`VerificationCache`] when the
+//! same (device, challenge, answer) triple was verified before; cache
+//! hits skip both residual-BFS passes entirely. Every job is counted and
+//! timed through `ppuf-telemetry`.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+use ppuf_core::challenge::Challenge;
+use ppuf_core::protocol::auth::{ProverAnswer, VerificationReport};
+use ppuf_telemetry::{MemoryRecorder, Recorder, Span};
+
+use crate::cache::{answer_fingerprint, challenge_fingerprint, VerificationCache};
+use crate::registry::DeviceEntry;
+
+/// One verification request handed to the pool.
+#[derive(Debug)]
+pub struct VerifyJob {
+    /// The device whose verifier to run.
+    pub entry: Arc<DeviceEntry>,
+    /// The challenge the answer claims to solve.
+    pub challenge: Challenge,
+    /// The prover's answer.
+    pub answer: ProverAnswer,
+    /// Where the worker sends the outcome (capacity-1 channel; the
+    /// submitting thread blocks on it).
+    pub reply: Sender<Result<VerifyOutcome, String>>,
+}
+
+/// What the worker produced: a timeless report (its `within_deadline` is
+/// always `true`; the service applies the real deadline) plus cache
+/// provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Feasibility/maximality/consistency findings.
+    pub report: VerificationReport,
+    /// Whether the report came from the cache (skipping residual BFS).
+    pub cached: bool,
+}
+
+/// Why a job was not enqueued.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — shed load, retry later.
+    QueueFull,
+    /// The pool has shut down.
+    Closed,
+}
+
+/// Fixed-size verifier thread pool over one bounded queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    queue: Option<Sender<VerifyJob>>,
+    workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` verifier threads (clamped to at least 1) behind a
+    /// queue of `queue_capacity` jobs.
+    pub fn new(
+        workers: usize,
+        queue_capacity: usize,
+        cache: Arc<VerificationCache>,
+        recorder: Arc<MemoryRecorder>,
+    ) -> Self {
+        let capacity = queue_capacity.max(1);
+        let (tx, rx) = bounded::<VerifyJob>(capacity);
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let cache = Arc::clone(&cache);
+                let recorder = Arc::clone(&recorder);
+                std::thread::Builder::new()
+                    .name(format!("ppuf-verify-{i}"))
+                    .spawn(move || worker_loop(&rx, &cache, &recorder))
+                    .expect("spawn verifier worker")
+            })
+            .collect();
+        WorkerPool { queue: Some(tx), workers, capacity }
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the queue is at capacity (the job
+    /// is handed back inside neither variant — the caller still holds its
+    /// reply receiver and simply reports overload), [`SubmitError::Closed`]
+    /// after shutdown.
+    pub fn submit(&self, job: VerifyJob) -> Result<(), SubmitError> {
+        let queue = self.queue.as_ref().ok_or(SubmitError::Closed)?;
+        match queue.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Queue capacity (jobs, not workers).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins every worker.
+    pub fn shutdown(&mut self) {
+        drop(self.queue.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// A pool with a queue but no worker threads, so tests can fill the
+    /// queue deterministically.
+    #[cfg(test)]
+    fn without_workers(queue_capacity: usize) -> Self {
+        let capacity = queue_capacity.max(1);
+        let (tx, rx) = bounded::<VerifyJob>(capacity);
+        // keep the receiver alive for the pool's lifetime
+        std::mem::forget(rx);
+        WorkerPool { queue: Some(tx), workers: Vec::new(), capacity }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Receiver<VerifyJob>, cache: &VerificationCache, recorder: &MemoryRecorder) {
+    while let Ok(job) = rx.recv() {
+        let outcome = run_job(&job, cache, recorder);
+        // a vanished requester is not the worker's problem
+        let _ = job.reply.send(outcome);
+    }
+}
+
+fn run_job(
+    job: &VerifyJob,
+    cache: &VerificationCache,
+    recorder: &MemoryRecorder,
+) -> Result<VerifyOutcome, String> {
+    let _span = Span::enter(recorder, "server.verify");
+    let challenge_fp = challenge_fingerprint(&job.challenge);
+    let answer_fp = answer_fingerprint(&job.answer);
+    if let Some(report) = cache.get(&job.entry.device_id, challenge_fp, answer_fp) {
+        recorder.counter_add("server.cache.hits", 1);
+        return Ok(VerifyOutcome { report, cached: true });
+    }
+    recorder.counter_add("server.cache.misses", 1);
+    match job.entry.verifier.verify(&job.challenge, &job.answer) {
+        Ok(report) => {
+            cache.insert(&job.entry.device_id, challenge_fp, answer_fp, report);
+            Ok(VerifyOutcome { report, cached: false })
+        }
+        Err(e) => {
+            recorder.warn(&format!("verification failed for {}: {e}", job.entry.device_id));
+            Err(e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppuf_analog::variation::Environment;
+    use ppuf_core::challenge::ChallengeSpace;
+    use ppuf_core::device::{Ppuf, PpufConfig};
+    use ppuf_core::protocol::auth::{prove, Verifier};
+    use ppuf_core::protocol::issuer::ChallengeIssuer;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn device_fixture() -> (Arc<DeviceEntry>, Challenge, ProverAnswer) {
+        let ppuf = Ppuf::generate(PpufConfig::paper(6, 2), 11).unwrap();
+        let model = ppuf.public_model().unwrap();
+        let space = ChallengeSpace::new(model.nodes(), model.grid().grid()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let challenge = space.random(&mut rng);
+        let answer = prove(&ppuf.executor(Environment::NOMINAL), &challenge).unwrap();
+        let entry = Arc::new(DeviceEntry {
+            device_id: "dev".into(),
+            model: model.clone(),
+            verifier: Verifier::new(model),
+            issuer: ChallengeIssuer::new(space, 13),
+        });
+        (entry, challenge, answer)
+    }
+
+    fn submit_and_wait(
+        pool: &WorkerPool,
+        entry: &Arc<DeviceEntry>,
+        challenge: &Challenge,
+        answer: &ProverAnswer,
+    ) -> VerifyOutcome {
+        let (reply_tx, reply_rx) = bounded(1);
+        pool.submit(VerifyJob {
+            entry: Arc::clone(entry),
+            challenge: challenge.clone(),
+            answer: answer.clone(),
+            reply: reply_tx,
+        })
+        .unwrap();
+        reply_rx.recv().unwrap().unwrap()
+    }
+
+    #[test]
+    fn verifies_and_caches() {
+        let cache = Arc::new(VerificationCache::new(4, 64));
+        let recorder = Arc::new(MemoryRecorder::new());
+        let pool = WorkerPool::new(2, 8, Arc::clone(&cache), Arc::clone(&recorder));
+        let (entry, challenge, answer) = device_fixture();
+
+        let first = submit_and_wait(&pool, &entry, &challenge, &answer);
+        assert!(first.report.accepted());
+        assert!(!first.cached);
+        let second = submit_and_wait(&pool, &entry, &challenge, &answer);
+        assert!(second.report.accepted());
+        assert!(second.cached, "repeat of the same answer must hit the cache");
+        assert_eq!(recorder.counter("server.cache.hits"), 1);
+        assert_eq!(recorder.counter("server.cache.misses"), 1);
+        assert_eq!(recorder.span_stats("server.verify").unwrap().count, 2);
+    }
+
+    fn job(entry: &Arc<DeviceEntry>, challenge: &Challenge, answer: &ProverAnswer) -> VerifyJob {
+        let (reply_tx, _) = bounded(1);
+        VerifyJob {
+            entry: Arc::clone(entry),
+            challenge: challenge.clone(),
+            answer: answer.clone(),
+            reply: reply_tx,
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let (entry, challenge, answer) = device_fixture();
+        // no workers draining, so the queue fills deterministically
+        let mut pool = WorkerPool::without_workers(2);
+        assert_eq!(pool.capacity(), 2);
+        pool.submit(job(&entry, &challenge, &answer)).unwrap();
+        pool.submit(job(&entry, &challenge, &answer)).unwrap();
+        assert_eq!(
+            pool.submit(job(&entry, &challenge, &answer)),
+            Err(SubmitError::QueueFull),
+            "third job into a cap-2 queue must be shed"
+        );
+        pool.shutdown();
+        assert_eq!(pool.submit(job(&entry, &challenge, &answer)), Err(SubmitError::Closed));
+    }
+}

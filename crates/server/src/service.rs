@@ -1,0 +1,433 @@
+//! The verification service: request dispatch over registry, issuer,
+//! worker pool, and cache.
+//!
+//! Transport-agnostic — [`VerificationService::handle`] maps one
+//! [`Request`] to one [`Response`] and is called by the TCP front-end
+//! ([`crate::tcp`]) and directly by tests. The deadline check lives
+//! *here*, not in the workers: workers produce timeless verdicts (so the
+//! cache can reuse them across sessions) and the service compares each
+//! session's measured elapsed time against the configured deadline.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crossbeam::channel::bounded;
+
+use ppuf_analog::units::Seconds;
+use ppuf_core::challenge::ChallengeSpace;
+use ppuf_core::protocol::auth::{Verifier, VERIFY_TOLERANCE};
+use ppuf_core::protocol::clock::{Clock, SystemClock};
+use ppuf_core::protocol::issuer::{ChallengeIssuer, RedeemError, DEFAULT_SESSION_TTL};
+use ppuf_core::public_model::PublicModel;
+use ppuf_telemetry::{MemoryRecorder, Recorder};
+
+use crate::cache::VerificationCache;
+use crate::pool::{SubmitError, VerifyJob, WorkerPool};
+use crate::registry::{DeviceEntry, DeviceRegistry};
+use crate::wire::{ErrorKind, Request, Response};
+
+/// Tunables for one [`VerificationService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Verifier worker threads.
+    pub workers: usize,
+    /// Bounded verification queue length; a full queue sheds load with
+    /// `Overloaded` responses.
+    pub queue_capacity: usize,
+    /// Threads each verifier uses for its residual-BFS passes.
+    pub verify_threads: usize,
+    /// Answer deadline (the ESG enforcement knob); `None` disables the
+    /// timing check.
+    pub deadline: Option<Seconds>,
+    /// Unanswered sessions expire after this long.
+    pub session_ttl: Seconds,
+    /// Absolute current tolerance for the flow checks.
+    pub tolerance: f64,
+    /// Per-device rotating challenge pool size; 0 mints a fresh random
+    /// challenge per session (which makes the verification cache useless,
+    /// since honest answers then never repeat).
+    pub challenge_pool: usize,
+    /// Verification cache shard count.
+    pub cache_shards: usize,
+    /// Verification cache entries per shard.
+    pub cache_capacity: usize,
+    /// Backoff hint attached to `Overloaded` responses, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Seed for per-device challenge sampling and nonce salting.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            verify_threads: 1,
+            deadline: None,
+            session_ttl: DEFAULT_SESSION_TTL,
+            tolerance: VERIFY_TOLERANCE,
+            challenge_pool: 0,
+            cache_shards: 8,
+            cache_capacity: 1024,
+            retry_after_ms: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// A running verification service (without a transport).
+#[derive(Debug)]
+pub struct VerificationService {
+    config: ServiceConfig,
+    registry: DeviceRegistry,
+    cache: Arc<VerificationCache>,
+    pool: WorkerPool,
+    recorder: Arc<MemoryRecorder>,
+    clock: Arc<dyn Clock>,
+}
+
+impl VerificationService {
+    /// Builds a service (spawning its worker threads) on the system clock.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::with_clock(config, Arc::new(SystemClock::new()))
+    }
+
+    /// Builds a service whose session timing runs on `clock` — tests pass
+    /// a [`ManualClock`](ppuf_core::protocol::clock::ManualClock) to
+    /// exercise deadlines and expiry without sleeping.
+    pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
+        let cache = Arc::new(VerificationCache::new(config.cache_shards, config.cache_capacity));
+        let recorder = Arc::new(MemoryRecorder::new());
+        let pool = WorkerPool::new(
+            config.workers,
+            config.queue_capacity,
+            Arc::clone(&cache),
+            Arc::clone(&recorder),
+        );
+        VerificationService {
+            config,
+            registry: DeviceRegistry::new(),
+            cache,
+            pool,
+            recorder,
+            clock,
+        }
+    }
+
+    /// The service's telemetry recorder (counters, spans, warnings).
+    pub fn recorder(&self) -> &Arc<MemoryRecorder> {
+        &self.recorder
+    }
+
+    /// The device registry.
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Dispatches one request.
+    pub fn handle(&self, request: Request) -> Response {
+        self.recorder.counter_add("server.requests", 1);
+        match request {
+            Request::Register { device_id, model } => self.register(device_id, model),
+            Request::Revoke { device_id } => self.revoke(&device_id),
+            Request::GetChallenge { device_id } => self.get_challenge(&device_id),
+            Request::SubmitAnswer { device_id, nonce, answer } => {
+                self.submit_answer(&device_id, nonce, answer)
+            }
+            Request::Ping => Response::Pong,
+        }
+    }
+
+    fn register(&self, device_id: String, model: PublicModel) -> Response {
+        let space = match ChallengeSpace::new(model.nodes(), model.grid().grid()) {
+            Ok(space) => space,
+            Err(e) => {
+                return Response::error(ErrorKind::Malformed, format!("unusable model: {e}"));
+            }
+        };
+        let mut issuer = ChallengeIssuer::new(space, self.config.seed ^ device_seed(&device_id))
+            .with_clock(Arc::clone(&self.clock))
+            .with_ttl(self.config.session_ttl);
+        if let Some(deadline) = self.config.deadline {
+            issuer = issuer.with_deadline(deadline);
+        }
+        if self.config.challenge_pool > 0 {
+            issuer = issuer.with_challenge_pool(self.config.challenge_pool);
+        }
+        let verifier = Verifier::new(model.clone())
+            .with_threads(self.config.verify_threads)
+            .with_tolerance(self.config.tolerance);
+        // a re-registration may change the model: stale verdicts must go
+        self.cache.invalidate_device(&device_id);
+        self.registry.insert(DeviceEntry { device_id: device_id.clone(), model, verifier, issuer });
+        self.recorder.counter_add("server.devices.registered", 1);
+        Response::Registered { device_id }
+    }
+
+    fn revoke(&self, device_id: &str) -> Response {
+        let existed = self.registry.remove(device_id);
+        if existed {
+            self.cache.invalidate_device(device_id);
+            self.recorder.counter_add("server.devices.revoked", 1);
+        }
+        Response::Revoked { device_id: device_id.to_string(), existed }
+    }
+
+    fn get_challenge(&self, device_id: &str) -> Response {
+        let Some(entry) = self.registry.get(device_id) else {
+            return self.unknown_device(device_id);
+        };
+        let issued = entry.issuer.issue();
+        self.recorder.counter_add("server.challenges.issued", 1);
+        Response::Challenge {
+            device_id: device_id.to_string(),
+            nonce: issued.nonce,
+            challenge: issued.challenge,
+            deadline_s: issued.deadline.map(|d| d.value()),
+        }
+    }
+
+    fn submit_answer(
+        &self,
+        device_id: &str,
+        nonce: u64,
+        answer: ppuf_core::protocol::auth::ProverAnswer,
+    ) -> Response {
+        let Some(entry) = self.registry.get(device_id) else {
+            return self.unknown_device(device_id);
+        };
+        let session = match entry.issuer.redeem(nonce) {
+            Ok(session) => session,
+            Err(e @ RedeemError::UnknownNonce { .. }) => {
+                self.recorder.counter_add("server.replays.rejected", 1);
+                return Response::error(ErrorKind::ReplayOrUnknownNonce, e.to_string());
+            }
+            Err(e @ RedeemError::Expired { .. }) => {
+                self.recorder.counter_add("server.sessions.expired", 1);
+                return Response::error(ErrorKind::SessionExpired, e.to_string());
+            }
+        };
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = VerifyJob {
+            entry: Arc::clone(&entry),
+            // verify against the challenge bound to the nonce at issue
+            // time — the client never gets to choose it
+            challenge: session.challenge,
+            answer,
+            reply: reply_tx,
+        };
+        match self.pool.submit(job) {
+            Ok(()) => {}
+            Err(SubmitError::QueueFull) => {
+                self.recorder.counter_add("server.pool.rejected", 1);
+                return Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    message: format!("verification queue full ({} jobs)", self.pool.capacity()),
+                    retry_after_ms: Some(self.config.retry_after_ms),
+                };
+            }
+            Err(SubmitError::Closed) => {
+                return Response::error(ErrorKind::Internal, "verifier pool is shut down");
+            }
+        }
+        let outcome = match reply_rx.recv() {
+            Ok(Ok(outcome)) => outcome,
+            Ok(Err(message)) => return Response::error(ErrorKind::Internal, message),
+            Err(_) => {
+                return Response::error(ErrorKind::Internal, "verifier worker dropped the job");
+            }
+        };
+        let within_deadline = match self.config.deadline {
+            Some(deadline) => session.elapsed.value() <= deadline.value(),
+            None => true,
+        };
+        let mut report = outcome.report;
+        report.within_deadline = within_deadline;
+        let accepted = report.accepted();
+        self.recorder.counter_add(
+            if accepted { "server.answers.accepted" } else { "server.answers.rejected" },
+            1,
+        );
+        if !within_deadline {
+            self.recorder.counter_add("server.answers.rejected_deadline", 1);
+        }
+        Response::Verdict {
+            device_id: device_id.to_string(),
+            nonce,
+            accepted,
+            report,
+            cached: outcome.cached,
+            elapsed_s: session.elapsed.value(),
+        }
+    }
+
+    fn unknown_device(&self, device_id: &str) -> Response {
+        self.recorder.counter_add("server.errors.unknown_device", 1);
+        Response::error(ErrorKind::UnknownDevice, format!("device {device_id:?} is not registered"))
+    }
+}
+
+/// 64-bit digest giving each device id a distinct issuer seed.
+fn device_seed(text: &str) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    text.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppuf_analog::variation::Environment;
+    use ppuf_core::device::{Ppuf, PpufConfig};
+    use ppuf_core::protocol::auth::prove;
+    use ppuf_core::protocol::clock::ManualClock;
+
+    fn service_with_device(
+        config: ServiceConfig,
+        clock: Arc<ManualClock>,
+    ) -> (VerificationService, Ppuf) {
+        let service = VerificationService::with_clock(config, clock);
+        let ppuf = Ppuf::generate(PpufConfig::paper(6, 2), 31).unwrap();
+        let response = service.handle(Request::Register {
+            device_id: "dev".into(),
+            model: ppuf.public_model().unwrap(),
+        });
+        assert_eq!(response, Response::Registered { device_id: "dev".into() });
+        (service, ppuf)
+    }
+
+    fn get_challenge(service: &VerificationService) -> (u64, ppuf_core::challenge::Challenge) {
+        match service.handle(Request::GetChallenge { device_id: "dev".into() }) {
+            Response::Challenge { nonce, challenge, .. } => (nonce, challenge),
+            other => panic!("expected challenge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn honest_round_trip_accepted() {
+        let clock = Arc::new(ManualClock::new());
+        let (service, ppuf) = service_with_device(ServiceConfig::default(), Arc::clone(&clock));
+        let (nonce, challenge) = get_challenge(&service);
+        let answer = prove(&ppuf.executor(Environment::NOMINAL), &challenge).unwrap();
+        match service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer }) {
+            Response::Verdict { accepted, cached, .. } => {
+                assert!(accepted);
+                assert!(!cached);
+            }
+            other => panic!("expected verdict, got {other:?}"),
+        }
+        assert_eq!(service.recorder().counter("server.answers.accepted"), 1);
+    }
+
+    #[test]
+    fn server_layer_replay_rejected() {
+        let clock = Arc::new(ManualClock::new());
+        let (service, ppuf) = service_with_device(ServiceConfig::default(), Arc::clone(&clock));
+        let (nonce, challenge) = get_challenge(&service);
+        let answer = prove(&ppuf.executor(Environment::NOMINAL), &challenge).unwrap();
+        let first = service.handle(Request::SubmitAnswer {
+            device_id: "dev".into(),
+            nonce,
+            answer: answer.clone(),
+        });
+        assert!(matches!(first, Response::Verdict { accepted: true, .. }), "{first:?}");
+        // identical bytes, same nonce: the replay must die at the issuer
+        let second =
+            service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer });
+        match second {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::ReplayOrUnknownNonce),
+            other => panic!("expected replay rejection, got {other:?}"),
+        }
+        assert_eq!(service.recorder().counter("server.replays.rejected"), 1);
+    }
+
+    #[test]
+    fn slow_answer_rejected_on_deadline_fast_one_accepted() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ServiceConfig { deadline: Some(Seconds(0.5)), ..ServiceConfig::default() };
+        let (service, ppuf) = service_with_device(config, Arc::clone(&clock));
+        let executor = ppuf.executor(Environment::NOMINAL);
+
+        let (nonce, challenge) = get_challenge(&service);
+        clock.advance(0.1);
+        let answer = prove(&executor, &challenge).unwrap();
+        let fast = service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer });
+        assert!(matches!(fast, Response::Verdict { accepted: true, .. }), "{fast:?}");
+
+        // a simulating attacker: same correct answer, but past the deadline
+        let (nonce, challenge) = get_challenge(&service);
+        clock.advance(2.0);
+        let answer = prove(&executor, &challenge).unwrap();
+        match service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer }) {
+            Response::Verdict { accepted, report, elapsed_s, .. } => {
+                assert!(!accepted);
+                assert!(!report.within_deadline);
+                assert!((elapsed_s - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected verdict, got {other:?}"),
+        }
+        assert_eq!(service.recorder().counter("server.answers.rejected_deadline"), 1);
+    }
+
+    #[test]
+    fn pooled_challenges_hit_the_cache_across_sessions() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ServiceConfig { challenge_pool: 1, ..ServiceConfig::default() };
+        let (service, ppuf) = service_with_device(config, Arc::clone(&clock));
+        let executor = ppuf.executor(Environment::NOMINAL);
+        for round in 0..3 {
+            let (nonce, challenge) = get_challenge(&service);
+            let answer = prove(&executor, &challenge).unwrap();
+            match service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer }) {
+                Response::Verdict { accepted, cached, .. } => {
+                    assert!(accepted);
+                    assert_eq!(cached, round > 0, "round {round}");
+                }
+                other => panic!("expected verdict, got {other:?}"),
+            }
+        }
+        assert_eq!(service.recorder().counter("server.cache.hits"), 2);
+        assert_eq!(service.recorder().counter("server.cache.misses"), 1);
+    }
+
+    #[test]
+    fn unknown_device_and_revocation() {
+        let clock = Arc::new(ManualClock::new());
+        let (service, _ppuf) = service_with_device(ServiceConfig::default(), Arc::clone(&clock));
+        match service.handle(Request::GetChallenge { device_id: "ghost".into() }) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownDevice),
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert_eq!(
+            service.handle(Request::Revoke { device_id: "dev".into() }),
+            Response::Revoked { device_id: "dev".into(), existed: true }
+        );
+        match service.handle(Request::GetChallenge { device_id: "dev".into() }) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownDevice),
+            other => panic!("expected error after revocation, got {other:?}"),
+        }
+        assert_eq!(
+            service.handle(Request::Revoke { device_id: "dev".into() }),
+            Response::Revoked { device_id: "dev".into(), existed: false }
+        );
+    }
+
+    #[test]
+    fn expired_session_rejected() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ServiceConfig { session_ttl: Seconds(1.0), ..ServiceConfig::default() };
+        let (service, ppuf) = service_with_device(config, Arc::clone(&clock));
+        let (nonce, challenge) = get_challenge(&service);
+        clock.advance(5.0);
+        let answer = prove(&ppuf.executor(Environment::NOMINAL), &challenge).unwrap();
+        match service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer }) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::SessionExpired),
+            other => panic!("expected expiry, got {other:?}"),
+        }
+    }
+}

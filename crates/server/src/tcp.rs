@@ -1,0 +1,199 @@
+//! TCP front-end: the service behind `std::net`, plus a matching client.
+//!
+//! One accept thread (non-blocking accept + short sleeps so shutdown is
+//! prompt), one thread per connection. Connection threads poll with a
+//! read timeout and re-check the shutdown flag between frames. A frame
+//! that is not valid JSON — or not a valid [`Request`] — is answered
+//! with a structured `Malformed` error on the same connection; only I/O
+//! failures and frame-layer corruption (truncation, oversized length)
+//! end the connection.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ppuf_telemetry::Recorder;
+
+use crate::service::VerificationService;
+use crate::wire::{recv_message, send_message, ErrorKind, Request, Response};
+
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// A listening PPUF verification server.
+///
+/// Dropping the server (or calling [`shutdown`](Self::shutdown)) stops
+/// the accept loop; connection threads notice the flag at their next
+/// read-timeout tick and exit.
+#[derive(Debug)]
+pub struct PpufServer {
+    service: Arc<VerificationService>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl PpufServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// accepting connections against `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: Arc<VerificationService>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("ppuf-accept".into())
+                .spawn(move || accept_loop(&listener, &service, &shutdown))?
+        };
+        Ok(PpufServer { service, local_addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<VerificationService> {
+        &self.service
+    }
+
+    /// Stops accepting and signals connection threads to wind down.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PpufServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<VerificationService>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let conn_service = Arc::clone(service);
+                let conn_shutdown = Arc::clone(shutdown);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("ppuf-conn-{peer}"))
+                    .spawn(move || handle_connection(stream, &conn_service, &conn_shutdown));
+                if let Err(e) = spawned {
+                    service.recorder().warn(&format!("failed to spawn connection thread: {e}"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) => {
+                service.recorder().warn(&format!("accept failed: {e}"));
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &Arc<VerificationService>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    service.recorder().counter_add("server.connections", 1);
+    while !shutdown.load(Ordering::SeqCst) {
+        let request: Request = match recv_message(&mut stream) {
+            Ok(Some(request)) => request,
+            Ok(None) => break, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick: re-check the shutdown flag
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // parseable frame layer, garbage payload: answer, keep going
+                service.recorder().counter_add("server.requests.malformed", 1);
+                let response = Response::error(ErrorKind::Malformed, e.to_string());
+                if send_message(&mut stream, &response).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break, // torn connection
+        };
+        let response = service.handle(request);
+        if send_message(&mut stream, &response).is_err() {
+            break;
+        }
+    }
+}
+
+/// Blocking client for the wire protocol; used by the load generator,
+/// the example, and tests.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; `UnexpectedEof` if the server closed the
+    /// connection instead of answering.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        send_message(&mut self.stream, request)?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes as one frame and waits for a response — lets
+    /// attack-style clients deliver payloads that are not valid requests.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<Response> {
+        crate::wire::write_frame(&mut self.stream, payload)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        match recv_message(&mut self.stream)? {
+            Some(response) => Ok(response),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            )),
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! Every message is a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON. Requests and responses are externally tagged
+//! enums, e.g.
+//!
+//! ```text
+//! → {"GetChallenge": {"device_id": "dev-0"}}
+//! ← {"Challenge": {"device_id": "dev-0", "nonce": 17, "challenge": {...},
+//!                  "deadline_s": 0.25}}
+//! ```
+//!
+//! Frames are capped at [`MAX_FRAME_LEN`] so a hostile length prefix
+//! cannot force a giant allocation; oversized or truncated frames and
+//! unparseable payloads are *protocol* errors that the server answers
+//! with a structured [`Response::Error`] instead of dropping the
+//! connection.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use ppuf_core::challenge::Challenge;
+use ppuf_core::protocol::auth::{ProverAnswer, VerificationReport};
+use ppuf_core::public_model::PublicModel;
+
+/// Hard cap on a frame payload, in bytes (16 MiB — a published model for
+/// a paper-scale device is well under 1 MiB).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; `InvalidInput` if `payload` exceeds
+/// [`MAX_FRAME_LEN`].
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds cap {MAX_FRAME_LEN}", payload.len()),
+        ));
+    }
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean end-of-stream
+/// (EOF before any length byte).
+///
+/// `WouldBlock`/`TimedOut` from a polling read timeout surface only at a
+/// frame boundary (no byte consumed yet, so the caller may simply retry);
+/// once a frame has started, the read is retried internally — returning
+/// mid-frame would desynchronize the stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors; `InvalidData` for a length above
+/// [`MAX_FRAME_LEN`] or a stream truncated mid-frame.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    if !read_full(reader, &mut len_bytes, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    read_full(reader, &mut payload, false)?;
+    Ok(Some(payload))
+}
+
+/// Fills `buf` completely. Returns `Ok(false)` for EOF before the first
+/// byte when `start_of_frame` (clean end-of-stream); EOF anywhere else is
+/// `InvalidData` (truncated frame). `WouldBlock`/`TimedOut` propagate
+/// only before the first byte of a frame; later ones retry.
+fn read_full<R: Read>(reader: &mut R, buf: &mut [u8], start_of_frame: bool) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if start_of_frame && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "stream truncated inside frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if (e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut)
+                    && !(start_of_frame && filled == 0) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Publish (or replace) a device's public model.
+    Register {
+        /// Registry key for the device.
+        device_id: String,
+        /// The model every verifier check runs against.
+        model: PublicModel,
+    },
+    /// Remove a device; its outstanding sessions die with it.
+    Revoke {
+        /// Registry key for the device.
+        device_id: String,
+    },
+    /// Mint a nonce-bound challenge for a device and start its clock.
+    GetChallenge {
+        /// Registry key for the device.
+        device_id: String,
+    },
+    /// Redeem a session nonce with the prover's answer.
+    SubmitAnswer {
+        /// Registry key for the device.
+        device_id: String,
+        /// The session nonce from the matching `Challenge` response.
+        nonce: u64,
+        /// The prover's answer (response bit plus both flow functions).
+        answer: ProverAnswer,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Machine-readable failure category in a [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The device id is not registered (or was revoked).
+    UnknownDevice,
+    /// The nonce was never issued or was already redeemed.
+    ReplayOrUnknownNonce,
+    /// The session outlived its time-to-live before the answer arrived.
+    SessionExpired,
+    /// The verification queue is full; retry after the hinted delay.
+    Overloaded,
+    /// The frame was not a well-formed request.
+    Malformed,
+    /// The server failed internally (worker died, check errored).
+    Internal,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The device is registered and challengeable.
+    Registered {
+        /// Registry key for the device.
+        device_id: String,
+    },
+    /// Revocation outcome.
+    Revoked {
+        /// Registry key for the device.
+        device_id: String,
+        /// Whether the device was registered before this call.
+        existed: bool,
+    },
+    /// A minted challenge; answer it before `deadline_s` elapses.
+    Challenge {
+        /// Registry key for the device.
+        device_id: String,
+        /// Session nonce to present with the answer.
+        nonce: u64,
+        /// The challenge to execute.
+        challenge: Challenge,
+        /// Answer deadline in seconds, if the service enforces one.
+        deadline_s: Option<f64>,
+    },
+    /// The verification verdict for a submitted answer.
+    Verdict {
+        /// Registry key for the device.
+        device_id: String,
+        /// The redeemed session nonce.
+        nonce: u64,
+        /// `true` iff every check (including the deadline) passed.
+        accepted: bool,
+        /// Per-check findings.
+        report: VerificationReport,
+        /// Whether the flow checks were served from the verification
+        /// cache (the deadline check never is).
+        cached: bool,
+        /// Measured seconds between challenge issue and answer arrival.
+        elapsed_s: f64,
+    },
+    /// A structured failure.
+    Error {
+        /// Failure category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+        /// For [`ErrorKind::Overloaded`]: suggested client backoff.
+        retry_after_ms: Option<u64>,
+    },
+    /// Liveness answer.
+    Pong,
+}
+
+impl Response {
+    /// Convenience constructor for error responses without a retry hint.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response::Error { kind, message: message.into(), retry_after_ms: None }
+    }
+}
+
+/// Serializes a message and writes it as one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; `InvalidData` if serialization fails.
+pub fn send_message<W: Write, T: Serialize>(writer: &mut W, message: &T) -> io::Result<()> {
+    let text = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(writer, text.as_bytes())
+}
+
+/// Reads one frame and parses it; `Ok(None)` on clean end-of-stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors; `InvalidData` for an unparseable payload.
+pub fn recv_message<R: Read, T: for<'de> Deserialize<'de>>(
+    reader: &mut R,
+) -> io::Result<Option<T>> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let parsed = serde_json::from_str(text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(parsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // truncated inside the length prefix too
+        let err = read_frame(&mut io::Cursor::new(vec![0u8, 0])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn requests_roundtrip_as_json() {
+        let requests = [
+            Request::Revoke { device_id: "d".into() },
+            Request::GetChallenge { device_id: "d".into() },
+            Request::Ping,
+        ];
+        for request in &requests {
+            let text = serde_json::to_string(request).unwrap();
+            let back: Request = serde_json::from_str(&text).unwrap();
+            assert_eq!(&back, request);
+        }
+    }
+
+    #[test]
+    fn error_response_roundtrips() {
+        let response = Response::Error {
+            kind: ErrorKind::Overloaded,
+            message: "queue full".into(),
+            retry_after_ms: Some(50),
+        };
+        let text = serde_json::to_string(&response).unwrap();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut buf = Vec::new();
+        send_message(&mut buf, &Request::Ping).unwrap();
+        let back: Option<Request> = recv_message(&mut io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, Some(Request::Ping));
+    }
+}

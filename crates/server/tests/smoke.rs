@@ -1,0 +1,60 @@
+//! End-to-end smoke test: the CI load-generation profile over real TCP.
+//!
+//! Runs the same profile `ppuf_loadgen --smoke` uses — a small device,
+//! 2 verifier workers, 100 requests across honest, impostor, and garbage
+//! cohorts — and asserts the service-level guarantees: honest traffic
+//! accepted, simulating attackers rejected on the deadline, malformed
+//! payloads answered with structured errors, repeated answers served
+//! from the verification cache, and nothing panicking anywhere.
+
+use ppuf_server::loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+
+#[test]
+fn loadgen_smoke_profile_end_to_end() {
+    let config = LoadgenConfig::smoke();
+    assert_eq!(config.total_requests(), 100);
+    assert_eq!(config.workers, 2);
+
+    let report = run_loadgen(&config).expect("loadgen run failed to start");
+
+    // the one-call invariant check the CI smoke step also relies on
+    report.check_smoke_invariants().expect("smoke invariants violated");
+
+    // and the individual guarantees, spelled out
+    assert_eq!(report.total_requests, 100);
+    assert_eq!(report.honest.requests, 60);
+    assert_eq!(report.honest.accepted, 60, "{:?}", report.honest);
+    assert_eq!(report.impostor.requests, 20);
+    assert_eq!(report.impostor.rejected_deadline, 20, "{:?}", report.impostor);
+    assert_eq!(report.garbage.requests, 20);
+    assert_eq!(report.garbage.structured_errors, 20, "{:?}", report.garbage);
+
+    // the verification cache must have absorbed repeated answers: the
+    // challenge pool rotates 4 challenges, so among 80 verified answers
+    // at most a handful can miss
+    let hits = report.server_counters.get("server.cache.hits").copied().unwrap_or(0);
+    let misses = report.server_counters.get("server.cache.misses").copied().unwrap_or(0);
+    assert!(hits > 0, "no cache hits: counters = {:?}", report.server_counters);
+    assert!(hits + misses >= 80, "every verified answer passes through the cache");
+
+    // server-side accounting matches the client-side view
+    assert_eq!(report.server_counters.get("server.answers.accepted").copied(), Some(60));
+    assert_eq!(report.server_counters.get("server.answers.rejected").copied(), Some(20));
+    assert_eq!(report.server_counters.get("server.answers.rejected_deadline").copied(), Some(20));
+    // each garbage client's 10-round rotation hits the two frame-level
+    // malformed variants 6 times (i % 4 ∈ {0, 1} for i in 0..10)
+    assert_eq!(report.server_counters.get("server.requests.malformed").copied(), Some(12));
+    assert!(report.server_warnings.is_empty(), "{:?}", report.server_warnings);
+
+    // latency percentiles exist and are ordered
+    let latency = report.honest.latency.expect("honest latency recorded");
+    assert!(latency.count == 60);
+    assert!(latency.p50_ms <= latency.p95_ms && latency.p95_ms <= latency.p99_ms);
+    assert!(latency.min_ms <= latency.p50_ms && latency.p99_ms <= latency.max_ms);
+
+    // the JSON report round-trips
+    let json = report.to_json();
+    let parsed: LoadgenReport = serde_json::from_str(&json).expect("report JSON parses back");
+    assert_eq!(parsed, report);
+    assert!(json.contains("throughput_rps"));
+}

@@ -27,12 +27,14 @@
 //! and renders a schema-versioned [`report::Report`].
 
 pub mod report;
+pub mod samples;
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use report::{JsonReporter, Report, ReportError, SCHEMA_VERSION};
+pub use samples::{SampleSeries, SampleSummary};
 
 /// Sink for instrumentation events.
 ///
@@ -144,7 +146,7 @@ impl Default for Summary {
     }
 }
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct MemoryState {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Summary>,
@@ -159,7 +161,7 @@ struct MemoryState {
 /// [`histogram`](MemoryRecorder::histogram),
 /// [`span_stats`](MemoryRecorder::span_stats), or snapshot the whole state
 /// as a [`Report`].
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct MemoryRecorder {
     state: Mutex<MemoryState>,
 }

@@ -1,6 +1,6 @@
 //! Schema-versioned JSON run reports.
 //!
-//! A [`Report`] is a snapshot of a [`MemoryRecorder`](crate::MemoryRecorder)
+//! A [`Report`] is a snapshot of a [`MemoryRecorder`]
 //! that renders to and parses from JSON without external dependencies, so
 //! downstream tooling (and the `telemetry_report` binary in `ppuf-bench`)
 //! can diff runs across commits.

@@ -11,7 +11,11 @@
 //! - [`core`] (`ppuf-core`) — the PPUF itself: crossbars, challenges, the
 //!   public model, protocols, ESG analysis, quality metrics;
 //! - [`attack`] (`ppuf-attack`) — SVM/KNN model-building attacks and the
-//!   arbiter-PUF baseline.
+//!   arbiter-PUF baseline;
+//! - [`server`] (`ppuf-server`) — the protocol as an online service:
+//!   device registry, nonce-bound challenge issuing, a verifier worker
+//!   pool with backpressure, a sharded verification cache, and a
+//!   JSON-over-TCP front-end with a load generator.
 //!
 //! # The 60-second tour
 //!
@@ -39,6 +43,7 @@ pub use ppuf_analog as analog;
 pub use ppuf_attack as attack;
 pub use ppuf_core as core;
 pub use ppuf_maxflow as maxflow;
+pub use ppuf_server as server;
 
 /// The most common types in one import.
 pub mod prelude {
@@ -56,4 +61,5 @@ pub mod prelude {
         ApproxMaxFlow, Dinic, EdmondsKarp, Flow, FlowNetwork, MaxFlowSolver, MinCut, NodeId,
         ParallelPushRelabel, PushRelabel, ResidualGraph,
     };
+    pub use ppuf_server::{PpufServer, ServiceConfig, VerificationService};
 }
