@@ -55,6 +55,21 @@ pub trait TwoTerminal {
     }
 }
 
+/// References to elements are elements too, so a [`Circuit`] can borrow
+/// its edge curves from a shared per-device table cache instead of owning
+/// (and re-tabulating) them per challenge.
+///
+/// [`Circuit`]: crate::solver::Circuit
+impl<T: TwoTerminal + ?Sized> TwoTerminal for &T {
+    fn current(&self, dv: Volts, temp: Celsius) -> Amps {
+        (**self).current(dv, temp)
+    }
+
+    fn conductance(&self, dv: Volts, temp: Celsius) -> f64 {
+        (**self).conductance(dv, temp)
+    }
+}
+
 /// Which design point of the paper's Fig 2 a building block uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BlockDesign {

@@ -10,11 +10,13 @@
 //! fallback for hard instances.
 
 use std::fmt;
+use std::time::Instant;
 
 use ppuf_telemetry::{Recorder, Span, NOOP};
 
 use crate::block::TwoTerminal;
-use crate::solver::linear::{lu_solve, Matrix};
+use crate::solver::linear::{lu_factor, lu_solve_factored};
+use crate::solver::workspace::DcWorkspace;
 use crate::units::{Amps, Celsius, Volts};
 
 /// Minimum conductance floored onto the Jacobian diagonal (SPICE `GMIN`);
@@ -221,7 +223,10 @@ impl<E: TwoTerminal> Circuit<E> {
         sink: u32,
         vs: Volts,
         options: &DcOptions,
-    ) -> Result<DcSolution, SolveError> {
+    ) -> Result<DcSolution, SolveError>
+    where
+        E: Sync,
+    {
         self.solve_dc_traced(source, sink, vs, options, &NOOP)
     }
 
@@ -242,7 +247,38 @@ impl<E: TwoTerminal> Circuit<E> {
         vs: Volts,
         options: &DcOptions,
         recorder: &dyn Recorder,
-    ) -> Result<DcSolution, SolveError> {
+    ) -> Result<DcSolution, SolveError>
+    where
+        E: Sync,
+    {
+        let mut ws = DcWorkspace::new();
+        self.solve_dc_core(source, sink, vs, options, recorder, &mut ws, 1, None, 0)
+            .map(|(solution, _)| solution)
+    }
+
+    /// The shared solve path behind [`solve_dc_traced`](Self::solve_dc_traced)
+    /// and [`DcEngine`](crate::solver::engine::DcEngine): all scratch lives
+    /// in `ws`, stamping and LU fan out over `threads`, and an optional
+    /// `warm` operating point is tried (at full tolerance, with a
+    /// `warm_budget` iteration cap) before falling back to the cold
+    /// source-stepping ladder. Returns the solution and whether the warm
+    /// start converged.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn solve_dc_core(
+        &self,
+        source: u32,
+        sink: u32,
+        vs: Volts,
+        options: &DcOptions,
+        recorder: &dyn Recorder,
+        ws: &mut DcWorkspace,
+        threads: usize,
+        warm: Option<&[Volts]>,
+        warm_budget: usize,
+    ) -> Result<(DcSolution, bool), SolveError>
+    where
+        E: Sync,
+    {
         let _span = Span::enter(recorder, "analog.dc.solve");
         for node in [source, sink] {
             if node as usize >= self.node_count {
@@ -253,96 +289,105 @@ impl<E: TwoTerminal> Circuit<E> {
             return Err(SolveError::SourceIsSink);
         }
         let n = self.node_count;
-        // unknown index per node (terminals excluded)
-        let mut unknown_of = vec![usize::MAX; n];
-        let mut unknowns = Vec::new();
-        for (v, slot) in unknown_of.iter_mut().enumerate() {
-            if v != source as usize && v != sink as usize {
-                *slot = unknowns.len();
-                unknowns.push(v);
-            }
-        }
-        let mut voltages = vec![Volts(vs.value() * 0.5); n];
-        voltages[source as usize] = Volts(0.0);
-        voltages[sink as usize] = Volts(0.0);
+        ws.bind(self, source, sink);
+        let (stamp0, lu0) = (ws.stamp_time, ws.lu_time);
         let mut total_iterations = 0;
         let mut work = NewtonWork::default();
-        let steps = options.continuation_steps.max(1);
-        for step in 1..=steps {
-            let target = Volts(vs.value() * step as f64 / steps as f64);
-            voltages[source as usize] = target;
-            let attempt = self.newton(
-                &mut voltages,
-                &unknowns,
-                &unknown_of,
-                options,
-                // only the final step needs full accuracy
-                if step == steps {
-                    options.residual_tolerance.value()
-                } else {
-                    options.residual_tolerance.value() * 1e3
-                },
-                &mut work,
-            );
-            recorder.counter_add("analog.dc.continuation_steps", 1);
-            match attempt {
-                Ok(iters) => total_iterations += iters,
+        let tol = options.residual_tolerance.value();
+        let mut warm_hit = false;
+        let mut voltages: Vec<Volts> = Vec::with_capacity(n);
+        if let Some(prev) = warm.filter(|p| p.len() == n) {
+            voltages.extend_from_slice(prev);
+            voltages[source as usize] = vs;
+            voltages[sink as usize] = Volts(0.0);
+            let warm_options =
+                DcOptions { max_iterations: options.max_iterations.min(warm_budget), ..*options };
+            match self.newton_ws(&mut voltages, ws, &warm_options, tol, &mut work, threads) {
+                Ok(iters) => {
+                    total_iterations += iters;
+                    warm_hit = true;
+                }
+                // a stale operating point is not an error; redo cold
+                Err(SolveError::NoConvergence { .. }) => {}
                 Err(err) => {
                     work.record(recorder, "analog.dc");
-                    recorder.counter_add("analog.dc.nonconvergence", 1);
-                    recorder.warn(&format!(
-                        "dc solve failed at continuation step {step}/{steps}: {err}"
-                    ));
                     return Err(err);
                 }
             }
         }
-        work.record(recorder, "analog.dc");
-        let temp = options.temperature;
-        let source_current: f64 = self
-            .edges
-            .iter()
-            .map(|e| {
-                let dv = voltages[e.from as usize] - voltages[e.to as usize];
-                let i = e.element.current(dv, temp).value();
-                if e.from == source {
-                    i
-                } else if e.to == source {
-                    -i
-                } else {
-                    0.0
+        if !warm_hit {
+            voltages.clear();
+            voltages.resize(n, Volts(vs.value() * 0.5));
+            voltages[source as usize] = Volts(0.0);
+            voltages[sink as usize] = Volts(0.0);
+            let steps = options.continuation_steps.max(1);
+            for step in 1..=steps {
+                let target = Volts(vs.value() * step as f64 / steps as f64);
+                voltages[source as usize] = target;
+                let attempt = self.newton_ws(
+                    &mut voltages,
+                    ws,
+                    options,
+                    // only the final step needs full accuracy
+                    if step == steps { tol } else { tol * 1e3 },
+                    &mut work,
+                    threads,
+                );
+                recorder.counter_add("analog.dc.continuation_steps", 1);
+                match attempt {
+                    Ok(iters) => total_iterations += iters,
+                    Err(err) => {
+                        work.record(recorder, "analog.dc");
+                        recorder.counter_add("analog.dc.nonconvergence", 1);
+                        recorder.warn(&format!(
+                            "dc solve failed at continuation step {step}/{steps}: {err}"
+                        ));
+                        return Err(err);
+                    }
                 }
-            })
-            .sum();
-        let residual = self.max_residual(&voltages, &unknowns, temp);
+            }
+        }
+        work.record(recorder, "analog.dc");
+        // final residual + terminal current from one evaluation pass
+        ws.compute_residual(self, &voltages, options.temperature, threads);
+        let source_current = ws.terminal_current(source);
+        let residual = max_abs(&ws.residual);
         recorder.observe("analog.dc.residual_norm", residual);
-        Ok(DcSolution {
-            voltages,
-            source_current: Amps(source_current),
-            iterations: total_iterations,
-            residual: Amps(residual),
-        })
+        recorder.record_span("analog.dc.stamp", ws.stamp_time - stamp0);
+        recorder.record_span("analog.dc.lu", ws.lu_time - lu0);
+        Ok((
+            DcSolution {
+                voltages,
+                source_current: Amps(source_current),
+                iterations: total_iterations,
+                residual: Amps(residual),
+            },
+            warm_hit,
+        ))
     }
 
-    /// Damped Newton iteration at fixed terminal voltages. Returns the
+    /// Damped Newton iteration at fixed terminal voltages, running
+    /// entirely out of the workspace's reusable buffers. Returns the
     /// iteration count.
-    fn newton(
+    fn newton_ws(
         &self,
         voltages: &mut [Volts],
-        unknowns: &[usize],
-        unknown_of: &[usize],
+        ws: &mut DcWorkspace,
         options: &DcOptions,
         tol: f64,
         work: &mut NewtonWork,
-    ) -> Result<usize, SolveError> {
+        threads: usize,
+    ) -> Result<usize, SolveError>
+    where
+        E: Sync,
+    {
         let temp = options.temperature;
-        let k = unknowns.len();
+        let k = ws.unknowns.len();
         if k == 0 {
             return Ok(0);
         }
-        let mut residual = vec![0.0; k];
-        self.kcl_residuals(voltages, unknown_of, &mut residual, temp);
-        let mut res_norm = max_abs(&residual);
+        ws.compute_residual(self, voltages, temp, threads);
+        let mut res_norm = max_abs(&ws.residual);
         let mut iterations = 0;
         let mut best_norm = res_norm;
         let mut stalled = 0usize;
@@ -351,33 +396,36 @@ impl<E: TwoTerminal> Circuit<E> {
                 return Err(SolveError::NoConvergence {
                     iterations,
                     residual: res_norm,
-                    worst_node: worst_node_of(&residual, unknowns),
+                    worst_node: worst_node_of(&ws.residual, &ws.unknowns),
                 });
             }
             iterations += 1;
             work.iterations += 1;
             // assemble Laplacian-style Jacobian of the KCL residuals
-            let mut jac = Matrix::zeros(k, k);
-            for i in 0..k {
-                jac[(i, i)] = -G_MIN;
-            }
-            self.fill_jacobian(voltages, unknown_of, &mut jac, temp);
+            ws.compute_jacobian(self, voltages, temp, threads, None);
             // newton step: J·Δ = −F
-            let mut delta: Vec<f64> = residual.iter().map(|r| -r).collect();
+            for idx in 0..k {
+                ws.delta[idx] = -ws.residual[idx];
+            }
             work.factorizations += 1;
-            lu_solve(&mut jac, &mut delta).map_err(|_| SolveError::SingularJacobian)?;
+            let t0 = Instant::now();
+            let factored = lu_factor(&mut ws.jac, &mut ws.pivots, threads);
+            factored.map_err(|_| SolveError::SingularJacobian)?;
+            lu_solve_factored(&ws.jac, &ws.pivots, &mut ws.delta);
+            ws.lu_time += t0.elapsed();
             // damped line search on the residual norm
             let mut alpha = 1.0f64;
-            let base: Vec<Volts> = voltages.to_vec();
+            ws.base.clear();
+            ws.base.extend_from_slice(voltages);
             let mut accepted = false;
             for _ in 0..30 {
-                for (idx, &node) in unknowns.iter().enumerate() {
-                    let v = base[node].value() + alpha * delta[idx];
+                for (idx, &node) in ws.unknowns.iter().enumerate() {
+                    let v = ws.base[node].value() + alpha * ws.delta[idx];
                     // keep iterates physical; terminals span [0, vs]
                     voltages[node] = Volts(v.clamp(-1.0, 5.0));
                 }
-                self.kcl_residuals(voltages, unknown_of, &mut residual, temp);
-                let new_norm = max_abs(&residual);
+                ws.compute_residual(self, voltages, temp, threads);
+                let new_norm = max_abs(&ws.residual);
                 if new_norm < res_norm || new_norm <= tol {
                     res_norm = new_norm;
                     accepted = true;
@@ -395,12 +443,12 @@ impl<E: TwoTerminal> Circuit<E> {
                 // the true objective even when the max-residual temporarily
                 // bumps — accept its state unconditionally and let the
                 // patience counter below detect genuine stagnation.
-                voltages.copy_from_slice(&base);
+                voltages.copy_from_slice(&ws.base);
                 for _ in 0..8 {
-                    self.gauss_seidel_sweep(voltages, unknowns, temp);
+                    self.gauss_seidel_sweep(voltages, &ws.unknowns, temp);
                 }
-                self.kcl_residuals(voltages, unknown_of, &mut residual, temp);
-                res_norm = max_abs(&residual);
+                ws.compute_residual(self, voltages, temp, threads);
+                res_norm = max_abs(&ws.residual);
             }
             // patience-based stagnation detection over both step kinds
             if res_norm < 0.999 * best_norm {
@@ -412,7 +460,7 @@ impl<E: TwoTerminal> Circuit<E> {
                     return Err(SolveError::NoConvergence {
                         iterations,
                         residual: res_norm,
-                        worst_node: worst_node_of(&residual, unknowns),
+                        worst_node: worst_node_of(&ws.residual, &ws.unknowns),
                     });
                 }
             }
@@ -462,40 +510,10 @@ impl<E: TwoTerminal> Circuit<E> {
         }
     }
 
-    /// Adds `∂F/∂V` contributions (the negative weighted Laplacian of edge
-    /// conductances) into `jac`, indexed by unknown positions.
-    pub(crate) fn fill_jacobian(
-        &self,
-        voltages: &[Volts],
-        unknown_of: &[usize],
-        jac: &mut Matrix,
-        temp: Celsius,
-    ) {
-        for e in &self.edges {
-            let (u, v) = (e.from as usize, e.to as usize);
-            let dv = voltages[u] - voltages[v];
-            let g = e.element.conductance(dv, temp).max(0.0);
-            if g == 0.0 {
-                continue;
-            }
-            // residual[v] += I(Vu − Vv); residual[u] −= I(Vu − Vv)
-            let (iu, iv) = (unknown_of[u], unknown_of[v]);
-            if iu != usize::MAX {
-                jac[(iu, iu)] -= g;
-                if iv != usize::MAX {
-                    jac[(iu, iv)] += g;
-                }
-            }
-            if iv != usize::MAX {
-                jac[(iv, iv)] -= g;
-                if iu != usize::MAX {
-                    jac[(iv, iu)] += g;
-                }
-            }
-        }
-    }
-
     /// KCL residual (net current *into* the node) for every unknown node.
+    /// Kept as the reference implementation the workspace's incidence
+    /// assembly is tested against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn kcl_residuals(
         &self,
         voltages: &[Volts],
@@ -515,19 +533,6 @@ impl<E: TwoTerminal> Circuit<E> {
                 out[unknown_of[v]] += i;
             }
         }
-    }
-
-    fn max_residual(&self, voltages: &[Volts], unknowns: &[usize], temp: Celsius) -> f64 {
-        let unknown_of = {
-            let mut m = vec![usize::MAX; self.node_count];
-            for (i, &v) in unknowns.iter().enumerate() {
-                m[v] = i;
-            }
-            m
-        };
-        let mut residual = vec![0.0; unknowns.len()];
-        self.kcl_residuals(voltages, &unknown_of, &mut residual, temp);
-        max_abs(&residual)
     }
 }
 

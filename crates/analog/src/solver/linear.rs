@@ -1,12 +1,25 @@
-//! Dense linear algebra: LU decomposition with partial pivoting.
+//! Dense linear algebra: blocked LU decomposition with partial pivoting.
 //!
 //! The nodal Jacobians of the PPUF crossbar are dense (the graph is
 //! complete), so a dense LU is the right tool; no sparse machinery needed.
+//! The factorization is right-looking and blocked (LAPACK `getrf` shape):
+//! narrow panels are factored sequentially, and the `O(n³)` trailing
+//! rank-`k` update — where essentially all the flops live — fans its rows
+//! out over `crossbeam` scoped threads. The inner `kk` loop order is fixed
+//! per row, so the factors are bitwise identical for any thread count.
 
 use std::fmt;
 
+/// Panel width of the blocked factorization. 48 columns × 8 bytes keeps a
+/// panel row within one cache line pair and the `U12` strip in L1.
+const LU_BLOCK: usize = 48;
+
+/// Trailing updates smaller than this many rows are not worth a thread
+/// hand-off; they run on the calling thread.
+const LU_PAR_MIN_ROWS: usize = 96;
+
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -36,6 +49,26 @@ impl Matrix {
     /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Reshapes the matrix in place, reusing the existing allocation.
+    /// Entry values after a resize are unspecified; callers are expected
+    /// to overwrite every row (the solver workspace does).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// The backing row-major storage.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable backing row-major storage.
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Matrix–vector product `A·x`.
@@ -81,10 +114,198 @@ impl fmt::Display for SingularMatrixError {
 
 impl std::error::Error for SingularMatrixError {}
 
+/// Factors `A = P·L·U` in place with partial pivoting.
+///
+/// Afterwards `a` holds the unit-lower factor `L` below the diagonal and
+/// `U` on and above it; `pivots[col]` records the row swapped into `col`
+/// during elimination. Use [`lu_solve_factored`] to solve against the
+/// factors (any number of right-hand sides).
+///
+/// The trailing-submatrix updates run on up to `threads` scoped threads.
+/// The per-row arithmetic order is independent of `threads`, so the
+/// factors are **bitwise identical** for every thread count.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if a pivot underflows
+/// (`|pivot| < 1e-300`).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn lu_factor(
+    a: &mut Matrix,
+    pivots: &mut Vec<u32>,
+    threads: usize,
+) -> Result<(), SingularMatrixError> {
+    assert_eq!(a.rows, a.cols, "lu_factor requires a square matrix");
+    let n = a.rows;
+    pivots.clear();
+    pivots.reserve(n);
+    let mut c0 = 0;
+    while c0 < n {
+        let c1 = (c0 + LU_BLOCK).min(n);
+        factor_panel(a, c0, c1, pivots)?;
+        if c1 < n {
+            solve_u12(a, c0, c1);
+            trailing_update(a, c0, c1, threads.max(1));
+        }
+        c0 = c1;
+    }
+    Ok(())
+}
+
+/// Unblocked factorization of columns `c0..c1`, updating only within the
+/// panel. Row swaps span the full matrix width (LAPACK `getrf` style), so
+/// previously computed `L` columns stay consistent.
+fn factor_panel(
+    a: &mut Matrix,
+    c0: usize,
+    c1: usize,
+    pivots: &mut Vec<u32>,
+) -> Result<(), SingularMatrixError> {
+    let n = a.rows;
+    let cols = a.cols;
+    let data = &mut a.data;
+    for col in c0..c1 {
+        let mut pivot_row = col;
+        let mut pivot_val = data[col * cols + col].abs();
+        for r in (col + 1)..n {
+            let v = data[r * cols + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(SingularMatrixError);
+        }
+        pivots.push(pivot_row as u32);
+        if pivot_row != col {
+            let (lo, hi) = data.split_at_mut(pivot_row * cols);
+            lo[col * cols..col * cols + cols].swap_with_slice(&mut hi[..cols]);
+        }
+        let pivot = data[col * cols + col];
+        for r in (col + 1)..n {
+            let factor = data[r * cols + col] / pivot;
+            data[r * cols + col] = factor;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in (col + 1)..c1 {
+                data[r * cols + c] -= factor * data[col * cols + c];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes `U12 = L11⁻¹ · A12` (rows `c0..c1`, columns `c1..`): forward
+/// substitution with the unit-lower panel triangle, in place.
+fn solve_u12(a: &mut Matrix, c0: usize, c1: usize) {
+    let cols = a.cols;
+    let data = &mut a.data;
+    for kk in c0..c1 {
+        for r in (kk + 1)..c1 {
+            let f = data[r * cols + kk];
+            if f == 0.0 {
+                continue;
+            }
+            let (src, dst) = data.split_at_mut(r * cols);
+            let u_row = &src[kk * cols + c1..kk * cols + cols];
+            let t_row = &mut dst[c1..cols];
+            for (t, u) in t_row.iter_mut().zip(u_row) {
+                *t -= f * u;
+            }
+        }
+    }
+}
+
+/// The rank-`(c1−c0)` trailing update `A22 -= L21 · U12` over rows
+/// `c1..n`, fanned out across scoped threads. Each row is updated by
+/// exactly one thread with a fixed `kk` loop order, so the result does not
+/// depend on the thread count.
+fn trailing_update(a: &mut Matrix, c0: usize, c1: usize, threads: usize) {
+    let n = a.rows;
+    let cols = a.cols;
+    let (panel, tail) = a.data.split_at_mut(c1 * cols);
+    let panel: &[f64] = panel;
+    let update_row = |row: &mut [f64]| {
+        for kk in c0..c1 {
+            let f = row[kk];
+            if f == 0.0 {
+                continue;
+            }
+            let u_row = &panel[kk * cols + c1..kk * cols + cols];
+            for (t, u) in row[c1..cols].iter_mut().zip(u_row) {
+                *t -= f * u;
+            }
+        }
+    };
+    let tail_rows = n - c1;
+    if threads <= 1 || tail_rows < LU_PAR_MIN_ROWS {
+        for row in tail.chunks_mut(cols) {
+            update_row(row);
+        }
+        return;
+    }
+    let rows_per_thread = tail_rows.div_ceil(threads);
+    let update_row = &update_row;
+    crossbeam::scope(|s| {
+        for chunk in tail.chunks_mut(rows_per_thread * cols) {
+            s.spawn(move |_| {
+                for row in chunk.chunks_mut(cols) {
+                    update_row(row);
+                }
+            });
+        }
+    })
+    .expect("lu trailing-update worker panicked");
+}
+
+/// Solves `L·U·x = P·b` against factors produced by [`lu_factor`],
+/// overwriting `b` with the solution.
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()` or `pivots.len() != a.rows()`.
+pub fn lu_solve_factored(a: &Matrix, pivots: &[u32], b: &mut [f64]) {
+    let n = a.rows;
+    assert_eq!(b.len(), n);
+    assert_eq!(pivots.len(), n);
+    let cols = a.cols;
+    let data = &a.data;
+    for (col, &p) in pivots.iter().enumerate() {
+        let p = p as usize;
+        if p != col {
+            b.swap(col, p);
+        }
+    }
+    // forward substitution with unit-diagonal L
+    for r in 1..n {
+        let row = &data[r * cols..r * cols + r];
+        let mut sum = b[r];
+        for (c, l) in row.iter().enumerate() {
+            sum -= l * b[c];
+        }
+        b[r] = sum;
+    }
+    // back substitution with U
+    for r in (0..n).rev() {
+        let row = &data[r * cols..(r + 1) * cols];
+        let mut sum = b[r];
+        for c in (r + 1)..n {
+            sum -= row[c] * b[c];
+        }
+        b[r] = sum / row[r];
+    }
+}
+
 /// Solves `A·x = b` in place by LU decomposition with partial pivoting.
 ///
 /// `a` is destroyed (it holds the LU factors afterwards) and `b` is
-/// overwritten with the solution.
+/// overwritten with the solution. Single-threaded convenience wrapper over
+/// [`lu_factor`] + [`lu_solve_factored`].
 ///
 /// # Errors
 ///
@@ -95,54 +316,10 @@ impl std::error::Error for SingularMatrixError {}
 ///
 /// Panics if `a` is not square or `b.len() != a.rows()`.
 pub fn lu_solve(a: &mut Matrix, b: &mut [f64]) -> Result<(), SingularMatrixError> {
-    assert_eq!(a.rows, a.cols, "lu_solve requires a square matrix");
     assert_eq!(b.len(), a.rows);
-    let n = a.rows;
-    for col in 0..n {
-        // pivot search
-        let mut pivot_row = col;
-        let mut pivot_val = a[(col, col)].abs();
-        for r in (col + 1)..n {
-            let v = a[(r, col)].abs();
-            if v > pivot_val {
-                pivot_val = v;
-                pivot_row = r;
-            }
-        }
-        if pivot_val < 1e-300 {
-            return Err(SingularMatrixError);
-        }
-        if pivot_row != col {
-            for c in 0..n {
-                let tmp = a[(col, c)];
-                a[(col, c)] = a[(pivot_row, c)];
-                a[(pivot_row, c)] = tmp;
-            }
-            b.swap(col, pivot_row);
-        }
-        // eliminate below
-        let pivot = a[(col, col)];
-        for r in (col + 1)..n {
-            let factor = a[(r, col)] / pivot;
-            if factor == 0.0 {
-                continue;
-            }
-            a[(r, col)] = 0.0;
-            for c in (col + 1)..n {
-                let v = a[(col, c)];
-                a[(r, c)] -= factor * v;
-            }
-            b[r] -= factor * b[col];
-        }
-    }
-    // back substitution
-    for col in (0..n).rev() {
-        let mut sum = b[col];
-        for c in (col + 1)..n {
-            sum -= a[(col, c)] * b[c];
-        }
-        b[col] = sum / a[(col, col)];
-    }
+    let mut pivots = Vec::new();
+    lu_factor(a, &mut pivots, 1)?;
+    lu_solve_factored(a, &pivots, b);
     Ok(())
 }
 
@@ -232,5 +409,90 @@ mod tests {
         let back = a_copy.mul_vec(&b);
         assert!((back[0] - 1e-9).abs() < 1e-18);
         assert!((back[1] - 1e-13).abs() < 1e-22);
+    }
+
+    /// Deterministic pseudo-random test matrix spanning several panels.
+    fn big_system(n: usize) -> (Matrix, Vec<f64>) {
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for r in 0..n {
+            for c in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                a[(r, c)] = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            }
+            a[(r, r)] += n as f64; // keep it comfortably nonsingular
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 % 23) as f64 - 11.0) / 5.0).collect();
+        (a, x_true)
+    }
+
+    #[test]
+    fn blocked_factorization_crosses_panel_boundaries() {
+        // n > LU_BLOCK exercises panel + U12 + trailing-update paths
+        let n = LU_BLOCK * 2 + 17;
+        let (a, x_true) = big_system(n);
+        let b0 = a.mul_vec(&x_true);
+        let mut a_work = a.clone();
+        let mut pivots = Vec::new();
+        lu_factor(&mut a_work, &mut pivots, 1).unwrap();
+        let mut b = b0.clone();
+        lu_solve_factored(&a_work, &pivots, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn factors_are_bitwise_identical_across_thread_counts() {
+        let n = LU_PAR_MIN_ROWS + LU_BLOCK + 5;
+        let (a, _) = big_system(n);
+        let mut reference = a.clone();
+        let mut ref_pivots = Vec::new();
+        lu_factor(&mut reference, &mut ref_pivots, 1).unwrap();
+        for threads in [2, 4, 7] {
+            let mut work = a.clone();
+            let mut pivots = Vec::new();
+            lu_factor(&mut work, &mut pivots, threads).unwrap();
+            assert_eq!(pivots, ref_pivots, "pivots diverged at {threads} threads");
+            for (i, (got, want)) in
+                work.as_slice().iter().zip(reference.as_slice().iter()).enumerate()
+            {
+                assert!(
+                    got.to_bits() == want.to_bits(),
+                    "entry {i} differs at {threads} threads: {got:e} vs {want:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factored_solve_matches_one_shot_solve() {
+        let n = 33;
+        let (a, x_true) = big_system(n);
+        let b0 = a.mul_vec(&x_true);
+        let mut one_shot_a = a.clone();
+        let mut one_shot_b = b0.clone();
+        lu_solve(&mut one_shot_a, &mut one_shot_b).unwrap();
+        let mut fact = a.clone();
+        let mut pivots = Vec::new();
+        lu_factor(&mut fact, &mut pivots, 1).unwrap();
+        // the factors are reusable: two right-hand sides, one factorization
+        for scale in [1.0, 2.5] {
+            let mut b: Vec<f64> = b0.iter().map(|v| v * scale).collect();
+            lu_solve_factored(&fact, &pivots, &mut b);
+            for (got, want) in b.iter().zip(&one_shot_b) {
+                assert!((got - want * scale).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn resize_reuses_allocation() {
+        let mut m = Matrix::zeros(4, 4);
+        m[(3, 3)] = 7.0;
+        m.resize(2, 2);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        m.resize(6, 6);
+        assert_eq!(m.as_slice().len(), 36);
     }
 }

@@ -1,14 +1,20 @@
-//! Circuit solvers: dense LU, nonlinear DC operating point, backward-Euler
-//! transient, and tabulated fast-path element curves.
+//! Circuit solvers: dense blocked LU, nonlinear DC operating point (cold
+//! or warm-started via [`DcEngine`]), backward-Euler transient, tabulated
+//! fast-path element curves, and the reusable [`DcWorkspace`] scratch
+//! state they all share.
 
 pub mod dc;
+pub mod engine;
 pub mod linear;
 pub mod tabulated;
 pub mod transient;
+pub mod workspace;
 
 pub use dc::{Circuit, CircuitEdge, DcOptions, DcSolution, SolveError, G_MIN};
-pub use linear::{lu_solve, Matrix, SingularMatrixError};
+pub use engine::{DcEngine, EngineOptions};
+pub use linear::{lu_factor, lu_solve, lu_solve_factored, Matrix, SingularMatrixError};
 pub use tabulated::{TabulatedElement, DEFAULT_SAMPLES};
 pub use transient::{
     simulate_step_response, simulate_step_response_traced, TransientOptions, TransientResult,
 };
+pub use workspace::DcWorkspace;

@@ -18,8 +18,9 @@
 use ppuf_telemetry::{Recorder, Span, NOOP};
 
 use crate::block::TwoTerminal;
-use crate::solver::dc::{worst_node_of, Circuit, DcOptions, NewtonWork, SolveError, G_MIN};
-use crate::solver::linear::{lu_solve, Matrix};
+use crate::solver::dc::{worst_node_of, Circuit, DcOptions, NewtonWork, SolveError};
+use crate::solver::linear::{lu_factor, lu_solve_factored};
+use crate::solver::workspace::DcWorkspace;
 use crate::units::{Amps, Celsius, Farads, Seconds, Volts};
 
 /// How many times a failed implicit step is retried with a halved step
@@ -91,7 +92,7 @@ impl Default for TransientOptions {
 ///
 /// The settling detection needs the final operating point; it is obtained
 /// from a DC solve up front, so DC failures surface here too.
-pub fn simulate_step_response<E: TwoTerminal>(
+pub fn simulate_step_response<E: TwoTerminal + Sync>(
     circuit: &Circuit<E>,
     source: u32,
     sink: u32,
@@ -100,6 +101,22 @@ pub fn simulate_step_response<E: TwoTerminal>(
     options: &TransientOptions,
 ) -> Result<TransientResult, SolveError> {
     simulate_step_response_traced(circuit, source, sink, vs, node_capacitance, options, &NOOP)
+}
+
+/// Scratch buffers reused across every implicit step of a transient run:
+/// the shared Newton workspace plus the integrator's own per-unknown
+/// state. Nothing inside the time loop allocates.
+#[derive(Debug, Default)]
+struct TransientScratch {
+    ws: DcWorkspace,
+    /// Previous-step voltages at the unknown nodes.
+    prev: Vec<f64>,
+    /// `C_v / h` per unknown for the current substep size.
+    cap_over_h: Vec<f64>,
+    /// Pre-attempt voltages, restored when a substep is rejected.
+    before: Vec<Volts>,
+    /// Stack of pending substep sizes (step-halving retries).
+    pending: Vec<f64>,
 }
 
 /// [`simulate_step_response`] with telemetry: counts accepted and rejected
@@ -116,7 +133,7 @@ pub fn simulate_step_response<E: TwoTerminal>(
 /// Same as [`simulate_step_response`]; additionally, a step that still
 /// fails after [`MAX_STEP_HALVINGS`] retries surfaces the final
 /// [`SolveError::NoConvergence`].
-pub fn simulate_step_response_traced<E: TwoTerminal>(
+pub fn simulate_step_response_traced<E: TwoTerminal + Sync>(
     circuit: &Circuit<E>,
     source: u32,
     sink: u32,
@@ -142,15 +159,9 @@ pub fn simulate_step_response_traced<E: TwoTerminal>(
     let i_final = dc.source_current.value();
     let band = options.settle_tolerance * i_final.abs().max(1e-18);
 
-    let mut unknown_of = vec![usize::MAX; n];
-    let mut unknowns = Vec::new();
-    for (v, slot) in unknown_of.iter_mut().enumerate() {
-        if v != source as usize && v != sink as usize {
-            *slot = unknowns.len();
-            unknowns.push(v);
-        }
-    }
-    let k = unknowns.len();
+    let mut scratch = TransientScratch::default();
+    scratch.ws.bind(circuit, source, sink);
+    let k = scratch.ws.unknowns.len();
     let mut voltages = vec![Volts(0.0); n];
     voltages[source as usize] = vs;
     let h = options.step.value();
@@ -168,8 +179,7 @@ pub fn simulate_step_response_traced<E: TwoTerminal>(
         let step_result = advance_step(
             circuit,
             &mut voltages,
-            &unknowns,
-            &unknown_of,
+            &mut scratch,
             node_capacitance,
             h,
             temp,
@@ -231,11 +241,10 @@ pub fn simulate_step_response_traced<E: TwoTerminal>(
 /// Rejected attempts restore the pre-attempt state before retrying, so a
 /// failed Newton iterate never leaks into the trajectory.
 #[allow(clippy::too_many_arguments)]
-fn advance_step<E: TwoTerminal>(
+fn advance_step<E: TwoTerminal + Sync>(
     circuit: &Circuit<E>,
     voltages: &mut [Volts],
-    unknowns: &[usize],
-    unknown_of: &[usize],
+    scratch: &mut TransientScratch,
     node_capacitance: &[Farads],
     h: f64,
     temp: Celsius,
@@ -243,20 +252,13 @@ fn advance_step<E: TwoTerminal>(
     accepted: &mut u64,
     rejected: &mut u64,
 ) -> Result<(), SolveError> {
-    let mut pending = vec![h];
+    scratch.pending.clear();
+    scratch.pending.push(h);
     let mut halvings = 0u32;
-    while let Some(dt) = pending.pop() {
-        let before: Vec<Volts> = voltages.to_vec();
-        match backward_euler_step(
-            circuit,
-            voltages,
-            unknowns,
-            unknown_of,
-            node_capacitance,
-            dt,
-            temp,
-            work,
-        ) {
+    while let Some(dt) = scratch.pending.pop() {
+        scratch.before.clear();
+        scratch.before.extend_from_slice(voltages);
+        match backward_euler_step(circuit, voltages, scratch, node_capacitance, dt, temp, work) {
             Ok(()) => *accepted += 1,
             Err(err @ SolveError::NoConvergence { .. }) => {
                 *rejected += 1;
@@ -264,10 +266,10 @@ fn advance_step<E: TwoTerminal>(
                     return Err(err);
                 }
                 halvings += 1;
-                voltages.copy_from_slice(&before);
+                voltages.copy_from_slice(&scratch.before);
                 // redo the same interval as two half-size substeps
-                pending.push(dt * 0.5);
-                pending.push(dt * 0.5);
+                scratch.pending.push(dt * 0.5);
+                scratch.pending.push(dt * 0.5);
             }
             Err(err) => return Err(err),
         }
@@ -275,37 +277,42 @@ fn advance_step<E: TwoTerminal>(
     Ok(())
 }
 
-/// One implicit step: solve `C/h (V⁺ − V) − F(V⁺) = 0` by damped Newton.
-#[allow(clippy::too_many_arguments)]
-fn backward_euler_step<E: TwoTerminal>(
+/// Refreshes `s.ws.residual` with the backward-Euler residual
+/// `F(V⁺) − C/h (V⁺ − V)` at the current `voltages`.
+fn be_residual<E: TwoTerminal + Sync>(
+    circuit: &Circuit<E>,
+    s: &mut TransientScratch,
+    voltages: &[Volts],
+    temp: Celsius,
+) {
+    s.ws.compute_residual(circuit, voltages, temp, 1);
+    for idx in 0..s.ws.unknowns.len() {
+        let node = s.ws.unknowns[idx];
+        s.ws.residual[idx] -= s.cap_over_h[idx] * (voltages[node].value() - s.prev[idx]);
+    }
+}
+
+/// One implicit step: solve `C/h (V⁺ − V) − F(V⁺) = 0` by damped Newton,
+/// entirely out of the scratch buffers.
+fn backward_euler_step<E: TwoTerminal + Sync>(
     circuit: &Circuit<E>,
     voltages: &mut [Volts],
-    unknowns: &[usize],
-    unknown_of: &[usize],
+    s: &mut TransientScratch,
     node_capacitance: &[Farads],
     h: f64,
     temp: Celsius,
     work: &mut NewtonWork,
 ) -> Result<(), SolveError> {
-    let k = unknowns.len();
+    let k = s.ws.unknowns.len();
     if k == 0 {
         return Ok(());
     }
-    let previous: Vec<f64> = unknowns.iter().map(|&v| voltages[v].value()).collect();
-    let mut kcl = vec![0.0; k];
-    let residual_of = |volt: &[Volts], kcl: &mut [f64], circuit: &Circuit<E>| -> Vec<f64> {
-        circuit.kcl_residuals(volt, unknown_of, kcl, temp);
-        unknowns
-            .iter()
-            .enumerate()
-            .map(|(idx, &v)| {
-                let c = node_capacitance[v].value();
-                kcl[idx] - c / h * (voltages_value(volt, v) - previous[idx])
-            })
-            .collect()
-    };
-    let mut res = residual_of(voltages, &mut kcl, circuit);
-    let mut norm = max_abs(&res);
+    s.prev.clear();
+    s.prev.extend(s.ws.unknowns.iter().map(|&v| voltages[v].value()));
+    s.cap_over_h.clear();
+    s.cap_over_h.extend(s.ws.unknowns.iter().map(|&v| node_capacitance[v].value() / h));
+    be_residual(circuit, s, voltages, temp);
+    let mut norm = max_abs(&s.ws.residual);
     // implicit-step tolerance: scaled to the capacitive currents involved
     let tol = 1e-16_f64.max(norm * 1e-9);
     for _ in 0..100 {
@@ -313,23 +320,25 @@ fn backward_euler_step<E: TwoTerminal>(
             return Ok(());
         }
         work.iterations += 1;
-        let mut jac = Matrix::zeros(k, k);
-        for (idx, &v) in unknowns.iter().enumerate() {
-            jac[(idx, idx)] = -node_capacitance[v].value() / h - G_MIN;
+        s.ws.compute_jacobian(circuit, voltages, temp, 1, Some(&s.cap_over_h));
+        for idx in 0..k {
+            s.ws.delta[idx] = -s.ws.residual[idx];
         }
-        circuit.fill_jacobian(voltages, unknown_of, &mut jac, temp);
-        let mut delta: Vec<f64> = res.iter().map(|r| -r).collect();
         work.factorizations += 1;
-        lu_solve(&mut jac, &mut delta).map_err(|_| SolveError::SingularJacobian)?;
-        let base: Vec<f64> = unknowns.iter().map(|&v| voltages[v].value()).collect();
+        lu_factor(&mut s.ws.jac, &mut s.ws.pivots, 1).map_err(|_| SolveError::SingularJacobian)?;
+        lu_solve_factored(&s.ws.jac, &s.ws.pivots, &mut s.ws.delta);
+        s.ws.base.clear();
+        s.ws.base.extend_from_slice(voltages);
         let mut alpha = 1.0;
         let mut improved = false;
         for _ in 0..20 {
-            for (idx, &v) in unknowns.iter().enumerate() {
-                voltages[v] = Volts((base[idx] + alpha * delta[idx]).clamp(-1.0, 5.0));
+            for idx in 0..k {
+                let node = s.ws.unknowns[idx];
+                voltages[node] =
+                    Volts((s.ws.base[node].value() + alpha * s.ws.delta[idx]).clamp(-1.0, 5.0));
             }
-            res = residual_of(voltages, &mut kcl, circuit);
-            let new_norm = max_abs(&res);
+            be_residual(circuit, s, voltages, temp);
+            let new_norm = max_abs(&s.ws.residual);
             if new_norm < norm || new_norm <= tol {
                 norm = new_norm;
                 improved = true;
@@ -343,7 +352,7 @@ fn backward_euler_step<E: TwoTerminal>(
             return Err(SolveError::NoConvergence {
                 iterations: 0,
                 residual: norm,
-                worst_node: worst_node_of(&res, unknowns),
+                worst_node: worst_node_of(&s.ws.residual, &s.ws.unknowns),
             });
         }
     }
@@ -353,13 +362,9 @@ fn backward_euler_step<E: TwoTerminal>(
         Err(SolveError::NoConvergence {
             iterations: 100,
             residual: norm,
-            worst_node: worst_node_of(&res, unknowns),
+            worst_node: worst_node_of(&s.ws.residual, &s.ws.unknowns),
         })
     }
-}
-
-fn voltages_value(volt: &[Volts], node: usize) -> f64 {
-    volt[node].value()
 }
 
 fn source_current<E: TwoTerminal>(

@@ -1,0 +1,378 @@
+//! Reusable scratch state for repeated DC / transient solves.
+//!
+//! A [`DcWorkspace`] owns every buffer the Newton iteration needs — the
+//! Jacobian, residual, step, pivot, and per-edge evaluation arrays — so
+//! consecutive solves on same-shaped circuits allocate nothing. It also
+//! caches a CSR incidence list of the circuit topology, which turns both
+//! `O(n²)` stamping loops (element evaluation and row assembly) into
+//! embarrassingly parallel passes whose results are bitwise independent of
+//! the thread count: every matrix row and residual slot is written by
+//! exactly one thread, accumulating its incident edges in a fixed order.
+
+use std::time::Duration;
+
+use crate::block::TwoTerminal;
+use crate::solver::dc::{Circuit, G_MIN};
+use crate::solver::linear::Matrix;
+use crate::units::{Celsius, Volts};
+
+/// Below this many edges the per-thread hand-off costs more than the
+/// evaluation itself; stamping runs on the calling thread.
+const PAR_MIN_EDGES: usize = 4096;
+
+/// Reusable buffers and cached topology for the nodal Newton solvers.
+///
+/// Create one with [`DcWorkspace::new`] and hand it to repeated solves
+/// (directly or through [`DcEngine`](crate::solver::engine::DcEngine));
+/// it rebinds itself to whatever circuit shape each solve presents and
+/// only reallocates when the shape grows.
+#[derive(Debug, Default)]
+pub struct DcWorkspace {
+    node_count: usize,
+    edge_from: Vec<u32>,
+    edge_to: Vec<u32>,
+    /// CSR row starts into `incidence`, one slot per node plus the end.
+    offsets: Vec<u32>,
+    /// Per-node incident edges in global edge order: `(edge index,
+    /// incoming)` where `incoming` means the node is the edge's head.
+    incidence: Vec<(u32, bool)>,
+    pub(crate) unknown_of: Vec<usize>,
+    pub(crate) unknowns: Vec<usize>,
+    pub(crate) jac: Matrix,
+    pub(crate) residual: Vec<f64>,
+    pub(crate) delta: Vec<f64>,
+    pub(crate) base: Vec<Volts>,
+    pub(crate) pivots: Vec<u32>,
+    edge_i: Vec<f64>,
+    edge_g: Vec<f64>,
+    /// Cumulative wall time in element evaluation + matrix/residual
+    /// assembly ("stamping").
+    pub(crate) stamp_time: Duration,
+    /// Cumulative wall time in LU factorization + triangular solves.
+    pub(crate) lu_time: Duration,
+}
+
+impl DcWorkspace {
+    /// Creates an empty workspace; the first solve sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds the workspace to a circuit and terminal pair: refreshes the
+    /// unknown numbering and buffer sizes, rebuilding the cached incidence
+    /// structure only when the topology actually changed.
+    pub(crate) fn bind<E: TwoTerminal>(&mut self, circuit: &Circuit<E>, source: u32, sink: u32) {
+        let n = circuit.node_count();
+        let edges = circuit.edges();
+        let m = edges.len();
+        let same_topology = self.node_count == n
+            && self.edge_from.len() == m
+            && edges
+                .iter()
+                .enumerate()
+                .all(|(idx, e)| self.edge_from[idx] == e.from && self.edge_to[idx] == e.to);
+        if !same_topology {
+            self.node_count = n;
+            self.edge_from.clear();
+            self.edge_to.clear();
+            self.edge_from.extend(edges.iter().map(|e| e.from));
+            self.edge_to.extend(edges.iter().map(|e| e.to));
+            self.offsets.clear();
+            self.offsets.resize(n + 1, 0);
+            for e in edges {
+                self.offsets[e.from as usize + 1] += 1;
+                self.offsets[e.to as usize + 1] += 1;
+            }
+            for i in 0..n {
+                self.offsets[i + 1] += self.offsets[i];
+            }
+            self.incidence.clear();
+            self.incidence.resize(2 * m, (0, false));
+            let mut cursor: Vec<u32> = self.offsets[..n].to_vec();
+            for (idx, e) in edges.iter().enumerate() {
+                self.incidence[cursor[e.from as usize] as usize] = (idx as u32, false);
+                cursor[e.from as usize] += 1;
+                self.incidence[cursor[e.to as usize] as usize] = (idx as u32, true);
+                cursor[e.to as usize] += 1;
+            }
+        }
+        self.unknown_of.clear();
+        self.unknown_of.resize(n, usize::MAX);
+        self.unknowns.clear();
+        for v in 0..n {
+            if v != source as usize && v != sink as usize {
+                self.unknown_of[v] = self.unknowns.len();
+                self.unknowns.push(v);
+            }
+        }
+        let k = self.unknowns.len();
+        self.jac.resize(k, k);
+        self.residual.clear();
+        self.residual.resize(k, 0.0);
+        self.delta.clear();
+        self.delta.resize(k, 0.0);
+        self.edge_i.clear();
+        self.edge_i.resize(m, 0.0);
+        self.edge_g.clear();
+        self.edge_g.resize(m, 0.0);
+    }
+
+    /// Evaluates every edge element at `voltages` into the `edge_i` (and,
+    /// when `want_g`, `edge_g`) arrays. Each edge's slot is written by one
+    /// thread, so the pass is deterministic for any `threads`.
+    fn eval_edges<E: TwoTerminal + Sync>(
+        &mut self,
+        circuit: &Circuit<E>,
+        voltages: &[Volts],
+        temp: Celsius,
+        threads: usize,
+        want_g: bool,
+    ) {
+        let edges = circuit.edges();
+        let m = edges.len();
+        let eval = |edge_chunk: &[crate::solver::dc::CircuitEdge<E>],
+                    i_out: &mut [f64],
+                    g_out: &mut [f64]| {
+            for (idx, e) in edge_chunk.iter().enumerate() {
+                let dv = voltages[e.from as usize] - voltages[e.to as usize];
+                i_out[idx] = e.element.current(dv, temp).value();
+                if want_g {
+                    g_out[idx] = e.element.conductance(dv, temp).max(0.0);
+                }
+            }
+        };
+        if threads <= 1 || m < PAR_MIN_EDGES {
+            eval(edges, &mut self.edge_i, &mut self.edge_g);
+            return;
+        }
+        let chunk = m.div_ceil(threads);
+        let eval = &eval;
+        crossbeam::scope(|s| {
+            for ((edge_chunk, i_chunk), g_chunk) in edges
+                .chunks(chunk)
+                .zip(self.edge_i.chunks_mut(chunk))
+                .zip(self.edge_g.chunks_mut(chunk))
+            {
+                s.spawn(move |_| eval(edge_chunk, i_chunk, g_chunk));
+            }
+        })
+        .expect("edge evaluation worker panicked");
+    }
+
+    /// Assembles the KCL residual (net current *into* each unknown node)
+    /// from the last `eval_edges` pass. Matches the summation order of the
+    /// serial edge loop exactly: each node accumulates its incident edges
+    /// in global edge order.
+    fn assemble_residual(&mut self) {
+        for (r, &node) in self.unknowns.iter().enumerate() {
+            let lo = self.offsets[node] as usize;
+            let hi = self.offsets[node + 1] as usize;
+            let mut sum = 0.0;
+            for &(e, incoming) in &self.incidence[lo..hi] {
+                let i = self.edge_i[e as usize];
+                if incoming {
+                    sum += i;
+                } else {
+                    sum -= i;
+                }
+            }
+            self.residual[r] = sum;
+        }
+    }
+
+    /// Evaluates edges and refreshes the residual; cumulative wall time is
+    /// charged to `stamp_time`.
+    pub(crate) fn compute_residual<E: TwoTerminal + Sync>(
+        &mut self,
+        circuit: &Circuit<E>,
+        voltages: &[Volts],
+        temp: Celsius,
+        threads: usize,
+    ) {
+        let t0 = std::time::Instant::now();
+        self.eval_edges(circuit, voltages, temp, threads, false);
+        self.assemble_residual();
+        self.stamp_time += t0.elapsed();
+    }
+
+    /// Evaluates edges (currents and conductances) and assembles the full
+    /// Jacobian of the KCL residuals, with an optional extra term
+    /// subtracted from each diagonal (the transient integrator's `C/h`).
+    /// Rows fan out over `threads` scoped threads; each row is written by
+    /// one thread in a fixed edge order, so the matrix is bitwise
+    /// identical for any thread count.
+    pub(crate) fn compute_jacobian<E: TwoTerminal + Sync>(
+        &mut self,
+        circuit: &Circuit<E>,
+        voltages: &[Volts],
+        temp: Celsius,
+        threads: usize,
+        extra_diag: Option<&[f64]>,
+    ) {
+        let t0 = std::time::Instant::now();
+        self.eval_edges(circuit, voltages, temp, threads, true);
+        let k = self.unknowns.len();
+        let unknowns = &self.unknowns;
+        let unknown_of = &self.unknown_of;
+        let offsets = &self.offsets;
+        let incidence = &self.incidence;
+        let edge_from = &self.edge_from;
+        let edge_to = &self.edge_to;
+        let edge_g = &self.edge_g;
+        let fill_row = |r: usize, row: &mut [f64]| {
+            row.fill(0.0);
+            row[r] = -G_MIN - extra_diag.map_or(0.0, |x| x[r]);
+            let node = unknowns[r];
+            let lo = offsets[node] as usize;
+            let hi = offsets[node + 1] as usize;
+            for &(e, _) in &incidence[lo..hi] {
+                let g = edge_g[e as usize];
+                if g == 0.0 {
+                    continue;
+                }
+                row[r] -= g;
+                let u = edge_from[e as usize] as usize;
+                let other = if u == node { edge_to[e as usize] as usize } else { u };
+                let oc = unknown_of[other];
+                if oc != usize::MAX {
+                    row[oc] += g;
+                }
+            }
+        };
+        let data = self.jac.as_mut_slice();
+        if threads <= 1 || k * k < PAR_MIN_EDGES {
+            for (r, row) in data.chunks_mut(k.max(1)).enumerate() {
+                fill_row(r, row);
+            }
+        } else {
+            let rows_per_thread = k.div_ceil(threads);
+            let fill_row = &fill_row;
+            crossbeam::scope(|s| {
+                for (chunk_idx, chunk) in data.chunks_mut(rows_per_thread * k).enumerate() {
+                    let r0 = chunk_idx * rows_per_thread;
+                    s.spawn(move |_| {
+                        for (i, row) in chunk.chunks_mut(k).enumerate() {
+                            fill_row(r0 + i, row);
+                        }
+                    });
+                }
+            })
+            .expect("jacobian assembly worker panicked");
+        }
+        self.stamp_time += t0.elapsed();
+    }
+
+    /// Net current out of `terminal` using the edge currents from the most
+    /// recent evaluation pass.
+    pub(crate) fn terminal_current(&self, terminal: u32) -> f64 {
+        let lo = self.offsets[terminal as usize] as usize;
+        let hi = self.offsets[terminal as usize + 1] as usize;
+        let mut total = 0.0;
+        for &(e, incoming) in &self.incidence[lo..hi] {
+            let i = self.edge_i[e as usize];
+            if incoming {
+                total -= i;
+            } else {
+                total += i;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::resistor::Resistor;
+    use crate::units::{Amps, Ohms};
+
+    #[derive(Debug, Clone, Copy)]
+    struct Res(Resistor);
+
+    impl TwoTerminal for Res {
+        fn current(&self, dv: Volts, _temp: Celsius) -> Amps {
+            if dv.value() <= 0.0 {
+                Amps(0.0)
+            } else {
+                self.0.current(dv)
+            }
+        }
+        fn conductance(&self, dv: Volts, _temp: Celsius) -> f64 {
+            if dv.value() <= 0.0 {
+                0.0
+            } else {
+                self.0.conductance()
+            }
+        }
+    }
+
+    fn diamond() -> Circuit<Res> {
+        let mut c = Circuit::new(4);
+        for (u, v) in [(0u32, 1u32), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            c.add_element(u, v, Res(Resistor::new(Ohms(1e6)))).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn workspace_residual_matches_direct_kcl() {
+        let c = diamond();
+        let mut ws = DcWorkspace::new();
+        ws.bind(&c, 0, 3);
+        let voltages = vec![Volts(2.0), Volts(1.3), Volts(0.9), Volts(0.0)];
+        ws.compute_residual(&c, &voltages, Celsius::NOMINAL, 1);
+        let mut direct = vec![0.0; ws.unknowns.len()];
+        c.kcl_residuals(&voltages, &ws.unknown_of, &mut direct, Celsius::NOMINAL);
+        assert_eq!(ws.residual, direct, "incidence assembly must match the edge loop bitwise");
+    }
+
+    #[test]
+    fn workspace_jacobian_matches_across_thread_counts() {
+        let c = diamond();
+        let voltages = vec![Volts(2.0), Volts(1.3), Volts(0.9), Volts(0.0)];
+        let mut reference = DcWorkspace::new();
+        reference.bind(&c, 0, 3);
+        reference.compute_jacobian(&c, &voltages, Celsius::NOMINAL, 1, None);
+        for threads in [2, 4] {
+            let mut ws = DcWorkspace::new();
+            ws.bind(&c, 0, 3);
+            ws.compute_jacobian(&c, &voltages, Celsius::NOMINAL, threads, None);
+            assert_eq!(ws.jac, reference.jac, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn rebind_reuses_topology_and_tracks_terminals() {
+        let c = diamond();
+        let mut ws = DcWorkspace::new();
+        ws.bind(&c, 0, 3);
+        assert_eq!(ws.unknowns, vec![1, 2]);
+        // same circuit, different terminals: unknown set must refresh
+        ws.bind(&c, 1, 2);
+        assert_eq!(ws.unknowns, vec![0, 3]);
+        assert_eq!(ws.unknown_of[1], usize::MAX);
+    }
+
+    #[test]
+    fn terminal_current_matches_edge_loop() {
+        let c = diamond();
+        let mut ws = DcWorkspace::new();
+        ws.bind(&c, 0, 3);
+        let voltages = vec![Volts(2.0), Volts(1.1), Volts(0.7), Volts(0.0)];
+        ws.compute_residual(&c, &voltages, Celsius::NOMINAL, 1);
+        let direct: f64 = c
+            .edges()
+            .iter()
+            .map(|e| {
+                let dv = voltages[e.from as usize] - voltages[e.to as usize];
+                let i = e.element.current(dv, Celsius::NOMINAL).value();
+                match (e.from, e.to) {
+                    (0, _) => i,
+                    (_, 0) => -i,
+                    _ => 0.0,
+                }
+            })
+            .sum();
+        assert_eq!(ws.terminal_current(0), direct);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the warm-started [`DcEngine`]: across random ΔVth
+//! perturbations, supply levels, and source/sink swaps, a chain of
+//! warm-started solves must land on the same operating point as a fresh
+//! cold solve of each circuit, to residual tolerance.
+
+use proptest::prelude::*;
+
+use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock};
+use ppuf_analog::solver::{Circuit, DcEngine, DcOptions, EngineOptions};
+use ppuf_analog::units::Volts;
+
+fn any_variation() -> impl Strategy<Value = BlockVariation> {
+    proptest::array::uniform4(-0.06f64..0.06).prop_map(|d| BlockVariation {
+        delta_vth: [Volts(d[0]), Volts(d[1]), Volts(d[2]), Volts(d[3])],
+    })
+}
+
+/// Complete 4-node crossbar-style circuit whose five forward edges carry
+/// serial blocks with the given variations.
+fn diamond(vars: &[BlockVariation]) -> Circuit<BuildingBlock> {
+    let mut circuit = Circuit::new(4);
+    let edges = [(0u32, 1u32), (0, 2), (1, 2), (1, 3), (2, 3)];
+    for ((u, v), var) in edges.iter().zip(vars) {
+        let block =
+            BuildingBlock::new(BlockDesign::Serial, BlockBias::INPUT_ONE).with_variation(*var);
+        circuit.add_element(*u, *v, block).expect("nodes in range");
+    }
+    circuit
+}
+
+fn assert_same_operating_point(
+    warm: &ppuf_analog::solver::DcSolution,
+    cold: &ppuf_analog::solver::DcSolution,
+    options: &DcOptions,
+    context: &str,
+    check_voltages: bool,
+) -> Result<(), TestCaseError> {
+    let tol = options.residual_tolerance.value();
+    prop_assert!(warm.residual.value() <= tol, "{context}: warm residual {}", warm.residual);
+    prop_assert!(cold.residual.value() <= tol, "{context}: cold residual {}", cold.residual);
+    // the operating point is unique (incremental passivity), so both paths
+    // must agree far below any physical signal level
+    prop_assert!(
+        (warm.source_current.value() - cold.source_current.value()).abs()
+            <= 1e-9 * cold.source_current.value().abs() + 1e-12,
+        "{context}: warm current {} vs cold {}",
+        warm.source_current,
+        cold.source_current
+    );
+    // node voltages are only unique when every node carries current; a
+    // node dangling behind cut-off diodes sits on a zero-current plateau,
+    // so callers skip the per-node check for terminal pairs that strand
+    // nodes (the current comparison above still pins the physics)
+    if check_voltages {
+        for (node, (w, c)) in warm.voltages.iter().zip(&cold.voltages).enumerate() {
+            prop_assert!(
+                (w.value() - c.value()).abs() < 1e-5,
+                "{context}: node {node} warm {w} vs cold {c}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Monte-Carlo style: same topology, fresh ΔVth draws each solve. The
+    /// engine warm-starts from the previous instance's operating point.
+    #[test]
+    fn warm_chain_matches_cold_across_variation_draws(
+        draws in proptest::collection::vec(proptest::collection::vec(any_variation(), 5), 3),
+        vs in 1.4f64..2.2,
+    ) {
+        let options = DcOptions::default();
+        let mut engine = DcEngine::new(EngineOptions { threads: 1, ..Default::default() });
+        for (i, vars) in draws.iter().enumerate() {
+            let circuit = diamond(vars);
+            let warm = engine.solve(&circuit, 0, 3, Volts(vs), &options).expect("warm converges");
+            let cold = circuit.solve_dc(0, 3, Volts(vs), &options).expect("cold converges");
+            assert_same_operating_point(&warm, &cold, &options, &format!("draw {i}"), true)?;
+        }
+    }
+
+    /// Per-challenge style: same circuit, terminal pair changes between
+    /// solves, so the warm point is for the wrong unknown set.
+    #[test]
+    fn warm_start_survives_source_sink_swaps(
+        vars in proptest::collection::vec(any_variation(), 5),
+        vs in 1.4f64..2.2,
+    ) {
+        let options = DcOptions::default();
+        let circuit = diamond(&vars);
+        let mut engine = DcEngine::new(EngineOptions { threads: 1, ..Default::default() });
+        for (source, sink) in [(0u32, 3u32), (1, 3), (0, 2), (0, 3)] {
+            let warm = engine
+                .solve(&circuit, source, sink, Volts(vs), &options)
+                .expect("warm converges");
+            let cold =
+                circuit.solve_dc(source, sink, Volts(vs), &options).expect("cold converges");
+            assert_same_operating_point(
+                &warm,
+                &cold,
+                &options,
+                &format!("terminals {source}->{sink}"),
+                false,
+            )?;
+        }
+    }
+
+    /// Supply ladder: consecutive solves at stepped-up supplies; every
+    /// warm result must match a cold solve at the same supply.
+    #[test]
+    fn warm_supply_ladder_matches_cold(
+        vars in proptest::collection::vec(any_variation(), 5),
+        base in 1.0f64..1.4,
+    ) {
+        let options = DcOptions::default();
+        let circuit = diamond(&vars);
+        let mut engine = DcEngine::new(EngineOptions { threads: 1, ..Default::default() });
+        for step in 0..4 {
+            let vs = Volts(base + 0.25 * step as f64);
+            let warm = engine.solve(&circuit, 0, 3, vs, &options).expect("warm converges");
+            let cold = circuit.solve_dc(0, 3, vs, &options).expect("cold converges");
+            assert_same_operating_point(&warm, &cold, &options, &format!("vs {vs}"), true)?;
+        }
+    }
+}

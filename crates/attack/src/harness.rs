@@ -10,6 +10,7 @@ use std::time::Instant;
 use rand::Rng;
 
 use ppuf_analog::variation::Environment;
+use ppuf_core::batch::{BatchOptions, EvalBatch};
 use ppuf_core::challenge::Challenge;
 use ppuf_core::device::Ppuf;
 use ppuf_core::PpufError;
@@ -39,6 +40,19 @@ pub trait ResponseOracle {
     /// harness skips failed queries.
     fn respond<R: Rng + ?Sized>(&self, bits: &[bool], rng: &mut R) -> Result<bool, PpufError>;
 
+    /// Answers a whole block of challenges, one result per challenge.
+    ///
+    /// The default queries [`respond`](Self::respond) serially; oracles
+    /// with a cheaper batched path (the PPUF, via [`EvalBatch`]) override
+    /// it.
+    fn respond_many<R: Rng + ?Sized>(
+        &self,
+        challenges: &[Vec<bool>],
+        rng: &mut R,
+    ) -> Vec<Result<bool, PpufError>> {
+        challenges.iter().map(|bits| self.respond(bits, rng)).collect()
+    }
+
     /// Maps a challenge to attack features (default: ±1 encoding).
     fn features(&self, bits: &[bool]) -> Vec<f64> {
         sign_features(bits)
@@ -51,13 +65,24 @@ pub trait ResponseOracle {
 pub struct PpufOracle<'a> {
     executor: ppuf_core::PpufExecutor<'a>,
     template: Challenge,
+    batch: EvalBatch,
 }
 
 impl<'a> PpufOracle<'a> {
     /// Wraps a device at nominal conditions, fixing the terminals of
     /// `template` and letting the attacker drive the control bits.
     pub fn new(ppuf: &'a Ppuf, template: Challenge) -> Self {
-        PpufOracle { executor: ppuf.executor(Environment::NOMINAL), template }
+        PpufOracle {
+            executor: ppuf.executor(Environment::NOMINAL),
+            template,
+            batch: EvalBatch::new(BatchOptions::default()),
+        }
+    }
+
+    fn full_challenge(&self, bits: &[bool]) -> Challenge {
+        let mut challenge = self.template.clone();
+        challenge.control_bits = bits.to_vec();
+        challenge
     }
 }
 
@@ -67,9 +92,28 @@ impl ResponseOracle for PpufOracle<'_> {
     }
 
     fn respond<R: Rng + ?Sized>(&self, bits: &[bool], _rng: &mut R) -> Result<bool, PpufError> {
-        let mut challenge = self.template.clone();
-        challenge.control_bits = bits.to_vec();
-        self.executor.response(&challenge)
+        self.executor.response(&self.full_challenge(bits))
+    }
+
+    fn respond_many<R: Rng + ?Sized>(
+        &self,
+        challenges: &[Vec<bool>],
+        _rng: &mut R,
+    ) -> Vec<Result<bool, PpufError>> {
+        let full: Vec<Challenge> = challenges.iter().map(|b| self.full_challenge(b)).collect();
+        let resolution = self.executor.device().config().comparator.resolution.value();
+        let results = self.batch.run(std::slice::from_ref(&self.executor), &full);
+        results
+            .device_row(0)
+            .iter()
+            .map(|outcome| match outcome {
+                Ok(o) => o.response.ok_or(PpufError::UnresolvableResponse {
+                    difference: o.difference().value(),
+                    resolution,
+                }),
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
     }
 }
 
@@ -179,22 +223,30 @@ pub fn collect_crps_traced<O: ResponseOracle, R: Rng + ?Sized>(
     rng: &mut R,
     recorder: &dyn Recorder,
 ) -> Result<Dataset, PpufError> {
+    /// Challenges queried per [`ResponseOracle::respond_many`] round —
+    /// enough for a batched oracle to amortize its per-batch setup.
+    const COLLECT_CHUNK: usize = 256;
     let _span = Span::enter(recorder, "attack.collect_crps");
     let started = Instant::now();
     let bits = oracle.challenge_bits();
     let mut data = Dataset::new();
     let mut failures = 0usize;
     while data.len() < count {
-        let challenge: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
-        match oracle.respond(&challenge, rng) {
-            Ok(label) => data.push(oracle.features(&challenge), label),
-            Err(e) => {
-                failures += 1;
-                if failures > count.max(8) {
-                    recorder.counter_add("attack.crp_failures", failures as u64);
-                    recorder
-                        .warn(&format!("crp collection aborted after {failures} failures: {e}"));
-                    return Err(e);
+        let want = (count - data.len()).min(COLLECT_CHUNK);
+        let challenges: Vec<Vec<bool>> =
+            (0..want).map(|_| (0..bits).map(|_| rng.gen()).collect()).collect();
+        for (challenge, result) in challenges.iter().zip(oracle.respond_many(&challenges, rng)) {
+            match result {
+                Ok(label) => data.push(oracle.features(challenge), label),
+                Err(e) => {
+                    failures += 1;
+                    if failures > count.max(8) {
+                        recorder.counter_add("attack.crp_failures", failures as u64);
+                        recorder.warn(&format!(
+                            "crp collection aborted after {failures} failures: {e}"
+                        ));
+                        return Err(e);
+                    }
                 }
             }
         }

@@ -1,0 +1,273 @@
+//! Engine scaling benchmark: measured DC solve wall-time vs device size,
+//! thread count, and warm/cold starting — including the paper's n = 900
+//! operating point, measured natively rather than extrapolated.
+//!
+//! Default run writes `results/bench/engine.json` plus a telemetry report
+//! (with percentile sample summaries) under `results/bench/`. The
+//! `--smoke` mode solves one n = 200 cold operating point, writes
+//! `results/bench/engine-smoke.json`, and exits non-zero if the solve
+//! regressed more than 2× against the committed
+//! `results/bench/engine-smoke-baseline.json` — the CI perf gate.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock};
+use ppuf_analog::montecarlo::gaussian;
+use ppuf_analog::solver::{Circuit, DcEngine, DcOptions, EngineOptions};
+use ppuf_analog::units::Volts;
+use ppuf_bench::report::write_json_report;
+use ppuf_telemetry::{JsonReporter, SampleSeries};
+
+const BENCH_DIR: &str = "results/bench";
+const SUPPLY: Volts = Volts(2.0);
+/// Allowed cold-solve slowdown over the committed smoke baseline.
+const SMOKE_REGRESSION_FACTOR: f64 = 2.0;
+
+/// One device's σ(Vth) = 35 mV process draws, in dense edge order.
+fn device_variations(n: usize, seed: u64) -> Vec<BlockVariation> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n * (n - 1))
+        .map(|_| BlockVariation {
+            delta_vth: [
+                Volts(0.035 * gaussian(&mut rng)),
+                Volts(0.035 * gaussian(&mut rng)),
+                Volts(0.035 * gaussian(&mut rng)),
+                Volts(0.035 * gaussian(&mut rng)),
+            ],
+        })
+        .collect()
+}
+
+/// A complete crossbar-like circuit for one device under one challenge:
+/// fixed per-edge variation, per-edge bias selected by the challenge's
+/// control bits. This is exactly the shape the batch engine re-solves
+/// challenge after challenge.
+fn challenge_circuit(
+    n: usize,
+    vars: &[BlockVariation],
+    challenge_seed: u64,
+) -> Circuit<BuildingBlock> {
+    let mut rng = ChaCha8Rng::seed_from_u64(challenge_seed);
+    let mut circuit = Circuit::new(n);
+    let mut edge = 0;
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u == v {
+                continue;
+            }
+            let bias = BlockBias::for_input(rng.gen::<bool>());
+            let block = BuildingBlock::new(BlockDesign::Serial, bias).with_variation(vars[edge]);
+            circuit.add_element(u, v, block).expect("valid edge");
+            edge += 1;
+        }
+    }
+    circuit
+}
+
+struct EngineRow {
+    threads: usize,
+    cold_seconds: f64,
+    warm_mean_seconds: f64,
+    warm_solves: usize,
+    warm_repeat_seconds: f64,
+    warm_swap_seconds: f64,
+    speedup_vs_cold_baseline: f64,
+}
+
+struct SizeRow {
+    nodes: usize,
+    edges: usize,
+    cold_baseline_seconds: f64,
+    engines: Vec<EngineRow>,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// One size's measurement: legacy cold ladder as the baseline, then the
+/// warm-started engine at each thread count.
+fn measure_size(
+    n: usize,
+    threads_list: &[usize],
+    warm_repeats: usize,
+    reporter: &JsonReporter,
+) -> SizeRow {
+    let options = DcOptions::default();
+    let (source, sink) = (0u32, n as u32 - 1);
+    let vars = device_variations(n, 0xE27 + n as u64);
+    let circuit = challenge_circuit(n, &vars, 0xC0);
+    let (baseline, cold_baseline_seconds) =
+        time(|| circuit.solve_dc(source, sink, SUPPLY, &options).expect("cold baseline converges"));
+    eprintln!("n={n}: cold baseline {cold_baseline_seconds:.3}s (I = {})", baseline.source_current);
+    let mut engines = Vec::new();
+    for &threads in threads_list {
+        let mut engine = DcEngine::new(EngineOptions { threads, ..EngineOptions::default() });
+        let (_, cold_seconds) = time(|| {
+            engine
+                .solve_traced(&circuit, source, sink, SUPPLY, &options, reporter.recorder())
+                .expect("engine cold solve converges")
+        });
+        // the batch workload: same device, challenge after challenge —
+        // fresh control bits flip roughly half the edge biases per step
+        let mut warm = SampleSeries::new();
+        for rep in 0..warm_repeats {
+            let next = challenge_circuit(n, &vars, 0xC1 + rep as u64);
+            let (_, seconds) = time(|| {
+                engine
+                    .solve_traced(&next, source, sink, SUPPLY, &options, reporter.recorder())
+                    .expect("warm solve converges")
+            });
+            warm.record(seconds);
+        }
+        // transient-style re-solve of an already-solved operating point
+        let last = challenge_circuit(n, &vars, 0xC0 + warm_repeats as u64);
+        let (_, warm_repeat_seconds) = time(|| {
+            engine
+                .solve_traced(&last, source, sink, SUPPLY, &options, reporter.recorder())
+                .expect("repeat solve converges")
+        });
+        // per-challenge terminal swap against the warm state
+        let (swap_source, swap_sink) = (1u32.min(sink), sink - 1);
+        let (_, warm_swap_seconds) = time(|| {
+            engine
+                .solve_traced(&last, swap_source, swap_sink, SUPPLY, &options, reporter.recorder())
+                .expect("swap solve converges")
+        });
+        reporter.record_samples(&format!("engine.warm_solve_seconds.n{n}.t{threads}"), &warm);
+        let warm_mean = warm.summary().map_or(f64::NAN, |s| s.mean);
+        let row = EngineRow {
+            threads,
+            cold_seconds,
+            warm_mean_seconds: warm_mean,
+            warm_solves: warm_repeats,
+            warm_repeat_seconds,
+            warm_swap_seconds,
+            speedup_vs_cold_baseline: cold_baseline_seconds / warm_mean,
+        };
+        eprintln!(
+            "n={n} threads={threads}: cold {cold_seconds:.3}s warm {warm_mean:.3}s \
+             (speedup {:.2}x) repeat {warm_repeat_seconds:.3}s swap {warm_swap_seconds:.3}s",
+            row.speedup_vs_cold_baseline
+        );
+        engines.push(row);
+    }
+    SizeRow { nodes: n, edges: n * (n - 1), cold_baseline_seconds, engines }
+}
+
+fn render_full(rows: &[SizeRow], threads_available: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n  \"mode\": \"full\",\n");
+    let _ = writeln!(out, "  \"threads_available\": {threads_available},");
+    out.push_str("  \"sizes\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"nodes\": {},", row.nodes);
+        let _ = writeln!(out, "      \"edges\": {},", row.edges);
+        let _ = writeln!(out, "      \"cold_baseline_seconds\": {:?},", row.cold_baseline_seconds);
+        out.push_str("      \"engines\": [\n");
+        for (j, e) in row.engines.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"threads\": {}, \"cold_seconds\": {:?}, \"warm_mean_seconds\": {:?}, \
+                 \"warm_solves\": {}, \"warm_repeat_seconds\": {:?}, \"warm_swap_seconds\": {:?}, \
+                 \"speedup_vs_cold_baseline\": {:?}}}",
+                e.threads,
+                e.cold_seconds,
+                e.warm_mean_seconds,
+                e.warm_solves,
+                e.warm_repeat_seconds,
+                e.warm_swap_seconds,
+                e.speedup_vs_cold_baseline,
+            );
+            out.push_str(if j + 1 < row.engines.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_full() {
+    let reporter = JsonReporter::new("engine_bench");
+    let threads_available = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // cold solves at n = 900 take minutes each, so the thread matrix
+    // narrows as n grows — 1 vs 4 still brackets the scaling story
+    let sizes: [(usize, &[usize], usize); 4] =
+        [(100, &[1, 2, 4], 5), (200, &[1, 2, 4], 5), (400, &[1, 2, 4], 3), (900, &[1, 4], 2)];
+    let rows: Vec<SizeRow> =
+        sizes.iter().map(|&(n, threads, reps)| measure_size(n, threads, reps, &reporter)).collect();
+    let json = render_full(&rows, threads_available);
+    let path = write_json_report("engine", &json, BENCH_DIR).expect("write engine.json");
+    eprintln!("wrote {}", path.display());
+    let telemetry = write_json_report("engine-telemetry", &reporter.report().to_json(), BENCH_DIR)
+        .expect("write telemetry");
+    eprintln!("wrote {}", telemetry.display());
+}
+
+/// Extracts the first `"key": <number>` value from a JSON text. Enough
+/// for the flat smoke schema without pulling a parser into the binary.
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run_smoke() {
+    let n = 200usize;
+    let vars = device_variations(n, 0xE27 + n as u64);
+    let circuit = challenge_circuit(n, &vars, 0xC0);
+    let options = DcOptions::default();
+    // one engine-path cold solve: the exact code the batch engine runs
+    let mut engine = DcEngine::new(EngineOptions { threads: 1, ..EngineOptions::default() });
+    let (solution, cold_seconds) = time(|| {
+        engine.solve(&circuit, 0, n as u32 - 1, SUPPLY, &options).expect("smoke solve converges")
+    });
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"mode\": \"smoke\",\n  \"nodes\": {n},\n  \
+         \"cold_seconds\": {cold_seconds:?},\n  \"source_current_amps\": {:?}\n}}\n",
+        solution.source_current.value()
+    );
+    let path = write_json_report("engine-smoke", &json, BENCH_DIR).expect("write smoke report");
+    eprintln!("smoke: n={n} cold solve {cold_seconds:.3}s -> {}", path.display());
+    let baseline_path = format!("{BENCH_DIR}/engine-smoke-baseline.json");
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            let baseline =
+                extract_number(&text, "cold_seconds").expect("baseline has a cold_seconds field");
+            let limit = baseline * SMOKE_REGRESSION_FACTOR;
+            if cold_seconds > limit {
+                eprintln!(
+                    "PERF REGRESSION: cold solve {cold_seconds:.3}s exceeds \
+                     {SMOKE_REGRESSION_FACTOR}x baseline {baseline:.3}s"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("within budget: baseline {baseline:.3}s, limit {limit:.3}s");
+        }
+        Err(_) => {
+            eprintln!(
+                "no baseline at {baseline_path}; commit engine-smoke.json there to arm the gate"
+            );
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+    } else {
+        run_full();
+    }
+}

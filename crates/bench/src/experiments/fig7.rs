@@ -68,6 +68,16 @@ pub fn run(scale: Scale) {
     }
     println!("(paper bound: execution O(n), simulation >= O(n^2))");
 
+    // anchor the fit at the paper's operating point with a native solve
+    // instead of trusting the extrapolation
+    let native_n = scale.pick(150, 900);
+    let native = measure_simulation_times(&Dinic::new(), &[native_n], scale.pick(1, 3), &mut rng)
+        .expect("solvable");
+    println!("\nnative simulation time at n = {native_n} (measured, not extrapolated):");
+    row(&["dinic measured".into(), format!("{} s", sig(native[0].1.value()))]);
+    row(&["dinic fit predicts".into(), format!("{} s", sig(dinic_fit.predict(native_n).value()))]);
+    row(&["execution delay bound".into(), format!("{} s", sig(delay.bound(native_n).value()))]);
+
     section("Fig 7(b): ESG scaling and 1-second crossover");
     // conservative: the *fastest* measured solver bounds the attacker
     let sim_fit = [dinic_fit, pr_fit, hl_fit]

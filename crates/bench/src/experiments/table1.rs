@@ -6,25 +6,36 @@
 use ppuf_analog::montecarlo::stream;
 use ppuf_analog::units::Celsius;
 use ppuf_analog::variation::Environment;
+use ppuf_core::batch::{BatchOptions, EvalBatch, EvalMode};
 use ppuf_core::metrics::{MetricsReport, ResponseMatrix};
-use ppuf_core::response::ResponseVector;
 use ppuf_core::{Challenge, Ppuf};
 
 use crate::experiments::make_ppuf;
 use crate::report::section;
 use crate::Scale;
 
-/// Collects the response row of one device at one condition (raw
-/// differential sign, so metastable comparisons still yield a bit).
-fn response_row(ppuf: &Ppuf, env: Environment, challenges: &[Challenge]) -> ResponseVector {
-    let executor = ppuf.executor(env);
-    challenges
-        .iter()
-        .map(|c| {
-            let out = executor.execute_flow(c).expect("solvable");
-            out.current_a.value() > out.current_b.value()
-        })
-        .collect()
+/// Collects the response matrix of a device population at one condition in
+/// a single batched evaluation (raw differential sign, so metastable
+/// comparisons still yield a bit).
+fn response_matrix(ppufs: &[Ppuf], env: Environment, challenges: &[Challenge]) -> ResponseMatrix {
+    let executors: Vec<_> = ppufs.iter().map(|p| p.executor(env)).collect();
+    let batch = EvalBatch::new(BatchOptions { mode: EvalMode::Flow, ..BatchOptions::default() });
+    let results = batch.run(&executors, challenges);
+    ResponseMatrix::new(
+        (0..results.device_count())
+            .map(|d| {
+                results
+                    .device_row(d)
+                    .iter()
+                    .map(|outcome| {
+                        let out = outcome.as_ref().expect("solvable");
+                        out.current_a.value() > out.current_b.value()
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+    .expect("well-formed matrix")
 }
 
 /// Runs the Table 1 experiment.
@@ -43,10 +54,7 @@ pub fn run(scale: Scale) {
             (0..challenge_count).map(|_| space.random(&mut rng)).collect();
         let ppufs: Vec<Ppuf> =
             (0..devices).map(|i| make_ppuf(nodes, grid, 0x7AB2 + i as u64)).collect();
-        let nominal = ResponseMatrix::new(
-            ppufs.iter().map(|p| response_row(p, Environment::NOMINAL, &challenges)).collect(),
-        )
-        .expect("well-formed matrix");
+        let nominal = response_matrix(&ppufs, Environment::NOMINAL, &challenges);
         // paper's intra-class conditions: ±10 % supply, −20…80 °C
         let corners = [
             Environment::new(0.9, Celsius(-20.0)),
@@ -54,15 +62,8 @@ pub fn run(scale: Scale) {
             Environment::new(1.1, Celsius(-20.0)),
             Environment::new(1.1, Celsius(80.0)),
         ];
-        let perturbed: Vec<ResponseMatrix> = corners
-            .iter()
-            .map(|&env| {
-                ResponseMatrix::new(
-                    ppufs.iter().map(|p| response_row(p, env, &challenges)).collect(),
-                )
-                .expect("well-formed matrix")
-            })
-            .collect();
+        let perturbed: Vec<ResponseMatrix> =
+            corners.iter().map(|&env| response_matrix(&ppufs, env, &challenges)).collect();
         let report = MetricsReport::evaluate(&nominal, &perturbed).expect("shapes match");
         print!("{report}");
         println!(

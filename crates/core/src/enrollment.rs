@@ -15,7 +15,9 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::EvalBatch;
 use crate::challenge::Challenge;
+use crate::device::PpufExecutor;
 use crate::error::PpufError;
 
 /// A classic PUF verifier's enrolled CRP database.
@@ -66,6 +68,39 @@ impl CrpDatabase {
     /// Authenticates a claimed response against an issued pair.
     pub fn check(expected: bool, claimed: bool) -> bool {
         expected == claimed
+    }
+
+    /// Measures and enrolls a whole challenge list in one batched pass
+    /// over the device, returning how many pairs were enrolled.
+    ///
+    /// Challenges whose comparison lands inside the comparator dead-zone
+    /// are skipped — a metastable bit cannot be used for authentication —
+    /// so the return value may be less than `challenges.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure; pairs measured before the
+    /// failure stay enrolled.
+    pub fn enroll_batch(
+        &mut self,
+        executor: &PpufExecutor<'_>,
+        challenges: &[Challenge],
+        batch: &EvalBatch,
+    ) -> Result<usize, PpufError> {
+        let results = batch.run(std::slice::from_ref(executor), challenges);
+        let mut enrolled = 0;
+        for (challenge, outcome) in challenges.iter().zip(results.device_row(0)) {
+            match outcome {
+                Ok(o) => {
+                    if let Some(bit) = o.response {
+                        self.enroll(challenge.clone(), bit);
+                        enrolled += 1;
+                    }
+                }
+                Err(e) => return Err(e.clone()),
+            }
+        }
+        Ok(enrolled)
     }
 
     /// Approximate storage footprint in bytes: each entry stores the
@@ -178,6 +213,37 @@ mod tests {
         }
         // 16 control bits → 2 bytes; 8 + 2 + 1 = 11 per entry
         assert_eq!(db.storage_bytes(), 110);
+    }
+
+    #[test]
+    fn batched_enrollment_matches_serial_responses() {
+        use crate::batch::BatchOptions;
+        use crate::device::{Ppuf, PpufConfig};
+        use ppuf_analog::variation::Environment;
+
+        let ppuf = Ppuf::generate(PpufConfig::paper(8, 2), 77).unwrap();
+        let executor = ppuf.executor(Environment::NOMINAL);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let challenges: Vec<Challenge> = (0..12).map(|_| ppuf.random_challenge(&mut rng)).collect();
+        let mut db = CrpDatabase::new();
+        let batch = EvalBatch::new(BatchOptions { threads: 2, ..Default::default() });
+        let enrolled = db.enroll_batch(&executor, &challenges, &batch).unwrap();
+        assert_eq!(db.remaining(), enrolled);
+        let mut resolvable = 0;
+        for c in &challenges {
+            match executor.response(c) {
+                Ok(bit) => {
+                    resolvable += 1;
+                    // a batched measurement must agree with the serial one
+                    assert_eq!(db.entries.get(c), Some(&bit), "challenge {c:?}");
+                }
+                Err(PpufError::UnresolvableResponse { .. }) => {
+                    assert!(!db.entries.contains_key(c), "metastable pair was enrolled");
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(enrolled, resolvable);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod challenge;
 pub mod comparator;
 pub mod crossbar;
@@ -51,6 +52,7 @@ pub mod protocol;
 pub mod public_model;
 pub mod response;
 
+pub use batch::{BatchOptions, BatchResults, EvalBatch, EvalMode};
 pub use challenge::{Challenge, ChallengeSpace};
 pub use comparator::Comparator;
 pub use crossbar::CrossbarNetwork;

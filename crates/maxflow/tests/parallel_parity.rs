@@ -1,0 +1,68 @@
+//! Parity of the round-synchronous [`ParallelPushRelabel`] solver on the
+//! committed DIMACS fixtures: its flow must be bit-for-bit identical
+//! across thread counts (planning runs against an immutable snapshot, so
+//! chunking cannot change the applied pushes) and must agree with
+//! [`Dinic`] to numerical tolerance.
+
+use ppuf_maxflow::{dimacs, Dinic, MaxFlowSolver, ParallelPushRelabel};
+
+const FIXTURES: [(&str, &str); 3] = [
+    ("unit_bipartite", include_str!("fixtures/unit_bipartite.dimacs")),
+    ("unit_grid", include_str!("fixtures/unit_grid.dimacs")),
+    ("clrs", include_str!("fixtures/clrs.dimacs")),
+];
+
+#[test]
+fn parallel_push_relabel_is_bitwise_deterministic_across_threads() {
+    for (name, text) in FIXTURES {
+        let inst = dimacs::from_dimacs(text).expect(name);
+        let reference = ParallelPushRelabel::with_threads(1)
+            .unwrap()
+            .max_flow(&inst.network, inst.source, inst.sink)
+            .expect(name);
+        for threads in [2usize, 4] {
+            let flow = ParallelPushRelabel::with_threads(threads)
+                .unwrap()
+                .max_flow(&inst.network, inst.source, inst.sink)
+                .expect(name);
+            assert_eq!(
+                flow.value().to_bits(),
+                reference.value().to_bits(),
+                "{name}: threads={threads} flow value {} vs single-threaded {}",
+                flow.value(),
+                reference.value()
+            );
+            for (k, (a, b)) in flow.edge_flows().iter().zip(reference.edge_flows()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}: threads={threads} edge {k} flow {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_push_relabel_matches_dinic_on_fixtures() {
+    for (name, text) in FIXTURES {
+        let inst = dimacs::from_dimacs(text).expect(name);
+        let want = Dinic::new().max_flow(&inst.network, inst.source, inst.sink).expect(name);
+        for threads in [1usize, 2, 4] {
+            let flow = ParallelPushRelabel::with_threads(threads)
+                .unwrap()
+                .max_flow(&inst.network, inst.source, inst.sink)
+                .expect(name);
+            assert!(
+                (flow.value() - want.value()).abs() <= 1e-7 * (1.0 + want.value().abs()),
+                "{name}: threads={threads} parallel {} vs dinic {}",
+                flow.value(),
+                want.value()
+            );
+            assert!(
+                flow.check_feasible(&inst.network, 1e-7).expect(name).is_feasible(),
+                "{name}: threads={threads} infeasible flow"
+            );
+        }
+    }
+}

@@ -152,6 +152,7 @@ struct MemoryState {
     histograms: BTreeMap<String, Summary>,
     spans: BTreeMap<String, Summary>,
     warnings: Vec<String>,
+    samples: BTreeMap<String, SampleSeries>,
 }
 
 /// Recorder that aggregates everything in memory behind a mutex.
@@ -192,6 +193,21 @@ impl MemoryRecorder {
         self.lock().warnings.clone()
     }
 
+    /// Merges a raw sample series (e.g. per-solve latencies) into the
+    /// series named `name`, so percentiles survive into the [`Report`].
+    pub fn record_samples(&self, name: &str, series: &SampleSeries) {
+        if series.is_empty() {
+            return;
+        }
+        let mut state = self.lock();
+        state.samples.entry(name.to_string()).or_default().merge(series);
+    }
+
+    /// Percentile summary of an accumulated sample series, if non-empty.
+    pub fn sample_summary(&self, name: &str) -> Option<SampleSummary> {
+        self.lock().samples.get(name).and_then(SampleSeries::summary)
+    }
+
     /// Copies the current state into a schema-versioned [`Report`].
     pub fn snapshot(&self, label: &str) -> Report {
         let state = self.lock();
@@ -202,6 +218,11 @@ impl MemoryRecorder {
             histograms: state.histograms.clone(),
             spans: state.spans.clone(),
             warnings: state.warnings.clone(),
+            samples: state
+                .samples
+                .iter()
+                .filter_map(|(name, series)| series.summary().map(|s| (name.clone(), s)))
+                .collect(),
         }
     }
 

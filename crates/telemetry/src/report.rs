@@ -15,9 +15,15 @@
 //!   "counters":   { "dc.newton_iterations": 42 },
 //!   "histograms": { "dc.final_residual": {"count":1,"sum":1e-10,"min":1e-10,"max":1e-10} },
 //!   "spans":      { "dc.solve": {"count":1,"sum":0.0031,"min":0.0031,"max":0.0031} },
-//!   "warnings":   [ "..." ]
+//!   "warnings":   [ "..." ],
+//!   "samples":    { "engine.solve_seconds": {"count":3,"min":0.001,"max":0.003,"mean":0.002,"p50":0.002,"p95":0.003,"p99":0.003} }
 //! }
 //! ```
+//!
+//! The `samples` section carries percentile summaries of raw
+//! [`SampleSeries`] data; it is optional on parse
+//! (reports written before it existed still load), so adding it did not
+//! bump the schema version.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -25,7 +31,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
 
-use crate::{MemoryRecorder, Recorder, Summary};
+use crate::{MemoryRecorder, Recorder, SampleSeries, SampleSummary, Summary};
 
 /// Version written into every report; parsers reject other versions.
 pub const SCHEMA_VERSION: u32 = 1;
@@ -45,6 +51,8 @@ pub struct Report {
     pub spans: BTreeMap<String, Summary>,
     /// Warnings in the order raised.
     pub warnings: Vec<String>,
+    /// Percentile summaries of raw sample series by name.
+    pub samples: BTreeMap<String, SampleSummary>,
 }
 
 /// Failure parsing a report from JSON.
@@ -78,7 +86,9 @@ impl Report {
             }
             out.push_str(&json_string(w));
         }
-        out.push_str("]\n}\n");
+        out.push_str("],\n");
+        write_sample_map(&mut out, "samples", &self.samples);
+        out.push_str("\n}\n");
         out
     }
 
@@ -126,7 +136,13 @@ impl Report {
                     .ok_or_else(|| ReportError("warning is not a string".into()))
             })
             .collect::<Result<_, _>>()?;
-        Ok(Report { schema_version, label, counters, histograms, spans, warnings })
+        // optional: reports written before the samples section existed
+        // (same schema version) parse to an empty map
+        let samples = match map.iter().find(|(k, _)| k == "samples") {
+            Some((_, v)) => parse_sample_map(v)?,
+            None => BTreeMap::new(),
+        };
+        Ok(Report { schema_version, label, counters, histograms, spans, warnings, samples })
     }
 
     /// Signed per-counter difference `self - baseline`, for diffing two
@@ -183,6 +199,39 @@ fn parse_summary_map(
         .collect()
 }
 
+fn parse_sample_map(value: &json::Value) -> Result<BTreeMap<String, SampleSummary>, ReportError> {
+    let entries = value.as_map().ok_or_else(|| ReportError("samples is not an object".into()))?;
+    entries
+        .iter()
+        .map(|(name, v)| {
+            let fields = v
+                .as_map()
+                .ok_or_else(|| ReportError(format!("samples entry {name:?} is not an object")))?;
+            let number = |key: &str| {
+                get(fields, key)?
+                    .as_f64()
+                    .ok_or_else(|| ReportError(format!("samples.{name}.{key} is not a number")))
+            };
+            let count = get(fields, "count")?
+                .as_u64()
+                .ok_or_else(|| ReportError(format!("samples.{name}.count is not an integer")))?
+                as usize;
+            Ok((
+                name.clone(),
+                SampleSummary {
+                    count,
+                    min: number("min")?,
+                    max: number("max")?,
+                    mean: number("mean")?,
+                    p50: number("p50")?,
+                    p95: number("p95")?,
+                    p99: number("p99")?,
+                },
+            ))
+        })
+        .collect()
+}
+
 fn write_u64_map(out: &mut String, key: &str, map: &BTreeMap<String, u64>) {
     let _ = write!(out, "  \"{key}\": {{");
     for (i, (name, value)) in map.iter().enumerate() {
@@ -211,6 +260,31 @@ fn write_summary_map(out: &mut String, key: &str, map: &BTreeMap<String, Summary
             json_f64(s.sum),
             json_f64(s.min),
             json_f64(s.max),
+        );
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+fn write_sample_map(out: &mut String, key: &str, map: &BTreeMap<String, SampleSummary>) {
+    let _ = write!(out, "  \"{key}\": {{");
+    for (i, (name, s)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {}: {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            json_string(name),
+            s.count,
+            json_f64(s.min),
+            json_f64(s.max),
+            json_f64(s.mean),
+            json_f64(s.p50),
+            json_f64(s.p95),
+            json_f64(s.p99),
         );
     }
     if !map.is_empty() {
@@ -263,6 +337,12 @@ impl JsonReporter {
     /// The aggregating recorder, e.g. to read counters back mid-run.
     pub fn recorder(&self) -> &MemoryRecorder {
         &self.recorder
+    }
+
+    /// Merges a raw [`SampleSeries`] into the report's `samples` section,
+    /// where its percentile summary will appear under `name`.
+    pub fn record_samples(&self, name: &str, series: &SampleSeries) {
+        self.recorder.record_samples(name, series);
     }
 
     /// Snapshots the current state as a [`Report`].
@@ -538,6 +618,9 @@ mod tests {
         reporter.observe("dc.final_residual", 8.5e-12);
         reporter.record_span("dc.solve", Duration::from_micros(1234));
         reporter.warn("dc solver: fallback to gauss-seidel");
+        let mut series = SampleSeries::new();
+        series.extend((1..=100).map(f64::from));
+        reporter.record_samples("engine.solve_seconds", &series);
         reporter.report()
     }
 
@@ -567,6 +650,24 @@ mod tests {
     fn missing_field_is_an_error() {
         assert!(Report::from_json("{\"schema_version\": 1}").is_err());
         assert!(Report::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn sample_summaries_round_trip() {
+        let report = sample_report();
+        let s = report.samples.get("engine.solve_seconds").expect("series was recorded");
+        assert_eq!((s.count, s.p50, s.p95, s.p99), (100, 50.0, 95.0, 99.0));
+        let back = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.samples, report.samples);
+    }
+
+    #[test]
+    fn reports_without_samples_section_still_parse() {
+        // a v1 report written before the samples section existed
+        let legacy = "{\"schema_version\": 1, \"label\": \"old\", \"counters\": {},\
+             \"histograms\": {}, \"spans\": {}, \"warnings\": []}";
+        let report = Report::from_json(legacy).expect("legacy report should parse");
+        assert!(report.samples.is_empty());
     }
 
     #[test]
