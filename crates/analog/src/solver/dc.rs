@@ -103,6 +103,12 @@ pub struct DcOptions {
     pub continuation_steps: usize,
     /// Ambient temperature.
     pub temperature: Celsius,
+    /// Capture the per-iteration Newton residual-norm trajectory and emit
+    /// it as one `analog.dc.residual_trace` event per solve (on both the
+    /// converged and `NoConvergence` paths). Off by default: the trace is
+    /// a diagnostic sampling knob, not something to pay for on every solve
+    /// of a large batch.
+    pub trace_residuals: bool,
 }
 
 impl Default for DcOptions {
@@ -112,6 +118,7 @@ impl Default for DcOptions {
             max_iterations: 200,
             continuation_steps: 4,
             temperature: Celsius::NOMINAL,
+            trace_residuals: false,
         }
     }
 }
@@ -236,6 +243,9 @@ impl<E: TwoTerminal> Circuit<E> {
     /// and `analog.dc.continuation_steps` counters, observes the final
     /// residual norm under `analog.dc.residual_norm`, times the whole solve
     /// as the `analog.dc.solve` span, and warns (once) on non-convergence.
+    /// With [`DcOptions::trace_residuals`] set it additionally emits the
+    /// per-iteration convergence trajectory as one
+    /// `analog.dc.residual_trace` event per solve.
     ///
     /// # Errors
     ///
@@ -290,6 +300,7 @@ impl<E: TwoTerminal> Circuit<E> {
         }
         let n = self.node_count;
         ws.bind(self, source, sink);
+        ws.residual_trace.clear();
         let (stamp0, lu0) = (ws.stamp_time, ws.lu_time);
         let mut total_iterations = 0;
         let mut work = NewtonWork::default();
@@ -311,6 +322,7 @@ impl<E: TwoTerminal> Circuit<E> {
                 Err(SolveError::NoConvergence { .. }) => {}
                 Err(err) => {
                     work.record(recorder, "analog.dc");
+                    emit_residual_trace(recorder, options, &ws.residual_trace);
                     return Err(err);
                 }
             }
@@ -339,6 +351,7 @@ impl<E: TwoTerminal> Circuit<E> {
                     Err(err) => {
                         work.record(recorder, "analog.dc");
                         recorder.counter_add("analog.dc.nonconvergence", 1);
+                        emit_residual_trace(recorder, options, &ws.residual_trace);
                         recorder.warn(&format!(
                             "dc solve failed at continuation step {step}/{steps}: {err}"
                         ));
@@ -348,6 +361,7 @@ impl<E: TwoTerminal> Circuit<E> {
             }
         }
         work.record(recorder, "analog.dc");
+        emit_residual_trace(recorder, options, &ws.residual_trace);
         // final residual + terminal current from one evaluation pass
         ws.compute_residual(self, &voltages, options.temperature, threads);
         let source_current = ws.terminal_current(source);
@@ -388,6 +402,9 @@ impl<E: TwoTerminal> Circuit<E> {
         }
         ws.compute_residual(self, voltages, temp, threads);
         let mut res_norm = max_abs(&ws.residual);
+        if options.trace_residuals {
+            ws.residual_trace.push(res_norm);
+        }
         let mut iterations = 0;
         let mut best_norm = res_norm;
         let mut stalled = 0usize;
@@ -449,6 +466,9 @@ impl<E: TwoTerminal> Circuit<E> {
                 }
                 ws.compute_residual(self, voltages, temp, threads);
                 res_norm = max_abs(&ws.residual);
+            }
+            if options.trace_residuals {
+                ws.residual_trace.push(res_norm);
             }
             // patience-based stagnation detection over both step kinds
             if res_norm < 0.999 * best_norm {
@@ -538,6 +558,15 @@ impl<E: TwoTerminal> Circuit<E> {
 
 fn max_abs(xs: &[f64]) -> f64 {
     xs.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+/// Flushes the captured residual trajectory as one
+/// `analog.dc.residual_trace` event (values are the max-KCL residual in
+/// amps after each Newton iteration, across every continuation step).
+fn emit_residual_trace(recorder: &dyn Recorder, options: &DcOptions, trace: &[f64]) {
+    if options.trace_residuals && !trace.is_empty() {
+        recorder.record_event("analog.dc.residual_trace", trace);
+    }
 }
 
 #[cfg(test)]
@@ -707,6 +736,48 @@ mod tests {
         let warnings = recorder.warnings();
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("worst at node 1"), "{warnings:?}");
+    }
+
+    #[test]
+    fn residual_trace_is_captured_on_demand_and_decreasing() {
+        let recorder = ppuf_telemetry::MemoryRecorder::new();
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.add_element(1, 2, DirectedResistor(Resistor::new(Ohms(3e6)))).unwrap();
+
+        // off by default: no event
+        c.solve_dc_traced(0, 2, Volts(2.0), &DcOptions::default(), &recorder).unwrap();
+        assert!(recorder.events().is_empty());
+
+        let options = DcOptions { trace_residuals: true, ..DcOptions::default() };
+        let sol = c.solve_dc_traced(0, 2, Volts(2.0), &options, &recorder).unwrap();
+        let events = recorder.events();
+        assert_eq!(events.len(), 1, "one residual-trace event per solve");
+        let trace = &events[0];
+        assert_eq!(trace.name, "analog.dc.residual_trace");
+        // one entry per Newton iteration plus the pre-iteration residual of
+        // each continuation step
+        assert!(trace.values.len() >= sol.iterations, "{trace:?}");
+        let last = *trace.values.last().unwrap();
+        assert!(last <= options.residual_tolerance.value(), "trajectory ends converged: {last}");
+        assert!(trace.values[0] > last, "residual must shrink along the trajectory");
+    }
+
+    #[test]
+    fn nonconvergent_solve_still_emits_its_residual_trace() {
+        let recorder = ppuf_telemetry::MemoryRecorder::new();
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.add_element(1, 2, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        // a zero-iteration budget fails at once, leaving just the
+        // pre-iteration residual in the trajectory
+        let options =
+            DcOptions { max_iterations: 0, trace_residuals: true, ..DcOptions::default() };
+        let err = c.solve_dc_traced(0, 2, Volts(2.0), &options, &recorder).unwrap_err();
+        assert!(matches!(err, SolveError::NoConvergence { .. }), "{err:?}");
+        let events = recorder.events();
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].values.is_empty(), "the partial trajectory is the diagnostic");
     }
 
     #[test]

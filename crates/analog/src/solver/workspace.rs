@@ -45,6 +45,12 @@ pub struct DcWorkspace {
     pub(crate) pivots: Vec<u32>,
     edge_i: Vec<f64>,
     edge_g: Vec<f64>,
+    /// Per-iteration Newton residual norms for the current solve, filled
+    /// only when [`DcOptions::trace_residuals`] is on and emitted as the
+    /// `analog.dc.residual_trace` event.
+    ///
+    /// [`DcOptions::trace_residuals`]: crate::solver::dc::DcOptions::trace_residuals
+    pub(crate) residual_trace: Vec<f64>,
     /// Cumulative wall time in element evaluation + matrix/residual
     /// assembly ("stamping").
     pub(crate) stamp_time: Duration,

@@ -11,7 +11,8 @@
 //! requests) and additionally *checks* its invariants, exiting non-zero
 //! if any fails — honest traffic accepted, impostors rejected on the
 //! deadline, garbage answered with structured errors, repeated answers
-//! served from the verification cache.
+//! served from the verification cache, request traces correlated end to
+//! end, and the live `Stats` Prometheus scrape valid and monotone.
 
 use ppuf_bench::report::{section, write_json_report, SERVICE_DIR};
 use ppuf_server::loadgen::{run_loadgen, CohortReport, LoadgenConfig};
@@ -38,7 +39,7 @@ fn cohort_row(name: &str, cohort: &CohortReport) {
     );
     match &cohort.latency {
         Some(l) => {
-            println!("  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms", l.p50_ms, l.p95_ms, l.p99_ms)
+            println!("  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms", l.p50, l.p95, l.p99)
         }
         None => println!(),
     }
@@ -96,6 +97,12 @@ fn main() {
     let hits = report.server_counters.get("server.cache.hits").copied().unwrap_or(0);
     let misses = report.server_counters.get("server.cache.misses").copied().unwrap_or(0);
     println!("  verification cache: {hits} hits / {misses} misses");
+    println!(
+        "  tracing: {}/{} verdict rounds correlated end to end; {} live prometheus samples",
+        report.correlated_traces,
+        report.traced_requests,
+        report.prometheus_samples.len()
+    );
 
     let path =
         write_json_report(&config.label, &report.to_json(), &out_dir).expect("report written");

@@ -54,7 +54,8 @@ fn main() {
         .network(NetworkSide::A)
         .circuit(&challenge, ppuf.grid(), env, Volts(supply.value() * 1.25), 64)
         .expect("crossbar circuit assembles");
-    let options = DcOptions { temperature: env.temperature, ..DcOptions::default() };
+    let options =
+        DcOptions { temperature: env.temperature, trace_residuals: true, ..DcOptions::default() };
     let dc = circuit
         .solve_dc_traced(
             challenge.source.index() as u32,
@@ -70,10 +71,10 @@ fn main() {
     let executor = ppuf.executor(env);
     let net = executor.flow_network(NetworkSide::A, &challenge).expect("flow network assembles");
     let solver = Dinic::new();
+    // traced: counters plus the per-phase augmentation event
     let (flow, stats) = solver
-        .max_flow_with_stats(&net, challenge.source, challenge.sink)
+        .max_flow_traced(&net, challenge.source, challenge.sink, &reporter)
         .expect("max flow solves");
-    stats.record(&reporter, solver.name());
     println!("maxflow: value {:.6e} A in {} phases", flow.value(), stats.bfs_passes);
 
     // --- transient settling --------------------------------------------
@@ -113,11 +114,12 @@ fn main() {
     let report = reporter.report();
     let path = write_telemetry_report(&report, &out_dir).expect("report written");
     println!(
-        "\nschema v{} report with {} counters, {} histograms, {} spans -> {}",
+        "\nschema v{} report with {} counters, {} histograms, {} spans, {} events -> {}",
         report.schema_version,
         report.counters.len(),
         report.histograms.len(),
         report.spans.len(),
+        report.events.len(),
         path.display()
     );
     for (name, value) in &report.counters {

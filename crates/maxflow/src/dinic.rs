@@ -46,6 +46,47 @@ impl Dinic {
     pub fn tolerance(&self) -> f64 {
         self.tolerance
     }
+
+    /// The solve loop shared by the plain and traced entry points;
+    /// `phases`, when present, collects one augmentation count per BFS
+    /// level-graph phase (the algorithm's convergence trace).
+    fn solve(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        mut phases: Option<&mut Vec<f64>>,
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
+        net.check_terminals(source, sink)?;
+        let mut arcs = ResidualArcs::new(net);
+        let n = arcs.node_count();
+        let (s, t) = (source.index(), sink.index());
+        let mut stats = SolveStats::default();
+        let mut state = DinicState {
+            arcs: &mut arcs,
+            level: vec![-1; n],
+            next: vec![0; n],
+            tol: self.tolerance,
+            pushes: 0,
+        };
+        while state.bfs(s, t) {
+            stats.bfs_passes += 1;
+            let phase_start = stats.augmenting_paths;
+            state.next.iter_mut().for_each(|x| *x = 0);
+            loop {
+                let pushed = state.dfs(s, t, f64::INFINITY);
+                if pushed <= self.tolerance {
+                    break;
+                }
+                stats.augmenting_paths += 1;
+            }
+            if let Some(trace) = phases.as_deref_mut() {
+                trace.push((stats.augmenting_paths - phase_start) as f64);
+            }
+        }
+        stats.pushes = state.pushes;
+        Ok((arcs.into_flow(net, source, sink, self.tolerance), stats))
+    }
 }
 
 impl Default for Dinic {
@@ -118,31 +159,27 @@ impl MaxFlowSolver for Dinic {
         source: NodeId,
         sink: NodeId,
     ) -> Result<(Flow, SolveStats), MaxFlowError> {
-        net.check_terminals(source, sink)?;
-        let mut arcs = ResidualArcs::new(net);
-        let n = arcs.node_count();
-        let (s, t) = (source.index(), sink.index());
-        let mut stats = SolveStats::default();
-        let mut state = DinicState {
-            arcs: &mut arcs,
-            level: vec![-1; n],
-            next: vec![0; n],
-            tol: self.tolerance,
-            pushes: 0,
-        };
-        while state.bfs(s, t) {
-            stats.bfs_passes += 1;
-            state.next.iter_mut().for_each(|x| *x = 0);
-            loop {
-                let pushed = state.dfs(s, t, f64::INFINITY);
-                if pushed <= self.tolerance {
-                    break;
-                }
-                stats.augmenting_paths += 1;
-            }
+        self.solve(net, source, sink, None)
+    }
+
+    /// Emits the standard counters, and — when the recorder collects
+    /// events — one `maxflow.dinic.phase_augmentations` event per solve
+    /// whose values are the augmenting-path count of each BFS phase.
+    fn max_flow_traced(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        recorder: &dyn ppuf_telemetry::Recorder,
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
+        let mut phases = Vec::new();
+        let trace = if recorder.events_enabled() { Some(&mut phases) } else { None };
+        let (flow, stats) = self.solve(net, source, sink, trace)?;
+        stats.record(recorder, self.name());
+        if !phases.is_empty() {
+            recorder.record_event("maxflow.dinic.phase_augmentations", &phases);
         }
-        stats.pushes = state.pushes;
-        Ok((arcs.into_flow(net, source, sink, self.tolerance), stats))
+        Ok((flow, stats))
     }
 
     fn name(&self) -> &'static str {
@@ -234,5 +271,44 @@ mod tests {
         let net = FlowNetwork::new(3);
         assert!(Dinic::new().max_flow(&net, NodeId::new(0), NodeId::new(9)).is_err());
         assert!(Dinic::new().max_flow(&net, NodeId::new(1), NodeId::new(1)).is_err());
+    }
+
+    #[test]
+    fn traced_solve_emits_per_phase_augmentations() {
+        // the layered network from `layered_network_multi_phase`: phase 1
+        // saturates the short path, phase 2 the long one
+        let mut net = FlowNetwork::new(5);
+        let e = |net: &mut FlowNetwork, a: u32, b: u32, c: f64| {
+            net.add_edge(NodeId::new(a), NodeId::new(b), c).unwrap();
+        };
+        e(&mut net, 0, 4, 1.0);
+        e(&mut net, 0, 1, 1.0);
+        e(&mut net, 1, 2, 1.0);
+        e(&mut net, 2, 3, 1.0);
+        e(&mut net, 3, 4, 1.0);
+        let recorder = ppuf_telemetry::MemoryRecorder::new();
+        let (flow, stats) =
+            Dinic::new().max_flow_traced(&net, NodeId::new(0), NodeId::new(4), &recorder).unwrap();
+        assert!((flow.value() - 2.0).abs() < 1e-12);
+        let events = recorder.events();
+        assert_eq!(events.len(), 1);
+        let trace = &events[0];
+        assert_eq!(trace.name, "maxflow.dinic.phase_augmentations");
+        assert_eq!(trace.values.len(), stats.bfs_passes as usize);
+        let total: f64 = trace.values.iter().sum();
+        assert_eq!(total as u64, stats.augmenting_paths, "phases partition the augmentations");
+        assert_eq!(recorder.counter("maxflow.dinic.bfs_passes"), stats.bfs_passes);
+    }
+
+    #[test]
+    fn traced_solve_matches_untraced_and_skips_events_on_noop() {
+        let net = FlowNetwork::complete(6, |u, v| ((u.index() + 2 * v.index()) % 5) as f64 + 0.5)
+            .unwrap();
+        let (s, t) = (NodeId::new(0), NodeId::new(5));
+        let (plain, plain_stats) = Dinic::new().max_flow_with_stats(&net, s, t).unwrap();
+        let (traced, traced_stats) =
+            Dinic::new().max_flow_traced(&net, s, t, &ppuf_telemetry::NOOP).unwrap();
+        assert_eq!(plain.value(), traced.value(), "tracing must not perturb the solve");
+        assert_eq!(plain_stats, traced_stats);
     }
 }

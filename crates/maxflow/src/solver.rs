@@ -106,6 +106,27 @@ pub trait MaxFlowSolver {
         self.max_flow_with_stats(net, source, sink).map(|(flow, _)| flow)
     }
 
+    /// [`max_flow_with_stats`](Self::max_flow_with_stats) with telemetry:
+    /// emits the solve's non-zero [`SolveStats`] counters under
+    /// `maxflow.<name>.<counter>`. Solvers with per-phase structure (e.g.
+    /// [`Dinic`](crate::Dinic)) override this to additionally emit a
+    /// convergence-trace event when the recorder collects events.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`max_flow_with_stats`](Self::max_flow_with_stats).
+    fn max_flow_traced(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        recorder: &dyn Recorder,
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
+        let (flow, stats) = self.max_flow_with_stats(net, source, sink)?;
+        stats.record(recorder, self.name());
+        Ok((flow, stats))
+    }
+
     /// Human-readable algorithm name (used in benchmark reports).
     fn name(&self) -> &'static str;
 }
@@ -127,6 +148,16 @@ impl<S: MaxFlowSolver + ?Sized> MaxFlowSolver for &S {
         sink: NodeId,
     ) -> Result<Flow, MaxFlowError> {
         (**self).max_flow(net, source, sink)
+    }
+
+    fn max_flow_traced(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        recorder: &dyn Recorder,
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
+        (**self).max_flow_traced(net, source, sink, recorder)
     }
 
     fn name(&self) -> &'static str {
@@ -151,6 +182,16 @@ impl MaxFlowSolver for Box<dyn MaxFlowSolver + Send + Sync> {
         sink: NodeId,
     ) -> Result<Flow, MaxFlowError> {
         (**self).max_flow(net, source, sink)
+    }
+
+    fn max_flow_traced(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        recorder: &dyn Recorder,
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
+        (**self).max_flow_traced(net, source, sink, recorder)
     }
 
     fn name(&self) -> &'static str {

@@ -81,21 +81,26 @@ impl VerificationCache {
     /// Stores a verdict. When the target shard is full its contents are
     /// discarded first — coarse, but eviction precision is irrelevant for
     /// a replay-style cache and it keeps the hot path allocation-free.
+    /// Returns the number of entries evicted to make room, so callers can
+    /// count `server.cache.evictions`.
     pub fn insert(
         &self,
         device_id: &str,
         challenge_fp: u64,
         answer_fp: u64,
         report: VerificationReport,
-    ) {
+    ) -> usize {
         let shard = self.shard(challenge_fp, answer_fp);
         let mut map = lock(&self.shards[shard]);
+        let mut evicted = 0;
         if map.len() >= self.shard_capacity
             && !map.contains_key(&(device_id.to_string(), challenge_fp, answer_fp))
         {
+            evicted = map.len();
             map.clear();
         }
         map.insert((device_id.to_string(), challenge_fp, answer_fp), report);
+        evicted
     }
 
     /// Drops every entry for one device (used on revocation so a
@@ -169,10 +174,14 @@ mod tests {
     #[test]
     fn full_shard_is_recycled_not_grown() {
         let cache = VerificationCache::new(1, 8);
+        let mut evicted = 0;
         for i in 0..100u64 {
-            cache.insert("dev", i, i, report(true));
+            evicted += cache.insert("dev", i, i, report(true));
         }
         assert!(cache.len() <= 8, "bounded at shard capacity, got {}", cache.len());
+        // 100 inserts through a size-8 shard must have recycled it 12
+        // times at 8 entries apiece
+        assert_eq!(evicted, 96);
     }
 
     #[test]
@@ -183,5 +192,45 @@ mod tests {
         cache.invalidate_device("dev-a");
         assert_eq!(cache.get("dev-a", 1, 1), None);
         assert_eq!(cache.get("dev-b", 2, 2), Some(report(false)));
+    }
+
+    #[test]
+    fn invalidate_device_drops_exactly_that_device_across_all_shards() {
+        // regression: fingerprints 0..64 land in every one of the 8
+        // shards, and both devices share every fingerprint pair, so a
+        // per-shard retain that matched on anything but the device id
+        // would either leave dev-a leftovers or eat dev-b entries
+        let cache = VerificationCache::new(8, 64);
+        for i in 0..64u64 {
+            cache.insert("dev-a", i, i.rotate_left(17), report(true));
+            cache.insert("dev-b", i, i.rotate_left(17), report(false));
+        }
+        assert_eq!(cache.len(), 128);
+        cache.invalidate_device("dev-a");
+        assert_eq!(cache.len(), 64, "exactly dev-a's entries must go");
+        for i in 0..64u64 {
+            assert_eq!(cache.get("dev-a", i, i.rotate_left(17)), None);
+            assert_eq!(
+                cache.get("dev-b", i, i.rotate_left(17)),
+                Some(report(false)),
+                "dev-b entry {i} must survive dev-a's invalidation"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        // regression: a worker panicking while holding a shard lock must
+        // not take the cache down with it
+        let cache = VerificationCache::new(1, 16);
+        cache.insert("dev", 1, 1, report(true));
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock(&cache.shards[0]);
+            panic!("worker died holding the shard");
+        }));
+        assert!(panicked.is_err());
+        assert_eq!(cache.get("dev", 1, 1), Some(report(true)));
+        cache.insert("dev", 2, 2, report(false));
+        assert_eq!(cache.len(), 2);
     }
 }

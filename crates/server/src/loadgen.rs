@@ -24,15 +24,17 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use std::collections::BTreeMap;
+
 use ppuf_analog::units::Seconds;
 use ppuf_analog::variation::Environment;
 use ppuf_core::device::{Ppuf, PpufConfig};
 use ppuf_core::protocol::auth::{prove, ProverAnswer};
-use ppuf_telemetry::{SampleSeries, SampleSummary};
+use ppuf_telemetry::{next_trace_id, prometheus, SampleSeries, SampleSummary, TraceId};
 
 use crate::service::{ServiceConfig, VerificationService};
 use crate::tcp::{Client, PpufServer};
-use crate::wire::{ErrorKind, Request, Response};
+use crate::wire::{ErrorKind, Request, Response, StatsFormat};
 
 /// Parameters of one load-generation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,39 +106,6 @@ impl LoadgenConfig {
     }
 }
 
-/// Latency statistics in milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct LatencyStats {
-    /// Samples behind these statistics.
-    pub count: usize,
-    /// Mean latency.
-    pub mean_ms: f64,
-    /// Fastest request.
-    pub min_ms: f64,
-    /// Median.
-    pub p50_ms: f64,
-    /// 95th percentile.
-    pub p95_ms: f64,
-    /// 99th percentile.
-    pub p99_ms: f64,
-    /// Slowest request.
-    pub max_ms: f64,
-}
-
-impl LatencyStats {
-    fn from_summary(summary: &SampleSummary) -> Self {
-        LatencyStats {
-            count: summary.count,
-            mean_ms: summary.mean,
-            min_ms: summary.min,
-            p50_ms: summary.p50,
-            p95_ms: summary.p95,
-            p99_ms: summary.p99,
-            max_ms: summary.max,
-        }
-    }
-}
-
 /// Outcome counts and latency for one client cohort.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CohortReport {
@@ -156,8 +125,10 @@ pub struct CohortReport {
     pub overload_retries: usize,
     /// Transport-level failures (connection errors, protocol breaches).
     pub io_errors: usize,
-    /// Full-round latency percentiles, if any round completed.
-    pub latency: Option<LatencyStats>,
+    /// Full-round latency summary in milliseconds, if any round completed
+    /// (the same [`SampleSummary`] shape the telemetry report uses —
+    /// `min`/`max`/`mean`/`p50`/`p95`/`p99`).
+    pub latency: Option<SampleSummary>,
 }
 
 /// The JSON run report written under `results/service/`.
@@ -177,10 +148,22 @@ pub struct LoadgenReport {
     pub impostor: CohortReport,
     /// Garbage cohort outcome.
     pub garbage: CohortReport,
-    /// The server's telemetry counters after the run.
-    pub server_counters: std::collections::BTreeMap<String, u64>,
+    /// The server's telemetry counters after the run. The cache and DC
+    /// warm-start counters are always present (zero-filled), so the smoke
+    /// report records cache effectiveness even for a run that never hits.
+    pub server_counters: BTreeMap<String, u64>,
     /// The server's telemetry warnings after the run.
     pub server_warnings: Vec<String>,
+    /// Verdict rounds whose client-chosen trace id the server echoed.
+    pub traced_requests: usize,
+    /// Echoed trace ids whose server-side span tree assembled into one
+    /// root containing `server.queue_wait`, `server.cache_probe`, and
+    /// `server.verify` — end-to-end request correlation, proven.
+    pub correlated_traces: usize,
+    /// Parsed samples from the final live `Stats` Prometheus scrape (the
+    /// scrape itself is validated, and checked monotone against one taken
+    /// before the traffic phase).
+    pub prometheus_samples: BTreeMap<String, f64>,
 }
 
 impl LoadgenReport {
@@ -191,8 +174,10 @@ impl LoadgenReport {
 
     /// Checks the invariants the smoke profile promises: honest traffic
     /// accepted, impostors rejected on the deadline, garbage answered
-    /// with structured errors, no transport failures, and at least one
-    /// verification served from cache.
+    /// with structured errors, no transport failures, an effective
+    /// verification cache, a warm DC engine, at least one end-to-end
+    /// correlated request trace, and a live Prometheus scrape exposing
+    /// the headline serving metrics.
     ///
     /// # Errors
     ///
@@ -222,9 +207,33 @@ impl LoadgenReport {
                 return Err(format!("{name}: {} transport failures", cohort.io_errors));
             }
         }
-        let cache_hits = self.server_counters.get("server.cache.hits").copied().unwrap_or(0);
+        let counter = |name: &str| self.server_counters.get(name).copied().unwrap_or(0);
+        let cache_hits = counter("server.cache.hits");
         if cache_hits == 0 {
             return Err("no verification was served from cache".into());
+        }
+        let cache_misses = counter("server.cache.misses");
+        if cache_hits < cache_misses {
+            return Err(format!(
+                "cache is ineffective: {cache_hits} hits vs {cache_misses} misses \
+                 under a rotating challenge pool"
+            ));
+        }
+        if counter("analog.dc.warm_start_hits") == 0 {
+            return Err("the DC engine never warm-started".into());
+        }
+        if self.traced_requests == 0 {
+            return Err("no request round carried an echoed trace id".into());
+        }
+        if self.correlated_traces == 0 {
+            return Err("no echoed trace id matched a complete server-side span tree".into());
+        }
+        for required in
+            ["ppuf_cache_hits_total", "ppuf_pool_queue_depth", "ppuf_dc_warm_start_hits_total"]
+        {
+            if !self.prometheus_samples.contains_key(required) {
+                return Err(format!("prometheus scrape is missing {required}"));
+            }
         }
         if !self.server_warnings.is_empty() {
             return Err(format!("server warnings: {:?}", self.server_warnings));
@@ -243,6 +252,8 @@ struct CohortStats {
     overload_retries: usize,
     io_errors: usize,
     latency: SampleSeries,
+    /// Trace ids the server echoed back on verdict rounds.
+    trace_ids: Vec<u64>,
 }
 
 impl CohortStats {
@@ -255,6 +266,7 @@ impl CohortStats {
         self.overload_retries += other.overload_retries;
         self.io_errors += other.io_errors;
         self.latency.merge(&other.latency);
+        self.trace_ids.extend(other.trace_ids);
     }
 
     fn into_report(self, clients: usize) -> CohortReport {
@@ -267,7 +279,7 @@ impl CohortStats {
             structured_errors: self.structured_errors,
             overload_retries: self.overload_retries,
             io_errors: self.io_errors,
-            latency: self.latency.summary().as_ref().map(LatencyStats::from_summary),
+            latency: self.latency.summary(),
         }
     }
 }
@@ -309,6 +321,8 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         Response::Registered { .. } => {}
         other => return Err(format!("registration rejected: {other:?}")),
     }
+    // first live scrape: the baseline for the monotone-counter check
+    let scrape_before = scrape_prometheus(&mut registrar)?;
     drop(registrar);
 
     let started = Instant::now();
@@ -350,8 +364,46 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     .map_err(|_| "a load-generation thread panicked".to_string())?;
     let duration = started.elapsed().as_secs_f64().max(1e-9);
 
-    let snapshot = server.service().recorder().snapshot(&config.label);
+    // second live scrape over a fresh socket: still valid exposition, and
+    // every counter must have moved monotonically past the baseline
+    let mut scraper =
+        Client::connect(addr).map_err(|e| format!("stats scrape connect failed: {e}"))?;
+    let prometheus_samples = scrape_prometheus(&mut scraper)?;
+    drop(scraper);
+    prometheus::check_monotone(&scrape_before, &prometheus_samples)
+        .map_err(|e| format!("counter regressed between live scrapes: {e}"))?;
+
+    // correlate client-side trace ids with the server's span trees
+    let recorder = server.service().recorder();
+    let trace_ids: Vec<u64> = honest.trace_ids.iter().chain(&impostor.trace_ids).copied().collect();
+    let correlated_traces = trace_ids
+        .iter()
+        .filter(|&&id| {
+            TraceId::from_raw(id)
+                .and_then(|trace| recorder.assemble_trace(trace))
+                .and_then(Result::ok)
+                .is_some_and(|tree| {
+                    tree.span.name == "server.request"
+                        && ["server.queue_wait", "server.cache_probe", "server.verify"]
+                            .iter()
+                            .all(|name| tree.contains(name))
+                })
+        })
+        .count();
+
+    let mut snapshot = server.service().recorder().snapshot(&config.label);
     server.shutdown();
+    // pin the cache-effectiveness and warm-start counters into the report
+    // even when zero, so smoke.json always answers "did the cache work"
+    for key in [
+        "server.cache.hits",
+        "server.cache.misses",
+        "server.cache.evictions",
+        "analog.dc.warm_start_hits",
+        "analog.dc.warm_start_misses",
+    ] {
+        snapshot.counters.entry(key.into()).or_insert(0);
+    }
 
     let total_requests = honest.requests + impostor.requests + garbage.requests;
     Ok(LoadgenReport {
@@ -359,12 +411,29 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         duration_s: duration,
         total_requests,
         throughput_rps: total_requests as f64 / duration,
+        traced_requests: trace_ids.len(),
+        correlated_traces,
+        prometheus_samples,
         honest: honest.into_report(config.honest_clients),
         impostor: impostor.into_report(config.impostor_clients),
         garbage: garbage.into_report(config.garbage_clients),
         server_counters: snapshot.counters,
         server_warnings: snapshot.warnings,
     })
+}
+
+/// Issues one `Stats` admin request and validates the Prometheus text it
+/// returns, yielding the parsed `name → value` samples.
+fn scrape_prometheus(client: &mut Client) -> Result<BTreeMap<String, f64>, String> {
+    match client
+        .request(&Request::Stats { format: StatsFormat::Prometheus })
+        .map_err(|e| format!("stats scrape failed: {e}"))?
+    {
+        Response::Stats { format: StatsFormat::Prometheus, body } => {
+            prometheus::validate(&body).map_err(|e| format!("invalid prometheus exposition: {e}"))
+        }
+        other => Err(format!("expected prometheus stats, got {other:?}")),
+    }
 }
 
 /// One full challenge/answer round; returns the verdict response.
@@ -394,15 +463,20 @@ fn answer_round(
                 return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
             }
         };
-        let response = client.request(&Request::SubmitAnswer {
-            device_id: DEVICE_ID.into(),
-            nonce,
-            answer,
-        })?;
+        // submit inside the trace envelope so the server files its spans
+        // under an id this client can later correlate
+        let trace_id = next_trace_id().get();
+        let (response, echoed) = client.request_traced(
+            Request::SubmitAnswer { device_id: DEVICE_ID.into(), nonce, answer },
+            trace_id,
+        )?;
         if let Response::Error { kind: ErrorKind::Overloaded, retry_after_ms, .. } = &response {
             stats.overload_retries += 1;
             std::thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(50)));
             continue; // fresh session: the shed one is spent
+        }
+        if matches!(response, Response::Verdict { .. }) && echoed == Some(trace_id) {
+            stats.trace_ids.push(trace_id);
         }
         return Ok(Some(response));
     }

@@ -15,12 +15,13 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 use ppuf_core::challenge::Challenge;
 use ppuf_core::protocol::auth::{ProverAnswer, VerificationReport};
-use ppuf_telemetry::{MemoryRecorder, Recorder, Span};
+use ppuf_telemetry::{record_interval, MemoryRecorder, Recorder, SpanContext, TracedSpan};
 
 use crate::cache::{answer_fingerprint, challenge_fingerprint, VerificationCache};
 use crate::registry::DeviceEntry;
@@ -37,6 +38,26 @@ pub struct VerifyJob {
     /// Where the worker sends the outcome (capacity-1 channel; the
     /// submitting thread blocks on it).
     pub reply: Sender<Result<VerifyOutcome, String>>,
+    /// When the job entered the queue — the worker turns the gap to
+    /// dequeue time into a first-class `server.queue_wait` span.
+    pub enqueued_at: Instant,
+    /// The request's root span, so worker-side spans land in the same
+    /// trace as the connection thread's.
+    pub trace: Option<SpanContext>,
+}
+
+impl VerifyJob {
+    /// Builds a job stamped with the current time, parented under
+    /// `trace` (pass `None` to record flat aggregates only).
+    pub fn new(
+        entry: Arc<DeviceEntry>,
+        challenge: Challenge,
+        answer: ProverAnswer,
+        reply: Sender<Result<VerifyOutcome, String>>,
+        trace: Option<SpanContext>,
+    ) -> Self {
+        VerifyJob { entry, challenge, answer, reply, enqueued_at: Instant::now(), trace }
+    }
 }
 
 /// What the worker produced: a timeless report (its `within_deadline` is
@@ -114,6 +135,12 @@ impl WorkerPool {
         self.capacity
     }
 
+    /// Jobs currently waiting in the queue (0 after shutdown) — the live
+    /// `ppuf_pool_queue_depth` gauge.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.as_ref().map_or(0, Sender::len)
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
@@ -158,17 +185,25 @@ fn run_job(
     cache: &VerificationCache,
     recorder: &MemoryRecorder,
 ) -> Result<VerifyOutcome, String> {
-    let _span = Span::enter(recorder, "server.verify");
-    let challenge_fp = challenge_fingerprint(&job.challenge);
-    let answer_fp = answer_fingerprint(&job.answer);
-    if let Some(report) = cache.get(&job.entry.device_id, challenge_fp, answer_fp) {
+    record_interval(recorder, job.trace, "server.queue_wait", job.enqueued_at, Instant::now());
+    let mut span = TracedSpan::child_of(recorder, "server.verify", job.trace);
+    let (cached_report, challenge_fp, answer_fp) = {
+        let _probe = span.child("server.cache_probe");
+        let challenge_fp = challenge_fingerprint(&job.challenge);
+        let answer_fp = answer_fingerprint(&job.answer);
+        (cache.get(&job.entry.device_id, challenge_fp, answer_fp), challenge_fp, answer_fp)
+    };
+    if let Some(report) = cached_report {
         recorder.counter_add("server.cache.hits", 1);
+        span.attr("cached", true);
         return Ok(VerifyOutcome { report, cached: true });
     }
     recorder.counter_add("server.cache.misses", 1);
+    span.attr("cached", false);
     match job.entry.verifier.verify(&job.challenge, &job.answer) {
         Ok(report) => {
-            cache.insert(&job.entry.device_id, challenge_fp, answer_fp, report);
+            let evicted = cache.insert(&job.entry.device_id, challenge_fp, answer_fp, report);
+            recorder.counter_add("server.cache.evictions", evicted as u64);
             Ok(VerifyOutcome { report, cached: false })
         }
         Err(e) => {
@@ -210,14 +245,16 @@ mod tests {
         entry: &Arc<DeviceEntry>,
         challenge: &Challenge,
         answer: &ProverAnswer,
+        trace: Option<SpanContext>,
     ) -> VerifyOutcome {
         let (reply_tx, reply_rx) = bounded(1);
-        pool.submit(VerifyJob {
-            entry: Arc::clone(entry),
-            challenge: challenge.clone(),
-            answer: answer.clone(),
-            reply: reply_tx,
-        })
+        pool.submit(VerifyJob::new(
+            Arc::clone(entry),
+            challenge.clone(),
+            answer.clone(),
+            reply_tx,
+            trace,
+        ))
         .unwrap();
         reply_rx.recv().unwrap().unwrap()
     }
@@ -229,25 +266,41 @@ mod tests {
         let pool = WorkerPool::new(2, 8, Arc::clone(&cache), Arc::clone(&recorder));
         let (entry, challenge, answer) = device_fixture();
 
-        let first = submit_and_wait(&pool, &entry, &challenge, &answer);
+        let first = submit_and_wait(&pool, &entry, &challenge, &answer, None);
         assert!(first.report.accepted());
         assert!(!first.cached);
-        let second = submit_and_wait(&pool, &entry, &challenge, &answer);
+        let second = submit_and_wait(&pool, &entry, &challenge, &answer, None);
         assert!(second.report.accepted());
         assert!(second.cached, "repeat of the same answer must hit the cache");
         assert_eq!(recorder.counter("server.cache.hits"), 1);
         assert_eq!(recorder.counter("server.cache.misses"), 1);
         assert_eq!(recorder.span_stats("server.verify").unwrap().count, 2);
+        assert_eq!(recorder.span_stats("server.queue_wait").unwrap().count, 2);
+        assert_eq!(recorder.span_stats("server.cache_probe").unwrap().count, 2);
+    }
+
+    #[test]
+    fn worker_spans_land_in_the_submitters_trace() {
+        let cache = Arc::new(VerificationCache::new(4, 64));
+        let recorder = Arc::new(MemoryRecorder::new());
+        let pool = WorkerPool::new(1, 8, Arc::clone(&cache), Arc::clone(&recorder));
+        let (entry, challenge, answer) = device_fixture();
+
+        let trace = ppuf_telemetry::next_trace_id();
+        {
+            let root = TracedSpan::root(recorder.as_ref(), "server.request", trace);
+            submit_and_wait(&pool, &entry, &challenge, &answer, root.context());
+        }
+        let tree = recorder.assemble_trace(trace).expect("trace recorded").expect("well-formed");
+        assert!(tree.contains("server.queue_wait"));
+        assert!(tree.contains("server.cache_probe"));
+        assert!(tree.contains("server.verify"));
+        assert!(tree.durations_contained());
     }
 
     fn job(entry: &Arc<DeviceEntry>, challenge: &Challenge, answer: &ProverAnswer) -> VerifyJob {
         let (reply_tx, _) = bounded(1);
-        VerifyJob {
-            entry: Arc::clone(entry),
-            challenge: challenge.clone(),
-            answer: answer.clone(),
-            reply: reply_tx,
-        }
+        VerifyJob::new(Arc::clone(entry), challenge.clone(), answer.clone(), reply_tx, None)
     }
 
     #[test]

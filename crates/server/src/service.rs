@@ -13,18 +13,22 @@ use std::sync::Arc;
 
 use crossbeam::channel::bounded;
 
-use ppuf_analog::units::Seconds;
+use ppuf_analog::solver::{Circuit, DcEngine, DcOptions, EngineOptions};
+use ppuf_analog::units::{Amps, Celsius, Seconds, Volts};
+use ppuf_analog::TwoTerminal;
 use ppuf_core::challenge::ChallengeSpace;
 use ppuf_core::protocol::auth::{Verifier, VERIFY_TOLERANCE};
 use ppuf_core::protocol::clock::{Clock, SystemClock};
 use ppuf_core::protocol::issuer::{ChallengeIssuer, RedeemError, DEFAULT_SESSION_TTL};
 use ppuf_core::public_model::PublicModel;
-use ppuf_telemetry::{MemoryRecorder, Recorder};
+use ppuf_telemetry::{
+    next_trace_id, prometheus, MemoryRecorder, Recorder, SpanContext, TraceId, TracedSpan,
+};
 
 use crate::cache::VerificationCache;
 use crate::pool::{SubmitError, VerifyJob, WorkerPool};
 use crate::registry::{DeviceEntry, DeviceRegistry};
-use crate::wire::{ErrorKind, Request, Response};
+use crate::wire::{ErrorKind, Request, Response, StatsFormat};
 
 /// Tunables for one [`VerificationService`].
 #[derive(Debug, Clone)]
@@ -98,6 +102,7 @@ impl VerificationService {
     pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         let cache = Arc::new(VerificationCache::new(config.cache_shards, config.cache_capacity));
         let recorder = Arc::new(MemoryRecorder::new());
+        warm_start_preflight(recorder.as_ref());
         let pool = WorkerPool::new(
             config.workers,
             config.queue_capacity,
@@ -129,18 +134,51 @@ impl VerificationService {
         &self.config
     }
 
-    /// Dispatches one request.
+    /// Dispatches one request under a fresh trace id.
     pub fn handle(&self, request: Request) -> Response {
+        self.handle_traced(request, next_trace_id())
+    }
+
+    /// Dispatches one request, recording a `server.request` root span in
+    /// trace `trace`. The TCP front-end passes the id it assigned (or
+    /// adopted from the client) at accept time; every span the request
+    /// produces — including worker-side `server.queue_wait` /
+    /// `server.verify` spans from [`crate::pool`] — lands under it.
+    pub fn handle_traced(&self, request: Request, trace: TraceId) -> Response {
         self.recorder.counter_add("server.requests", 1);
+        let mut root = TracedSpan::root(self.recorder.as_ref(), "server.request", trace);
+        root.attr("kind", request_kind(&request));
         match request {
             Request::Register { device_id, model } => self.register(device_id, model),
             Request::Revoke { device_id } => self.revoke(&device_id),
             Request::GetChallenge { device_id } => self.get_challenge(&device_id),
             Request::SubmitAnswer { device_id, nonce, answer } => {
-                self.submit_answer(&device_id, nonce, answer)
+                self.submit_answer(&device_id, nonce, answer, root.context())
             }
             Request::Ping => Response::Pong,
+            Request::Stats { format } => self.stats(format),
         }
+    }
+
+    /// Renders the recorder's live state — counters, span summaries,
+    /// events, traces — as a [`Response::Stats`] body: the schema-v2 JSON
+    /// report, or Prometheus text exposition with live
+    /// `ppuf_pool_queue_depth` / `ppuf_pool_workers` /
+    /// `ppuf_cache_entries` gauges.
+    fn stats(&self, format: StatsFormat) -> Response {
+        let report = self.recorder.snapshot("ppuf-server live stats");
+        let body = match format {
+            StatsFormat::Json => report.to_json(),
+            StatsFormat::Prometheus => {
+                let gauges = [
+                    ("ppuf_pool_queue_depth".to_string(), self.pool.queue_depth() as f64),
+                    ("ppuf_pool_workers".to_string(), self.pool.workers() as f64),
+                    ("ppuf_cache_entries".to_string(), self.cache.len() as f64),
+                ];
+                prometheus::render(&report, &gauges)
+            }
+        };
+        Response::Stats { format, body }
     }
 
     fn register(&self, device_id: String, model: PublicModel) -> Response {
@@ -197,6 +235,7 @@ impl VerificationService {
         device_id: &str,
         nonce: u64,
         answer: ppuf_core::protocol::auth::ProverAnswer,
+        trace: Option<SpanContext>,
     ) -> Response {
         let Some(entry) = self.registry.get(device_id) else {
             return self.unknown_device(device_id);
@@ -213,14 +252,9 @@ impl VerificationService {
             }
         };
         let (reply_tx, reply_rx) = bounded(1);
-        let job = VerifyJob {
-            entry: Arc::clone(&entry),
-            // verify against the challenge bound to the nonce at issue
-            // time — the client never gets to choose it
-            challenge: session.challenge,
-            answer,
-            reply: reply_tx,
-        };
+        // verify against the challenge bound to the nonce at issue time —
+        // the client never gets to choose it
+        let job = VerifyJob::new(Arc::clone(&entry), session.challenge, answer, reply_tx, trace);
         match self.pool.submit(job) {
             Ok(()) => {}
             Err(SubmitError::QueueFull) => {
@@ -277,6 +311,57 @@ fn device_seed(text: &str) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     text.hash(&mut hasher);
     hasher.finish()
+}
+
+/// Wire-variant name for the root span's `kind` attribute.
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Register { .. } => "Register",
+        Request::Revoke { .. } => "Revoke",
+        Request::GetChallenge { .. } => "GetChallenge",
+        Request::SubmitAnswer { .. } => "SubmitAnswer",
+        Request::Ping => "Ping",
+        Request::Stats { .. } => "Stats",
+    }
+}
+
+/// Linear 1 µS element for the startup preflight divider; zero for
+/// `dv ≤ 0` to satisfy the solver's incremental-passivity contract.
+#[derive(Debug, Clone, Copy)]
+struct PreflightResistor;
+
+impl TwoTerminal for PreflightResistor {
+    fn current(&self, dv: Volts, _temp: Celsius) -> Amps {
+        Amps(dv.value().max(0.0) * 1e-6)
+    }
+
+    fn conductance(&self, dv: Volts, _temp: Celsius) -> f64 {
+        if dv.value() <= 0.0 {
+            0.0
+        } else {
+            1e-6
+        }
+    }
+}
+
+/// Exercises the DC engine once at service construction: three solves of
+/// a trivial resistor divider against the service recorder, so the
+/// `analog.dc.warm_start_hits` / `analog.dc.warm_start_misses` counters
+/// (and one `analog.dc.residual_trace` convergence event) are live in
+/// `Stats` output from the first scrape — the serving path itself only
+/// runs residual-BFS flow checks, never the analog solver.
+fn warm_start_preflight(recorder: &MemoryRecorder) {
+    let mut circuit = Circuit::new(3);
+    for (from, to) in [(0, 1), (1, 2)] {
+        circuit.add_element(from, to, PreflightResistor).expect("preflight divider is well-formed");
+    }
+    let options = DcOptions { trace_residuals: true, ..DcOptions::default() };
+    let mut engine = DcEngine::new(EngineOptions { threads: 1, ..EngineOptions::default() });
+    for _ in 0..3 {
+        engine
+            .solve_traced(&circuit, 0, 2, Volts(1.0), &options, recorder)
+            .expect("preflight divider solves");
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +499,69 @@ mod tests {
         assert_eq!(
             service.handle(Request::Revoke { device_id: "dev".into() }),
             Response::Revoked { device_id: "dev".into(), existed: false }
+        );
+    }
+
+    #[test]
+    fn traced_submit_builds_one_rooted_request_tree() {
+        let clock = Arc::new(ManualClock::new());
+        let (service, ppuf) = service_with_device(ServiceConfig::default(), Arc::clone(&clock));
+        let (nonce, challenge) = get_challenge(&service);
+        let answer = prove(&ppuf.executor(Environment::NOMINAL), &challenge).unwrap();
+        let trace = ppuf_telemetry::next_trace_id();
+        let response = service
+            .handle_traced(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer }, trace);
+        assert!(matches!(response, Response::Verdict { accepted: true, .. }), "{response:?}");
+        let tree = service
+            .recorder()
+            .assemble_trace(trace)
+            .expect("trace recorded")
+            .expect("well-formed trace");
+        assert_eq!(tree.span.name, "server.request");
+        for name in ["server.queue_wait", "server.cache_probe", "server.verify"] {
+            assert!(tree.contains(name), "missing {name} in request trace");
+        }
+        assert!(tree.durations_contained());
+    }
+
+    #[test]
+    fn stats_prometheus_exposes_live_metrics() {
+        let clock = Arc::new(ManualClock::new());
+        let (service, _ppuf) = service_with_device(ServiceConfig::default(), Arc::clone(&clock));
+        let body = match service.handle(Request::Stats { format: StatsFormat::Prometheus }) {
+            Response::Stats { format: StatsFormat::Prometheus, body } => body,
+            other => panic!("expected prometheus stats, got {other:?}"),
+        };
+        let samples = ppuf_telemetry::prometheus::validate(&body).expect("exposition is valid");
+        for required in [
+            "ppuf_requests_total",
+            "ppuf_cache_hits_total",
+            "ppuf_cache_misses_total",
+            "ppuf_dc_warm_start_hits_total",
+            "ppuf_pool_queue_depth",
+            "ppuf_pool_workers",
+            "ppuf_cache_entries",
+        ] {
+            assert!(samples.contains_key(required), "missing {required} in:\n{body}");
+        }
+        // the construction-time preflight already warmed the engine twice
+        assert!(samples["ppuf_dc_warm_start_hits_total"] >= 2.0);
+        assert_eq!(samples["ppuf_pool_workers"], 2.0);
+    }
+
+    #[test]
+    fn stats_json_is_a_parseable_schema_v2_report() {
+        let clock = Arc::new(ManualClock::new());
+        let (service, _ppuf) = service_with_device(ServiceConfig::default(), Arc::clone(&clock));
+        let body = match service.handle(Request::Stats { format: StatsFormat::Json }) {
+            Response::Stats { format: StatsFormat::Json, body } => body,
+            other => panic!("expected json stats, got {other:?}"),
+        };
+        let report = ppuf_telemetry::Report::from_json(&body).expect("stats body parses");
+        assert_eq!(report.counters.get("analog.dc.warm_start_hits"), Some(&2));
+        assert!(
+            report.events.iter().any(|e| e.name == "analog.dc.residual_trace"),
+            "preflight must leave a convergence trace in the report"
         );
     }
 

@@ -15,10 +15,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ppuf_telemetry::Recorder;
+use ppuf_telemetry::{next_trace_id, Recorder, TraceId};
 
 use crate::service::VerificationService;
-use crate::wire::{recv_message, send_message, ErrorKind, Request, Response};
+use crate::wire::{
+    recv_message, send_message, ErrorKind, Request, Response, TracedRequest, TracedResponse,
+};
 
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 const READ_POLL: Duration = Duration::from_millis(100);
@@ -120,8 +122,8 @@ fn handle_connection(
     }
     service.recorder().counter_add("server.connections", 1);
     while !shutdown.load(Ordering::SeqCst) {
-        let request: Request = match recv_message(&mut stream) {
-            Ok(Some(request)) => request,
+        let envelope: TracedRequest = match recv_message(&mut stream) {
+            Ok(Some(envelope)) => envelope,
             Ok(None) => break, // clean EOF
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -139,8 +141,19 @@ fn handle_connection(
             }
             Err(_) => break, // torn connection
         };
-        let response = service.handle(request);
-        if send_message(&mut stream, &response).is_err() {
+        // adopt the client's trace id when it sent one, mint one otherwise
+        // — every request runs under *some* trace id from accept onward
+        let client_traced = envelope.trace_id.is_some();
+        let trace = envelope.trace_id.and_then(TraceId::from_raw).unwrap_or_else(next_trace_id);
+        let response = service.handle_traced(envelope.body, trace);
+        // only envelope speakers get the envelope back: bare (wire 1.0)
+        // clients keep receiving byte-identical bare responses
+        let sent = if client_traced {
+            send_message(&mut stream, &TracedResponse::traced(trace.get(), response))
+        } else {
+            send_message(&mut stream, &response)
+        };
+        if sent.is_err() {
             break;
         }
     }
@@ -174,6 +187,30 @@ impl Client {
     pub fn request(&mut self, request: &Request) -> io::Result<Response> {
         send_message(&mut self.stream, request)?;
         self.read_response()
+    }
+
+    /// Sends one request inside a wire-1.1 trace envelope and waits for
+    /// the response, returning the trace id the server echoed (`None` if
+    /// it answered bare, e.g. an older server). Pass an id from
+    /// [`ppuf_telemetry::next_trace_id`] to correlate the server-side span
+    /// tree with this call.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn request_traced(
+        &mut self,
+        request: Request,
+        trace_id: u64,
+    ) -> io::Result<(Response, Option<u64>)> {
+        send_message(&mut self.stream, &TracedRequest::traced(trace_id, request))?;
+        match recv_message::<_, TracedResponse>(&mut self.stream)? {
+            Some(envelope) => Ok((envelope.body, envelope.trace_id)),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            )),
+        }
     }
 
     /// Sends raw bytes as one frame and waits for a response — lets

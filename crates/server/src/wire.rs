@@ -28,6 +28,20 @@ use ppuf_core::public_model::PublicModel;
 /// a paper-scale device is well under 1 MiB).
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// Wire protocol major version; bumped only on incompatible changes.
+pub const WIRE_VERSION_MAJOR: u32 = 1;
+
+/// Wire protocol minor version. Minor bumps are backward compatible by
+/// rule: new request kinds draw a structured [`ErrorKind::Malformed`]
+/// from an older server (the connection survives), and the optional
+/// [`TracedRequest`]/[`TracedResponse`] envelope degrades to the bare
+/// v1.0 encoding when no `trace_id` is attached, so old and new peers
+/// interoperate in both directions.
+///
+/// 1.1 added the `trace_id` envelope and the [`Request::Stats`] admin
+/// command.
+pub const WIRE_VERSION_MINOR: u32 = 1;
+
 /// Writes one length-prefixed frame.
 ///
 /// # Errors
@@ -135,6 +149,20 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
+    /// Read-only admin command: snapshot the server's live telemetry.
+    Stats {
+        /// Which rendering of the snapshot to return.
+        format: StatsFormat,
+    },
+}
+
+/// Rendering of a [`Request::Stats`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatsFormat {
+    /// The schema-versioned JSON report (`ppuf_telemetry::Report`).
+    Json,
+    /// Prometheus text exposition (`ppuf_*` metrics).
+    Prometheus,
 }
 
 /// Machine-readable failure category in a [`Response::Error`].
@@ -207,6 +235,13 @@ pub enum Response {
     },
     /// Liveness answer.
     Pong,
+    /// The telemetry snapshot answering a [`Request::Stats`].
+    Stats {
+        /// The format the snapshot was rendered in.
+        format: StatsFormat,
+        /// The rendered snapshot (JSON report or Prometheus text).
+        body: String,
+    },
 }
 
 impl Response {
@@ -215,6 +250,77 @@ impl Response {
         Response::Error { kind, message: message.into(), retry_after_ms: None }
     }
 }
+
+/// Optional request-tracing envelope (wire 1.1).
+///
+/// With a `trace_id` the message encodes as
+/// `{"trace_id": N, "body": <bare message>}`; without one it encodes as
+/// the bare v1.0 message, byte-identical to pre-envelope clients. The
+/// decoder keys on the presence of a `"body"` field — no bare message is
+/// a map with that key (they are externally tagged enums), so both forms
+/// decode unambiguously. The id 0 is reserved for "absent".
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedRequest {
+    /// Client-chosen trace id echoed back in the response envelope.
+    pub trace_id: Option<u64>,
+    /// The request proper.
+    pub body: Request,
+}
+
+/// Response side of the tracing envelope; see [`TracedRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedResponse {
+    /// The trace id the server filed this request's spans under.
+    pub trace_id: Option<u64>,
+    /// The response proper.
+    pub body: Response,
+}
+
+macro_rules! traced_envelope {
+    ($envelope:ident, $body:ty) => {
+        impl $envelope {
+            /// Wraps a message without tracing (encodes as bare v1.0).
+            pub fn bare(body: $body) -> Self {
+                $envelope { trace_id: None, body }
+            }
+
+            /// Wraps a message under a trace id (0 means "absent").
+            pub fn traced(trace_id: u64, body: $body) -> Self {
+                $envelope { trace_id: (trace_id != 0).then_some(trace_id), body }
+            }
+        }
+
+        impl Serialize for $envelope {
+            fn to_value(&self) -> serde::Value {
+                match self.trace_id {
+                    None => self.body.to_value(),
+                    Some(id) => serde::Value::Map(vec![
+                        ("trace_id".to_string(), id.to_value()),
+                        ("body".to_string(), self.body.to_value()),
+                    ]),
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $envelope {
+            fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+                match value.get("body") {
+                    Some(body) => {
+                        let trace_id = match value.get("trace_id") {
+                            None | Some(serde::Value::Null) => None,
+                            Some(v) => Some(u64::from_value(v)?).filter(|id| *id != 0),
+                        };
+                        Ok($envelope { trace_id, body: <$body>::from_value(body)? })
+                    }
+                    None => Ok($envelope { trace_id: None, body: <$body>::from_value(value)? }),
+                }
+            }
+        }
+    };
+}
+
+traced_envelope!(TracedRequest, Request);
+traced_envelope!(TracedResponse, Response);
 
 /// Serializes a message and writes it as one frame.
 ///
@@ -312,5 +418,57 @@ mod tests {
         send_message(&mut buf, &Request::Ping).unwrap();
         let back: Option<Request> = recv_message(&mut io::Cursor::new(buf)).unwrap();
         assert_eq!(back, Some(Request::Ping));
+    }
+
+    #[test]
+    fn stats_request_and_response_roundtrip() {
+        for format in [StatsFormat::Json, StatsFormat::Prometheus] {
+            let request = Request::Stats { format };
+            let back: Request =
+                serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+            assert_eq!(back, request);
+        }
+        let response = Response::Stats {
+            format: StatsFormat::Prometheus,
+            body: "# TYPE x gauge\nx 1\n".into(),
+        };
+        let back: Response =
+            serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn bare_envelope_encodes_exactly_like_the_untraced_message() {
+        let request = Request::GetChallenge { device_id: "d".into() };
+        let bare = TracedRequest::bare(request.clone());
+        assert_eq!(serde_json::to_string(&bare).unwrap(), serde_json::to_string(&request).unwrap());
+        // and a traced id of 0 degrades to bare (0 is reserved)
+        let zero = TracedRequest::traced(0, request.clone());
+        assert_eq!(zero, bare);
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips_and_decodes_bare_frames() {
+        let request = Request::GetChallenge { device_id: "d".into() };
+        let traced = TracedRequest::traced(0xDEADBEEF, request.clone());
+        let text = serde_json::to_string(&traced).unwrap();
+        assert!(text.contains("trace_id"), "{text}");
+        let back: TracedRequest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, traced);
+
+        // an envelope-aware decoder accepts a v1.0 bare frame unchanged
+        let bare_text = serde_json::to_string(&request).unwrap();
+        let back: TracedRequest = serde_json::from_str(&bare_text).unwrap();
+        assert_eq!(back, TracedRequest::bare(request));
+
+        // same on the response side
+        let response = Response::Pong;
+        let traced = TracedResponse::traced(7, response.clone());
+        let back: TracedResponse =
+            serde_json::from_str(&serde_json::to_string(&traced).unwrap()).unwrap();
+        assert_eq!(back, traced);
+        let back: TracedResponse =
+            serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();
+        assert_eq!(back, TracedResponse::bare(response));
     }
 }

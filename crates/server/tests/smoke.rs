@@ -49,8 +49,25 @@ fn loadgen_smoke_profile_end_to_end() {
     // latency percentiles exist and are ordered
     let latency = report.honest.latency.expect("honest latency recorded");
     assert!(latency.count == 60);
-    assert!(latency.p50_ms <= latency.p95_ms && latency.p95_ms <= latency.p99_ms);
-    assert!(latency.min_ms <= latency.p50_ms && latency.p99_ms <= latency.max_ms);
+    assert!(latency.p50 <= latency.p95 && latency.p95 <= latency.p99);
+    assert!(latency.min <= latency.p50 && latency.p99 <= latency.max);
+
+    // every verdict round carried an echoed trace id, and the server-side
+    // span trees correlate end to end under those ids
+    assert_eq!(report.traced_requests, 80, "honest + impostor verdict rounds");
+    assert!(report.correlated_traces >= 1, "{:?}", report.correlated_traces);
+
+    // the live Prometheus scrape exposed the headline serving metrics
+    for metric in
+        ["ppuf_cache_hits_total", "ppuf_pool_queue_depth", "ppuf_dc_warm_start_hits_total"]
+    {
+        assert!(report.prometheus_samples.contains_key(metric), "missing {metric}");
+    }
+    assert!(report.prometheus_samples["ppuf_cache_hits_total"] >= hits as f64);
+    // zero-filled cache/warm-start counters always appear in the report
+    for key in ["server.cache.evictions", "analog.dc.warm_start_misses"] {
+        assert!(report.server_counters.contains_key(key), "missing {key}");
+    }
 
     // the JSON report round-trips
     let json = report.to_json();

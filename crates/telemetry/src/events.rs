@@ -1,0 +1,145 @@
+//! Bounded ring-buffer event log for low-rate structured diagnostics.
+//!
+//! An *event* is a named vector of numbers emitted at most a handful of
+//! times per solve — a Newton residual trajectory, per-phase augmentation
+//! counts from a max-flow run. Unlike counters and histograms these keep
+//! their per-occurrence shape, so a non-converging solve is diagnosable
+//! from its actual trajectory instead of a single `NoConvergence` warning.
+//!
+//! The log is a fixed-capacity ring: pushing past capacity drops the
+//! *oldest* event and reports the drop, and never blocks or grows. Hot
+//! paths therefore cannot be stalled or balloon memory no matter how
+//! chatty a misbehaving solver gets.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+
+/// Default ring capacity used by
+/// [`MemoryRecorder`](crate::MemoryRecorder).
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Position in the emission order (monotone, starts at 0, keeps
+    /// counting across drops — gaps at the front reveal overflow).
+    pub seq: u64,
+    /// Event name (e.g. `analog.dc.residual_trace`).
+    pub name: String,
+    /// The event payload.
+    pub values: Vec<f64>,
+}
+
+#[derive(Debug, Default)]
+struct LogState {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Fixed-capacity, thread-safe, drop-oldest event ring.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    state: Mutex<LogState>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog { capacity: capacity.max(1), state: Mutex::new(LogState::default()) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LogState> {
+        // a panicking emitter must not take the log down with it
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends an event; at capacity the oldest event is discarded.
+    /// Returns the number of events dropped to make room (0 or 1).
+    pub fn push(&self, name: &str, values: &[f64]) -> u64 {
+        let mut state = self.lock();
+        let mut dropped = 0;
+        while state.events.len() >= self.capacity {
+            state.events.pop_front();
+            dropped += 1;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.dropped += dropped;
+        state.events.push_back(Event { seq, name: name.to_string(), values: values.to_vec() });
+        dropped
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// Total events discarded due to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_in_order_below_capacity() {
+        let log = EventLog::new(4);
+        assert!(log.is_empty());
+        assert_eq!(log.push("a", &[1.0]), 0);
+        assert_eq!(log.push("b", &[2.0, 3.0]), 0);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 0);
+        let events = log.snapshot();
+        assert_eq!(events[0], Event { seq: 0, name: "a".into(), values: vec![1.0] });
+        assert_eq!(events[1], Event { seq: 1, name: "b".into(), values: vec![2.0, 3.0] });
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let log = EventLog::new(3);
+        for i in 0..10u64 {
+            let dropped = log.push("e", &[i as f64]);
+            assert_eq!(dropped, u64::from(i >= 3));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        let seqs: Vec<u64> = log.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let log = EventLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.push("a", &[]);
+        log.push("b", &[]);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.snapshot()[0].name, "b");
+    }
+}

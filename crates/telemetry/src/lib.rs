@@ -26,15 +26,31 @@
 //! For machine-readable output, [`JsonReporter`] wraps a [`MemoryRecorder`]
 //! and renders a schema-versioned [`report::Report`].
 
+pub mod events;
+pub mod prometheus;
 pub mod report;
 pub mod samples;
+pub mod trace;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+pub use events::{Event, EventLog, DEFAULT_EVENT_CAPACITY};
 pub use report::{JsonReporter, Report, ReportError, SCHEMA_VERSION};
 pub use samples::{SampleSeries, SampleSummary};
+pub use trace::{
+    assemble, next_trace_id, record_interval, FinishedSpan, SpanContext, SpanId, TraceError,
+    TraceId, TraceNode, TracedSpan,
+};
+
+/// Default number of traces a [`MemoryRecorder`] retains before evicting
+/// the oldest.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// Spans retained per trace before further spans are dropped (a runaway
+/// instrumentation loop must not balloon the recorder).
+const MAX_SPANS_PER_TRACE: usize = 512;
 
 /// Sink for instrumentation events.
 ///
@@ -53,6 +69,34 @@ pub trait Recorder: Send + Sync {
 
     /// Reports a human-readable anomaly (non-convergence, fallback taken).
     fn warn(&self, message: &str);
+
+    /// Whether this recorder retains hierarchical trace spans. When this
+    /// returns `false` (the default), [`TracedSpan`] skips id allocation,
+    /// attribute formatting, and
+    /// [`record_trace_span`](Recorder::record_trace_span) entirely, so the
+    /// tracing path stays allocation-free against a disabled recorder.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Retains one completed trace span. Only called for recorders whose
+    /// [`trace_enabled`](Recorder::trace_enabled) returns `true`.
+    fn record_trace_span(&self, span: FinishedSpan) {
+        let _ = span;
+    }
+
+    /// Whether [`record_event`](Recorder::record_event) retains anything,
+    /// so emitters can skip building payloads nobody will keep.
+    fn events_enabled(&self) -> bool {
+        false
+    }
+
+    /// Appends a structured diagnostic event — a named vector of numbers,
+    /// e.g. a Newton residual trajectory — to the recorder's bounded
+    /// event log. Discarded by default.
+    fn record_event(&self, name: &str, values: &[f64]) {
+        let _ = (name, values);
+    }
 
     /// Starts a wall-clock span ended when the guard drops.
     ///
@@ -83,6 +127,22 @@ impl Recorder for NoopRecorder {
 
     #[inline]
     fn warn(&self, _message: &str) {}
+
+    #[inline]
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record_trace_span(&self, _span: FinishedSpan) {}
+
+    #[inline]
+    fn events_enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record_event(&self, _name: &str, _values: &[f64]) {}
 }
 
 /// The shared no-op recorder, for APIs that want a `&'static dyn Recorder`
@@ -153,6 +213,8 @@ struct MemoryState {
     spans: BTreeMap<String, Summary>,
     warnings: Vec<String>,
     samples: BTreeMap<String, SampleSeries>,
+    traces: BTreeMap<u64, Vec<FinishedSpan>>,
+    trace_order: VecDeque<u64>,
 }
 
 /// Recorder that aggregates everything in memory behind a mutex.
@@ -162,15 +224,40 @@ struct MemoryState {
 /// [`histogram`](MemoryRecorder::histogram),
 /// [`span_stats`](MemoryRecorder::span_stats), or snapshot the whole state
 /// as a [`Report`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoryRecorder {
     state: Mutex<MemoryState>,
+    events: EventLog,
+    trace_capacity: usize,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        MemoryRecorder {
+            state: Mutex::default(),
+            events: EventLog::default(),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
 }
 
 impl MemoryRecorder {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder with default trace/event retention
+    /// ([`DEFAULT_TRACE_CAPACITY`], [`DEFAULT_EVENT_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty recorder retaining at most `traces` traces and
+    /// `events` events (each clamped to at least 1); older entries are
+    /// evicted oldest-first and counted under `telemetry.traces.dropped`
+    /// / `telemetry.events.dropped`.
+    pub fn with_limits(traces: usize, events: usize) -> Self {
+        MemoryRecorder {
+            state: Mutex::default(),
+            events: EventLog::new(events),
+            trace_capacity: traces.max(1),
+        }
     }
 
     /// Current value of a counter; 0 when never touched.
@@ -208,9 +295,53 @@ impl MemoryRecorder {
         self.lock().samples.get(name).and_then(SampleSeries::summary)
     }
 
+    /// All spans recorded under `trace`, in recording order; empty when
+    /// the trace is unknown (never seen, or already evicted).
+    pub fn trace_spans(&self, trace: TraceId) -> Vec<FinishedSpan> {
+        self.lock().traces.get(&trace.get()).cloned().unwrap_or_default()
+    }
+
+    /// Ids of the retained traces, oldest first.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        self.lock().trace_order.iter().filter_map(|id| TraceId::from_raw(*id)).collect()
+    }
+
+    /// Assembles the spans of `trace` into a tree; `None` when the trace
+    /// is unknown.
+    pub fn assemble_trace(&self, trace: TraceId) -> Option<Result<TraceNode, TraceError>> {
+        let spans = self.trace_spans(trace);
+        if spans.is_empty() {
+            None
+        } else {
+            Some(trace::assemble(&spans))
+        }
+    }
+
+    /// The retained diagnostic events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.snapshot()
+    }
+
+    /// Total events discarded due to event-log overflow.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
     /// Copies the current state into a schema-versioned [`Report`].
     pub fn snapshot(&self, label: &str) -> Report {
+        let events = self
+            .events
+            .snapshot()
+            .into_iter()
+            .map(|e| report::EventRecord { seq: e.seq, name: e.name, values: e.values })
+            .collect();
         let state = self.lock();
+        let traces = state
+            .trace_order
+            .iter()
+            .filter_map(|id| state.traces.get(id).map(|spans| (*id, spans)))
+            .map(|(id, spans)| (format!("{id:016x}"), trace_records(spans)))
+            .collect();
         Report {
             schema_version: SCHEMA_VERSION,
             label: label.to_string(),
@@ -223,6 +354,8 @@ impl MemoryRecorder {
                 .iter()
                 .filter_map(|(name, series)| series.summary().map(|s| (name.clone(), s)))
                 .collect(),
+            events,
+            traces,
         }
     }
 
@@ -231,6 +364,24 @@ impl MemoryRecorder {
         // telemetry should still be readable afterwards
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// Renders one trace's spans with timestamps rebased to the trace's
+/// earliest span start (instants are process-relative and meaningless in
+/// a report).
+fn trace_records(spans: &[FinishedSpan]) -> Vec<report::TraceSpanRecord> {
+    let origin = spans.iter().map(|s| s.start).min();
+    spans
+        .iter()
+        .map(|s| report::TraceSpanRecord {
+            span: s.span.get(),
+            parent: s.parent.map(SpanId::get),
+            name: s.name.clone(),
+            start_s: origin.map_or(0.0, |o| s.start.saturating_duration_since(o).as_secs_f64()),
+            duration_s: s.duration.as_secs_f64(),
+            attrs: s.attrs.clone(),
+        })
+        .collect()
 }
 
 impl Recorder for MemoryRecorder {
@@ -260,6 +411,49 @@ impl Recorder for MemoryRecorder {
     fn warn(&self, message: &str) {
         let mut state = self.lock();
         state.warnings.push(message.to_string());
+    }
+
+    fn trace_enabled(&self) -> bool {
+        true
+    }
+
+    fn record_trace_span(&self, span: FinishedSpan) {
+        let mut state = self.lock();
+        let key = span.trace.get();
+        if !state.traces.contains_key(&key) {
+            while state.traces.len() >= self.trace_capacity {
+                match state.trace_order.pop_front() {
+                    Some(oldest) => {
+                        state.traces.remove(&oldest);
+                        *state
+                            .counters
+                            .entry("telemetry.traces.dropped".to_string())
+                            .or_insert(0) += 1;
+                    }
+                    None => break,
+                }
+            }
+            state.trace_order.push_back(key);
+        }
+        let spans = state.traces.entry(key).or_default();
+        if spans.len() < MAX_SPANS_PER_TRACE {
+            spans.push(span);
+        } else {
+            *state.counters.entry("telemetry.trace_spans.dropped".to_string()).or_insert(0) += 1;
+        }
+    }
+
+    fn events_enabled(&self) -> bool {
+        true
+    }
+
+    fn record_event(&self, name: &str, values: &[f64]) {
+        let dropped = self.events.push(name, values);
+        // counted after the event lock is released — counter_add takes
+        // the state lock and the two must never nest
+        if dropped > 0 {
+            self.counter_add("telemetry.events.dropped", dropped);
+        }
     }
 }
 
@@ -322,6 +516,56 @@ mod tests {
         r.observe("y", 1.0);
         r.warn("z");
         let _span = Span::enter(r, "s");
+    }
+
+    #[test]
+    fn poisoned_recorder_keeps_working() {
+        // regression: a worker panicking while holding the state lock
+        // must not make every later counter_add/snapshot panic too
+        let r = MemoryRecorder::new();
+        r.counter_add("x", 1);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = r.lock();
+            panic!("worker died mid-update");
+        }));
+        assert!(panicked.is_err());
+        r.counter_add("x", 1);
+        r.observe("y", 2.0);
+        r.warn("still alive");
+        assert_eq!(r.counter("x"), 2);
+        let report = r.snapshot("after poison");
+        assert_eq!(report.counters.get("x"), Some(&2));
+        assert_eq!(report.warnings, vec!["still alive".to_string()]);
+    }
+
+    #[test]
+    fn trace_storage_evicts_oldest_and_counts_drops() {
+        let r = MemoryRecorder::with_limits(2, 4);
+        let traces: Vec<TraceId> = (0..3).map(|_| next_trace_id()).collect();
+        for &trace in &traces {
+            let _root = TracedSpan::root(&r, "request", trace);
+        }
+        assert_eq!(r.counter("telemetry.traces.dropped"), 1);
+        assert!(r.trace_spans(traces[0]).is_empty(), "oldest trace should be evicted");
+        assert_eq!(r.trace_spans(traces[1]).len(), 1);
+        assert_eq!(r.trace_spans(traces[2]).len(), 1);
+        assert_eq!(r.trace_ids(), vec![traces[1], traces[2]]);
+    }
+
+    #[test]
+    fn events_flow_through_the_recorder_trait() {
+        let r = MemoryRecorder::with_limits(4, 2);
+        let dynr: &dyn Recorder = &r;
+        assert!(dynr.events_enabled());
+        dynr.record_event("a", &[1.0]);
+        dynr.record_event("b", &[2.0]);
+        dynr.record_event("c", &[3.0]);
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.events_dropped(), 1);
+        assert_eq!(r.counter("telemetry.events.dropped"), 1);
+        // the noop recorder ignores events entirely
+        assert!(!NOOP.events_enabled());
+        NOOP.record_event("ignored", &[1.0]);
     }
 
     #[test]

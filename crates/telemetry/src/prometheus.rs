@@ -1,0 +1,310 @@
+//! Prometheus text exposition of a [`Report`], plus a validator for CI.
+//!
+//! [`render`] turns a recorder snapshot into the Prometheus text format
+//! (version 0.0.4): counters become `ppuf_*_total` counters, span and
+//! histogram aggregates become `*_sum`/`*_count` summaries, and live
+//! values the report cannot carry (queue depth, cache entries) are passed
+//! in as gauges. A handful of protocol-level counters are always emitted
+//! — zero when never touched — so dashboards and the smoke-test scraper
+//! can rely on their presence.
+//!
+//! [`validate`] parses an exposition back into a name→value map and
+//! rejects drift (bad metric names, missing or mistyped `# TYPE` lines,
+//! counters not ending in `_total`, duplicate samples); scraping twice
+//! and feeding both maps to [`check_monotone`] locks counter
+//! monotonicity.
+
+use std::collections::BTreeMap;
+
+use crate::report::Report;
+
+/// Counter-name translations from recorder keys to stable Prometheus
+/// names; anything not listed falls back to `ppuf_<sanitized>_total`.
+const ALIASES: &[(&str, &str)] = &[
+    ("server.requests", "ppuf_requests_total"),
+    ("server.connections", "ppuf_connections_total"),
+    ("server.cache.hits", "ppuf_cache_hits_total"),
+    ("server.cache.misses", "ppuf_cache_misses_total"),
+    ("server.cache.evictions", "ppuf_cache_evictions_total"),
+    ("analog.dc.warm_start_hits", "ppuf_dc_warm_start_hits_total"),
+    ("analog.dc.warm_start_misses", "ppuf_dc_warm_start_misses_total"),
+];
+
+/// Counters emitted even when their recorder key was never touched, so
+/// scrapers can rely on their presence from the first request on.
+const WELL_KNOWN: &[&str] = &[
+    "ppuf_requests_total",
+    "ppuf_cache_hits_total",
+    "ppuf_cache_misses_total",
+    "ppuf_cache_evictions_total",
+    "ppuf_dc_warm_start_hits_total",
+    "ppuf_dc_warm_start_misses_total",
+];
+
+/// Stable exposition name for a recorder counter key.
+pub fn counter_metric_name(raw: &str) -> String {
+    for (from, to) in ALIASES {
+        if raw == *from {
+            return (*to).to_string();
+        }
+    }
+    format!("ppuf_{}_total", sanitize(raw))
+}
+
+fn sanitize(raw: &str) -> String {
+    raw.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+fn format_value(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value:?}")
+    }
+}
+
+/// Renders `report` (plus live `gauges`, named verbatim) as Prometheus
+/// exposition text.
+pub fn render(report: &Report, gauges: &[(String, f64)]) -> String {
+    let mut counters: BTreeMap<String, u64> =
+        WELL_KNOWN.iter().map(|n| ((*n).to_string(), 0)).collect();
+    for (name, value) in &report.counters {
+        let metric = counter_metric_name(name);
+        let slot = counters.entry(metric).or_insert(0);
+        *slot = slot.saturating_add(*value);
+    }
+    let mut out = String::new();
+    for (name, value) in &counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    // span and histogram aggregates expose as quantile-less summaries —
+    // _sum/_count carry the load; percentiles live in the JSON report
+    let summaries = report
+        .spans
+        .iter()
+        .map(|(name, s)| (format!("ppuf_span_{}_seconds", sanitize(name)), s))
+        .chain(
+            report.histograms.iter().map(|(name, s)| (format!("ppuf_hist_{}", sanitize(name)), s)),
+        )
+        .collect::<BTreeMap<_, _>>();
+    for (base, s) in &summaries {
+        out.push_str(&format!(
+            "# TYPE {base} summary\n{base}_sum {}\n{base}_count {}\n",
+            format_value(s.sum),
+            s.count
+        ));
+    }
+    for (name, value) in gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", format_value(*value)));
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses Prometheus exposition text into a sample-name→value map.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found: empty input, a
+/// malformed or duplicate `# TYPE` line, an unknown metric type, a
+/// sample without a preceding `# TYPE`, a counter not ending in
+/// `_total`, an invalid metric name or value, a duplicate sample, or a
+/// declared metric with no samples.
+pub fn validate(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    if text.trim().is_empty() {
+        return Err("empty exposition".to_string());
+    }
+    let mut types: BTreeMap<String, &str> = BTreeMap::new();
+    let mut sampled: BTreeMap<String, bool> = BTreeMap::new();
+    let mut samples: BTreeMap<String, f64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let describe = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(name), Some(kind), None) => (name, kind),
+                _ => return Err(describe("malformed TYPE line")),
+            };
+            if !valid_metric_name(name) {
+                return Err(describe("invalid metric name in TYPE line"));
+            }
+            let kind = match kind {
+                "counter" => "counter",
+                "gauge" => "gauge",
+                "summary" => "summary",
+                "histogram" => "histogram",
+                _ => return Err(describe("unknown metric type")),
+            };
+            if kind == "counter" && !name.ends_with("_total") {
+                return Err(describe("counter does not end in _total"));
+            }
+            if types.insert(name.to_string(), kind).is_some() {
+                return Err(describe("duplicate TYPE line"));
+            }
+            sampled.insert(name.to_string(), false);
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(describe("unrecognized comment line"));
+        }
+        let (name, value) = match line.split_once(' ') {
+            Some((name, value)) => (name, value.trim()),
+            None => return Err(describe("sample line without a value")),
+        };
+        if !valid_metric_name(name) {
+            return Err(describe("invalid metric name"));
+        }
+        let value: f64 = match value {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            other => other.parse().map_err(|_| describe("invalid sample value"))?,
+        };
+        // a sample must belong to a declared metric: its own name for
+        // counters/gauges, or base_sum/base_count for summaries
+        let base = match types.get(name).copied() {
+            Some("counter") | Some("gauge") => name,
+            _ => {
+                let base = name
+                    .strip_suffix("_sum")
+                    .or_else(|| name.strip_suffix("_count"))
+                    .filter(|base| matches!(types.get(*base), Some(&"summary" | &"histogram")));
+                match base {
+                    Some(base) => base,
+                    None => return Err(describe("sample without a preceding TYPE line")),
+                }
+            }
+        };
+        sampled.insert(base.to_string(), true);
+        if samples.insert(name.to_string(), value).is_some() {
+            return Err(describe("duplicate sample"));
+        }
+    }
+    for (name, seen) in &sampled {
+        if !seen {
+            return Err(format!("metric {name} declared but never sampled"));
+        }
+    }
+    if samples.is_empty() {
+        return Err("no samples in exposition".to_string());
+    }
+    Ok(samples)
+}
+
+/// Checks that every cumulative sample (`*_total`, `*_count`) present in
+/// `before` is still present and has not decreased in `after`.
+///
+/// # Errors
+///
+/// Names the first counter that disappeared or went backwards.
+pub fn check_monotone(
+    before: &BTreeMap<String, f64>,
+    after: &BTreeMap<String, f64>,
+) -> Result<(), String> {
+    for (name, &old) in before {
+        if !(name.ends_with("_total") || name.ends_with("_count")) {
+            continue;
+        }
+        match after.get(name) {
+            None => return Err(format!("counter {name} disappeared between scrapes")),
+            Some(&new) if new < old => {
+                return Err(format!("counter {name} went backwards: {old} -> {new}"))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryRecorder, Recorder};
+    use std::time::Duration;
+
+    fn exposition() -> String {
+        let r = MemoryRecorder::new();
+        r.counter_add("server.requests", 90);
+        r.counter_add("server.cache.hits", 42);
+        r.counter_add("analog.dc.warm_start_hits", 2);
+        r.counter_add("maxflow.dinic.bfs_passes", 7);
+        r.observe("analog.dc.residual_norm", 1e-12);
+        r.record_span("server.verify", Duration::from_millis(3));
+        render(&r.snapshot("test"), &[("ppuf_pool_queue_depth".to_string(), 1.0)])
+    }
+
+    #[test]
+    fn render_exposes_aliases_fallbacks_and_well_known_zeros() {
+        let text = exposition();
+        assert!(text.contains("# TYPE ppuf_requests_total counter\nppuf_requests_total 90\n"));
+        assert!(text.contains("ppuf_cache_hits_total 42\n"));
+        assert!(text.contains("ppuf_dc_warm_start_hits_total 2\n"));
+        // untouched well-known counters still show up as zeros
+        assert!(text.contains("ppuf_cache_misses_total 0\n"));
+        assert!(text.contains("ppuf_cache_evictions_total 0\n"));
+        // unaliased counters go through the generic scheme
+        assert!(text.contains("ppuf_maxflow_dinic_bfs_passes_total 7\n"));
+        // spans/histograms expose as summaries, gauges pass through
+        assert!(text.contains("# TYPE ppuf_span_server_verify_seconds summary"));
+        assert!(text.contains("ppuf_span_server_verify_seconds_count 1\n"));
+        assert!(text.contains("ppuf_hist_analog_dc_residual_norm_sum 1e-12\n"));
+        assert!(text.contains("# TYPE ppuf_pool_queue_depth gauge\nppuf_pool_queue_depth 1.0\n"));
+    }
+
+    #[test]
+    fn validate_round_trips_render_output() {
+        let samples = validate(&exposition()).expect("rendered exposition should validate");
+        assert_eq!(samples.get("ppuf_requests_total"), Some(&90.0));
+        assert_eq!(samples.get("ppuf_cache_hits_total"), Some(&42.0));
+        assert_eq!(samples.get("ppuf_span_server_verify_seconds_count"), Some(&1.0));
+        assert_eq!(samples.get("ppuf_pool_queue_depth"), Some(&1.0));
+    }
+
+    #[test]
+    fn validate_rejects_drift() {
+        assert!(validate("").is_err());
+        assert!(validate("   \n").is_err());
+        assert!(validate("ppuf_x_total 1\n").is_err(), "sample without TYPE");
+        assert!(validate("# TYPE ppuf_x counter\nppuf_x 1\n").is_err(), "counter w/o _total");
+        assert!(validate("# TYPE ppuf_x_total widget\nppuf_x_total 1\n").is_err());
+        assert!(validate("# TYPE ppuf_x_total counter\n").is_err(), "declared, never sampled");
+        assert!(validate("# TYPE ppuf_x_total counter\nppuf_x_total one\n").is_err(), "bad value");
+        assert!(
+            validate("# TYPE ppuf_x_total counter\nppuf_x_total 1\nppuf_x_total 2\n").is_err(),
+            "duplicate sample"
+        );
+        assert!(validate("# TYPE 9bad_total counter\n9bad_total 1\n").is_err(), "bad metric name");
+    }
+
+    #[test]
+    fn monotone_check_catches_regressions() {
+        let before = validate("# TYPE a_total counter\na_total 5\n# TYPE g gauge\ng 9\n").unwrap();
+        let ok = validate("# TYPE a_total counter\na_total 6\n# TYPE g gauge\ng 1\n").unwrap();
+        assert!(check_monotone(&before, &ok).is_ok(), "gauges may move freely");
+        let bad = validate("# TYPE a_total counter\na_total 4\n").unwrap();
+        assert!(check_monotone(&before, &bad).is_err());
+        let gone = validate("# TYPE b_total counter\nb_total 1\n").unwrap();
+        assert!(check_monotone(&before, &gone).is_err());
+    }
+}

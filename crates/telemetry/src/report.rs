@@ -5,25 +5,32 @@
 //! downstream tooling (and the `telemetry_report` binary in `ppuf-bench`)
 //! can diff runs across commits.
 //!
-//! Schema, version 1 — unknown keys are ignored on parse so the version
-//! only bumps on incompatible changes:
+//! Schema, version 2 — unknown keys are ignored on parse so the version
+//! only bumps on incompatible changes, and parsers accept every version
+//! back to [`MIN_SCHEMA_VERSION`]:
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "label": "free text identifying the run",
 //!   "counters":   { "dc.newton_iterations": 42 },
 //!   "histograms": { "dc.final_residual": {"count":1,"sum":1e-10,"min":1e-10,"max":1e-10} },
 //!   "spans":      { "dc.solve": {"count":1,"sum":0.0031,"min":0.0031,"max":0.0031} },
 //!   "warnings":   [ "..." ],
-//!   "samples":    { "engine.solve_seconds": {"count":3,"min":0.001,"max":0.003,"mean":0.002,"p50":0.002,"p95":0.003,"p99":0.003} }
+//!   "samples":    { "engine.solve_seconds": {"count":3,"min":0.001,"max":0.003,"mean":0.002,"p50":0.002,"p95":0.003,"p99":0.003} },
+//!   "events":     [ {"seq":0,"name":"analog.dc.residual_trace","values":[1e-3,1e-7,1e-12]} ],
+//!   "traces":     { "00c0ffee00c0ffee": [ {"span":"0000000000000001","parent":null,"name":"server.request","start_s":0.0,"duration_s":0.002,"attrs":{"kind":"SubmitAnswer"}} ] }
 //! }
 //! ```
 //!
 //! The `samples` section carries percentile summaries of raw
-//! [`SampleSeries`] data; it is optional on parse
-//! (reports written before it existed still load), so adding it did not
-//! bump the schema version.
+//! [`SampleSeries`] data. `events` is the drained
+//! diagnostic ring buffer ([`crate::EventLog`]) and `traces` the retained
+//! span trees, keyed by zero-padded hex trace id with span ids as hex
+//! strings (full-range `u64` ids do not survive JSON's `f64` numbers) and
+//! per-trace timestamps rebased to the earliest span. All three sections
+//! are optional on parse: v1 reports — written before `events`/`traces`
+//! existed — still load, which is why v2 is a compatible bump.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -33,8 +40,42 @@ use std::time::Duration;
 
 use crate::{MemoryRecorder, Recorder, SampleSeries, SampleSummary, Summary};
 
-/// Version written into every report; parsers reject other versions.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version written into every report; parsers accept
+/// [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] and reject the rest.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest report schema still parseable (v1 lacked `events`/`traces`).
+pub const MIN_SCHEMA_VERSION: u32 = 1;
+
+/// One diagnostic event from the bounded ring buffer
+/// ([`crate::EventLog`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Position in the emission order (gaps at the front reveal drops).
+    pub seq: u64,
+    /// Event name.
+    pub name: String,
+    /// Event payload.
+    pub values: Vec<f64>,
+}
+
+/// One span of a retained trace, timestamps rebased to the trace's
+/// earliest span start.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpanRecord {
+    /// Span id, unique within the trace.
+    pub span: u64,
+    /// Parent span id; `None` for the trace root.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Seconds from the trace's first span start to this span's start.
+    pub start_s: f64,
+    /// Span duration in seconds.
+    pub duration_s: f64,
+    /// Key=value attributes, in the order attached.
+    pub attrs: Vec<(String, String)>,
+}
 
 /// Snapshot of one instrumented run.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,6 +94,11 @@ pub struct Report {
     pub warnings: Vec<String>,
     /// Percentile summaries of raw sample series by name.
     pub samples: BTreeMap<String, SampleSummary>,
+    /// Retained diagnostic events, oldest first (empty for v1 reports).
+    pub events: Vec<EventRecord>,
+    /// Retained trace span sets keyed by zero-padded hex trace id
+    /// (empty for v1 reports).
+    pub traces: BTreeMap<String, Vec<TraceSpanRecord>>,
 }
 
 /// Failure parsing a report from JSON.
@@ -88,6 +134,67 @@ impl Report {
         }
         out.push_str("],\n");
         write_sample_map(&mut out, "samples", &self.samples);
+        out.push_str(",\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"seq\": {}, \"name\": {}, \"values\": [",
+                e.seq,
+                json_string(&e.name)
+            );
+            for (j, v) in e.values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_f64(*v));
+            }
+            out.push_str("]}");
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"traces\": {");
+        for (i, (trace, spans)) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: [", json_string(trace));
+            for (j, s) in spans.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n      {{\"span\": \"{:016x}\", \"parent\": {}, \"name\": {}, \"start_s\": {}, \"duration_s\": {}, \"attrs\": {{",
+                    s.span,
+                    match s.parent {
+                        Some(p) => format!("\"{p:016x}\""),
+                        None => "null".to_string(),
+                    },
+                    json_string(&s.name),
+                    json_f64(s.start_s),
+                    json_f64(s.duration_s),
+                );
+                for (k, (key, value)) in s.attrs.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {}", json_string(key), json_string(value));
+                }
+                out.push_str("}}");
+            }
+            if !spans.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push(']');
+        }
+        if !self.traces.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push('}');
         out.push_str("\n}\n");
         out
     }
@@ -105,9 +212,10 @@ impl Report {
             .as_u64()
             .ok_or_else(|| ReportError("schema_version is not an integer".into()))?
             as u32;
-        if schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema_version) {
             return Err(ReportError(format!(
-                "unsupported schema_version {schema_version} (expected {SCHEMA_VERSION})"
+                "unsupported schema_version {schema_version} \
+                 (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             )));
         }
         let label = get(map, "label")?
@@ -136,13 +244,32 @@ impl Report {
                     .ok_or_else(|| ReportError("warning is not a string".into()))
             })
             .collect::<Result<_, _>>()?;
-        // optional: reports written before the samples section existed
-        // (same schema version) parse to an empty map
+        // optional sections: `samples` predates its own introduction and
+        // `events`/`traces` arrived with schema v2, so v1 reports parse
+        // with the corresponding sections empty
         let samples = match map.iter().find(|(k, _)| k == "samples") {
             Some((_, v)) => parse_sample_map(v)?,
             None => BTreeMap::new(),
         };
-        Ok(Report { schema_version, label, counters, histograms, spans, warnings, samples })
+        let events = match map.iter().find(|(k, _)| k == "events") {
+            Some((_, v)) => parse_events(v)?,
+            None => Vec::new(),
+        };
+        let traces = match map.iter().find(|(k, _)| k == "traces") {
+            Some((_, v)) => parse_traces(v)?,
+            None => BTreeMap::new(),
+        };
+        Ok(Report {
+            schema_version,
+            label,
+            counters,
+            histograms,
+            spans,
+            warnings,
+            samples,
+            events,
+            traces,
+        })
     }
 
     /// Signed per-counter difference `self - baseline`, for diffing two
@@ -228,6 +355,89 @@ fn parse_sample_map(value: &json::Value) -> Result<BTreeMap<String, SampleSummar
                     p99: number("p99")?,
                 },
             ))
+        })
+        .collect()
+}
+
+fn parse_events(value: &json::Value) -> Result<Vec<EventRecord>, ReportError> {
+    let items = value.as_seq().ok_or_else(|| ReportError("events is not an array".into()))?;
+    items
+        .iter()
+        .map(|item| {
+            let fields =
+                item.as_map().ok_or_else(|| ReportError("event is not an object".into()))?;
+            let seq = get(fields, "seq")?
+                .as_u64()
+                .ok_or_else(|| ReportError("event.seq is not an integer".into()))?;
+            let name = get(fields, "name")?
+                .as_str()
+                .ok_or_else(|| ReportError("event.name is not a string".into()))?
+                .to_string();
+            let values = get(fields, "values")?
+                .as_seq()
+                .ok_or_else(|| ReportError("event.values is not an array".into()))?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| ReportError("event value is not a number".into()))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(EventRecord { seq, name, values })
+        })
+        .collect()
+}
+
+fn parse_hex_id(value: &json::Value, what: &str) -> Result<u64, ReportError> {
+    let text = value.as_str().ok_or_else(|| ReportError(format!("{what} is not a hex string")))?;
+    u64::from_str_radix(text, 16).map_err(|_| ReportError(format!("{what} is not a hex id")))
+}
+
+fn parse_traces(
+    value: &json::Value,
+) -> Result<BTreeMap<String, Vec<TraceSpanRecord>>, ReportError> {
+    let entries = value.as_map().ok_or_else(|| ReportError("traces is not an object".into()))?;
+    entries
+        .iter()
+        .map(|(trace, spans)| {
+            let spans = spans
+                .as_seq()
+                .ok_or_else(|| ReportError(format!("trace {trace:?} is not an array")))?
+                .iter()
+                .map(|item| {
+                    let fields = item
+                        .as_map()
+                        .ok_or_else(|| ReportError("trace span is not an object".into()))?;
+                    let number = |key: &str| {
+                        get(fields, key)?
+                            .as_f64()
+                            .ok_or_else(|| ReportError(format!("trace span {key} is not a number")))
+                    };
+                    let parent = match get(fields, "parent")? {
+                        json::Value::Null => None,
+                        other => Some(parse_hex_id(other, "trace span parent")?),
+                    };
+                    Ok(TraceSpanRecord {
+                        span: parse_hex_id(get(fields, "span")?, "trace span id")?,
+                        parent,
+                        name: get(fields, "name")?
+                            .as_str()
+                            .ok_or_else(|| ReportError("trace span name is not a string".into()))?
+                            .to_string(),
+                        start_s: number("start_s")?,
+                        duration_s: number("duration_s")?,
+                        attrs: get(fields, "attrs")?
+                            .as_map()
+                            .ok_or_else(|| ReportError("trace span attrs is not an object".into()))?
+                            .iter()
+                            .map(|(k, v)| {
+                                v.as_str().map(|s| (k.clone(), s.to_string())).ok_or_else(|| {
+                                    ReportError("trace span attr is not a string".into())
+                                })
+                            })
+                            .collect::<Result<_, _>>()?,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            Ok((trace.clone(), spans))
         })
         .collect()
 }
@@ -378,6 +588,22 @@ impl Recorder for JsonReporter {
 
     fn warn(&self, message: &str) {
         self.recorder.warn(message);
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.recorder.trace_enabled()
+    }
+
+    fn record_trace_span(&self, span: crate::FinishedSpan) {
+        self.recorder.record_trace_span(span);
+    }
+
+    fn events_enabled(&self) -> bool {
+        self.recorder.events_enabled()
+    }
+
+    fn record_event(&self, name: &str, values: &[f64]) {
+        self.recorder.record_event(name, values);
     }
 }
 
@@ -621,6 +847,13 @@ mod tests {
         let mut series = SampleSeries::new();
         series.extend((1..=100).map(f64::from));
         reporter.record_samples("engine.solve_seconds", &series);
+        reporter.record_event("analog.dc.residual_trace", &[1e-3, 1e-7, 4e-13]);
+        {
+            let trace = crate::next_trace_id();
+            let mut root = crate::TracedSpan::root(&reporter, "server.request", trace);
+            root.attr("kind", "SubmitAnswer");
+            let _child = root.child("server.verify");
+        }
         reporter.report()
     }
 
@@ -668,6 +901,40 @@ mod tests {
              \"histograms\": {}, \"spans\": {}, \"warnings\": []}";
         let report = Report::from_json(legacy).expect("legacy report should parse");
         assert!(report.samples.is_empty());
+        assert!(report.events.is_empty());
+        assert!(report.traces.is_empty());
+    }
+
+    #[test]
+    fn schema_versions_outside_the_supported_range_are_rejected() {
+        for bad in [0, SCHEMA_VERSION + 1] {
+            let text = format!(
+                "{{\"schema_version\": {bad}, \"label\": \"x\", \"counters\": {{}},\
+                 \"histograms\": {{}}, \"spans\": {{}}, \"warnings\": []}}"
+            );
+            let err = Report::from_json(&text).unwrap_err();
+            assert!(err.to_string().contains("schema_version"), "{err}");
+        }
+    }
+
+    #[test]
+    fn events_and_traces_round_trip() {
+        let report = sample_report();
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].values, vec![1e-3, 1e-7, 4e-13]);
+        assert_eq!(report.traces.len(), 1);
+        let spans = report.traces.values().next().unwrap();
+        assert_eq!(spans.len(), 2);
+        // the child finished first, so it is recorded first and names
+        // the root (recorded second) as its parent
+        assert_eq!(spans[0].name, "server.verify");
+        assert_eq!(spans[0].parent, Some(spans[1].span));
+        assert_eq!(spans[1].name, "server.request");
+        assert_eq!(spans[1].attrs, vec![("kind".to_string(), "SubmitAnswer".to_string())]);
+        let back = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.events, report.events);
+        assert_eq!(back.traces, report.traces);
     }
 
     #[test]

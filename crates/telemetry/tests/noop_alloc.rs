@@ -1,0 +1,67 @@
+//! Locks the zero-cost guarantee: against the [`NoopRecorder`], the full
+//! per-request tracing path — id generation, root and child spans,
+//! attributes, cross-thread intervals, events — performs no heap
+//! allocation at all.
+//!
+//! This file intentionally holds a single test: the counting allocator is
+//! process-global, and a concurrently-running sibling test would perturb
+//! the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ppuf_telemetry::{next_trace_id, record_interval, NoopRecorder, Recorder, TracedSpan};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracing_path_never_allocates() {
+    let recorder = NoopRecorder;
+    let enqueue = Instant::now();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1_000u64 {
+        // the exact call shape the server runs per wire request
+        let trace = next_trace_id();
+        let mut root = TracedSpan::root(&recorder, "server.request", trace);
+        root.attr("kind", "SubmitAnswer");
+        assert!(root.context().is_none());
+        record_interval(&recorder, root.context(), "server.queue_wait", enqueue, Instant::now());
+        {
+            let mut verify = root.child("server.verify");
+            verify.attr("nonce", i);
+            let _probe = verify.child("server.cache_probe");
+        }
+        recorder.record_event("analog.dc.residual_trace", &[1e-3, 1e-9]);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "the disabled tracing path allocated {} times over 1000 requests",
+        after - before
+    );
+}

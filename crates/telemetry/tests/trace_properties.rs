@@ -1,0 +1,68 @@
+//! Property tests for the trace layer: any tree of nested [`TracedSpan`]s
+//! must reassemble into a single rooted trace — no orphans, every child's
+//! duration contained in its parent's — regardless of tree shape or the
+//! order the spans are presented in.
+
+use proptest::prelude::*;
+
+use ppuf_telemetry::{assemble, next_trace_id, MemoryRecorder, TracedSpan};
+
+/// Opens one child span per entry of `children[node]` and recurses, so
+/// the RAII drop order reproduces exactly the generated tree shape.
+fn drive(parent: &TracedSpan<'_>, node: usize, children: &[Vec<usize>], names: &[String]) {
+    for &c in &children[node] {
+        let mut child = parent.child(&names[c]);
+        child.attr("node", c);
+        drive(&child, c, children, names);
+    }
+}
+
+proptest! {
+    /// `raw[i]` picks the parent of node `i + 1` among the nodes created
+    /// before it, which parameterizes every possible rooted tree shape
+    /// (chains, stars, and everything between).
+    #[test]
+    fn any_nested_span_tree_reassembles(raw in proptest::collection::vec(any::<u64>(), 0..24)) {
+        let n = raw.len() + 1;
+        let parents: Vec<usize> =
+            raw.iter().enumerate().map(|(i, r)| (*r as usize) % (i + 1)).collect();
+        let mut children = vec![Vec::new(); n];
+        for (i, p) in parents.iter().enumerate() {
+            children[*p].push(i + 1);
+        }
+        let names: Vec<String> = (0..n).map(|i| format!("span{i}")).collect();
+
+        let recorder = MemoryRecorder::new();
+        let trace = next_trace_id();
+        {
+            let root = TracedSpan::root(&recorder, &names[0], trace);
+            drive(&root, 0, &children, &names);
+        }
+
+        let spans = recorder.trace_spans(trace);
+        prop_assert_eq!(spans.len(), n);
+        let tree = match assemble(&spans) {
+            Ok(tree) => tree,
+            Err(err) => return Err(TestCaseError::fail(format!("assembly failed: {err}"))),
+        };
+        prop_assert_eq!(tree.span_count(), n, "every span must appear exactly once");
+        prop_assert_eq!(tree.span.name.as_str(), "span0", "the root span is the tree root");
+        prop_assert!(tree.durations_contained(), "child durations must fit their parent's");
+
+        // assembly must not depend on recording order
+        let mut reversed = spans.clone();
+        reversed.reverse();
+        let tree2 = match assemble(&reversed) {
+            Ok(tree) => tree,
+            Err(err) => return Err(TestCaseError::fail(format!("reversed assembly: {err}"))),
+        };
+        prop_assert_eq!(tree2.span_count(), n);
+
+        // removing the root must break assembly (the remaining spans all
+        // have parents, so there is no root to hang them under)
+        let headless: Vec<_> = spans.iter().filter(|s| s.parent.is_some()).cloned().collect();
+        if !headless.is_empty() {
+            prop_assert!(assemble(&headless).is_err());
+        }
+    }
+}
