@@ -10,63 +10,14 @@
 //! `results/bench/engine-smoke-baseline.json` — the CI perf gate.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
-use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock};
-use ppuf_analog::montecarlo::gaussian;
-use ppuf_analog::solver::{Circuit, DcEngine, DcOptions, EngineOptions};
-use ppuf_analog::units::Volts;
+use ppuf_analog::solver::{DcEngine, DcOptions, EngineOptions};
+use ppuf_bench::engine_profile::{
+    challenge_circuit, check_smoke_baseline, device_variations, run_engine_smoke, time, BENCH_DIR,
+    SUPPLY,
+};
 use ppuf_bench::report::write_json_report;
 use ppuf_telemetry::{JsonReporter, SampleSeries};
-
-const BENCH_DIR: &str = "results/bench";
-const SUPPLY: Volts = Volts(2.0);
-/// Allowed cold-solve slowdown over the committed smoke baseline.
-const SMOKE_REGRESSION_FACTOR: f64 = 2.0;
-
-/// One device's σ(Vth) = 35 mV process draws, in dense edge order.
-fn device_variations(n: usize, seed: u64) -> Vec<BlockVariation> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n * (n - 1))
-        .map(|_| BlockVariation {
-            delta_vth: [
-                Volts(0.035 * gaussian(&mut rng)),
-                Volts(0.035 * gaussian(&mut rng)),
-                Volts(0.035 * gaussian(&mut rng)),
-                Volts(0.035 * gaussian(&mut rng)),
-            ],
-        })
-        .collect()
-}
-
-/// A complete crossbar-like circuit for one device under one challenge:
-/// fixed per-edge variation, per-edge bias selected by the challenge's
-/// control bits. This is exactly the shape the batch engine re-solves
-/// challenge after challenge.
-fn challenge_circuit(
-    n: usize,
-    vars: &[BlockVariation],
-    challenge_seed: u64,
-) -> Circuit<BuildingBlock> {
-    let mut rng = ChaCha8Rng::seed_from_u64(challenge_seed);
-    let mut circuit = Circuit::new(n);
-    let mut edge = 0;
-    for u in 0..n as u32 {
-        for v in 0..n as u32 {
-            if u == v {
-                continue;
-            }
-            let bias = BlockBias::for_input(rng.gen::<bool>());
-            let block = BuildingBlock::new(BlockDesign::Serial, bias).with_variation(vars[edge]);
-            circuit.add_element(u, v, block).expect("valid edge");
-            edge += 1;
-        }
-    }
-    circuit
-}
 
 struct EngineRow {
     threads: usize,
@@ -83,12 +34,6 @@ struct SizeRow {
     edges: usize,
     cold_baseline_seconds: f64,
     engines: Vec<EngineRow>,
-}
-
-fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed().as_secs_f64())
 }
 
 /// One size's measurement: legacy cold ladder as the baseline, then the
@@ -212,54 +157,26 @@ fn run_full() {
     eprintln!("wrote {}", telemetry.display());
 }
 
-/// Extracts the first `"key": <number>` value from a JSON text. Enough
-/// for the flat smoke schema without pulling a parser into the binary.
-fn extract_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = text.find(&needle)? + needle.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn run_smoke() {
-    let n = 200usize;
-    let vars = device_variations(n, 0xE27 + n as u64);
-    let circuit = challenge_circuit(n, &vars, 0xC0);
-    let options = DcOptions::default();
-    // one engine-path cold solve: the exact code the batch engine runs
-    let mut engine = DcEngine::new(EngineOptions { threads: 1, ..EngineOptions::default() });
-    let (solution, cold_seconds) = time(|| {
-        engine.solve(&circuit, 0, n as u32 - 1, SUPPLY, &options).expect("smoke solve converges")
-    });
-    let json = format!(
-        "{{\n  \"schema\": 1,\n  \"mode\": \"smoke\",\n  \"nodes\": {n},\n  \
-         \"cold_seconds\": {cold_seconds:?},\n  \"source_current_amps\": {:?}\n}}\n",
-        solution.source_current.value()
+    // the shared profile: the same measurement perf_trajectory records
+    let smoke = run_engine_smoke();
+    let path =
+        write_json_report("engine-smoke", &smoke.to_json(), BENCH_DIR).expect("write smoke report");
+    eprintln!(
+        "smoke: n={} cold solve {:.3}s -> {}",
+        smoke.nodes,
+        smoke.cold_seconds,
+        path.display()
     );
-    let path = write_json_report("engine-smoke", &json, BENCH_DIR).expect("write smoke report");
-    eprintln!("smoke: n={n} cold solve {cold_seconds:.3}s -> {}", path.display());
     let baseline_path = format!("{BENCH_DIR}/engine-smoke-baseline.json");
-    match std::fs::read_to_string(&baseline_path) {
-        Ok(text) => {
-            let baseline =
-                extract_number(&text, "cold_seconds").expect("baseline has a cold_seconds field");
-            let limit = baseline * SMOKE_REGRESSION_FACTOR;
-            if cold_seconds > limit {
-                eprintln!(
-                    "PERF REGRESSION: cold solve {cold_seconds:.3}s exceeds \
-                     {SMOKE_REGRESSION_FACTOR}x baseline {baseline:.3}s"
-                );
-                std::process::exit(1);
-            }
-            eprintln!("within budget: baseline {baseline:.3}s, limit {limit:.3}s");
-        }
-        Err(_) => {
-            eprintln!(
-                "no baseline at {baseline_path}; commit engine-smoke.json there to arm the gate"
-            );
+    match check_smoke_baseline(&smoke, &baseline_path) {
+        Ok(Some(baseline)) => eprintln!("within budget: baseline {baseline:.3}s"),
+        Ok(None) => eprintln!(
+            "no baseline at {baseline_path}; commit engine-smoke.json there to arm the gate"
+        ),
+        Err(regression) => {
+            eprintln!("PERF REGRESSION: {regression}");
+            std::process::exit(1);
         }
     }
 }

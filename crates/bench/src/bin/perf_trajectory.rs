@@ -1,0 +1,120 @@
+//! Continuous perf-trajectory harness: one command that measures the
+//! engine and service smoke profiles, gates them, and appends the
+//! result to the repo's append-only `BENCH_trajectory.json`.
+//!
+//! ```text
+//! cargo run --release --bin perf_trajectory -- --smoke [--label NAME]
+//!     [--trajectory PATH]
+//! ```
+//!
+//! The run exits non-zero if any gate fails:
+//!
+//! - the engine cold solve regressed more than 2× against the committed
+//!   `results/bench/engine-smoke-baseline.json`;
+//! - any loadgen smoke invariant is violated — including the service
+//!   ending the run with an SLO health status other than `Ok`.
+//!
+//! On success it appends a [`TrajectoryEntry`] (git commit/branch, the
+//! engine point, the service point) and prints the delta against the
+//! previous entry, so a perf drift is visible in the diff of a single
+//! committed file rather than buried in CI logs.
+
+use ppuf_bench::engine_profile::{check_smoke_baseline, run_engine_smoke, BENCH_DIR};
+use ppuf_bench::report::{section, write_json_report, SERVICE_DIR};
+use ppuf_bench::trajectory::{
+    git_metadata, ServiceSample, Trajectory, TrajectoryEntry, TRAJECTORY_PATH,
+};
+use ppuf_server::loadgen::{run_loadgen, LoadgenConfig};
+
+fn arg_after(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    // only the smoke profile exists today; the flag keeps the CLI shape
+    // of the other harness binaries (and room for a --full profile)
+    if !std::env::args().any(|a| a == "--smoke") {
+        eprintln!("usage: perf_trajectory --smoke [--label NAME] [--trajectory PATH]");
+        std::process::exit(2);
+    }
+    let label = arg_after("--label").unwrap_or_else(|| "ci-smoke".to_string());
+    let trajectory_path = arg_after("--trajectory").unwrap_or_else(|| TRAJECTORY_PATH.to_string());
+
+    section("engine smoke");
+    let engine = run_engine_smoke();
+    println!("  n={} cold solve {:.3}s", engine.nodes, engine.cold_seconds);
+    let path =
+        write_json_report("engine-smoke", &engine.to_json(), BENCH_DIR).expect("write smoke json");
+    println!("  report -> {}", path.display());
+    let baseline_path = format!("{BENCH_DIR}/engine-smoke-baseline.json");
+    match check_smoke_baseline(&engine, &baseline_path) {
+        Ok(Some(baseline)) => println!("  within budget: baseline {baseline:.3}s"),
+        Ok(None) => println!("  no baseline at {baseline_path}; gate unarmed"),
+        Err(regression) => {
+            eprintln!("PERF REGRESSION: {regression}");
+            std::process::exit(1);
+        }
+    }
+
+    section("service smoke");
+    let config = LoadgenConfig::smoke();
+    let report = match run_loadgen(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "  {} requests in {:.2}s -> {:.1} req/s, health {:?}",
+        report.total_requests, report.duration_s, report.throughput_rps, report.health.status
+    );
+    let path = write_json_report(&config.label, &report.to_json(), SERVICE_DIR)
+        .expect("write service json");
+    println!("  report -> {}", path.display());
+    if let Err(violation) = report.check_smoke_invariants() {
+        eprintln!("smoke invariant violated: {violation}");
+        std::process::exit(1);
+    }
+    println!("  smoke invariants hold (health {:?})", report.health.status);
+
+    section("trajectory");
+    let honest = report.honest.latency.expect("honest latency recorded");
+    let (git_commit, git_branch) = git_metadata();
+    let entry = TrajectoryEntry {
+        label,
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        git_commit,
+        git_branch,
+        engine,
+        service: ServiceSample {
+            total_requests: report.total_requests as u64,
+            throughput_rps: report.throughput_rps,
+            p50_ms: honest.p50,
+            p95_ms: honest.p95,
+            p99_ms: honest.p99,
+            health: format!("{:?}", report.health.status),
+        },
+    };
+    let trajectory = match Trajectory::append(&trajectory_path, entry) {
+        Ok(trajectory) => trajectory,
+        Err(e) => {
+            eprintln!("trajectory append failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("  {} entries -> {trajectory_path}", trajectory.entries.len());
+    match trajectory.diff_last() {
+        Some(diff) => println!("  {diff}"),
+        None => println!("  first entry; nothing to diff against"),
+    }
+}

@@ -1,0 +1,202 @@
+//! Shared engine-benchmark workload: the crossbar-like device circuits,
+//! the n = 200 cold-solve smoke profile, and the committed-baseline
+//! regression gate.
+//!
+//! Both `engine_bench` (the standalone CI perf gate) and
+//! `perf_trajectory` (the continuous perf harness) run exactly this
+//! code, so a trajectory entry and a gate verdict always describe the
+//! same measurement.
+
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use serde::{Deserialize, Serialize};
+
+use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock};
+use ppuf_analog::montecarlo::gaussian;
+use ppuf_analog::solver::{Circuit, DcEngine, DcOptions, EngineOptions};
+use ppuf_analog::units::Volts;
+
+/// Default directory for engine benchmark reports.
+pub const BENCH_DIR: &str = "results/bench";
+
+/// Supply voltage every benchmark circuit solves under.
+pub const SUPPLY: Volts = Volts(2.0);
+
+/// Allowed cold-solve slowdown over the committed smoke baseline.
+pub const SMOKE_REGRESSION_FACTOR: f64 = 2.0;
+
+/// Device size the smoke profile solves.
+pub const SMOKE_NODES: usize = 200;
+
+/// One device's σ(Vth) = 35 mV process draws, in dense edge order.
+pub fn device_variations(n: usize, seed: u64) -> Vec<BlockVariation> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n * (n - 1))
+        .map(|_| BlockVariation {
+            delta_vth: [
+                Volts(0.035 * gaussian(&mut rng)),
+                Volts(0.035 * gaussian(&mut rng)),
+                Volts(0.035 * gaussian(&mut rng)),
+                Volts(0.035 * gaussian(&mut rng)),
+            ],
+        })
+        .collect()
+}
+
+/// A complete crossbar-like circuit for one device under one challenge:
+/// fixed per-edge variation, per-edge bias selected by the challenge's
+/// control bits. This is exactly the shape the batch engine re-solves
+/// challenge after challenge.
+pub fn challenge_circuit(
+    n: usize,
+    vars: &[BlockVariation],
+    challenge_seed: u64,
+) -> Circuit<BuildingBlock> {
+    let mut rng = ChaCha8Rng::seed_from_u64(challenge_seed);
+    let mut circuit = Circuit::new(n);
+    let mut edge = 0;
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u == v {
+                continue;
+            }
+            let bias = BlockBias::for_input(rng.gen::<bool>());
+            let block = BuildingBlock::new(BlockDesign::Serial, bias).with_variation(vars[edge]);
+            circuit.add_element(u, v, block).expect("valid edge");
+            edge += 1;
+        }
+    }
+    circuit
+}
+
+/// Runs `f` and returns its value plus the elapsed wall-clock seconds.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// The smoke profile's measurement: one engine-path cold solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSmoke {
+    /// Circuit nodes solved.
+    pub nodes: u64,
+    /// Cold-solve wall time, seconds.
+    pub cold_seconds: f64,
+    /// The solved operating point's source current (a correctness
+    /// fingerprint: it must not drift between runs of the same seed).
+    pub source_current_amps: f64,
+}
+
+impl EngineSmoke {
+    /// The flat JSON shape `engine-smoke.json` (and the committed
+    /// baseline) use.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": 1,\n  \"mode\": \"smoke\",\n  \"nodes\": {},\n  \
+             \"cold_seconds\": {:?},\n  \"source_current_amps\": {:?}\n}}\n",
+            self.nodes, self.cold_seconds, self.source_current_amps
+        )
+    }
+}
+
+/// Solves the n = 200 cold operating point through the batch engine —
+/// the exact code path `engine_bench --smoke` measures.
+pub fn run_engine_smoke() -> EngineSmoke {
+    let n = SMOKE_NODES;
+    let vars = device_variations(n, 0xE27 + n as u64);
+    let circuit = challenge_circuit(n, &vars, 0xC0);
+    let options = DcOptions::default();
+    let mut engine = DcEngine::new(EngineOptions { threads: 1, ..EngineOptions::default() });
+    let (solution, cold_seconds) = time(|| {
+        engine.solve(&circuit, 0, n as u32 - 1, SUPPLY, &options).expect("smoke solve converges")
+    });
+    EngineSmoke {
+        nodes: n as u64,
+        cold_seconds,
+        source_current_amps: solution.source_current.value(),
+    }
+}
+
+/// Extracts the first `"key": <number>` value from a JSON text. Enough
+/// for the flat smoke schema without pulling a parser into the binary.
+pub fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Gates `smoke` against the committed baseline at `baseline_path`:
+/// `Ok(Some(baseline_seconds))` when within
+/// [`SMOKE_REGRESSION_FACTOR`]×, `Ok(None)` when no baseline exists yet
+/// (the gate is unarmed), `Err` with a human-readable message on a
+/// regression.
+///
+/// # Errors
+///
+/// Returns the regression description when the cold solve exceeds the
+/// allowed factor over the baseline.
+pub fn check_smoke_baseline(
+    smoke: &EngineSmoke,
+    baseline_path: &str,
+) -> Result<Option<f64>, String> {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        return Ok(None);
+    };
+    let baseline = extract_number(&text, "cold_seconds")
+        .ok_or_else(|| format!("baseline {baseline_path} has no cold_seconds field"))?;
+    let limit = baseline * SMOKE_REGRESSION_FACTOR;
+    if smoke.cold_seconds > limit {
+        return Err(format!(
+            "cold solve {:.3}s exceeds {SMOKE_REGRESSION_FACTOR}x baseline {baseline:.3}s",
+            smoke.cold_seconds
+        ));
+    }
+    Ok(Some(baseline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_number_reads_flat_json() {
+        let text = "{\n  \"schema\": 1,\n  \"cold_seconds\": 10.17,\n  \"x\": -2e-3\n}";
+        assert_eq!(extract_number(text, "cold_seconds"), Some(10.17));
+        assert_eq!(extract_number(text, "x"), Some(-2e-3));
+        assert_eq!(extract_number(text, "missing"), None);
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_factor_and_fails_beyond() {
+        let dir = std::env::temp_dir().join(format!("ppuf-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let baseline = EngineSmoke { nodes: 200, cold_seconds: 10.0, source_current_amps: 1e-3 };
+        std::fs::write(&path, baseline.to_json()).unwrap();
+        let path = path.to_string_lossy().into_owned();
+
+        let fast = EngineSmoke { cold_seconds: 12.0, ..baseline.clone() };
+        assert_eq!(check_smoke_baseline(&fast, &path), Ok(Some(10.0)));
+        let slow = EngineSmoke { cold_seconds: 25.0, ..baseline };
+        assert!(check_smoke_baseline(&slow, &path).is_err());
+        assert_eq!(check_smoke_baseline(&fast, "/no/such/baseline.json"), Ok(None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn smoke_json_round_trips() {
+        let smoke = EngineSmoke { nodes: 200, cold_seconds: 9.5, source_current_amps: 2.5e-4 };
+        let text = smoke.to_json();
+        assert_eq!(extract_number(&text, "cold_seconds"), Some(9.5));
+        let back: EngineSmoke = serde_json::from_str(&text).expect("smoke JSON parses");
+        assert_eq!(back, smoke);
+    }
+}

@@ -9,8 +9,10 @@
 
 #![warn(missing_docs)]
 
+pub mod engine_profile;
 pub mod experiments;
 pub mod report;
+pub mod trajectory;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

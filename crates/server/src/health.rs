@@ -1,0 +1,489 @@
+//! SLO health surface: sliding-window service-level objectives.
+//!
+//! The service keeps a [`HealthTracker`] — a ring of coarse time buckets
+//! over the last [`SloConfig::window_s`] seconds — and classifies every
+//! finished request into a [`RequestOutcome`]. [`HealthTracker::assess`]
+//! folds the live window into a [`HealthReport`]: one [`SloVerdict`] per
+//! objective (request latency p99, overload rate, honest-cohort reject
+//! rate) plus the overall worst-of status. The report backs the
+//! `Request::Health` admin command and the `ppuf_slo_*` Prometheus
+//! gauges, and its window totals drive the flight-recorder triggers.
+//!
+//! Design notes:
+//!
+//! - Buckets are keyed by *epoch* (`floor(now / bucket_width)`), so stale
+//!   slots are recycled lazily on the next write or read — no background
+//!   sweeper thread.
+//! - Latencies go into a bounded [`LogHistogram`] per bucket; assessing a
+//!   window merges at most [`SloConfig::buckets`] histograms, so both
+//!   recording and assessment are fixed-memory.
+//! - Deadline rejections are *not* an SLO failure: a verifier turning
+//!   away late (impostor-shaped) answers is the protocol working. Only
+//!   flow-mismatch rejections count against the reject-rate objective.
+
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use ppuf_telemetry::LogHistogram;
+
+/// Thresholds and window geometry for the SLO surface.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Sliding-window length in seconds.
+    pub window_s: f64,
+    /// Number of time buckets the window is split into; more buckets
+    /// means a smoother roll-off as old traffic ages out.
+    pub buckets: usize,
+    /// Latency p99 (seconds) at or above which the service is degraded.
+    pub latency_p99_degraded_s: f64,
+    /// Latency p99 (seconds) at or above which the service is unhealthy.
+    pub latency_p99_unhealthy_s: f64,
+    /// Overloaded-response fraction at or above which → degraded.
+    pub overload_degraded: f64,
+    /// Overloaded-response fraction at or above which → unhealthy.
+    pub overload_unhealthy: f64,
+    /// Flow-reject fraction (of decided answers) at or above which →
+    /// degraded.
+    pub reject_degraded: f64,
+    /// Flow-reject fraction (of decided answers) at or above which →
+    /// unhealthy.
+    pub reject_unhealthy: f64,
+    /// Below this many requests in the window every verdict reads `Ok` —
+    /// a cold service has no statistics worth alerting on.
+    pub min_requests: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window_s: 60.0,
+            buckets: 12,
+            latency_p99_degraded_s: 0.25,
+            latency_p99_unhealthy_s: 1.0,
+            overload_degraded: 0.05,
+            overload_unhealthy: 0.25,
+            reject_degraded: 0.10,
+            reject_unhealthy: 0.50,
+            min_requests: 20,
+        }
+    }
+}
+
+impl SloConfig {
+    fn bucket_width_s(&self) -> f64 {
+        self.window_s / self.buckets.max(1) as f64
+    }
+}
+
+/// How one finished request counts against the SLOs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Answer verified and accepted.
+    Accepted,
+    /// Answer decided and rejected on flow mismatch — the signal the
+    /// reject-rate SLO watches.
+    RejectedFlow,
+    /// Answer rejected for missing its deadline; protocol working as
+    /// intended, not an SLO failure.
+    RejectedDeadline,
+    /// Request turned away with `Overloaded`.
+    Overloaded,
+    /// Request failed inside the server.
+    InternalError,
+    /// Anything else (challenge issuance, pings, admin, client errors).
+    Other,
+}
+
+/// Overall or per-objective health classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthStatus {
+    /// All objectives within budget.
+    Ok,
+    /// At least one objective past its degraded threshold.
+    Degraded,
+    /// At least one objective past its unhealthy threshold.
+    Unhealthy,
+}
+
+impl HealthStatus {
+    /// Gauge encoding for Prometheus: `Ok` = 0, `Degraded` = 1,
+    /// `Unhealthy` = 2.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            HealthStatus::Ok => 0.0,
+            HealthStatus::Degraded => 1.0,
+            HealthStatus::Unhealthy => 2.0,
+        }
+    }
+
+    fn classify(value: f64, degraded_at: f64, unhealthy_at: f64) -> Self {
+        if value >= unhealthy_at {
+            HealthStatus::Unhealthy
+        } else if value >= degraded_at {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Ok
+        }
+    }
+}
+
+/// One objective's measured value against its thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloVerdict {
+    /// Objective name (`latency_p99_seconds`, `overload_ratio`,
+    /// `reject_ratio`).
+    pub slo: String,
+    /// This objective's classification.
+    pub status: HealthStatus,
+    /// Measured value over the window.
+    pub value: f64,
+    /// Degraded threshold the value is compared against.
+    pub degraded_at: f64,
+    /// Unhealthy threshold the value is compared against.
+    pub unhealthy_at: f64,
+}
+
+/// The full health surface: worst-of status plus per-objective verdicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Worst classification across all objectives.
+    pub status: HealthStatus,
+    /// Window length the verdicts were computed over, seconds.
+    pub window_s: f64,
+    /// Requests observed in the window.
+    pub requests: u64,
+    /// One verdict per objective.
+    pub slos: Vec<SloVerdict>,
+}
+
+impl HealthReport {
+    /// Looks up one objective's verdict by name.
+    pub fn slo(&self, name: &str) -> Option<&SloVerdict> {
+        self.slos.iter().find(|v| v.slo == name)
+    }
+}
+
+/// Raw window counts, for flight-recorder trigger logic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowTotals {
+    /// All requests in the window.
+    pub requests: u64,
+    /// `Overloaded` responses.
+    pub overloaded: u64,
+    /// Accepted answers.
+    pub accepted: u64,
+    /// Flow-mismatch rejections.
+    pub rejected_flow: u64,
+    /// Deadline rejections.
+    pub rejected_deadline: u64,
+    /// Internal server errors.
+    pub internal_errors: u64,
+}
+
+/// One time slice of the sliding window.
+#[derive(Debug)]
+struct TimeBucket {
+    /// Epoch this slot currently belongs to; a mismatched epoch means
+    /// the slot is stale and is recycled before use.
+    epoch: u64,
+    totals: WindowTotals,
+    latency: LogHistogram,
+}
+
+impl TimeBucket {
+    fn fresh(epoch: u64) -> Self {
+        TimeBucket { epoch, totals: WindowTotals::default(), latency: LogHistogram::new() }
+    }
+}
+
+/// Sliding-window SLO tracker; interior-mutable and thread-safe.
+#[derive(Debug)]
+pub struct HealthTracker {
+    config: SloConfig,
+    ring: Mutex<Vec<TimeBucket>>,
+}
+
+impl HealthTracker {
+    /// Builds a tracker with all window slots empty at epoch 0.
+    pub fn new(config: SloConfig) -> Self {
+        let buckets = config.buckets.max(1);
+        let ring = (0..buckets).map(|_| TimeBucket::fresh(0)).collect();
+        HealthTracker { config, ring: Mutex::new(ring) }
+    }
+
+    /// The configuration this tracker classifies against.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    fn epoch(&self, now_s: f64) -> u64 {
+        (now_s.max(0.0) / self.config.bucket_width_s()).floor() as u64
+    }
+
+    /// Records one finished request at `now_s` (clock seconds) with the
+    /// observed wall latency.
+    pub fn record(&self, now_s: f64, latency_s: f64, outcome: RequestOutcome) {
+        let epoch = self.epoch(now_s);
+        let mut ring = self.lock();
+        let slots = ring.len();
+        let bucket = &mut ring[(epoch as usize) % slots];
+        if bucket.epoch != epoch {
+            *bucket = TimeBucket::fresh(epoch);
+        }
+        bucket.totals.requests += 1;
+        bucket.latency.record(latency_s);
+        match outcome {
+            RequestOutcome::Accepted => bucket.totals.accepted += 1,
+            RequestOutcome::RejectedFlow => bucket.totals.rejected_flow += 1,
+            RequestOutcome::RejectedDeadline => bucket.totals.rejected_deadline += 1,
+            RequestOutcome::Overloaded => bucket.totals.overloaded += 1,
+            RequestOutcome::InternalError => bucket.totals.internal_errors += 1,
+            RequestOutcome::Other => {}
+        }
+    }
+
+    /// Sums the live slots of the window ending at `now_s` — counts only,
+    /// no histogram merge, so trigger checks on the hot path stay cheap.
+    pub fn window_totals(&self, now_s: f64) -> WindowTotals {
+        let newest = self.epoch(now_s);
+        let ring = self.lock();
+        let oldest = newest.saturating_sub(ring.len() as u64 - 1);
+        let mut totals = WindowTotals::default();
+        for bucket in ring.iter().filter(|b| b.epoch >= oldest && b.epoch <= newest) {
+            totals.requests += bucket.totals.requests;
+            totals.overloaded += bucket.totals.overloaded;
+            totals.accepted += bucket.totals.accepted;
+            totals.rejected_flow += bucket.totals.rejected_flow;
+            totals.rejected_deadline += bucket.totals.rejected_deadline;
+            totals.internal_errors += bucket.totals.internal_errors;
+        }
+        totals
+    }
+
+    /// Classifies the window ending at `now_s` into a [`HealthReport`].
+    pub fn assess(&self, now_s: f64) -> HealthReport {
+        let (totals, latency) = self.fold_window(now_s);
+        let enough = totals.requests >= self.config.min_requests;
+
+        let p99 = latency.quantile(0.99).unwrap_or(0.0);
+        let overload_ratio = ratio(totals.overloaded, totals.requests);
+        let decided = totals.accepted + totals.rejected_flow;
+        let reject_ratio = ratio(totals.rejected_flow, decided);
+
+        let slos = vec![
+            verdict(
+                "latency_p99_seconds",
+                p99,
+                self.config.latency_p99_degraded_s,
+                self.config.latency_p99_unhealthy_s,
+                enough,
+            ),
+            verdict(
+                "overload_ratio",
+                overload_ratio,
+                self.config.overload_degraded,
+                self.config.overload_unhealthy,
+                enough,
+            ),
+            verdict(
+                "reject_ratio",
+                reject_ratio,
+                self.config.reject_degraded,
+                self.config.reject_unhealthy,
+                enough,
+            ),
+        ];
+        let status = slos.iter().map(|v| v.status).max().unwrap_or(HealthStatus::Ok);
+        HealthReport { status, window_s: self.config.window_s, requests: totals.requests, slos }
+    }
+
+    fn fold_window(&self, now_s: f64) -> (WindowTotals, LogHistogram) {
+        let newest = self.epoch(now_s);
+        let ring = self.lock();
+        let span = ring.len() as u64;
+        let oldest = newest.saturating_sub(span - 1);
+        let mut totals = WindowTotals::default();
+        let mut latency = LogHistogram::new();
+        for bucket in ring.iter() {
+            if bucket.epoch < oldest || bucket.epoch > newest {
+                continue; // stale slot not yet recycled
+            }
+            totals.requests += bucket.totals.requests;
+            totals.overloaded += bucket.totals.overloaded;
+            totals.accepted += bucket.totals.accepted;
+            totals.rejected_flow += bucket.totals.rejected_flow;
+            totals.rejected_deadline += bucket.totals.rejected_deadline;
+            totals.internal_errors += bucket.totals.internal_errors;
+            latency.merge(&bucket.latency);
+        }
+        (totals, latency)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TimeBucket>> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn verdict(
+    name: &str,
+    value: f64,
+    degraded_at: f64,
+    unhealthy_at: f64,
+    enough: bool,
+) -> SloVerdict {
+    let status = if enough {
+        HealthStatus::classify(value, degraded_at, unhealthy_at)
+    } else {
+        HealthStatus::Ok
+    };
+    SloVerdict { slo: name.to_string(), status, value, degraded_at, unhealthy_at }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SloConfig {
+        SloConfig { window_s: 12.0, buckets: 6, min_requests: 10, ..SloConfig::default() }
+    }
+
+    #[test]
+    fn empty_tracker_reports_ok() {
+        let tracker = HealthTracker::new(quick_config());
+        let report = tracker.assess(0.0);
+        assert_eq!(report.status, HealthStatus::Ok);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.slos.len(), 3);
+        assert!(report.slos.iter().all(|v| v.status == HealthStatus::Ok));
+    }
+
+    #[test]
+    fn below_min_requests_never_alerts() {
+        let tracker = HealthTracker::new(quick_config());
+        // 9 overloads out of 9 requests would be a 100% overload ratio,
+        // but the sample is below min_requests so the verdict stays Ok
+        for _ in 0..9 {
+            tracker.record(1.0, 0.001, RequestOutcome::Overloaded);
+        }
+        assert_eq!(tracker.assess(1.0).status, HealthStatus::Ok);
+    }
+
+    #[test]
+    fn overload_burst_degrades_then_unhealthy() {
+        let tracker = HealthTracker::new(quick_config());
+        for _ in 0..90 {
+            tracker.record(1.0, 0.001, RequestOutcome::Accepted);
+        }
+        for _ in 0..10 {
+            tracker.record(1.0, 0.001, RequestOutcome::Overloaded);
+        }
+        // 10% overloaded: past the 5% degraded line, short of 25%
+        let report = tracker.assess(1.0);
+        assert_eq!(report.status, HealthStatus::Degraded);
+        assert_eq!(report.slo("overload_ratio").unwrap().status, HealthStatus::Degraded);
+        assert_eq!(report.slo("latency_p99_seconds").unwrap().status, HealthStatus::Ok);
+
+        for _ in 0..40 {
+            tracker.record(1.5, 0.001, RequestOutcome::Overloaded);
+        }
+        // now 50 / 140 ≈ 36% overloaded → unhealthy
+        let report = tracker.assess(1.5);
+        assert_eq!(report.status, HealthStatus::Unhealthy);
+        assert!(report.slo("overload_ratio").unwrap().value > 0.25);
+    }
+
+    #[test]
+    fn reject_rate_counts_flow_mismatches_not_deadlines() {
+        let tracker = HealthTracker::new(quick_config());
+        for _ in 0..50 {
+            tracker.record(2.0, 0.002, RequestOutcome::Accepted);
+        }
+        for _ in 0..50 {
+            tracker.record(2.0, 0.002, RequestOutcome::RejectedDeadline);
+        }
+        // deadline rejections are the protocol doing its job
+        assert_eq!(tracker.assess(2.0).status, HealthStatus::Ok);
+
+        for _ in 0..20 {
+            tracker.record(2.0, 0.002, RequestOutcome::RejectedFlow);
+        }
+        // 20 / (50 + 20) ≈ 29% of decided answers rejected → degraded
+        let report = tracker.assess(2.0);
+        assert_eq!(report.slo("reject_ratio").unwrap().status, HealthStatus::Degraded);
+        assert_eq!(report.status, HealthStatus::Degraded);
+    }
+
+    #[test]
+    fn slow_requests_trip_the_latency_objective() {
+        let tracker = HealthTracker::new(quick_config());
+        for _ in 0..100 {
+            tracker.record(3.0, 2.0, RequestOutcome::Accepted);
+        }
+        let report = tracker.assess(3.0);
+        assert_eq!(report.slo("latency_p99_seconds").unwrap().status, HealthStatus::Unhealthy);
+        assert!(report.slo("latency_p99_seconds").unwrap().value >= 1.0);
+        assert_eq!(report.status, HealthStatus::Unhealthy);
+    }
+
+    #[test]
+    fn window_slides_and_old_trouble_ages_out() {
+        let config = quick_config(); // 12 s window, 2 s buckets
+        let tracker = HealthTracker::new(config);
+        for _ in 0..100 {
+            tracker.record(1.0, 0.001, RequestOutcome::Overloaded);
+        }
+        assert_eq!(tracker.assess(1.0).status, HealthStatus::Unhealthy);
+        // 10 s later the burst is still inside the 12 s window
+        assert_eq!(tracker.assess(11.0).status, HealthStatus::Unhealthy);
+        // 20 s later it has aged out entirely
+        let report = tracker.assess(21.0);
+        assert_eq!(report.status, HealthStatus::Ok);
+        assert_eq!(report.requests, 0);
+    }
+
+    #[test]
+    fn window_totals_track_every_outcome_class() {
+        let tracker = HealthTracker::new(quick_config());
+        tracker.record(1.0, 0.001, RequestOutcome::Accepted);
+        tracker.record(1.0, 0.001, RequestOutcome::RejectedFlow);
+        tracker.record(1.0, 0.001, RequestOutcome::RejectedDeadline);
+        tracker.record(1.0, 0.001, RequestOutcome::Overloaded);
+        tracker.record(1.0, 0.001, RequestOutcome::InternalError);
+        tracker.record(1.0, 0.001, RequestOutcome::Other);
+        let totals = tracker.window_totals(1.0);
+        assert_eq!(totals.requests, 6);
+        assert_eq!(totals.accepted, 1);
+        assert_eq!(totals.rejected_flow, 1);
+        assert_eq!(totals.rejected_deadline, 1);
+        assert_eq!(totals.overloaded, 1);
+        assert_eq!(totals.internal_errors, 1);
+    }
+
+    #[test]
+    fn health_report_round_trips_through_json() {
+        let tracker = HealthTracker::new(quick_config());
+        for _ in 0..30 {
+            tracker.record(1.0, 0.01, RequestOutcome::Accepted);
+        }
+        let report = tracker.assess(1.0);
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: HealthReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn status_ordering_supports_worst_of() {
+        assert!(HealthStatus::Ok < HealthStatus::Degraded);
+        assert!(HealthStatus::Degraded < HealthStatus::Unhealthy);
+        assert_eq!(HealthStatus::Unhealthy.as_gauge(), 2.0);
+    }
+}

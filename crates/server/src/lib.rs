@@ -63,6 +63,7 @@
 //! ```
 
 pub mod cache;
+pub mod health;
 pub mod loadgen;
 pub mod pool;
 pub mod registry;
@@ -71,6 +72,9 @@ pub mod tcp;
 pub mod wire;
 
 pub use cache::VerificationCache;
+pub use health::{
+    HealthReport, HealthStatus, HealthTracker, RequestOutcome, SloConfig, SloVerdict,
+};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use pool::{SubmitError, VerifyOutcome, WorkerPool};
 pub use registry::{DeviceEntry, DeviceRegistry};

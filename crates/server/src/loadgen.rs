@@ -15,9 +15,11 @@
 //!   nonces and must receive structured errors, never dropped
 //!   connections.
 //!
-//! The run report carries client-side latency percentiles (via
-//! [`SampleSeries`]) and the server's own telemetry snapshot, so one JSON
-//! file answers both "how fast" and "what did the server actually do".
+//! The run report carries client-side latency percentiles (from a
+//! bounded [`LogHistogram`] per cohort — fixed memory no matter how long
+//! the run), the server's own telemetry snapshot, and the server's final
+//! SLO [`HealthReport`], so one JSON file answers "how fast", "what did
+//! the server actually do", and "was it healthy at the end".
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,8 +32,11 @@ use ppuf_analog::units::Seconds;
 use ppuf_analog::variation::Environment;
 use ppuf_core::device::{Ppuf, PpufConfig};
 use ppuf_core::protocol::auth::{prove, ProverAnswer};
-use ppuf_telemetry::{next_trace_id, prometheus, SampleSeries, SampleSummary, TraceId};
+use ppuf_telemetry::{
+    next_trace_id, prometheus, HistogramSnapshot, LogHistogram, SampleSummary, TraceId,
+};
 
+use crate::health::{HealthReport, HealthStatus};
 use crate::service::{ServiceConfig, VerificationService};
 use crate::tcp::{Client, PpufServer};
 use crate::wire::{ErrorKind, Request, Response, StatsFormat};
@@ -127,8 +132,13 @@ pub struct CohortReport {
     pub io_errors: usize,
     /// Full-round latency summary in milliseconds, if any round completed
     /// (the same [`SampleSummary`] shape the telemetry report uses —
-    /// `min`/`max`/`mean`/`p50`/`p95`/`p99`).
+    /// `min`/`max`/`mean`/`p50`/`p95`/`p99`). Percentiles come from the
+    /// bounded histogram below, so they overshoot the exact values by at
+    /// most one log-bucket width.
     pub latency: Option<SampleSummary>,
+    /// The sparse latency histogram the summary was computed from
+    /// (milliseconds), for merging and finer-than-percentile analysis.
+    pub latency_hist: Option<HistogramSnapshot>,
 }
 
 /// The JSON run report written under `results/service/`.
@@ -164,6 +174,9 @@ pub struct LoadgenReport {
     /// scrape itself is validated, and checked monotone against one taken
     /// before the traffic phase).
     pub prometheus_samples: BTreeMap<String, f64>,
+    /// The server's SLO assessment (`Request::Health`) taken right after
+    /// the traffic phase.
+    pub health: HealthReport,
 }
 
 impl LoadgenReport {
@@ -176,8 +189,9 @@ impl LoadgenReport {
     /// accepted, impostors rejected on the deadline, garbage answered
     /// with structured errors, no transport failures, an effective
     /// verification cache, a warm DC engine, at least one end-to-end
-    /// correlated request trace, and a live Prometheus scrape exposing
-    /// the headline serving metrics.
+    /// correlated request trace, a live Prometheus scrape exposing the
+    /// headline serving metrics (including the `ppuf_slo_*` gauges), and
+    /// an `Ok` SLO health verdict at the end of the run.
     ///
     /// # Errors
     ///
@@ -228,12 +242,22 @@ impl LoadgenReport {
         if self.correlated_traces == 0 {
             return Err("no echoed trace id matched a complete server-side span tree".into());
         }
-        for required in
-            ["ppuf_cache_hits_total", "ppuf_pool_queue_depth", "ppuf_dc_warm_start_hits_total"]
-        {
+        for required in [
+            "ppuf_cache_hits_total",
+            "ppuf_pool_queue_depth",
+            "ppuf_dc_warm_start_hits_total",
+            "ppuf_slo_health",
+            "ppuf_slo_latency_p99_seconds",
+        ] {
             if !self.prometheus_samples.contains_key(required) {
                 return Err(format!("prometheus scrape is missing {required}"));
             }
+        }
+        if self.health.status != HealthStatus::Ok {
+            return Err(format!(
+                "service ended the run {:?}, not Ok: {:?}",
+                self.health.status, self.health.slos
+            ));
         }
         if !self.server_warnings.is_empty() {
             return Err(format!("server warnings: {:?}", self.server_warnings));
@@ -251,7 +275,9 @@ struct CohortStats {
     structured_errors: usize,
     overload_retries: usize,
     io_errors: usize,
-    latency: SampleSeries,
+    /// Full-round latencies in milliseconds; bounded no matter how many
+    /// rounds the run performs.
+    latency: LogHistogram,
     /// Trace ids the server echoed back on verdict rounds.
     trace_ids: Vec<u64>,
 }
@@ -280,6 +306,11 @@ impl CohortStats {
             overload_retries: self.overload_retries,
             io_errors: self.io_errors,
             latency: self.latency.summary(),
+            latency_hist: if self.latency.is_empty() {
+                None
+            } else {
+                Some(self.latency.snapshot())
+            },
         }
     }
 }
@@ -369,6 +400,15 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let mut scraper =
         Client::connect(addr).map_err(|e| format!("stats scrape connect failed: {e}"))?;
     let prometheus_samples = scrape_prometheus(&mut scraper)?;
+    // the SLO assessment over the same admin connection: the smoke gate
+    // fails CI when the service ends a run anything but `Ok`
+    let health = match scraper
+        .request(&Request::Health)
+        .map_err(|e| format!("health scrape failed: {e}"))?
+    {
+        Response::Health { report } => report,
+        other => return Err(format!("expected health report, got {other:?}")),
+    };
     drop(scraper);
     prometheus::check_monotone(&scrape_before, &prometheus_samples)
         .map_err(|e| format!("counter regressed between live scrapes: {e}"))?;
@@ -414,6 +454,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         traced_requests: trace_ids.len(),
         correlated_traces,
         prometheus_samples,
+        health,
         honest: honest.into_report(config.honest_clients),
         impostor: impostor.into_report(config.impostor_clients),
         garbage: garbage.into_report(config.garbage_clients),

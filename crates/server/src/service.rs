@@ -9,7 +9,9 @@
 //! session's measured elapsed time against the configured deadline.
 
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crossbeam::channel::bounded;
 
@@ -22,10 +24,12 @@ use ppuf_core::protocol::clock::{Clock, SystemClock};
 use ppuf_core::protocol::issuer::{ChallengeIssuer, RedeemError, DEFAULT_SESSION_TTL};
 use ppuf_core::public_model::PublicModel;
 use ppuf_telemetry::{
-    next_trace_id, prometheus, MemoryRecorder, Recorder, SpanContext, TraceId, TracedSpan,
+    next_trace_id, prometheus, FlightRecorder, MemoryRecorder, Recorder, Report, SpanContext,
+    TraceId, TracedSpan, DEFAULT_FLIGHT_EVENTS, DEFAULT_FLIGHT_TRACES,
 };
 
 use crate::cache::VerificationCache;
+use crate::health::{HealthTracker, RequestOutcome, SloConfig};
 use crate::pool::{SubmitError, VerifyJob, WorkerPool};
 use crate::registry::{DeviceEntry, DeviceRegistry};
 use crate::wire::{ErrorKind, Request, Response, StatsFormat};
@@ -59,6 +63,21 @@ pub struct ServiceConfig {
     pub retry_after_ms: u64,
     /// Seed for per-device challenge sampling and nonce salting.
     pub seed: u64,
+    /// SLO thresholds and sliding-window geometry for the health surface.
+    pub slo: SloConfig,
+    /// Flight-recorder trace ring capacity; 0 disables the recorder.
+    pub flightrec_traces: usize,
+    /// Flight-recorder black-box event ring capacity.
+    pub flightrec_events: usize,
+    /// Directory for post-mortem dumps; `None` keeps the recorder
+    /// in-memory only (admin `Dump` then returns the counts but no path).
+    pub flightrec_dir: Option<String>,
+    /// Flow-rejections plus internal errors in the SLO window at which
+    /// the failure-burst trigger fires a flight-recorder dump.
+    pub failure_burst_threshold: u64,
+    /// Overloaded responses in the SLO window at which the
+    /// pool-saturation trigger fires a flight-recorder dump.
+    pub saturation_threshold: u64,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +94,12 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             retry_after_ms: 50,
             seed: 0,
+            slo: SloConfig::default(),
+            flightrec_traces: DEFAULT_FLIGHT_TRACES,
+            flightrec_events: DEFAULT_FLIGHT_EVENTS,
+            flightrec_dir: None,
+            failure_burst_threshold: 8,
+            saturation_threshold: 8,
         }
     }
 }
@@ -88,6 +113,12 @@ pub struct VerificationService {
     pool: WorkerPool,
     recorder: Arc<MemoryRecorder>,
     clock: Arc<dyn Clock>,
+    health: HealthTracker,
+    flight: FlightRecorder,
+    dump_seq: AtomicU64,
+    /// Last dump time per trigger label — throttles each trigger to at
+    /// most one dump per SLO window.
+    dump_last: Mutex<std::collections::BTreeMap<&'static str, f64>>,
 }
 
 impl VerificationService {
@@ -109,6 +140,12 @@ impl VerificationService {
             Arc::clone(&cache),
             Arc::clone(&recorder),
         );
+        let health = HealthTracker::new(config.slo.clone());
+        let flight = if config.flightrec_traces == 0 {
+            FlightRecorder::disabled()
+        } else {
+            FlightRecorder::new(config.flightrec_traces, config.flightrec_events)
+        };
         VerificationService {
             config,
             registry: DeviceRegistry::new(),
@@ -116,12 +153,27 @@ impl VerificationService {
             pool,
             recorder,
             clock,
+            health,
+            flight,
+            dump_seq: AtomicU64::new(0),
+            dump_last: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
     /// The service's telemetry recorder (counters, spans, warnings).
     pub fn recorder(&self) -> &Arc<MemoryRecorder> {
         &self.recorder
+    }
+
+    /// The sliding-window SLO tracker behind [`Request::Health`].
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The flight recorder behind [`Request::Dump`] and the dump
+    /// triggers.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// The device registry.
@@ -146,35 +198,142 @@ impl VerificationService {
     /// `server.verify` spans from [`crate::pool`] — lands under it.
     pub fn handle_traced(&self, request: Request, trace: TraceId) -> Response {
         self.recorder.counter_add("server.requests", 1);
-        let mut root = TracedSpan::root(self.recorder.as_ref(), "server.request", trace);
-        root.attr("kind", request_kind(&request));
-        match request {
-            Request::Register { device_id, model } => self.register(device_id, model),
-            Request::Revoke { device_id } => self.revoke(&device_id),
-            Request::GetChallenge { device_id } => self.get_challenge(&device_id),
-            Request::SubmitAnswer { device_id, nonce, answer } => {
-                self.submit_answer(&device_id, nonce, answer, root.context())
+        let kind = request_kind(&request);
+        let started = Instant::now();
+        // scoped so the root span closes (and its FinishedSpan lands in
+        // the recorder) before the flight recorder harvests the trace
+        let response = {
+            let mut root = TracedSpan::root(self.recorder.as_ref(), "server.request", trace);
+            root.attr("kind", kind);
+            match request {
+                Request::Register { device_id, model } => self.register(device_id, model),
+                Request::Revoke { device_id } => self.revoke(&device_id),
+                Request::GetChallenge { device_id } => self.get_challenge(&device_id),
+                Request::SubmitAnswer { device_id, nonce, answer } => {
+                    self.submit_answer(&device_id, nonce, answer, root.context())
+                }
+                Request::Ping => Response::Pong,
+                Request::Stats { format } => self.stats(format),
+                Request::Health => self.health_response(),
+                Request::Dump => self.dump_response(),
             }
-            Request::Ping => Response::Pong,
-            Request::Stats { format } => self.stats(format),
+        };
+        self.observe(kind, trace, started.elapsed().as_secs_f64(), &response);
+        response
+    }
+
+    /// Post-dispatch accounting: classifies the finished request into the
+    /// SLO window, feeds the flight recorder, and checks dump triggers.
+    fn observe(&self, kind: &'static str, trace: TraceId, latency_s: f64, response: &Response) {
+        let outcome = classify(response);
+        let now = self.clock.now().value();
+        self.health.record(now, latency_s, outcome);
+        if self.flight.enabled() && kind == "SubmitAnswer" {
+            self.flight.push_trace(outcome_label(outcome), self.recorder.trace_spans(trace));
+            match outcome {
+                RequestOutcome::Overloaded => {
+                    self.flight.push_event("server.overloaded", &[now, latency_s]);
+                }
+                RequestOutcome::InternalError => {
+                    self.flight.push_event("server.internal_error", &[now, latency_s]);
+                }
+                _ => {}
+            }
         }
+        self.check_triggers(now);
+    }
+
+    /// Fires a black-box dump when the SLO window crosses a trigger
+    /// threshold: a burst of flow rejections / internal errors, or a run
+    /// of overload sheds. Each trigger dumps at most once per window.
+    fn check_triggers(&self, now: f64) {
+        if !self.flight.enabled() || self.config.flightrec_dir.is_none() {
+            return;
+        }
+        let totals = self.health.window_totals(now);
+        if totals.rejected_flow + totals.internal_errors >= self.config.failure_burst_threshold {
+            self.triggered_dump("failure-burst", now);
+        }
+        if totals.overloaded >= self.config.saturation_threshold {
+            self.triggered_dump("pool-saturation", now);
+        }
+    }
+
+    fn triggered_dump(&self, label: &'static str, now: f64) {
+        {
+            let mut last = self.dump_last.lock().unwrap_or_else(|e| e.into_inner());
+            match last.get(label) {
+                Some(&at) if now - at < self.config.slo.window_s => return,
+                _ => {
+                    last.insert(label, now);
+                }
+            }
+        }
+        self.recorder.counter_add("flightrec.triggers.fired", 1);
+        let report = self.flight.dump(label);
+        self.write_dump(label, &report);
+    }
+
+    /// Writes one post-mortem report under the configured dump directory,
+    /// returning the path (or `None` when no directory is configured or
+    /// the write fails — counted, never fatal to the request path).
+    fn write_dump(&self, label: &str, report: &Report) -> Option<String> {
+        let dir = self.config.flightrec_dir.as_deref()?;
+        let seq = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let path = std::path::Path::new(dir).join(format!("{label}-{stamp}-{seq:03}.json"));
+        let written =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report.to_json()));
+        match written {
+            Ok(()) => {
+                self.recorder.counter_add("flightrec.dumps.written", 1);
+                Some(path.to_string_lossy().into_owned())
+            }
+            Err(_) => {
+                self.recorder.counter_add("flightrec.dumps.failed", 1);
+                None
+            }
+        }
+    }
+
+    /// Assesses the SLO window right now ([`Request::Health`]).
+    fn health_response(&self) -> Response {
+        Response::Health { report: self.health.assess(self.clock.now().value()) }
+    }
+
+    /// Snapshots the flight recorder on demand ([`Request::Dump`]).
+    fn dump_response(&self) -> Response {
+        let report = self.flight.dump("admin");
+        let traces = report.traces.len() as u64;
+        let events = report.events.len() as u64;
+        let path = self.write_dump("admin", &report);
+        Response::Dumped { path, traces, events }
     }
 
     /// Renders the recorder's live state — counters, span summaries,
     /// events, traces — as a [`Response::Stats`] body: the schema-v2 JSON
     /// report, or Prometheus text exposition with live
     /// `ppuf_pool_queue_depth` / `ppuf_pool_workers` /
-    /// `ppuf_cache_entries` gauges.
+    /// `ppuf_cache_entries` / `ppuf_slo_*` gauges.
     fn stats(&self, format: StatsFormat) -> Response {
         let report = self.recorder.snapshot("ppuf-server live stats");
         let body = match format {
             StatsFormat::Json => report.to_json(),
             StatsFormat::Prometheus => {
-                let gauges = [
+                let health = self.health.assess(self.clock.now().value());
+                let mut gauges = vec![
                     ("ppuf_pool_queue_depth".to_string(), self.pool.queue_depth() as f64),
                     ("ppuf_pool_workers".to_string(), self.pool.workers() as f64),
                     ("ppuf_cache_entries".to_string(), self.cache.len() as f64),
+                    ("ppuf_slo_health".to_string(), health.status.as_gauge()),
+                    ("ppuf_slo_window_requests".to_string(), health.requests as f64),
                 ];
+                for verdict in &health.slos {
+                    gauges.push((format!("ppuf_slo_{}", verdict.slo), verdict.value));
+                }
                 prometheus::render(&report, &gauges)
             }
         };
@@ -322,6 +481,35 @@ fn request_kind(request: &Request) -> &'static str {
         Request::SubmitAnswer { .. } => "SubmitAnswer",
         Request::Ping => "Ping",
         Request::Stats { .. } => "Stats",
+        Request::Health => "Health",
+        Request::Dump => "Dump",
+    }
+}
+
+/// SLO classification of a finished request by its response shape.
+fn classify(response: &Response) -> RequestOutcome {
+    match response {
+        Response::Verdict { accepted: true, .. } => RequestOutcome::Accepted,
+        Response::Verdict { report, .. } if !report.within_deadline => {
+            RequestOutcome::RejectedDeadline
+        }
+        Response::Verdict { .. } => RequestOutcome::RejectedFlow,
+        Response::Error { kind: ErrorKind::Overloaded, .. } => RequestOutcome::Overloaded,
+        Response::Error { kind: ErrorKind::Internal, .. } => RequestOutcome::InternalError,
+        _ => RequestOutcome::Other,
+    }
+}
+
+/// Flight-recorder trace label (becomes a `flightrec.trace.<label>`
+/// counter per retained trace).
+fn outcome_label(outcome: RequestOutcome) -> &'static str {
+    match outcome {
+        RequestOutcome::Accepted => "accepted",
+        RequestOutcome::RejectedFlow => "rejected_flow",
+        RequestOutcome::RejectedDeadline => "rejected_deadline",
+        RequestOutcome::Overloaded => "overloaded",
+        RequestOutcome::InternalError => "internal_error",
+        RequestOutcome::Other => "other",
     }
 }
 
@@ -541,6 +729,11 @@ mod tests {
             "ppuf_pool_queue_depth",
             "ppuf_pool_workers",
             "ppuf_cache_entries",
+            "ppuf_slo_health",
+            "ppuf_slo_window_requests",
+            "ppuf_slo_latency_p99_seconds",
+            "ppuf_slo_overload_ratio",
+            "ppuf_slo_reject_ratio",
         ] {
             assert!(samples.contains_key(required), "missing {required} in:\n{body}");
         }
@@ -563,6 +756,145 @@ mod tests {
             report.events.iter().any(|e| e.name == "analog.dc.residual_trace"),
             "preflight must leave a convergence trace in the report"
         );
+    }
+
+    fn temp_dump_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("ppuf-flightrec-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn health_reports_ok_on_honest_traffic() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ServiceConfig { challenge_pool: 1, ..ServiceConfig::default() };
+        let min = config.slo.min_requests as usize;
+        let (service, ppuf) = service_with_device(config, Arc::clone(&clock));
+        let executor = ppuf.executor(Environment::NOMINAL);
+        // each round is two observed requests (challenge + answer)
+        for _ in 0..min.div_ceil(2) {
+            let (nonce, challenge) = get_challenge(&service);
+            let answer = prove(&executor, &challenge).unwrap();
+            let response =
+                service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer });
+            assert!(matches!(response, Response::Verdict { accepted: true, .. }), "{response:?}");
+        }
+        match service.handle(Request::Health) {
+            Response::Health { report } => {
+                assert_eq!(report.status, crate::health::HealthStatus::Ok, "{report:?}");
+                assert!(report.requests >= min as u64);
+                assert_eq!(report.slos.len(), 3);
+            }
+            other => panic!("expected health report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_surface_reflects_overload_in_the_window() {
+        let clock = Arc::new(ManualClock::new());
+        let (service, _ppuf) = service_with_device(ServiceConfig::default(), Arc::clone(&clock));
+        let now = clock.now().value();
+        // synthetic shed burst into the live tracker: deterministic, no
+        // racing clients needed — the admin command must read it back
+        for _ in 0..30 {
+            service.health().record(now, 0.001, crate::health::RequestOutcome::Overloaded);
+        }
+        for _ in 0..10 {
+            service.health().record(now, 0.001, crate::health::RequestOutcome::Accepted);
+        }
+        match service.handle(Request::Health) {
+            Response::Health { report } => {
+                assert_eq!(report.status, crate::health::HealthStatus::Unhealthy, "{report:?}");
+                let slo = report.slo("overload_ratio").unwrap();
+                assert!(slo.value > slo.unhealthy_at);
+            }
+            other => panic!("expected health report, got {other:?}"),
+        }
+        // the gauge tracks the same assessment
+        let body = match service.handle(Request::Stats { format: StatsFormat::Prometheus }) {
+            Response::Stats { body, .. } => body,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        let samples = ppuf_telemetry::prometheus::validate(&body).unwrap();
+        assert_eq!(samples["ppuf_slo_health"], 2.0);
+    }
+
+    #[test]
+    fn reject_burst_triggers_a_parseable_flight_dump() {
+        let clock = Arc::new(ManualClock::new());
+        let dir = temp_dump_dir("burst");
+        let config = ServiceConfig {
+            challenge_pool: 0,
+            flightrec_dir: Some(dir.clone()),
+            failure_burst_threshold: 4,
+            ..ServiceConfig::default()
+        };
+        let (service, _ppuf) = service_with_device(config, Arc::clone(&clock));
+        // an impostor device of the same shape: answers are well-formed
+        // but its flows never match the registered model
+        let impostor = Ppuf::generate(PpufConfig::paper(6, 2), 99).unwrap();
+        let executor = impostor.executor(Environment::NOMINAL);
+        for _ in 0..5 {
+            let (nonce, challenge) = get_challenge(&service);
+            let answer = prove(&executor, &challenge).unwrap();
+            let response =
+                service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer });
+            assert!(matches!(response, Response::Verdict { accepted: false, .. }), "{response:?}");
+        }
+        assert_eq!(service.recorder().counter("flightrec.triggers.fired"), 1);
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dump directory exists")
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(dumps.len(), 1, "{dumps:?}");
+        let name = dumps[0].file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("failure-burst-"), "{name}");
+        let body = std::fs::read_to_string(&dumps[0]).unwrap();
+        let report = ppuf_telemetry::Report::from_json(&body).expect("dump parses as a report");
+        assert!(!report.traces.is_empty(), "dump must retain the rejected request traces");
+        assert!(report.counters.get("flightrec.trace.rejected_flow").copied().unwrap_or(0) >= 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admin_dump_snapshots_the_flight_recorder() {
+        let clock = Arc::new(ManualClock::new());
+        let dir = temp_dump_dir("admin");
+        let config = ServiceConfig {
+            challenge_pool: 1,
+            flightrec_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let (service, ppuf) = service_with_device(config, Arc::clone(&clock));
+        let (nonce, challenge) = get_challenge(&service);
+        let answer = prove(&ppuf.executor(Environment::NOMINAL), &challenge).unwrap();
+        service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer });
+        match service.handle(Request::Dump) {
+            Response::Dumped { path, traces, .. } => {
+                assert_eq!(traces, 1, "one submit round retained");
+                let path = path.expect("dump directory is configured");
+                let body = std::fs::read_to_string(&path).unwrap();
+                let report = ppuf_telemetry::Report::from_json(&body).unwrap();
+                assert_eq!(report.traces.len(), 1);
+            }
+            other => panic!("expected dump ack, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_flight_recorder_dump_is_empty_and_pathless() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ServiceConfig { flightrec_traces: 0, ..ServiceConfig::default() };
+        let (service, _ppuf) = service_with_device(config, Arc::clone(&clock));
+        match service.handle(Request::Dump) {
+            Response::Dumped { path, traces, events } => {
+                assert_eq!(path, None);
+                assert_eq!(traces, 0);
+                assert_eq!(events, 0);
+            }
+            other => panic!("expected dump ack, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,6 +24,8 @@ use ppuf_core::challenge::Challenge;
 use ppuf_core::protocol::auth::{ProverAnswer, VerificationReport};
 use ppuf_core::public_model::PublicModel;
 
+use crate::health::HealthReport;
+
 /// Hard cap on a frame payload, in bytes (16 MiB — a published model for
 /// a paper-scale device is well under 1 MiB).
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
@@ -39,8 +41,9 @@ pub const WIRE_VERSION_MAJOR: u32 = 1;
 /// interoperate in both directions.
 ///
 /// 1.1 added the `trace_id` envelope and the [`Request::Stats`] admin
-/// command.
-pub const WIRE_VERSION_MINOR: u32 = 1;
+/// command. 1.2 added the [`Request::Health`] SLO surface and the
+/// [`Request::Dump`] flight-recorder admin command.
+pub const WIRE_VERSION_MINOR: u32 = 2;
 
 /// Writes one length-prefixed frame.
 ///
@@ -154,6 +157,11 @@ pub enum Request {
         /// Which rendering of the snapshot to return.
         format: StatsFormat,
     },
+    /// Read-only admin command: assess the sliding-window SLOs.
+    Health,
+    /// Admin command: dump the flight recorder's retained traces and
+    /// events to disk (and return the post-mortem inline).
+    Dump,
 }
 
 /// Rendering of a [`Request::Stats`] snapshot.
@@ -241,6 +249,21 @@ pub enum Response {
         format: StatsFormat,
         /// The rendered snapshot (JSON report or Prometheus text).
         body: String,
+    },
+    /// The SLO assessment answering a [`Request::Health`].
+    Health {
+        /// Per-objective verdicts and the worst-of overall status.
+        report: HealthReport,
+    },
+    /// Acknowledgement of a [`Request::Dump`].
+    Dumped {
+        /// Where the post-mortem landed on the server's disk, if a dump
+        /// directory is configured.
+        path: Option<String>,
+        /// Trace trees retained in the dump.
+        traces: u64,
+        /// Black-box events retained in the dump.
+        events: u64,
     },
 }
 
@@ -431,6 +454,43 @@ mod tests {
         let response = Response::Stats {
             format: StatsFormat::Prometheus,
             body: "# TYPE x gauge\nx 1\n".into(),
+        };
+        let back: Response =
+            serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn health_and_dump_admin_messages_roundtrip() {
+        use crate::health::{HealthStatus, SloVerdict};
+
+        for request in [Request::Health, Request::Dump] {
+            let back: Request =
+                serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+            assert_eq!(back, request);
+        }
+        let response = Response::Health {
+            report: HealthReport {
+                status: HealthStatus::Degraded,
+                window_s: 60.0,
+                requests: 120,
+                slos: vec![SloVerdict {
+                    slo: "overload_ratio".into(),
+                    status: HealthStatus::Degraded,
+                    value: 0.08,
+                    degraded_at: 0.05,
+                    unhealthy_at: 0.25,
+                }],
+            },
+        };
+        let back: Response =
+            serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();
+        assert_eq!(back, response);
+
+        let response = Response::Dumped {
+            path: Some("results/flightrec/burst-000001.json".into()),
+            traces: 3,
+            events: 9,
         };
         let back: Response =
             serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();

@@ -52,6 +52,21 @@ fn loadgen_smoke_profile_end_to_end() {
     assert!(latency.p50 <= latency.p95 && latency.p95 <= latency.p99);
     assert!(latency.min <= latency.p50 && latency.p99 <= latency.max);
 
+    // the percentiles come from the bounded histogram riding along in
+    // the report, so summary and snapshot must agree exactly
+    let hist = report.honest.latency_hist.clone().expect("honest latency histogram recorded");
+    assert_eq!(hist.count, 60);
+    assert_eq!(hist.quantile(0.5), Some(latency.p50));
+    assert_eq!(hist.quantile(0.95), Some(latency.p95));
+    assert_eq!(hist.quantile(0.99), Some(latency.p99));
+    assert!(report.garbage.latency_hist.is_none(), "garbage rounds record no latency");
+
+    // the service must end the smoke run healthy, with all three SLO
+    // verdicts present and the matching gauge exposed on the scrape
+    assert_eq!(report.health.status, ppuf_server::HealthStatus::Ok, "{:?}", report.health);
+    assert_eq!(report.health.slos.len(), 3);
+    assert_eq!(report.prometheus_samples.get("ppuf_slo_health").copied(), Some(0.0));
+
     // every verdict round carried an echoed trace id, and the server-side
     // span trees correlate end to end under those ids
     assert_eq!(report.traced_requests, 80, "honest + impostor verdict rounds");

@@ -27,6 +27,8 @@
 //! and renders a schema-versioned [`report::Report`].
 
 pub mod events;
+pub mod flightrec;
+pub mod hist;
 pub mod prometheus;
 pub mod report;
 pub mod samples;
@@ -37,6 +39,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use events::{Event, EventLog, DEFAULT_EVENT_CAPACITY};
+pub use flightrec::{FlightRecorder, RecordedTrace, DEFAULT_FLIGHT_EVENTS, DEFAULT_FLIGHT_TRACES};
+pub use hist::{HistBucket, HistogramSnapshot, LogHistogram, HIST_BUCKET_COUNT, HIST_MIN_VALUE};
 pub use report::{JsonReporter, Report, ReportError, SCHEMA_VERSION};
 pub use samples::{SampleSeries, SampleSummary};
 pub use trace::{
@@ -211,6 +215,7 @@ struct MemoryState {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Summary>,
     spans: BTreeMap<String, Summary>,
+    span_hists: BTreeMap<String, LogHistogram>,
     warnings: Vec<String>,
     samples: BTreeMap<String, SampleSeries>,
     traces: BTreeMap<u64, Vec<FinishedSpan>>,
@@ -273,6 +278,21 @@ impl MemoryRecorder {
     /// Summary (in seconds) of a span's recorded intervals.
     pub fn span_stats(&self, name: &str) -> Option<Summary> {
         self.lock().spans.get(name).copied()
+    }
+
+    /// Bounded log-bucketed histogram of a span's recorded intervals
+    /// (seconds), if any interval was recorded. Every
+    /// [`record_span`](Recorder::record_span) feeds this alongside the
+    /// flat [`Summary`], so percentiles are always available without
+    /// retaining raw samples.
+    pub fn span_histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.lock().span_hists.get(name).map(LogHistogram::snapshot)
+    }
+
+    /// Percentile estimate (`0.0 ≤ q ≤ 1.0`) of a span's recorded
+    /// intervals in seconds; `None` when the span never fired.
+    pub fn span_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.lock().span_hists.get(name).and_then(|h| h.quantile(q))
     }
 
     /// All warnings, in the order they were raised.
@@ -354,6 +374,12 @@ impl MemoryRecorder {
                 .iter()
                 .filter_map(|(name, series)| series.summary().map(|s| (name.clone(), s)))
                 .collect(),
+            hists: state
+                .span_hists
+                .iter()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
             events,
             traces,
         }
@@ -369,7 +395,7 @@ impl MemoryRecorder {
 /// Renders one trace's spans with timestamps rebased to the trace's
 /// earliest span start (instants are process-relative and meaningless in
 /// a report).
-fn trace_records(spans: &[FinishedSpan]) -> Vec<report::TraceSpanRecord> {
+pub(crate) fn trace_records(spans: &[FinishedSpan]) -> Vec<report::TraceSpanRecord> {
     let origin = spans.iter().map(|s| s.start).min();
     spans
         .iter()
@@ -404,8 +430,10 @@ impl Recorder for MemoryRecorder {
     }
 
     fn record_span(&self, name: &str, duration: Duration) {
+        let secs = duration.as_secs_f64();
         let mut state = self.lock();
-        state.spans.entry(name.to_string()).or_default().record(duration.as_secs_f64());
+        state.spans.entry(name.to_string()).or_default().record(secs);
+        state.span_hists.entry(name.to_string()).or_default().record(secs);
     }
 
     fn warn(&self, message: &str) {

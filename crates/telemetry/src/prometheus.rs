@@ -1,18 +1,23 @@
 //! Prometheus text exposition of a [`Report`], plus a validator for CI.
 //!
 //! [`render`] turns a recorder snapshot into the Prometheus text format
-//! (version 0.0.4): counters become `ppuf_*_total` counters, span and
-//! histogram aggregates become `*_sum`/`*_count` summaries, and live
-//! values the report cannot carry (queue depth, cache entries) are passed
-//! in as gauges. A handful of protocol-level counters are always emitted
-//! — zero when never touched — so dashboards and the smoke-test scraper
-//! can rely on their presence.
+//! (version 0.0.4): counters become `ppuf_*_total` counters, observed
+//! value distributions become `*_sum`/`*_count` summaries, spans whose
+//! report carries a bucketed snapshot become full `histogram` families
+//! with cumulative `*_bucket{le="..."}` lines, and live values the
+//! report cannot carry (queue depth, cache entries, `ppuf_slo_*` health)
+//! are passed in as gauges. A handful of protocol-level counters are
+//! always emitted — zero when never touched — so dashboards and the
+//! smoke-test scraper can rely on their presence.
 //!
-//! [`validate`] parses an exposition back into a name→value map and
-//! rejects drift (bad metric names, missing or mistyped `# TYPE` lines,
-//! counters not ending in `_total`, duplicate samples); scraping twice
-//! and feeding both maps to [`check_monotone`] locks counter
-//! monotonicity.
+//! [`validate`] parses an exposition back into a name→value map (bucket
+//! samples keyed with their `{le="..."}` label) and rejects drift: bad
+//! metric or label names, missing or mistyped `# TYPE` lines, counters
+//! not ending in `_total`, duplicate samples, `_bucket` samples without
+//! an `le` label or a declared histogram, non-cumulative bucket counts,
+//! and a missing or inconsistent `+Inf` bucket. Scraping twice and
+//! feeding both maps to [`check_monotone`] locks counter *and* bucket
+//! monotonicity across scrapes.
 
 use std::collections::BTreeMap;
 
@@ -83,22 +88,47 @@ pub fn render(report: &Report, gauges: &[(String, f64)]) -> String {
     for (name, value) in &counters {
         out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
     }
-    // span and histogram aggregates expose as quantile-less summaries —
+    // observed value distributions expose as quantile-less summaries —
     // _sum/_count carry the load; percentiles live in the JSON report
-    let summaries = report
-        .spans
-        .iter()
-        .map(|(name, s)| (format!("ppuf_span_{}_seconds", sanitize(name)), s))
-        .chain(
-            report.histograms.iter().map(|(name, s)| (format!("ppuf_hist_{}", sanitize(name)), s)),
-        )
-        .collect::<BTreeMap<_, _>>();
-    for (base, s) in &summaries {
+    for (name, s) in &report.histograms {
+        let base = format!("ppuf_hist_{}", sanitize(name));
         out.push_str(&format!(
             "# TYPE {base} summary\n{base}_sum {}\n{base}_count {}\n",
             format_value(s.sum),
             s.count
         ));
+    }
+    // spans become full histogram families when the report carries their
+    // bucketed snapshot; reports from before the `hists` section fall
+    // back to the summary shape
+    for (name, s) in &report.spans {
+        let base = format!("ppuf_span_{}_seconds", sanitize(name));
+        match report.hists.get(name) {
+            Some(h) => {
+                out.push_str(&format!("# TYPE {base} histogram\n"));
+                let mut cumulative = 0u64;
+                for b in &h.buckets {
+                    cumulative += b.count;
+                    out.push_str(&format!(
+                        "{base}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        format_value(b.le)
+                    ));
+                }
+                out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                out.push_str(&format!(
+                    "{base}_sum {}\n{base}_count {}\n",
+                    format_value(h.sum),
+                    h.count
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "# TYPE {base} summary\n{base}_sum {}\n{base}_count {}\n",
+                    format_value(s.sum),
+                    s.count
+                ));
+            }
+        }
     }
     for (name, value) in gauges {
         out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", format_value(*value)));
@@ -115,15 +145,52 @@ fn valid_metric_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
-/// Parses Prometheus exposition text into a sample-name→value map.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Label pairs as borrowed `(key, value)` slices of the sample line.
+type LabelPairs<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits `name{key="value",...}` into the bare name and its label pairs.
+fn parse_labels(sample: &str) -> Result<(&str, LabelPairs<'_>), String> {
+    let Some((name, rest)) = sample.split_once('{') else {
+        return Ok((sample, Vec::new()));
+    };
+    let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
+    let mut labels = Vec::new();
+    for pair in body.split(',') {
+        let (key, value) = pair.split_once('=').ok_or("label without '='")?;
+        if !valid_label_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or("label value is not quoted")?;
+        labels.push((key, value));
+    }
+    Ok((name, labels))
+}
+
+/// Parses Prometheus exposition text into a sample-name→value map; bucket
+/// samples are keyed with their label set (`name_bucket{le="0.001"}`).
 ///
 /// # Errors
 ///
 /// Returns a description of the first problem found: empty input, a
 /// malformed or duplicate `# TYPE` line, an unknown metric type, a
 /// sample without a preceding `# TYPE`, a counter not ending in
-/// `_total`, an invalid metric name or value, a duplicate sample, or a
-/// declared metric with no samples.
+/// `_total`, an invalid metric name, label, or value, a duplicate
+/// sample, a declared metric with no samples, a `_bucket` sample without
+/// an `le` label or a declared histogram, bucket counts that are not
+/// cumulative in ascending `le` order, or a histogram whose `+Inf`
+/// bucket is missing or disagrees with its `_count`.
 pub fn validate(text: &str) -> Result<BTreeMap<String, f64>, String> {
     if text.trim().is_empty() {
         return Err("empty exposition".to_string());
@@ -131,6 +198,8 @@ pub fn validate(text: &str) -> Result<BTreeMap<String, f64>, String> {
     let mut types: BTreeMap<String, &str> = BTreeMap::new();
     let mut sampled: BTreeMap<String, bool> = BTreeMap::new();
     let mut samples: BTreeMap<String, f64> = BTreeMap::new();
+    // per-histogram buckets in line order: (le, cumulative count)
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim_end();
         if line.is_empty() {
@@ -168,10 +237,11 @@ pub fn validate(text: &str) -> Result<BTreeMap<String, f64>, String> {
         if line.starts_with('#') {
             return Err(describe("unrecognized comment line"));
         }
-        let (name, value) = match line.split_once(' ') {
-            Some((name, value)) => (name, value.trim()),
+        let (key, value) = match line.rsplit_once(' ') {
+            Some((key, value)) => (key, value.trim()),
             None => return Err(describe("sample line without a value")),
         };
+        let (name, labels) = parse_labels(key).map_err(|e| describe(&e))?;
         if !valid_metric_name(name) {
             return Err(describe("invalid metric name"));
         }
@@ -182,22 +252,40 @@ pub fn validate(text: &str) -> Result<BTreeMap<String, f64>, String> {
             other => other.parse().map_err(|_| describe("invalid sample value"))?,
         };
         // a sample must belong to a declared metric: its own name for
-        // counters/gauges, or base_sum/base_count for summaries
+        // counters/gauges, base_sum/base_count for summaries and
+        // histograms, or base_bucket{le="..."} for histograms
         let base = match types.get(name).copied() {
             Some("counter") | Some("gauge") => name,
             _ => {
-                let base = name
-                    .strip_suffix("_sum")
-                    .or_else(|| name.strip_suffix("_count"))
-                    .filter(|base| matches!(types.get(*base), Some(&"summary" | &"histogram")));
-                match base {
-                    Some(base) => base,
-                    None => return Err(describe("sample without a preceding TYPE line")),
+                if let Some(base) = name
+                    .strip_suffix("_bucket")
+                    .filter(|base| types.get(*base) == Some(&"histogram"))
+                {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| *k == "le")
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| describe("_bucket sample without an le label"))?;
+                    let le: f64 = match le {
+                        "+Inf" => f64::INFINITY,
+                        other => other.parse().map_err(|_| describe("invalid le label value"))?,
+                    };
+                    buckets.entry(base.to_string()).or_default().push((le, value));
+                    base
+                } else {
+                    let base = name
+                        .strip_suffix("_sum")
+                        .or_else(|| name.strip_suffix("_count"))
+                        .filter(|base| matches!(types.get(*base), Some(&"summary" | &"histogram")));
+                    match base {
+                        Some(base) => base,
+                        None => return Err(describe("sample without a preceding TYPE line")),
+                    }
                 }
             }
         };
         sampled.insert(base.to_string(), true);
-        if samples.insert(name.to_string(), value).is_some() {
+        if samples.insert(key.to_string(), value).is_some() {
             return Err(describe("duplicate sample"));
         }
     }
@@ -206,24 +294,54 @@ pub fn validate(text: &str) -> Result<BTreeMap<String, f64>, String> {
             return Err(format!("metric {name} declared but never sampled"));
         }
     }
+    // every histogram's buckets must be cumulative: ascending le, counts
+    // nondecreasing, ending in a +Inf bucket equal to the total count
+    for (base, series) in &buckets {
+        for pair in series.windows(2) {
+            let ((le_a, n_a), (le_b, n_b)) = (pair[0], pair[1]);
+            if le_b <= le_a {
+                return Err(format!(
+                    "histogram {base}: le edges not ascending ({le_a} then {le_b})"
+                ));
+            }
+            if n_b < n_a {
+                return Err(format!(
+                    "histogram {base}: bucket counts not cumulative ({n_a} at le={le_a}, {n_b} at le={le_b})"
+                ));
+            }
+        }
+        let Some(&(last_le, last_count)) = series.last() else { continue };
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {base}: missing +Inf bucket"));
+        }
+        if let Some(&total) = samples.get(&format!("{base}_count")) {
+            if last_count != total {
+                return Err(format!(
+                    "histogram {base}: +Inf bucket {last_count} disagrees with _count {total}"
+                ));
+            }
+        }
+    }
     if samples.is_empty() {
         return Err("no samples in exposition".to_string());
     }
     Ok(samples)
 }
 
-/// Checks that every cumulative sample (`*_total`, `*_count`) present in
-/// `before` is still present and has not decreased in `after`.
+/// Checks that every cumulative sample (`*_total`, `*_count`, and
+/// per-bucket `*_bucket{le="..."}`) present in `before` is still present
+/// and has not decreased in `after`.
 ///
 /// # Errors
 ///
-/// Names the first counter that disappeared or went backwards.
+/// Names the first counter or bucket that disappeared or went backwards.
 pub fn check_monotone(
     before: &BTreeMap<String, f64>,
     after: &BTreeMap<String, f64>,
 ) -> Result<(), String> {
     for (name, &old) in before {
-        if !(name.ends_with("_total") || name.ends_with("_count")) {
+        let bare = name.split('{').next().unwrap_or(name);
+        if !(bare.ends_with("_total") || bare.ends_with("_count") || bare.ends_with("_bucket")) {
             continue;
         }
         match after.get(name) {
@@ -265,10 +383,13 @@ mod tests {
         assert!(text.contains("ppuf_cache_evictions_total 0\n"));
         // unaliased counters go through the generic scheme
         assert!(text.contains("ppuf_maxflow_dinic_bfs_passes_total 7\n"));
-        // spans/histograms expose as summaries, gauges pass through
-        assert!(text.contains("# TYPE ppuf_span_server_verify_seconds summary"));
+        // spans with bucketed snapshots expose as histograms, observed
+        // distributions as summaries, gauges pass through
+        assert!(text.contains("# TYPE ppuf_span_server_verify_seconds histogram"));
         assert!(text.contains("ppuf_span_server_verify_seconds_count 1\n"));
+        assert!(text.contains("ppuf_span_server_verify_seconds_bucket{le=\"+Inf\"} 1\n"));
         assert!(text.contains("ppuf_hist_analog_dc_residual_norm_sum 1e-12\n"));
+        assert!(text.contains("# TYPE ppuf_hist_analog_dc_residual_norm summary"));
         assert!(text.contains("# TYPE ppuf_pool_queue_depth gauge\nppuf_pool_queue_depth 1.0\n"));
     }
 
@@ -278,7 +399,105 @@ mod tests {
         assert_eq!(samples.get("ppuf_requests_total"), Some(&90.0));
         assert_eq!(samples.get("ppuf_cache_hits_total"), Some(&42.0));
         assert_eq!(samples.get("ppuf_span_server_verify_seconds_count"), Some(&1.0));
+        assert_eq!(samples.get("ppuf_span_server_verify_seconds_bucket{le=\"+Inf\"}"), Some(&1.0));
         assert_eq!(samples.get("ppuf_pool_queue_depth"), Some(&1.0));
+    }
+
+    #[test]
+    fn span_histograms_expose_cumulative_buckets() {
+        let r = MemoryRecorder::new();
+        for ms in [1u64, 2, 3, 50, 400] {
+            r.record_span("server.request", Duration::from_millis(ms));
+        }
+        let text = render(&r.snapshot("test"), &[]);
+        let samples = validate(&text).expect("histogram exposition should validate");
+        // cumulative: every bucket value ≤ the +Inf bucket == _count
+        let inf = samples["ppuf_span_server_request_seconds_bucket{le=\"+Inf\"}"];
+        assert_eq!(inf, 5.0);
+        assert_eq!(samples["ppuf_span_server_request_seconds_count"], 5.0);
+        let mut bucket_lines = 0;
+        for (name, value) in &samples {
+            if name.starts_with("ppuf_span_server_request_seconds_bucket{") {
+                bucket_lines += 1;
+                assert!(*value <= inf, "{name} above +Inf bucket");
+            }
+        }
+        assert!(bucket_lines >= 6, "five distinct latencies plus +Inf, got {bucket_lines}");
+    }
+
+    #[test]
+    fn validate_enforces_bucket_rules() {
+        // _bucket needs a declared histogram
+        assert!(validate("# TYPE h summary\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n").is_err());
+        // _bucket needs an le label
+        assert!(validate("# TYPE h histogram\nh_bucket 1\nh_count 1\nh_sum 1\n").is_err());
+        // labels must be well-formed
+        assert!(validate("# TYPE h histogram\nh_bucket{le=1} 1\nh_count 1\nh_sum 1\n").is_err());
+        assert!(validate("# TYPE h histogram\nh_bucket{le=\"1\" 1\nh_count 1\nh_sum 1\n").is_err());
+        // bucket counts must be cumulative in ascending le order
+        assert!(validate(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+             h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"
+        )
+        .is_err());
+        assert!(validate(
+            "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\n\
+             h_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"
+        )
+        .is_err());
+        // the +Inf bucket must exist and equal _count
+        assert!(validate("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n").is_err());
+        assert!(validate(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n\
+             h_sum 1\nh_count 3\n"
+        )
+        .is_err());
+        // a well-formed histogram passes
+        let ok = validate(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\n\
+             h_sum 1.5\nh_count 3\n",
+        )
+        .expect("well-formed histogram");
+        assert_eq!(ok.get("h_bucket{le=\"1\"}"), Some(&2.0));
+    }
+
+    #[test]
+    fn bucket_counts_are_monotone_across_double_scrape() {
+        let r = MemoryRecorder::new();
+        r.record_span("server.request", Duration::from_millis(2));
+        r.record_span("server.request", Duration::from_millis(80));
+        let before = validate(&render(&r.snapshot("scrape1"), &[])).unwrap();
+        r.record_span("server.request", Duration::from_millis(2));
+        r.record_span("server.request", Duration::from_millis(9));
+        let after = validate(&render(&r.snapshot("scrape2"), &[])).unwrap();
+        check_monotone(&before, &after).expect("buckets only ever grow");
+        // and the check actually watches buckets: reversing the scrapes
+        // must fail on a _bucket key, not just on _count
+        let err = check_monotone(&after, &before).unwrap_err();
+        assert!(err.contains("_bucket") || err.contains("_count"), "{err}");
+        let shrunk = check_monotone(
+            &validate("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n").unwrap(),
+            &validate("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 4\n").unwrap(),
+        )
+        .unwrap_err();
+        assert!(shrunk.contains("went backwards"), "{shrunk}");
+    }
+
+    #[test]
+    fn slo_gauges_render_and_validate() {
+        let r = MemoryRecorder::new();
+        r.counter_add("server.requests", 1);
+        let gauges = [
+            ("ppuf_slo_health".to_string(), 0.0),
+            ("ppuf_slo_latency_p99_seconds".to_string(), 0.012),
+            ("ppuf_slo_overload_ratio".to_string(), 0.0),
+            ("ppuf_slo_reject_ratio".to_string(), 0.25),
+        ];
+        let text = render(&r.snapshot("test"), &gauges);
+        let samples = validate(&text).expect("slo gauges should validate");
+        assert_eq!(samples.get("ppuf_slo_health"), Some(&0.0));
+        assert_eq!(samples.get("ppuf_slo_latency_p99_seconds"), Some(&0.012));
+        assert_eq!(samples.get("ppuf_slo_reject_ratio"), Some(&0.25));
     }
 
     #[test]

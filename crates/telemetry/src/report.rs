@@ -18,19 +18,24 @@
 //!   "spans":      { "dc.solve": {"count":1,"sum":0.0031,"min":0.0031,"max":0.0031} },
 //!   "warnings":   [ "..." ],
 //!   "samples":    { "engine.solve_seconds": {"count":3,"min":0.001,"max":0.003,"mean":0.002,"p50":0.002,"p95":0.003,"p99":0.003} },
+//!   "hists":      { "dc.solve": {"count":1,"sum":0.0031,"min":0.0031,"max":0.0031,"buckets":[{"le":0.0031113,"count":1}]} },
 //!   "events":     [ {"seq":0,"name":"analog.dc.residual_trace","values":[1e-3,1e-7,1e-12]} ],
 //!   "traces":     { "00c0ffee00c0ffee": [ {"span":"0000000000000001","parent":null,"name":"server.request","start_s":0.0,"duration_s":0.002,"attrs":{"kind":"SubmitAnswer"}} ] }
 //! }
 //! ```
 //!
 //! The `samples` section carries percentile summaries of raw
-//! [`SampleSeries`] data. `events` is the drained
+//! [`SampleSeries`] data, and `hists` carries sparse
+//! [`HistogramSnapshot`]s of the bounded log-bucketed histograms (bucket
+//! counts are non-cumulative; edges follow the compile-time scheme in
+//! [`crate::hist`]). `events` is the drained
 //! diagnostic ring buffer ([`crate::EventLog`]) and `traces` the retained
 //! span trees, keyed by zero-padded hex trace id with span ids as hex
 //! strings (full-range `u64` ids do not survive JSON's `f64` numbers) and
-//! per-trace timestamps rebased to the earliest span. All three sections
+//! per-trace timestamps rebased to the earliest span. All four sections
 //! are optional on parse: v1 reports — written before `events`/`traces`
-//! existed — still load, which is why v2 is a compatible bump.
+//! existed — and v2 reports written before `hists` still load, which is
+//! why these are compatible additions rather than version bumps.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -38,6 +43,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
 
+use crate::hist::{HistBucket, HistogramSnapshot};
 use crate::{MemoryRecorder, Recorder, SampleSeries, SampleSummary, Summary};
 
 /// Version written into every report; parsers accept
@@ -94,6 +100,10 @@ pub struct Report {
     pub warnings: Vec<String>,
     /// Percentile summaries of raw sample series by name.
     pub samples: BTreeMap<String, SampleSummary>,
+    /// Bounded log-bucketed histogram snapshots by name — one per span
+    /// name for recorder snapshots (empty for reports written before the
+    /// section existed; optional on parse like `samples`).
+    pub hists: BTreeMap<String, HistogramSnapshot>,
     /// Retained diagnostic events, oldest first (empty for v1 reports).
     pub events: Vec<EventRecord>,
     /// Retained trace span sets keyed by zero-padded hex trace id
@@ -134,6 +144,8 @@ impl Report {
         }
         out.push_str("],\n");
         write_sample_map(&mut out, "samples", &self.samples);
+        out.push_str(",\n");
+        write_hist_map(&mut out, "hists", &self.hists);
         out.push_str(",\n  \"events\": [");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
@@ -251,6 +263,10 @@ impl Report {
             Some((_, v)) => parse_sample_map(v)?,
             None => BTreeMap::new(),
         };
+        let hists = match map.iter().find(|(k, _)| k == "hists") {
+            Some((_, v)) => parse_hist_map(v)?,
+            None => BTreeMap::new(),
+        };
         let events = match map.iter().find(|(k, _)| k == "events") {
             Some((_, v)) => parse_events(v)?,
             None => Vec::new(),
@@ -267,6 +283,7 @@ impl Report {
             spans,
             warnings,
             samples,
+            hists,
             events,
             traces,
         })
@@ -353,6 +370,53 @@ fn parse_sample_map(value: &json::Value) -> Result<BTreeMap<String, SampleSummar
                     p50: number("p50")?,
                     p95: number("p95")?,
                     p99: number("p99")?,
+                },
+            ))
+        })
+        .collect()
+}
+
+fn parse_hist_map(value: &json::Value) -> Result<BTreeMap<String, HistogramSnapshot>, ReportError> {
+    let entries = value.as_map().ok_or_else(|| ReportError("hists is not an object".into()))?;
+    entries
+        .iter()
+        .map(|(name, v)| {
+            let fields = v
+                .as_map()
+                .ok_or_else(|| ReportError(format!("hists entry {name:?} is not an object")))?;
+            let number = |key: &str| {
+                get(fields, key)?
+                    .as_f64()
+                    .ok_or_else(|| ReportError(format!("hists.{name}.{key} is not a number")))
+            };
+            let count = get(fields, "count")?
+                .as_u64()
+                .ok_or_else(|| ReportError(format!("hists.{name}.count is not an integer")))?;
+            let buckets = get(fields, "buckets")?
+                .as_seq()
+                .ok_or_else(|| ReportError(format!("hists.{name}.buckets is not an array")))?
+                .iter()
+                .map(|b| {
+                    let bucket = b
+                        .as_map()
+                        .ok_or_else(|| ReportError("hist bucket is not an object".into()))?;
+                    let le = get(bucket, "le")?
+                        .as_f64()
+                        .ok_or_else(|| ReportError("hist bucket le is not a number".into()))?;
+                    let count = get(bucket, "count")?
+                        .as_u64()
+                        .ok_or_else(|| ReportError("hist bucket count is not an integer".into()))?;
+                    Ok(HistBucket { le, count })
+                })
+                .collect::<Result<_, _>>()?;
+            Ok((
+                name.clone(),
+                HistogramSnapshot {
+                    buckets,
+                    count,
+                    sum: number("sum")?,
+                    min: number("min")?,
+                    max: number("max")?,
                 },
             ))
         })
@@ -496,6 +560,35 @@ fn write_sample_map(out: &mut String, key: &str, map: &BTreeMap<String, SampleSu
             json_f64(s.p95),
             json_f64(s.p99),
         );
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+fn write_hist_map(out: &mut String, key: &str, map: &BTreeMap<String, HistogramSnapshot>) {
+    let _ = write!(out, "  \"{key}\": {{");
+    for (i, (name, h)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            json_string(name),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+        );
+        for (j, b) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"le\": {}, \"count\": {}}}", json_f64(b.le), b.count);
+        }
+        out.push_str("]}");
     }
     if !map.is_empty() {
         out.push_str("\n  ");
@@ -901,8 +994,30 @@ mod tests {
              \"histograms\": {}, \"spans\": {}, \"warnings\": []}";
         let report = Report::from_json(legacy).expect("legacy report should parse");
         assert!(report.samples.is_empty());
+        assert!(report.hists.is_empty());
         assert!(report.events.is_empty());
         assert!(report.traces.is_empty());
+    }
+
+    #[test]
+    fn v2_reports_without_hists_section_still_parse() {
+        // a v2 report written before the hists section existed
+        let legacy = "{\"schema_version\": 2, \"label\": \"pre-hist\", \"counters\": {},\
+             \"histograms\": {}, \"spans\": {}, \"warnings\": [], \"samples\": {},\
+             \"events\": [], \"traces\": {}}";
+        let report = Report::from_json(legacy).expect("pre-hist v2 report should parse");
+        assert!(report.hists.is_empty());
+    }
+
+    #[test]
+    fn hist_snapshots_round_trip() {
+        let report = sample_report();
+        let h = report.hists.get("dc.solve").expect("span histograms are always recorded");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), h.count);
+        assert!((h.sum - 1234e-6).abs() < 1e-9);
+        let back = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.hists, report.hists);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property tests for the flight-recorder ring under concurrent writers:
+//! whatever the thread interleaving, memory stays bounded at the
+//! configured capacity, eviction is exactly drop-oldest in global push
+//! order, and a dump taken while other threads keep recording never loses
+//! the span tree that triggered it.
+
+use proptest::prelude::*;
+
+use ppuf_telemetry::{next_trace_id, FinishedSpan, FlightRecorder, MemoryRecorder, TracedSpan};
+
+/// Builds one finished two-span trace through the real tracing path.
+fn make_trace(recorder: &MemoryRecorder, name: &str) -> Vec<FinishedSpan> {
+    let trace = next_trace_id();
+    {
+        let root = TracedSpan::root(recorder, name, trace);
+        let _child = root.child("verify");
+    }
+    recorder.trace_spans(trace)
+}
+
+proptest! {
+    /// `capacity` traces max, `writers × per_writer` pushes racing: the
+    /// ring must end bounded, account every drop, and retain exactly the
+    /// globally newest `capacity` pushes in push order.
+    #[test]
+    fn concurrent_writers_keep_the_ring_bounded_and_oldest_dropped(
+        capacity in 1usize..8,
+        writers in 1usize..5,
+        per_writer in 0usize..12,
+    ) {
+        let recorder = MemoryRecorder::with_limits(256, 4);
+        let flight = FlightRecorder::new(capacity, 8);
+        // span trees are pre-built so the racing section is only pushes
+        let batches: Vec<Vec<Vec<FinishedSpan>>> = (0..writers)
+            .map(|w| {
+                (0..per_writer).map(|i| make_trace(&recorder, &format!("req{w}x{i}"))).collect()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (w, batch) in batches.into_iter().enumerate() {
+                let flight = &flight;
+                scope.spawn(move || {
+                    for spans in batch {
+                        assert!(flight.push_trace(&format!("writer{w}"), spans));
+                    }
+                });
+            }
+        });
+        let total = (writers * per_writer) as u64;
+        let len = flight.len() as u64;
+        prop_assert_eq!(len, total.min(capacity as u64), "ring must stay bounded");
+        prop_assert_eq!(flight.dropped(), total - len, "every eviction must be counted");
+        let seqs: Vec<u64> = flight.traces().iter().map(|t| t.seq).collect();
+        let expected: Vec<u64> = (total - len..total).collect();
+        prop_assert_eq!(seqs, expected, "retained traces must be the newest, oldest first");
+    }
+
+    /// Dumps fired from one thread while others keep pushing: every dump
+    /// must contain its own triggering trace, no matter how much traffic
+    /// races it — even at capacity 1, where any non-atomic push-then-dump
+    /// would lose the trigger to an interleaved push.
+    #[test]
+    fn dump_while_recording_never_loses_the_trigger(
+        capacity in 1usize..4,
+        dumps in 1usize..6,
+        noise in 1usize..24,
+    ) {
+        let recorder = MemoryRecorder::with_limits(256, 4);
+        let flight = FlightRecorder::new(capacity, 8);
+        let noise_batch: Vec<Vec<FinishedSpan>> =
+            (0..noise).map(|i| make_trace(&recorder, &format!("noise{i}"))).collect();
+        let triggers: Vec<Vec<FinishedSpan>> =
+            (0..dumps).map(|i| make_trace(&recorder, &format!("trigger{i}"))).collect();
+        let trigger_ids: Vec<String> =
+            triggers.iter().map(|t| format!("{}", t[0].trace)).collect();
+        let mut reports = Vec::new();
+        std::thread::scope(|scope| {
+            let flight_ref = &flight;
+            scope.spawn(move || {
+                for spans in noise_batch {
+                    flight_ref.push_trace("noise", spans);
+                }
+            });
+            for spans in triggers {
+                reports.push(flight.dump_with("burst", "trigger", spans));
+            }
+        });
+        for (report, id) in reports.iter().zip(&trigger_ids) {
+            prop_assert!(
+                report.traces.keys().any(|k| k.ends_with(id.as_str())),
+                "dump lost its triggering trace {id}"
+            );
+            prop_assert!(report.traces.len() <= capacity, "dump must respect the ring bound");
+        }
+    }
+}

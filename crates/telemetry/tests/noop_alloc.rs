@@ -1,7 +1,8 @@
 //! Locks the zero-cost guarantee: against the [`NoopRecorder`], the full
 //! per-request tracing path — id generation, root and child spans,
 //! attributes, cross-thread intervals, events — performs no heap
-//! allocation at all.
+//! allocation at all; neither does recording into a pre-built
+//! [`LogHistogram`] nor pushing at a disabled [`FlightRecorder`].
 //!
 //! This file intentionally holds a single test: the counting allocator is
 //! process-global, and a concurrently-running sibling test would perturb
@@ -11,7 +12,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use ppuf_telemetry::{next_trace_id, record_interval, NoopRecorder, Recorder, TracedSpan};
+use ppuf_telemetry::{
+    next_trace_id, record_interval, FlightRecorder, LogHistogram, NoopRecorder, Recorder,
+    TracedSpan,
+};
 
 struct CountingAlloc;
 
@@ -40,6 +44,11 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn disabled_tracing_path_never_allocates() {
     let recorder = NoopRecorder;
     let enqueue = Instant::now();
+    // pre-built outside the measured region: the histogram's bucket array
+    // is a one-time construction cost, every record afterwards must be a
+    // plain array increment
+    let mut hist = LogHistogram::new();
+    let flight = FlightRecorder::disabled();
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for i in 0..1_000u64 {
@@ -55,6 +64,13 @@ fn disabled_tracing_path_never_allocates() {
             let _probe = verify.child("server.cache_probe");
         }
         recorder.record_event("analog.dc.residual_trace", &[1e-3, 1e-9]);
+        // always-on latency accounting into the bounded histogram
+        hist.record(enqueue.elapsed().as_secs_f64());
+        // disabled flight recorder rejects before locking or copying;
+        // Vec::new() is allocation-free, matching the empty span set a
+        // tracing-disabled recorder hands back
+        flight.push_trace("ok", Vec::new());
+        flight.push_event("ignored", &[1.0, 2.0]);
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
 
@@ -64,4 +80,6 @@ fn disabled_tracing_path_never_allocates() {
         "the disabled tracing path allocated {} times over 1000 requests",
         after - before
     );
+    assert_eq!(hist.len(), 1_000);
+    assert!(flight.is_empty());
 }
