@@ -78,7 +78,10 @@ impl MosTransistor {
     /// Effective transconductance factor at `temp` (mobility degradation
     /// `∝ (T/T₀)^{-1.5}`).
     pub fn k_eff(&self, temp: Celsius) -> f64 {
-        self.k * (temp.kelvin() / Celsius::NOMINAL.kelvin()).powf(-1.5)
+        // x^(-1.5) as 1/(x·√x): this sits on the inverse-curve hot path,
+        // where `powf` would be the only transcendental per transistor
+        let x = temp.kelvin() / Celsius::NOMINAL.kelvin();
+        self.k / (x * x.sqrt())
     }
 
     /// Overdrive voltage `V_gs − V_th` at `temp` (may be negative: cutoff).

@@ -10,13 +10,11 @@
 //! fallback for hard instances.
 
 use std::fmt;
-use std::time::Instant;
 
 use ppuf_telemetry::{Recorder, Span, NOOP};
 
 use crate::block::TwoTerminal;
-use crate::solver::linear::{lu_factor, lu_solve_factored};
-use crate::solver::workspace::DcWorkspace;
+use crate::solver::workspace::{DcWorkspace, LinearBackend};
 use crate::units::{Amps, Celsius, Volts};
 
 /// Minimum conductance floored onto the Jacobian diagonal (SPICE `GMIN`);
@@ -109,6 +107,10 @@ pub struct DcOptions {
     /// a diagnostic sampling knob, not something to pay for on every solve
     /// of a large batch.
     pub trace_residuals: bool,
+    /// Linear solver for the Newton systems; `Auto` (the default) picks
+    /// the sparse LU for large, structurally sparse Jacobians and the
+    /// blocked dense LU otherwise (see [`LinearBackend`]).
+    pub backend: LinearBackend,
 }
 
 impl Default for DcOptions {
@@ -119,6 +121,7 @@ impl Default for DcOptions {
             continuation_steps: 4,
             temperature: Celsius::NOMINAL,
             trace_residuals: false,
+            backend: LinearBackend::Auto,
         }
     }
 }
@@ -140,12 +143,39 @@ pub(crate) struct NewtonWork {
 
 impl NewtonWork {
     /// Emits the counters under `prefix.<name>`; zero counters are still
-    /// cheap to emit (memory recorders skip zero deltas).
+    /// cheap to emit (memory recorders skip zero deltas). The two live
+    /// prefixes keep static counter names so emission allocates nothing.
     pub fn record(&self, recorder: &dyn Recorder, prefix: &str) {
-        recorder.counter_add(&format!("{prefix}.newton_iterations"), self.iterations);
-        recorder.counter_add(&format!("{prefix}.jacobian_factorizations"), self.factorizations);
-        recorder.counter_add(&format!("{prefix}.damping_backtracks"), self.backtracks);
-        recorder.counter_add(&format!("{prefix}.gauss_seidel_fallbacks"), self.fallbacks);
+        const NAMES: [[&str; 4]; 2] = [
+            [
+                "analog.dc.newton_iterations",
+                "analog.dc.jacobian_factorizations",
+                "analog.dc.damping_backtracks",
+                "analog.dc.gauss_seidel_fallbacks",
+            ],
+            [
+                "analog.transient.newton_iterations",
+                "analog.transient.jacobian_factorizations",
+                "analog.transient.damping_backtracks",
+                "analog.transient.gauss_seidel_fallbacks",
+            ],
+        ];
+        let [iters, factors, backtracks, fallbacks] = match prefix {
+            "analog.dc" => NAMES[0],
+            "analog.transient" => NAMES[1],
+            other => {
+                recorder.counter_add(&format!("{other}.newton_iterations"), self.iterations);
+                recorder
+                    .counter_add(&format!("{other}.jacobian_factorizations"), self.factorizations);
+                recorder.counter_add(&format!("{other}.damping_backtracks"), self.backtracks);
+                recorder.counter_add(&format!("{other}.gauss_seidel_fallbacks"), self.fallbacks);
+                return;
+            }
+        };
+        recorder.counter_add(iters, self.iterations);
+        recorder.counter_add(factors, self.factorizations);
+        recorder.counter_add(backtracks, self.backtracks);
+        recorder.counter_add(fallbacks, self.fallbacks);
     }
 }
 
@@ -299,9 +329,10 @@ impl<E: TwoTerminal> Circuit<E> {
             return Err(SolveError::SourceIsSink);
         }
         let n = self.node_count;
-        ws.bind(self, source, sink);
+        ws.bind(self, source, sink, options.backend);
         ws.residual_trace.clear();
         let (stamp0, lu0) = (ws.stamp_time, ws.lu_time);
+        let (sp_hits0, sp_full0) = (ws.sp_reuse_hits, ws.sp_full_factors);
         let mut total_iterations = 0;
         let mut work = NewtonWork::default();
         let tol = options.residual_tolerance.value();
@@ -369,6 +400,19 @@ impl<E: TwoTerminal> Circuit<E> {
         recorder.observe("analog.dc.residual_norm", residual);
         recorder.record_span("analog.dc.stamp", ws.stamp_time - stamp0);
         recorder.record_span("analog.dc.lu", ws.lu_time - lu0);
+        if let Some(stats) = ws.sparse_stats() {
+            recorder.counter_add(
+                "analog.sparse.symbolic_reuse_hits",
+                ws.sp_reuse_hits - sp_hits0,
+            );
+            recorder.counter_add(
+                "analog.sparse.full_factorizations",
+                ws.sp_full_factors - sp_full0,
+            );
+            recorder.observe("analog.sparse.jacobian_nnz", stats.jacobian_nnz as f64);
+            recorder.observe("analog.sparse.lu_nnz", stats.lu_nnz as f64);
+            recorder.observe("analog.sparse.fill_ratio", stats.fill_ratio);
+        }
         Ok((
             DcSolution {
                 voltages,
@@ -419,17 +463,14 @@ impl<E: TwoTerminal> Circuit<E> {
             iterations += 1;
             work.iterations += 1;
             // assemble Laplacian-style Jacobian of the KCL residuals
-            ws.compute_jacobian(self, voltages, temp, threads, None);
+            ws.compute_jacobian(self, voltages, temp, threads, None, true);
             // newton step: J·Δ = −F
             for idx in 0..k {
                 ws.delta[idx] = -ws.residual[idx];
             }
             work.factorizations += 1;
-            let t0 = Instant::now();
-            let factored = lu_factor(&mut ws.jac, &mut ws.pivots, threads);
-            factored.map_err(|_| SolveError::SingularJacobian)?;
-            lu_solve_factored(&ws.jac, &ws.pivots, &mut ws.delta);
-            ws.lu_time += t0.elapsed();
+            ws.factor_jacobian(threads)?;
+            ws.solve_linear();
             // damped line search on the residual norm
             let mut alpha = 1.0f64;
             ws.base.clear();

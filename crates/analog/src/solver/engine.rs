@@ -12,7 +12,7 @@ use ppuf_telemetry::{Recorder, NOOP};
 
 use crate::block::TwoTerminal;
 use crate::solver::dc::{Circuit, DcOptions, DcSolution, SolveError};
-use crate::solver::workspace::DcWorkspace;
+use crate::solver::workspace::{DcWorkspace, LinearBackend, SparseStats};
 use crate::units::Volts;
 
 /// Tuning knobs for a [`DcEngine`].
@@ -74,6 +74,23 @@ impl DcEngine {
     /// Whether a previous operating point is available for warm starting.
     pub fn has_warm_state(&self) -> bool {
         !self.warm.is_empty()
+    }
+
+    /// The linear backend the most recent solve's binding resolved to
+    /// ([`LinearBackend::DenseBlocked`] or [`LinearBackend::Sparse`],
+    /// never `Auto`); `DenseBlocked` before any solve.
+    pub fn resolved_backend(&self) -> LinearBackend {
+        if self.ws.sparse_resolved() {
+            LinearBackend::Sparse
+        } else {
+            LinearBackend::DenseBlocked
+        }
+    }
+
+    /// Work snapshot of the sparse backend across this engine's solves,
+    /// or `None` while the binding resolves dense.
+    pub fn sparse_stats(&self) -> Option<SparseStats> {
+        self.ws.sparse_stats()
     }
 
     /// Drops the warm state, forcing the next solve to run cold. Call when

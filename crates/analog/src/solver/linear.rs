@@ -1,7 +1,10 @@
 //! Dense linear algebra: blocked LU decomposition with partial pivoting.
 //!
-//! The nodal Jacobians of the PPUF crossbar are dense (the graph is
-//! complete), so a dense LU is the right tool; no sparse machinery needed.
+//! The nodal Jacobian of the PPUF crossbar is dense (the graph is
+//! complete), and for that workload this blocked LU is the right tool.
+//! Locally-connected topologies (grids, meshes) instead route to the
+//! sparse symbolic/numeric LU in [`super::sparse`]; the
+//! [`super::workspace::LinearBackend`] enum picks between the two.
 //! The factorization is right-looking and blocked (LAPACK `getrf` shape):
 //! narrow panels are factored sequentially, and the `O(n³)` trailing
 //! rank-`k` update — where essentially all the flops live — fans its rows
@@ -71,19 +74,19 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix–vector product `A·x`.
+    /// Matrix–vector product `A·x`, written into `y` — the caller owns
+    /// the output buffer, so repeated products allocate nothing.
     ///
     /// # Panics
     ///
-    /// Panics if `x.len() != self.cols()`.
-    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
-        let mut y = vec![0.0; self.rows];
+        assert_eq!(y.len(), self.rows);
         for (r, out) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             *out = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
-        y
     }
 }
 
@@ -386,7 +389,8 @@ mod tests {
             a[(r, r)] += 10.0; // diagonal dominance
         }
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 - 5.0) / 3.0).collect();
-        let b0 = a.mul_vec(&x_true);
+        let mut b0 = vec![0.0; n];
+        a.mul_vec(&x_true, &mut b0);
         let mut a_work = a.clone();
         let mut b = b0.clone();
         lu_solve(&mut a_work, &mut b).unwrap();
@@ -406,7 +410,8 @@ mod tests {
         let mut b = vec![1e-9, 1e-13];
         let a_copy = a.clone();
         lu_solve(&mut a, &mut b).unwrap();
-        let back = a_copy.mul_vec(&b);
+        let mut back = vec![0.0; 2];
+        a_copy.mul_vec(&b, &mut back);
         assert!((back[0] - 1e-9).abs() < 1e-18);
         assert!((back[1] - 1e-13).abs() < 1e-22);
     }
@@ -431,7 +436,8 @@ mod tests {
         // n > LU_BLOCK exercises panel + U12 + trailing-update paths
         let n = LU_BLOCK * 2 + 17;
         let (a, x_true) = big_system(n);
-        let b0 = a.mul_vec(&x_true);
+        let mut b0 = vec![0.0; n];
+        a.mul_vec(&x_true, &mut b0);
         let mut a_work = a.clone();
         let mut pivots = Vec::new();
         lu_factor(&mut a_work, &mut pivots, 1).unwrap();
@@ -469,7 +475,8 @@ mod tests {
     fn factored_solve_matches_one_shot_solve() {
         let n = 33;
         let (a, x_true) = big_system(n);
-        let b0 = a.mul_vec(&x_true);
+        let mut b0 = vec![0.0; n];
+        a.mul_vec(&x_true, &mut b0);
         let mut one_shot_a = a.clone();
         let mut one_shot_b = b0.clone();
         lu_solve(&mut one_shot_a, &mut one_shot_b).unwrap();

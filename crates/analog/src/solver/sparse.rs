@@ -1,0 +1,839 @@
+//! Sparse direct linear algebra: KLU-style symbolic-once / numeric-many LU.
+//!
+//! The nodal Jacobian of a *grid-like* device (transient RC meshes, the
+//! sparse workloads of scenario campaigns) holds a handful of nonzeros per
+//! row, so the dense blocked LU in [`linear`](super::linear) wastes both
+//! memory and flops there. This module provides the sparse complement:
+//!
+//! 1. [`CscMatrix`] — compressed sparse column storage with an assembly
+//!    API the solver workspace can scatter conductances into slot-by-slot.
+//! 2. A fill-reducing **minimum-degree ordering** over the symmetric
+//!    structure (the Jacobian is structurally symmetric: edge `u↔v`
+//!    couples both directions).
+//! 3. [`SparseLu`] — a left-looking Gilbert–Peierls factorization with
+//!    threshold partial pivoting that records its elimination *recipe*
+//!    (pivot order, per-column dependency lists, scatter targets) on the
+//!    first factorization. Subsequent [`SparseLu::refactor`] calls replay
+//!    the recipe numerics-only — no graph traversal, no pivot search —
+//!    which is the case Newton iteration hits every step after the first:
+//!    same pattern, new values.
+//!
+//! Refactorization with frozen pivots is only safe while the frozen
+//! choices stay numerically healthy; [`SparseLu::refactor`] checks each
+//! reused pivot against the column it eliminates and reports
+//! [`PivotDecay`](SparseError::PivotDecay) when the margin has eroded, so
+//! the caller can fall back to a fresh [`SparseLu::factor`] (which
+//! re-pivots). For the diagonally-dominant KCL Jacobians this fallback is
+//! essentially never taken, but it is what makes the fast path safe in
+//! general.
+
+use std::fmt;
+
+/// Relative threshold for accepting the diagonal entry as pivot during
+/// factorization (diagonal preference keeps the refactor recipe aligned
+/// with the matrix's symmetric structure).
+const PIVOT_TOLERANCE: f64 = 1e-3;
+
+/// A reused pivot smaller than this fraction of its column's largest
+/// magnitude fails [`SparseLu::refactor`].
+const REFACTOR_TOLERANCE: f64 = 1e-8;
+
+/// Absolute floor below which any pivot is treated as singular.
+const PIVOT_FLOOR: f64 = 1e-300;
+
+/// Errors from the sparse factorization paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseError {
+    /// A pivot column had no acceptable pivot: the matrix is singular (or
+    /// structurally deficient — a column with no entries at all).
+    Singular {
+        /// The elimination step (column in pivot order) that failed.
+        column: usize,
+    },
+    /// During a numerics-only refactorization a frozen pivot lost too much
+    /// magnitude relative to its column; re-run [`SparseLu::factor`] to
+    /// re-pivot.
+    PivotDecay {
+        /// The elimination step whose pivot decayed.
+        column: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::Singular { column } => {
+                write!(f, "sparse matrix is singular at elimination step {column}")
+            }
+            SparseError::PivotDecay { column } => {
+                write!(f, "frozen pivot decayed at elimination step {column}; refactor refused")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// A square sparse matrix in compressed sparse column (CSC) form.
+///
+/// Built once from triplets ([`CscMatrix::from_triplets`]); the value
+/// array is then refreshable in place through [`CscMatrix::values_mut`]
+/// while the pattern stays frozen — exactly the Newton-iteration shape
+/// (same topology, new conductances).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CscMatrix {
+    n: usize,
+    /// Column start offsets into `row_ind` / `values`; length `n + 1`.
+    col_ptr: Vec<u32>,
+    /// Row index of each stored entry, ascending within a column.
+    row_ind: Vec<u32>,
+    /// Entry values, parallel to `row_ind`.
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds an `n × n` matrix from `(row, col, value)` triplets,
+    /// summing duplicates. Row indices end up sorted within each column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row or column index is `≥ n`.
+    pub fn from_triplets(n: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!((r as usize) < n && (c as usize) < n, "triplet ({r}, {c}) out of range");
+        }
+        let mut order: Vec<u32> = (0..triplets.len() as u32).collect();
+        order.sort_by_key(|&t| {
+            let (r, c, _) = triplets[t as usize];
+            ((c as u64) << 32) | r as u64
+        });
+        let mut col_ptr = vec![0u32; n + 1];
+        let mut row_ind = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for &t in &order {
+            let (r, c, v) = triplets[t as usize];
+            if prev == Some((c, r)) {
+                *values.last_mut().expect("entry exists") += v;
+                continue;
+            }
+            prev = Some((c, r));
+            row_ind.push(r);
+            values.push(v);
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..n {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        CscMatrix { n, col_ptr, row_ind, values }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_ind.len()
+    }
+
+    /// The stored entries' values, mutable: refresh numerics in place
+    /// without touching the pattern.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The stored entries' values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Storage slot of entry `(row, col)`, if present in the pattern.
+    pub fn slot_of(&self, row: u32, col: u32) -> Option<usize> {
+        let lo = self.col_ptr[col as usize] as usize;
+        let hi = self.col_ptr[col as usize + 1] as usize;
+        self.row_ind[lo..hi].binary_search(&row).ok().map(|p| lo + p)
+    }
+
+    /// Dense matrix–vector product `y = A·x` into a caller slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is not `n` long.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        y.fill(0.0);
+        for c in 0..self.n {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for s in self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize {
+                y[self.row_ind[s] as usize] += self.values[s] * xc;
+            }
+        }
+    }
+
+    /// Row indices of column `c`.
+    fn col_rows(&self, c: usize) -> &[u32] {
+        &self.row_ind[self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize]
+    }
+}
+
+/// Fill-reducing symmetric permutation by minimum degree.
+///
+/// Operates on the symmetrized structure `A + Aᵀ` (the KCL Jacobians are
+/// already structurally symmetric). Returns `perm` with
+/// `perm[k] = original index eliminated at step k`. Classic minimum
+/// degree with clique merging on sorted adjacency vectors — quadratic in
+/// the worst case, but the matrices this backend targets are a few
+/// thousand nodes with a handful of neighbors each.
+pub fn min_degree_order(a: &CscMatrix) -> Vec<u32> {
+    let n = a.n;
+    // symmetrized adjacency, self-loops dropped
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for c in 0..n {
+        for &r in a.col_rows(c) {
+            if r as usize != c {
+                adj[r as usize].push(c as u32);
+                adj[c].push(r);
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let mut eliminated = vec![false; n];
+    let mut perm = Vec::with_capacity(n);
+    let mut scratch: Vec<u32> = Vec::new();
+    for _ in 0..n {
+        // pick the live node of minimum degree (ties: lowest index, which
+        // keeps the order deterministic)
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for v in 0..n {
+            if !eliminated[v] && adj[v].len() < best_deg {
+                best = v;
+                best_deg = adj[v].len();
+            }
+        }
+        let v = best;
+        eliminated[v] = true;
+        perm.push(v as u32);
+        // eliminate v: its neighbors become a clique
+        let neighbors = std::mem::take(&mut adj[v]);
+        for &u in &neighbors {
+            let u = u as usize;
+            if eliminated[u] {
+                continue;
+            }
+            // merge: (adj[u] ∪ neighbors) \ {u, v}
+            scratch.clear();
+            let mut i = 0;
+            let mut j = 0;
+            let list = &adj[u];
+            while i < list.len() || j < neighbors.len() {
+                let candidate = match (list.get(i), neighbors.get(j)) {
+                    (Some(&x), Some(&y)) if x == y => {
+                        i += 1;
+                        j += 1;
+                        x
+                    }
+                    (Some(&x), Some(&y)) if x < y => {
+                        i += 1;
+                        x
+                    }
+                    (Some(_), Some(&y)) => {
+                        j += 1;
+                        y
+                    }
+                    (Some(&x), None) => {
+                        i += 1;
+                        x
+                    }
+                    (None, Some(&y)) => {
+                        j += 1;
+                        y
+                    }
+                    (None, None) => break,
+                };
+                if candidate as usize != u && candidate as usize != v && !eliminated[candidate as usize] {
+                    scratch.push(candidate);
+                }
+            }
+            scratch.dedup();
+            adj[u].clear();
+            adj[u].extend_from_slice(&scratch);
+        }
+    }
+    perm
+}
+
+/// One column's recorded elimination recipe.
+#[derive(Debug, Clone, Default)]
+struct ColumnRecipe {
+    /// Slots in the source matrix's value array scattered into the dense
+    /// accumulator, paired with their destination rows.
+    scatter: Vec<(u32, u32)>,
+    /// Pivotal columns whose L-columns update this one, in the
+    /// topological order the first factorization established.
+    updates: Vec<u32>,
+    /// Row index chosen as pivot.
+    pivot_row: u32,
+    /// Accumulator rows stored into U (excluding the pivot), paired with
+    /// their slot in `u_values`. Rows here are *pivot positions* `< k`.
+    u_rows: Vec<u32>,
+    /// Accumulator rows stored into L (below the pivot), in original row
+    /// indices.
+    l_rows: Vec<u32>,
+}
+
+/// Sparse LU factors `P·A[perm] = L·U` with a replayable elimination
+/// recipe.
+///
+/// Produced by [`SparseLu::factor`]; refreshed in place by
+/// [`SparseLu::refactor`] when only the values of the source matrix
+/// changed. Solves run against whichever numerics were loaded last.
+#[derive(Debug, Clone, Default)]
+pub struct SparseLu {
+    n: usize,
+    /// Fill-reducing elimination order: `perm[k]` = original column
+    /// eliminated at step k (columns and rows, symmetric permutation).
+    perm: Vec<u32>,
+    /// `pos_of_row[r]` = elimination step at which original row `r`
+    /// became pivotal.
+    pos_of_row: Vec<u32>,
+    /// Per-elimination-step recipes.
+    columns: Vec<ColumnRecipe>,
+    /// L column starts into `l_rows_flat` / `l_values`; unit diagonal
+    /// implicit.
+    l_ptr: Vec<u32>,
+    l_rows_flat: Vec<u32>,
+    l_values: Vec<f64>,
+    /// U column starts into `u_rows_flat` / `u_values`; the pivot (the
+    /// diagonal of U) is the *last* entry of each column.
+    u_ptr: Vec<u32>,
+    u_rows_flat: Vec<u32>,
+    u_values: Vec<f64>,
+    /// Dense accumulator reused across columns and refactorizations.
+    work: Vec<f64>,
+    /// Scratch: marks for the pattern DFS.
+    mark: Vec<u32>,
+}
+
+impl SparseLu {
+    /// Fill-in ratio `nnz(L + U) / nnz(A)` of the last factorization
+    /// (1.0 = no fill); 0 when never factored.
+    pub fn fill_ratio(&self, a_nnz: usize) -> f64 {
+        if a_nnz == 0 {
+            return 0.0;
+        }
+        (self.l_values.len() + self.u_values.len()) as f64 / a_nnz as f64
+    }
+
+    /// Stored factor entries `nnz(L) + nnz(U)` (unit L diagonal not
+    /// counted).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_values.len() + self.u_values.len()
+    }
+
+    /// Full symbolic + numeric factorization of `a` under the
+    /// fill-reducing order `perm` (see [`min_degree_order`]), with
+    /// threshold partial pivoting (diagonal preferred within
+    /// [`PIVOT_TOLERANCE`]). Records the elimination recipe for later
+    /// [`refactor`](Self::refactor) calls.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::Singular`] when an elimination column has no usable
+    /// pivot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != a.n()`.
+    pub fn factor(a: &CscMatrix, perm: &[u32]) -> Result<Self, SparseError> {
+        let n = a.n;
+        assert_eq!(perm.len(), n, "permutation must cover the matrix");
+        let mut lu = SparseLu {
+            n,
+            perm: perm.to_vec(),
+            pos_of_row: vec![u32::MAX; n],
+            columns: Vec::with_capacity(n),
+            l_ptr: vec![0],
+            u_ptr: vec![0],
+            work: vec![0.0; n],
+            mark: vec![u32::MAX; n],
+            ..SparseLu::default()
+        };
+        // map original column -> elimination step, for diagonal preference
+        let mut step_of_col = vec![0u32; n];
+        for (k, &c) in perm.iter().enumerate() {
+            step_of_col[c as usize] = k as u32;
+        }
+        for k in 0..n {
+            let col = perm[k] as usize;
+            let mut recipe = ColumnRecipe::default();
+            // pattern = reach of A(:, col) through already-built L columns
+            let mut order: Vec<u32> = Vec::new();
+            let stamp = k as u32;
+            for (&r, s) in a.col_rows(col).iter().zip(a.col_ptr[col] as usize..) {
+                recipe.scatter.push((s as u32, r));
+                lu.dfs_reach(r, stamp, &mut order);
+            }
+            // `order` holds the reach in reverse topological order
+            // (children first); updates must run parents first
+            order.reverse();
+            // numeric: scatter then eliminate
+            for &(s, r) in &recipe.scatter {
+                lu.work[r as usize] = a.values[s as usize];
+            }
+            for &r in &order {
+                let pos = lu.pos_of_row[r as usize];
+                if pos == u32::MAX {
+                    continue;
+                }
+                let x = lu.work[r as usize];
+                recipe.updates.push(pos);
+                if x != 0.0 {
+                    for t in lu.l_ptr[pos as usize] as usize..lu.l_ptr[pos as usize + 1] as usize {
+                        lu.work[lu.l_rows_flat[t] as usize] -= lu.l_values[t] * x;
+                    }
+                }
+            }
+            // pivot among not-yet-pivotal rows of the accumulator pattern
+            let mut max_mag = 0.0f64;
+            let mut best_row = u32::MAX;
+            for &r in &order {
+                if lu.pos_of_row[r as usize] != u32::MAX {
+                    continue;
+                }
+                let mag = lu.work[r as usize].abs();
+                if mag > max_mag {
+                    max_mag = mag;
+                    best_row = r;
+                }
+            }
+            // diagonal preference: accept the structurally symmetric pivot
+            // when it is within PIVOT_TOLERANCE of the column max
+            let diag_row = col as u32;
+            let pivot_row = if lu.pos_of_row[col] == u32::MAX
+                && lu.work[col].abs() >= PIVOT_TOLERANCE * max_mag
+                && lu.work[col].abs() > 0.0
+                && lu.mark[col] == stamp
+            {
+                diag_row
+            } else {
+                best_row
+            };
+            if pivot_row == u32::MAX || lu.work[pivot_row as usize].abs() < PIVOT_FLOOR {
+                return Err(SparseError::Singular { column: k });
+            }
+            let pivot = lu.work[pivot_row as usize];
+            lu.pos_of_row[pivot_row as usize] = k as u32;
+            recipe.pivot_row = pivot_row;
+            // split the accumulator into U (pivotal rows) and L (the rest)
+            for &r in &order {
+                let x = lu.work[r as usize];
+                lu.work[r as usize] = 0.0;
+                let pos = lu.pos_of_row[r as usize];
+                if r == pivot_row {
+                    continue;
+                }
+                if pos != u32::MAX {
+                    recipe.u_rows.push(pos);
+                    lu.u_rows_flat.push(pos);
+                    lu.u_values.push(x);
+                } else {
+                    recipe.l_rows.push(r);
+                    lu.l_rows_flat.push(r);
+                    lu.l_values.push(x / pivot);
+                }
+            }
+            lu.work[pivot_row as usize] = 0.0;
+            // pivot goes last in the U column
+            lu.u_rows_flat.push(k as u32);
+            lu.u_values.push(pivot);
+            lu.l_ptr.push(lu.l_rows_flat.len() as u32);
+            lu.u_ptr.push(lu.u_rows_flat.len() as u32);
+            lu.columns.push(recipe);
+        }
+        Ok(lu)
+    }
+
+    /// DFS over the columns of L from accumulator row `r`, pushing the
+    /// reach in reverse-topological order. Iterative (explicit stack) so
+    /// deep elimination chains cannot overflow the call stack.
+    fn dfs_reach(&mut self, r: u32, stamp: u32, order: &mut Vec<u32>) {
+        if self.mark[r as usize] == stamp {
+            return;
+        }
+        // stack of (row, next child index to visit)
+        let mut stack: Vec<(u32, u32)> = vec![(r, 0)];
+        self.mark[r as usize] = stamp;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            let pos = self.pos_of_row[node as usize];
+            let advanced = if pos != u32::MAX {
+                let lo = self.l_ptr[pos as usize];
+                let hi = self.l_ptr[pos as usize + 1];
+                let mut pushed = false;
+                while lo + *child < hi {
+                    let next = self.l_rows_flat[(lo + *child) as usize];
+                    *child += 1;
+                    if self.mark[next as usize] != stamp {
+                        self.mark[next as usize] = stamp;
+                        stack.push((next, 0));
+                        pushed = true;
+                        break;
+                    }
+                }
+                pushed
+            } else {
+                false
+            };
+            if !advanced {
+                order.push(node);
+                stack.pop();
+            }
+        }
+    }
+
+    /// Numerics-only refactorization: replays the recorded elimination
+    /// recipe against `a`'s current values, keeping pattern and pivots.
+    /// `a` must have the exact pattern of the matrix given to
+    /// [`factor`](Self::factor).
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::PivotDecay`] when a frozen pivot has fallen below
+    /// [`REFACTOR_TOLERANCE`] × its column's magnitude (or underflowed
+    /// entirely) — run a fresh [`factor`](Self::factor) to re-pivot.
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<(), SparseError> {
+        let n = self.n;
+        debug_assert_eq!(a.n, n);
+        let mut l_cursor = 0usize;
+        let mut u_cursor = 0usize;
+        for k in 0..n {
+            let recipe = &self.columns[k];
+            for &(s, r) in &recipe.scatter {
+                self.work[r as usize] = a.values[s as usize];
+            }
+            for &pos in &recipe.updates {
+                // the update source row is this pivotal column's pivot row
+                let src = self.columns[pos as usize].pivot_row as usize;
+                let x = self.work[src];
+                if x != 0.0 {
+                    for t in self.l_ptr[pos as usize] as usize..self.l_ptr[pos as usize + 1] as usize
+                    {
+                        self.work[self.l_rows_flat[t] as usize] -= self.l_values[t] * x;
+                    }
+                }
+            }
+            let pivot = self.work[recipe.pivot_row as usize];
+            let mut col_max = pivot.abs();
+            for &r in &recipe.l_rows {
+                col_max = col_max.max(self.work[r as usize].abs());
+            }
+            if pivot.abs() < PIVOT_FLOOR || pivot.abs() < REFACTOR_TOLERANCE * col_max {
+                // clear the accumulator before bailing
+                self.work[recipe.pivot_row as usize] = 0.0;
+                for &r in &recipe.l_rows {
+                    self.work[r as usize] = 0.0;
+                }
+                for u_pos in &recipe.u_rows {
+                    let src = self.columns[*u_pos as usize].pivot_row as usize;
+                    self.work[src] = 0.0;
+                }
+                return Err(SparseError::PivotDecay { column: k });
+            }
+            for &pos in &recipe.u_rows {
+                let src = self.columns[pos as usize].pivot_row as usize;
+                self.u_values[u_cursor] = self.work[src];
+                self.work[src] = 0.0;
+                u_cursor += 1;
+            }
+            for &r in &recipe.l_rows {
+                self.l_values[l_cursor] = self.work[r as usize] / pivot;
+                self.work[r as usize] = 0.0;
+                l_cursor += 1;
+            }
+            self.u_values[u_cursor] = pivot;
+            u_cursor += 1;
+            self.work[recipe.pivot_row as usize] = 0.0;
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` against the loaded factors, overwriting `b` (in
+    /// original row/column numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &mut [f64]) {
+        let mut y = vec![0.0; self.n];
+        self.solve_with(b, &mut y);
+    }
+
+    /// [`solve`](Self::solve) with caller-provided permutation scratch —
+    /// the Newton loop's allocation-free path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `scratch` is not `n` long.
+    pub fn solve_with(&self, b: &mut [f64], scratch: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        assert_eq!(scratch.len(), n);
+        // scratch[k] = b[pivot_row of step k]  (apply row permutation)
+        for k in 0..n {
+            scratch[k] = b[self.columns[k].pivot_row as usize];
+        }
+        self.solve_permuted(scratch);
+        for k in 0..n {
+            b[self.perm[k] as usize] = scratch[k];
+        }
+    }
+
+    /// Triangular solves in pivot coordinates: `y` enters as `P·b` and
+    /// leaves as the permuted solution.
+    fn solve_permuted(&self, y: &mut [f64]) {
+        let n = self.n;
+        // forward: L (unit diagonal), column-oriented
+        for k in 0..n {
+            let x = y[k];
+            if x == 0.0 {
+                continue;
+            }
+            for t in self.l_ptr[k] as usize..self.l_ptr[k + 1] as usize {
+                let r = self.l_rows_flat[t] as usize;
+                // L rows are original indices; their pivot position is the
+                // equation they feed
+                let pos = self.pos_of_row[r] as usize;
+                y[pos] -= self.l_values[t] * x;
+            }
+        }
+        // backward: U, column-oriented; pivot is last in each column
+        for k in (0..n).rev() {
+            let lo = self.u_ptr[k] as usize;
+            let hi = self.u_ptr[k + 1] as usize;
+            let pivot = self.u_values[hi - 1];
+            let x = y[k] / pivot;
+            y[k] = x;
+            if x == 0.0 {
+                continue;
+            }
+            for t in lo..hi - 1 {
+                y[self.u_rows_flat[t] as usize] -= self.u_values[t] * x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference solve via the dense LU in `linear`.
+    fn dense_solve(n: usize, triplets: &[(u32, u32, f64)], b: &[f64]) -> Vec<f64> {
+        use crate::solver::linear::{lu_solve, Matrix};
+        let mut a = Matrix::zeros(n, n);
+        for &(r, c, v) in triplets {
+            a[(r as usize, c as usize)] += v;
+        }
+        let mut x = b.to_vec();
+        lu_solve(&mut a, &mut x).expect("dense reference is nonsingular");
+        x
+    }
+
+    fn solve_sparse(n: usize, triplets: &[(u32, u32, f64)], b: &[f64]) -> Vec<f64> {
+        let a = CscMatrix::from_triplets(n, triplets);
+        let perm = min_degree_order(&a);
+        let lu = SparseLu::factor(&a, &perm).expect("factor");
+        let mut x = b.to_vec();
+        lu.solve(&mut x);
+        x
+    }
+
+    #[test]
+    fn csc_construction_sorts_and_sums() {
+        let a = CscMatrix::from_triplets(
+            3,
+            &[(2, 0, 1.0), (0, 0, 4.0), (0, 0, 1.0), (1, 2, 2.0), (2, 2, 3.0)],
+        );
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.slot_of(0, 0), Some(0));
+        assert_eq!(a.values()[a.slot_of(0, 0).unwrap()], 5.0);
+        assert_eq!(a.slot_of(2, 0), Some(1));
+        assert_eq!(a.slot_of(1, 1), None);
+        let mut y = vec![0.0; 3];
+        a.mul_vec(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![5.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn tridiagonal_solve_matches_dense() {
+        let n = 12;
+        let mut t: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 0..n as u32 {
+            t.push((i, i, 2.5 + i as f64 * 0.1));
+            if i + 1 < n as u32 {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 - 3.0) * 0.7).collect();
+        let sparse = solve_sparse(n, &t, &b);
+        let dense = dense_solve(n, &t, &b);
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-12, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn grid_laplacian_matches_dense_and_reports_fill() {
+        // 2D grid Laplacian + diagonal shift: the shape the sparse
+        // backend exists for
+        let (w, h) = (6, 5);
+        let n = w * h;
+        let idx = |x: usize, y: usize| (y * w + x) as u32;
+        let mut t: Vec<(u32, u32, f64)> = Vec::new();
+        let mut deg = vec![0.0f64; n];
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    t.push((idx(x, y), idx(x + 1, y), -1.0));
+                    t.push((idx(x + 1, y), idx(x, y), -1.0));
+                    deg[idx(x, y) as usize] += 1.0;
+                    deg[idx(x + 1, y) as usize] += 1.0;
+                }
+                if y + 1 < h {
+                    t.push((idx(x, y), idx(x, y + 1), -1.0));
+                    t.push((idx(x, y + 1), idx(x, y), -1.0));
+                    deg[idx(x, y) as usize] += 1.0;
+                    deg[idx(x, y + 1) as usize] += 1.0;
+                }
+            }
+        }
+        for i in 0..n as u32 {
+            t.push((i, i, deg[i as usize] + 0.3));
+        }
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64 - 5.0) / 3.0).collect();
+        let a = CscMatrix::from_triplets(n, &t);
+        let perm = min_degree_order(&a);
+        let lu = SparseLu::factor(&a, &perm).expect("factor");
+        let mut x = b.clone();
+        lu.solve(&mut x);
+        let dense = dense_solve(n, &t, &b);
+        for (s, d) in x.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-10, "{s} vs {d}");
+        }
+        // min-degree should keep L+U storage well below the dense n²
+        // entries and within a small multiple of nnz(A)
+        assert!(lu.factor_nnz() < n * n / 3, "fill {} on n {}", lu.factor_nnz(), n);
+        assert!(lu.fill_ratio(a.nnz()) < 2.5, "fill ratio {}", lu.fill_ratio(a.nnz()));
+    }
+
+    #[test]
+    fn refactor_replays_new_values() {
+        let n = 10;
+        let build = |scale: f64| {
+            let mut t: Vec<(u32, u32, f64)> = Vec::new();
+            for i in 0..n as u32 {
+                t.push((i, i, 3.0 * scale + i as f64 * 0.01));
+                if i + 1 < n as u32 {
+                    t.push((i, i + 1, -scale));
+                    t.push((i + 1, i, -0.5 * scale));
+                }
+            }
+            t
+        };
+        let t1 = build(1.0);
+        let a1 = CscMatrix::from_triplets(n, &t1);
+        let perm = min_degree_order(&a1);
+        let mut lu = SparseLu::factor(&a1, &perm).expect("factor");
+        // same pattern, new values
+        let t2 = build(1.7);
+        let a2 = CscMatrix::from_triplets(n, &t2);
+        lu.refactor(&a2).expect("refactor");
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) / 4.0).collect();
+        let mut x = b.clone();
+        lu.solve(&mut x);
+        let dense = dense_solve(n, &t2, &b);
+        for (s, d) in x.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-12, "{s} vs {d}");
+        }
+        // refactor result must equal a fresh factorization's numerics
+        let fresh = SparseLu::factor(&a2, &perm).expect("fresh factor");
+        for (a, b) in lu.l_values.iter().zip(&fresh.l_values) {
+            assert_eq!(a.to_bits(), b.to_bits(), "refactor must replay exactly");
+        }
+        for (a, b) in lu.u_values.iter().zip(&fresh.u_values) {
+            assert_eq!(a.to_bits(), b.to_bits(), "refactor must replay exactly");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        // column 2 is a multiple of column 1 → rank deficient
+        let t = vec![
+            (0u32, 0u32, 1.0),
+            (1, 0, 2.0),
+            (0, 1, 2.0),
+            (1, 1, 4.0),
+            (2, 2, 1.0),
+        ];
+        let a = CscMatrix::from_triplets(3, &t);
+        let perm = min_degree_order(&a);
+        assert!(matches!(SparseLu::factor(&a, &perm), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn structurally_deficient_matrix_is_reported() {
+        // column 1 has no entries at all
+        let t = vec![(0u32, 0u32, 1.0), (2, 2, 1.0), (0, 2, 0.5)];
+        let a = CscMatrix::from_triplets(3, &t);
+        let perm = min_degree_order(&a);
+        assert!(matches!(SparseLu::factor(&a, &perm), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn refactor_detects_pivot_decay() {
+        // start diagonally dominant, then collapse the (0,0) pivot while
+        // keeping its column alive → frozen pivot must be refused
+        let t1 = vec![(0u32, 0u32, 4.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 4.0)];
+        let a1 = CscMatrix::from_triplets(2, &t1);
+        let perm = min_degree_order(&a1);
+        let mut lu = SparseLu::factor(&a1, &perm).expect("factor");
+        let t2 = vec![(0u32, 0u32, 1e-30), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 4.0)];
+        let a2 = CscMatrix::from_triplets(2, &t2);
+        assert!(matches!(lu.refactor(&a2), Err(SparseError::PivotDecay { .. })));
+        // a fresh factor re-pivots and succeeds
+        assert!(SparseLu::factor(&a2, &perm).is_ok());
+    }
+
+    #[test]
+    fn unsymmetric_pattern_requires_off_diagonal_pivot() {
+        // zero diagonal forces the pivot off the diagonal
+        let t = vec![(1u32, 0u32, 2.0), (0, 1, 3.0)];
+        let a = CscMatrix::from_triplets(2, &t);
+        let perm = vec![0, 1];
+        let lu = SparseLu::factor(&a, &perm).expect("factor");
+        let mut x = vec![6.0, 4.0]; // rows: 3·x1 = 6, 2·x0 = 4
+        lu.solve(&mut x);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_ratio_reports_relative_growth() {
+        let t = vec![(0u32, 0u32, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)];
+        let a = CscMatrix::from_triplets(2, &t);
+        let perm = min_degree_order(&a);
+        let lu = SparseLu::factor(&a, &perm).expect("factor");
+        assert!(lu.fill_ratio(a.nnz()) <= 1.0 + 1e-12);
+        assert_eq!(lu.fill_ratio(0), 0.0);
+    }
+}

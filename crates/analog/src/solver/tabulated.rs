@@ -118,6 +118,25 @@ impl TwoTerminal for TabulatedElement {
         let idx = if dv >= self.v[last] { last } else { self.v.partition_point(|&x| x < dv) };
         (self.i[idx] - self.i[idx - 1]) / (self.v[idx] - self.v[idx - 1])
     }
+
+    fn current_and_conductance(&self, dv: Volts, _temp: Celsius) -> (Amps, f64) {
+        // one segment search answers both queries; the arithmetic mirrors
+        // `interpolate` / `conductance` exactly so the fused path is
+        // bitwise identical to two separate calls
+        let dv = dv.value();
+        if dv <= 0.0 || self.v.len() < 2 {
+            return (Amps(0.0), 0.0);
+        }
+        let last = self.v.len() - 1;
+        if dv >= self.v[last] {
+            let slope = (self.i[last] - self.i[last - 1]) / (self.v[last] - self.v[last - 1]);
+            return (Amps(self.i[last] + slope * (dv - self.v[last])), slope);
+        }
+        let idx = self.v.partition_point(|&x| x < dv);
+        let (v0, v1) = (self.v[idx - 1], self.v[idx]);
+        let (i0, i1) = (self.i[idx - 1], self.i[idx]);
+        (Amps(i0 + (i1 - i0) * (dv - v0) / (v1 - v0)), (i1 - i0) / (v1 - v0))
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +190,17 @@ mod tests {
         let (_, tab) = table();
         for step in 0..80 {
             assert!(tab.conductance(Volts(step as f64 * 0.05), T) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fused_evaluation_matches_separate_calls() {
+        let (_, tab) = table();
+        for step in 0..80 {
+            let dv = Volts(step as f64 * 0.05);
+            let (i, g) = tab.current_and_conductance(dv, T);
+            assert_eq!(i.value(), tab.current(dv, T).value(), "dv {dv:?}");
+            assert_eq!(g, tab.conductance(dv, T), "dv {dv:?}");
         }
     }
 

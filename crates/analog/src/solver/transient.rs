@@ -19,8 +19,7 @@ use ppuf_telemetry::{Recorder, Span, NOOP};
 
 use crate::block::TwoTerminal;
 use crate::solver::dc::{worst_node_of, Circuit, DcOptions, NewtonWork, SolveError};
-use crate::solver::linear::{lu_factor, lu_solve_factored};
-use crate::solver::workspace::DcWorkspace;
+use crate::solver::workspace::{DcWorkspace, LinearBackend};
 use crate::units::{Amps, Celsius, Farads, Seconds, Volts};
 
 /// How many times a failed implicit step is retried with a halved step
@@ -160,7 +159,7 @@ pub fn simulate_step_response_traced<E: TwoTerminal + Sync>(
     let band = options.settle_tolerance * i_final.abs().max(1e-18);
 
     let mut scratch = TransientScratch::default();
-    scratch.ws.bind(circuit, source, sink);
+    scratch.ws.bind(circuit, source, sink, LinearBackend::Auto);
     let k = scratch.ws.unknowns.len();
     let mut voltages = vec![Volts(0.0); n];
     voltages[source as usize] = vs;
@@ -320,13 +319,13 @@ fn backward_euler_step<E: TwoTerminal + Sync>(
             return Ok(());
         }
         work.iterations += 1;
-        s.ws.compute_jacobian(circuit, voltages, temp, 1, Some(&s.cap_over_h));
+        s.ws.compute_jacobian(circuit, voltages, temp, 1, Some(&s.cap_over_h), true);
         for idx in 0..k {
             s.ws.delta[idx] = -s.ws.residual[idx];
         }
         work.factorizations += 1;
-        lu_factor(&mut s.ws.jac, &mut s.ws.pivots, 1).map_err(|_| SolveError::SingularJacobian)?;
-        lu_solve_factored(&s.ws.jac, &s.ws.pivots, &mut s.ws.delta);
+        s.ws.factor_jacobian(1)?;
+        s.ws.solve_linear();
         s.ws.base.clear();
         s.ws.base.extend_from_slice(voltages);
         let mut alpha = 1.0;

@@ -9,16 +9,59 @@
 //! the thread count: every matrix row and residual slot is written by
 //! exactly one thread, accumulating its incident edges in a fixed order.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::block::TwoTerminal;
-use crate::solver::dc::{Circuit, G_MIN};
-use crate::solver::linear::Matrix;
-use crate::units::{Celsius, Volts};
+use crate::solver::dc::{Circuit, SolveError, G_MIN};
+use crate::solver::linear::{lu_factor, lu_solve_factored, Matrix};
+use crate::solver::sparse::{min_degree_order, CscMatrix, SparseLu};
+use crate::units::{Amps, Celsius, Volts};
 
 /// Below this many edges the per-thread hand-off costs more than the
 /// evaluation itself; stamping runs on the calling thread.
 const PAR_MIN_EDGES: usize = 4096;
+
+/// Which linear solver handles `J·Δ = −F` inside the Newton loops.
+///
+/// The crossbar Jacobian is a complete graph over the unknowns and is
+/// numerically ~50% dense, so the blocked dense LU stays the right tool
+/// there; grid and other locally-connected topologies have `O(k)`
+/// nonzeros and want the sparse factorization with its symbolic
+/// analysis amortized across Newton iterations and warm-start chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinearBackend {
+    /// Cache-blocked dense LU with partial pivoting (the original path).
+    DenseBlocked,
+    /// Fill-reducing sparse LU: symbolic analysis once per circuit
+    /// binding, numeric refactorization per Newton iteration.
+    Sparse,
+    /// Decide per binding from the Jacobian's size and structural
+    /// density (see [`DcWorkspace::bind`]); the default.
+    #[default]
+    Auto,
+}
+
+/// Auto picks sparse only at or above this many unknowns; below it the
+/// dense LU is already a rounding error next to element evaluation.
+const SPARSE_MIN_UNKNOWNS: usize = 64;
+
+/// Snapshot of the sparse backend's work for one workspace, surfaced as
+/// `analog.sparse.*` telemetry and the bench solver-shape record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseStats {
+    /// Structural nonzeros in the assembled Jacobian.
+    pub jacobian_nnz: usize,
+    /// Nonzeros in the L + U factors (fill-in included).
+    pub lu_nnz: usize,
+    /// `lu_nnz / jacobian_nnz`.
+    pub fill_ratio: f64,
+    /// Numeric refactorizations that replayed the recorded symbolic
+    /// pattern and pivot sequence (cumulative over the workspace).
+    pub symbolic_reuse_hits: u64,
+    /// Full factorizations with fresh pivoting (first factor of each
+    /// binding plus any pivot-decay recoveries; cumulative).
+    pub full_factorizations: u64,
+}
 
 /// Reusable buffers and cached topology for the nodal Newton solvers.
 ///
@@ -45,6 +88,30 @@ pub struct DcWorkspace {
     pub(crate) pivots: Vec<u32>,
     edge_i: Vec<f64>,
     edge_g: Vec<f64>,
+    /// Terminal pair of the current binding, used to detect when the
+    /// unknown numbering (and with it the sparse pattern) is stale.
+    bound_terminals: (u32, u32),
+    /// Whether the current binding resolved to the sparse backend.
+    sparse_active: bool,
+    /// Jacobian pattern + values in CSC form (sparse backend only).
+    sp_mat: CscMatrix,
+    /// Fill-reducing column order computed once per binding.
+    sp_perm: Vec<u32>,
+    /// Per-unknown slot of the diagonal entry in `sp_mat`.
+    sp_diag_slots: Vec<u32>,
+    /// Per-edge slots of the `(a,b)` / `(b,a)` off-diagonal entries, or
+    /// `u32::MAX` when the edge touches a terminal or is a self-loop.
+    sp_edge_slots: Vec<(u32, u32)>,
+    /// Numeric factorization, kept across iterations and rebinds of the
+    /// same shape so `refactor` can replay the symbolic pattern.
+    sp_lu: Option<SparseLu>,
+    /// Scratch for the permuted triangular solves.
+    sp_scratch: Vec<f64>,
+    /// Cumulative numeric refactorizations that reused the symbolic
+    /// pattern (see [`SparseStats::symbolic_reuse_hits`]).
+    pub(crate) sp_reuse_hits: u64,
+    /// Cumulative full factorizations with fresh pivoting.
+    pub(crate) sp_full_factors: u64,
     /// Per-iteration Newton residual norms for the current solve, filled
     /// only when [`DcOptions::trace_residuals`] is on and emitted as the
     /// `analog.dc.residual_trace` event.
@@ -67,7 +134,21 @@ impl DcWorkspace {
     /// Binds the workspace to a circuit and terminal pair: refreshes the
     /// unknown numbering and buffer sizes, rebuilding the cached incidence
     /// structure only when the topology actually changed.
-    pub(crate) fn bind<E: TwoTerminal>(&mut self, circuit: &Circuit<E>, source: u32, sink: u32) {
+    ///
+    /// `backend` selects the linear solver. `Auto` resolves to sparse when
+    /// the system has at least [`SPARSE_MIN_UNKNOWNS`] unknowns and the
+    /// structural density `(k + 2·m_interior)/k²` is below 1/4 — grids
+    /// qualify, the complete-graph crossbar does not. The sparse pattern,
+    /// fill-reducing order, and any numeric factorization survive rebinds
+    /// of the same circuit shape and terminal pair, so warm-start chains
+    /// keep replaying the one symbolic analysis.
+    pub(crate) fn bind<E: TwoTerminal>(
+        &mut self,
+        circuit: &Circuit<E>,
+        source: u32,
+        sink: u32,
+        backend: LinearBackend,
+    ) {
         let n = circuit.node_count();
         let edges = circuit.edges();
         let m = edges.len();
@@ -112,7 +193,6 @@ impl DcWorkspace {
             }
         }
         let k = self.unknowns.len();
-        self.jac.resize(k, k);
         self.residual.clear();
         self.residual.resize(k, 0.0);
         self.delta.clear();
@@ -121,11 +201,207 @@ impl DcWorkspace {
         self.edge_i.resize(m, 0.0);
         self.edge_g.clear();
         self.edge_g.resize(m, 0.0);
+        // edges interior to the unknown set (both endpoints unknown,
+        // not a self-loop): they carry the off-diagonal structure
+        let interior = edges
+            .iter()
+            .filter(|e| {
+                e.from != e.to
+                    && self.unknown_of[e.from as usize] != usize::MAX
+                    && self.unknown_of[e.to as usize] != usize::MAX
+            })
+            .count();
+        let sparse = match backend {
+            LinearBackend::DenseBlocked => false,
+            LinearBackend::Sparse => k > 0,
+            LinearBackend::Auto => k >= SPARSE_MIN_UNKNOWNS && (k + 2 * interior) * 4 < k * k,
+        };
+        let same_binding = same_topology
+            && self.bound_terminals == (source, sink)
+            && self.sparse_active == sparse;
+        self.bound_terminals = (source, sink);
+        self.sparse_active = sparse;
+        if sparse {
+            // the dense Jacobian is never touched on this path; shrinking
+            // it keeps large grids from paying O(k²) memory for nothing
+            self.jac.resize(0, 0);
+            if !same_binding {
+                self.build_sparse_pattern(k);
+            }
+        } else {
+            self.jac.resize(k, k);
+            self.sp_lu = None;
+        }
+    }
+
+    /// Builds the CSC Jacobian pattern for the current binding, the slot
+    /// maps used by assembly, and the fill-reducing order; invalidates any
+    /// stale numeric factorization.
+    fn build_sparse_pattern(&mut self, k: usize) {
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(k + 2 * self.edge_from.len());
+        for r in 0..k {
+            triplets.push((r as u32, r as u32, 0.0));
+        }
+        for (&f, &t) in self.edge_from.iter().zip(&self.edge_to) {
+            let a = self.unknown_of[f as usize];
+            let b = self.unknown_of[t as usize];
+            if a != usize::MAX && b != usize::MAX && a != b {
+                triplets.push((a as u32, b as u32, 0.0));
+                triplets.push((b as u32, a as u32, 0.0));
+            }
+        }
+        self.sp_mat = CscMatrix::from_triplets(k, &triplets);
+        self.sp_diag_slots.clear();
+        self.sp_diag_slots.extend((0..k as u32).map(|r| {
+            self.sp_mat.slot_of(r, r).expect("diagonal entry was stamped into the pattern") as u32
+        }));
+        self.sp_edge_slots.clear();
+        for (&f, &t) in self.edge_from.iter().zip(&self.edge_to) {
+            let a = self.unknown_of[f as usize];
+            let b = self.unknown_of[t as usize];
+            let slots = if a != usize::MAX && b != usize::MAX && a != b {
+                let ab = self.sp_mat.slot_of(a as u32, b as u32).unwrap() as u32;
+                let ba = self.sp_mat.slot_of(b as u32, a as u32).unwrap() as u32;
+                (ab, ba)
+            } else {
+                (u32::MAX, u32::MAX)
+            };
+            self.sp_edge_slots.push(slots);
+        }
+        self.sp_perm = min_degree_order(&self.sp_mat);
+        self.sp_scratch.clear();
+        self.sp_scratch.resize(k, 0.0);
+        self.sp_lu = None;
+    }
+
+    /// Scatters the evaluated edge conductances into the CSC Jacobian.
+    /// Each slot accumulates its incident edges in global edge order —
+    /// the same per-entry summation order as the dense row assembly, so
+    /// the sparse matrix entries are bitwise identical to the dense ones.
+    fn assemble_sparse_jacobian(&mut self, extra_diag: Option<&[f64]>) {
+        let diag_slots = &self.sp_diag_slots;
+        let edge_slots = &self.sp_edge_slots;
+        let edge_g = &self.edge_g;
+        let edge_from = &self.edge_from;
+        let edge_to = &self.edge_to;
+        let unknown_of = &self.unknown_of;
+        let vals = self.sp_mat.values_mut();
+        vals.fill(0.0);
+        for (r, &slot) in diag_slots.iter().enumerate() {
+            vals[slot as usize] = -G_MIN - extra_diag.map_or(0.0, |x| x[r]);
+        }
+        for (e, &(sab, sba)) in edge_slots.iter().enumerate() {
+            let g = edge_g[e];
+            if g == 0.0 {
+                continue;
+            }
+            let a = unknown_of[edge_from[e] as usize];
+            let b = unknown_of[edge_to[e] as usize];
+            if a == b {
+                // terminal-terminal edges and self-loops contribute
+                // nothing to the reduced system
+                continue;
+            }
+            if a != usize::MAX {
+                vals[diag_slots[a] as usize] -= g;
+            }
+            if b != usize::MAX {
+                vals[diag_slots[b] as usize] -= g;
+            }
+            if sab != u32::MAX {
+                vals[sab as usize] += g;
+                vals[sba as usize] += g;
+            }
+        }
+    }
+
+    /// Factors the Jacobian assembled by the most recent
+    /// [`compute_jacobian`](Self::compute_jacobian) pass, dispatching on
+    /// the backend the binding resolved. The sparse path replays the
+    /// recorded symbolic pattern when a factorization exists (a numeric
+    /// `refactor`), falling back to a full factorization with fresh
+    /// pivoting if pivot decay says the recorded sequence went stale.
+    /// Wall time is charged to `lu_time`.
+    pub(crate) fn factor_jacobian(&mut self, threads: usize) -> Result<(), SolveError> {
+        let t0 = Instant::now();
+        let result = if self.sparse_active {
+            let mut refreshed = false;
+            if let Some(lu) = self.sp_lu.as_mut() {
+                if lu.refactor(&self.sp_mat).is_ok() {
+                    self.sp_reuse_hits += 1;
+                    refreshed = true;
+                }
+            }
+            if refreshed {
+                Ok(())
+            } else {
+                match SparseLu::factor(&self.sp_mat, &self.sp_perm) {
+                    Ok(lu) => {
+                        self.sp_lu = Some(lu);
+                        self.sp_full_factors += 1;
+                        Ok(())
+                    }
+                    Err(_) => {
+                        self.sp_lu = None;
+                        Err(SolveError::SingularJacobian)
+                    }
+                }
+            }
+        } else {
+            lu_factor(&mut self.jac, &mut self.pivots, threads)
+                .map(|_| ())
+                .map_err(|_| SolveError::SingularJacobian)
+        };
+        self.lu_time += t0.elapsed();
+        result
+    }
+
+    /// Solves `J·x = delta` in place against the factors from
+    /// [`factor_jacobian`](Self::factor_jacobian); allocation-free on
+    /// both backends.
+    pub(crate) fn solve_linear(&mut self) {
+        let t0 = Instant::now();
+        if self.sparse_active {
+            let lu = self.sp_lu.as_ref().expect("factor_jacobian must succeed before solve_linear");
+            lu.solve_with(&mut self.delta, &mut self.sp_scratch);
+        } else {
+            lu_solve_factored(&self.jac, &self.pivots, &mut self.delta);
+        }
+        self.lu_time += t0.elapsed();
+    }
+
+    /// Whether the current binding resolved to the sparse backend.
+    pub fn sparse_resolved(&self) -> bool {
+        self.sparse_active
+    }
+
+    /// Sparse-backend work snapshot, or `None` when the binding resolved
+    /// dense or nothing has been factored yet.
+    pub fn sparse_stats(&self) -> Option<SparseStats> {
+        if !self.sparse_active {
+            return None;
+        }
+        let lu = self.sp_lu.as_ref()?;
+        Some(SparseStats {
+            jacobian_nnz: self.sp_mat.nnz(),
+            lu_nnz: lu.factor_nnz(),
+            fill_ratio: lu.fill_ratio(self.sp_mat.nnz()),
+            symbolic_reuse_hits: self.sp_reuse_hits,
+            full_factorizations: self.sp_full_factors,
+        })
     }
 
     /// Evaluates every edge element at `voltages` into the `edge_i` (and,
     /// when `want_g`, `edge_g`) arrays. Each edge's slot is written by one
     /// thread, so the pass is deterministic for any `threads`.
+    ///
+    /// Each residual pass seeds its root-finds with the edge's current
+    /// from the previous pass ([`TwoTerminal::current_seeded`]); the seeds
+    /// evolve deterministically, so the pass stays bitwise thread-count
+    /// independent. A Jacobian pass with `reuse_i` trusts `edge_i` to
+    /// already hold the currents at `voltages` (the Newton loop always
+    /// computes the residual there first) and evaluates only the
+    /// conductances, via [`TwoTerminal::conductance_with_current`].
     fn eval_edges<E: TwoTerminal + Sync>(
         &mut self,
         circuit: &Circuit<E>,
@@ -133,6 +409,7 @@ impl DcWorkspace {
         temp: Celsius,
         threads: usize,
         want_g: bool,
+        reuse_i: bool,
     ) {
         let edges = circuit.edges();
         let m = edges.len();
@@ -141,9 +418,17 @@ impl DcWorkspace {
                     g_out: &mut [f64]| {
             for (idx, e) in edge_chunk.iter().enumerate() {
                 let dv = voltages[e.from as usize] - voltages[e.to as usize];
-                i_out[idx] = e.element.current(dv, temp).value();
                 if want_g {
-                    g_out[idx] = e.element.conductance(dv, temp).max(0.0);
+                    if reuse_i {
+                        g_out[idx] =
+                            e.element.conductance_with_current(dv, Amps(i_out[idx]), temp).max(0.0);
+                    } else {
+                        let (i, g) = e.element.current_and_conductance(dv, temp);
+                        i_out[idx] = i.value();
+                        g_out[idx] = g.max(0.0);
+                    }
+                } else {
+                    i_out[idx] = e.element.current_seeded(dv, Amps(i_out[idx]), temp).value();
                 }
             }
         };
@@ -196,7 +481,7 @@ impl DcWorkspace {
         threads: usize,
     ) {
         let t0 = std::time::Instant::now();
-        self.eval_edges(circuit, voltages, temp, threads, false);
+        self.eval_edges(circuit, voltages, temp, threads, false, false);
         self.assemble_residual();
         self.stamp_time += t0.elapsed();
     }
@@ -207,6 +492,12 @@ impl DcWorkspace {
     /// Rows fan out over `threads` scoped threads; each row is written by
     /// one thread in a fixed edge order, so the matrix is bitwise
     /// identical for any thread count.
+    ///
+    /// With `reuse_currents` the edge currents from the most recent
+    /// [`compute_residual`](Self::compute_residual) are trusted to belong
+    /// to these same `voltages`, skipping every forward root-find in the
+    /// pass; callers that haven't just computed the residual there must
+    /// pass `false`.
     pub(crate) fn compute_jacobian<E: TwoTerminal + Sync>(
         &mut self,
         circuit: &Circuit<E>,
@@ -214,9 +505,15 @@ impl DcWorkspace {
         temp: Celsius,
         threads: usize,
         extra_diag: Option<&[f64]>,
+        reuse_currents: bool,
     ) {
         let t0 = std::time::Instant::now();
-        self.eval_edges(circuit, voltages, temp, threads, true);
+        self.eval_edges(circuit, voltages, temp, threads, true, reuse_currents);
+        if self.sparse_active {
+            self.assemble_sparse_jacobian(extra_diag);
+            self.stamp_time += t0.elapsed();
+            return;
+        }
         let k = self.unknowns.len();
         let unknowns = &self.unknowns;
         let unknown_of = &self.unknown_of;
@@ -324,7 +621,7 @@ mod tests {
     fn workspace_residual_matches_direct_kcl() {
         let c = diamond();
         let mut ws = DcWorkspace::new();
-        ws.bind(&c, 0, 3);
+        ws.bind(&c, 0, 3, LinearBackend::Auto);
         let voltages = vec![Volts(2.0), Volts(1.3), Volts(0.9), Volts(0.0)];
         ws.compute_residual(&c, &voltages, Celsius::NOMINAL, 1);
         let mut direct = vec![0.0; ws.unknowns.len()];
@@ -337,12 +634,12 @@ mod tests {
         let c = diamond();
         let voltages = vec![Volts(2.0), Volts(1.3), Volts(0.9), Volts(0.0)];
         let mut reference = DcWorkspace::new();
-        reference.bind(&c, 0, 3);
-        reference.compute_jacobian(&c, &voltages, Celsius::NOMINAL, 1, None);
+        reference.bind(&c, 0, 3, LinearBackend::Auto);
+        reference.compute_jacobian(&c, &voltages, Celsius::NOMINAL, 1, None, false);
         for threads in [2, 4] {
             let mut ws = DcWorkspace::new();
-            ws.bind(&c, 0, 3);
-            ws.compute_jacobian(&c, &voltages, Celsius::NOMINAL, threads, None);
+            ws.bind(&c, 0, 3, LinearBackend::Auto);
+            ws.compute_jacobian(&c, &voltages, Celsius::NOMINAL, threads, None, false);
             assert_eq!(ws.jac, reference.jac, "threads = {threads}");
         }
     }
@@ -351,19 +648,86 @@ mod tests {
     fn rebind_reuses_topology_and_tracks_terminals() {
         let c = diamond();
         let mut ws = DcWorkspace::new();
-        ws.bind(&c, 0, 3);
+        ws.bind(&c, 0, 3, LinearBackend::Auto);
         assert_eq!(ws.unknowns, vec![1, 2]);
         // same circuit, different terminals: unknown set must refresh
-        ws.bind(&c, 1, 2);
+        ws.bind(&c, 1, 2, LinearBackend::Auto);
         assert_eq!(ws.unknowns, vec![0, 3]);
         assert_eq!(ws.unknown_of[1], usize::MAX);
+    }
+
+    #[test]
+    fn forced_sparse_jacobian_matches_dense_bitwise() {
+        let c = diamond();
+        let voltages = vec![Volts(2.0), Volts(1.3), Volts(0.9), Volts(0.0)];
+        let mut dense = DcWorkspace::new();
+        dense.bind(&c, 0, 3, LinearBackend::DenseBlocked);
+        dense.compute_jacobian(&c, &voltages, Celsius::NOMINAL, 1, None, false);
+        let mut sparse = DcWorkspace::new();
+        sparse.bind(&c, 0, 3, LinearBackend::Sparse);
+        assert!(sparse.sparse_resolved());
+        sparse.compute_jacobian(&c, &voltages, Celsius::NOMINAL, 1, None, false);
+        let k = dense.unknowns.len();
+        for r in 0..k {
+            for col in 0..k {
+                let got = sparse
+                    .sp_mat
+                    .slot_of(r as u32, col as u32)
+                    .map_or(0.0, |s| sparse.sp_mat.values()[s]);
+                assert_eq!(got, dense.jac[(r, col)], "entry ({r},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_sparse_newton_step_matches_dense() {
+        let c = diamond();
+        let voltages = vec![Volts(2.0), Volts(1.3), Volts(0.9), Volts(0.0)];
+        let solve = |backend: LinearBackend| {
+            let mut ws = DcWorkspace::new();
+            ws.bind(&c, 0, 3, backend);
+            ws.compute_residual(&c, &voltages, Celsius::NOMINAL, 1);
+            ws.compute_jacobian(&c, &voltages, Celsius::NOMINAL, 1, None, true);
+            for idx in 0..ws.unknowns.len() {
+                ws.delta[idx] = -ws.residual[idx];
+            }
+            ws.factor_jacobian(1).unwrap();
+            ws.solve_linear();
+            ws.delta
+        };
+        let dense = solve(LinearBackend::DenseBlocked);
+        let sparse = solve(LinearBackend::Sparse);
+        for (a, b) in dense.iter().zip(&sparse) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "dense {a} vs sparse {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_symbolic_survives_rebind_of_same_shape() {
+        let c = diamond();
+        let voltages = vec![Volts(2.0), Volts(1.3), Volts(0.9), Volts(0.0)];
+        let mut ws = DcWorkspace::new();
+        let factor_once = |ws: &mut DcWorkspace, source: u32, sink: u32| {
+            ws.bind(&c, source, sink, LinearBackend::Sparse);
+            ws.compute_jacobian(&c, &voltages, Celsius::NOMINAL, 1, None, false);
+            ws.factor_jacobian(1).unwrap();
+        };
+        factor_once(&mut ws, 0, 3);
+        assert_eq!((ws.sp_full_factors, ws.sp_reuse_hits), (1, 0));
+        // same binding again: the next factorization replays the pattern
+        factor_once(&mut ws, 0, 3);
+        assert_eq!((ws.sp_full_factors, ws.sp_reuse_hits), (1, 1));
+        assert_eq!(ws.sparse_stats().unwrap().symbolic_reuse_hits, 1);
+        // different terminals: new unknown numbering forces a full factor
+        factor_once(&mut ws, 1, 2);
+        assert_eq!((ws.sp_full_factors, ws.sp_reuse_hits), (2, 1));
     }
 
     #[test]
     fn terminal_current_matches_edge_loop() {
         let c = diamond();
         let mut ws = DcWorkspace::new();
-        ws.bind(&c, 0, 3);
+        ws.bind(&c, 0, 3, LinearBackend::Auto);
         let voltages = vec![Volts(2.0), Volts(1.1), Volts(0.7), Volts(0.0)];
         ws.compute_residual(&c, &voltages, Celsius::NOMINAL, 1);
         let direct: f64 = c

@@ -1,23 +1,27 @@
 //! Engine scaling benchmark: measured DC solve wall-time vs device size,
 //! thread count, and warm/cold starting — including the paper's n = 900
-//! operating point, measured natively rather than extrapolated.
+//! operating point, measured natively rather than extrapolated — plus a
+//! grid workload solved under both linear backends, so the dense-vs-
+//! sparse trade sits in the same report.
 //!
 //! Default run writes `results/bench/engine.json` plus a telemetry report
 //! (with percentile sample summaries) under `results/bench/`. The
-//! `--smoke` mode solves one n = 200 cold operating point, writes
-//! `results/bench/engine-smoke.json`, and exits non-zero if the solve
-//! regressed more than 2× against the committed
-//! `results/bench/engine-smoke-baseline.json` — the CI perf gate.
+//! `--backend dense|sparse|auto` flag forces the linear backend for the
+//! crossbar scaling matrix (default: auto). The `--smoke` mode solves one
+//! n = 200 cold operating point, writes `results/bench/engine-smoke.json`,
+//! and exits non-zero if the solve regressed more than 2× against the
+//! committed `results/bench/engine-smoke-baseline.json` — the CI perf
+//! gate.
 
 use std::fmt::Write as _;
 
-use ppuf_analog::solver::{DcEngine, DcOptions, EngineOptions};
+use ppuf_analog::solver::{DcEngine, DcOptions, EngineOptions, LinearBackend};
 use ppuf_bench::engine_profile::{
-    challenge_circuit, check_smoke_baseline, device_variations, run_engine_smoke, time, BENCH_DIR,
-    SUPPLY,
+    challenge_circuit, check_smoke_baseline, device_variations, grid_circuit, grid_edge_count,
+    grid_variations, run_engine_smoke, time, SolverShape, BENCH_DIR, SUPPLY,
 };
 use ppuf_bench::report::write_json_report;
-use ppuf_telemetry::{JsonReporter, SampleSeries};
+use ppuf_telemetry::{JsonReporter, MemoryRecorder, SampleSeries};
 
 struct EngineRow {
     threads: usize,
@@ -42,9 +46,10 @@ fn measure_size(
     n: usize,
     threads_list: &[usize],
     warm_repeats: usize,
+    backend: LinearBackend,
     reporter: &JsonReporter,
 ) -> SizeRow {
-    let options = DcOptions::default();
+    let options = DcOptions { backend, ..DcOptions::default() };
     let (source, sink) = (0u32, n as u32 - 1);
     let vars = device_variations(n, 0xE27 + n as u64);
     let circuit = challenge_circuit(n, &vars, 0xC0);
@@ -106,9 +111,69 @@ fn measure_size(
     SizeRow { nodes: n, edges: n * (n - 1), cold_baseline_seconds, engines }
 }
 
-fn render_full(rows: &[SizeRow], threads_available: usize) -> String {
+/// One backend's measurement of the grid workload.
+struct GridBackendRow {
+    requested: &'static str,
+    cold_seconds: f64,
+    warm_mean_seconds: f64,
+    solver: SolverShape,
+}
+
+/// The dense-vs-sparse comparison row: the same grid device, the same
+/// challenge chain, solved under each backend.
+struct GridRow {
+    side: usize,
+    warm_solves: usize,
+    backends: Vec<GridBackendRow>,
+}
+
+fn measure_grid(side: usize, warm_repeats: usize) -> GridRow {
+    let vars = grid_variations(side, 0x61D + side as u64);
+    let n = side * side;
+    let (source, sink) = (0u32, n as u32 - 1);
+    let mut backends = Vec::new();
+    for (requested, backend) in
+        [("dense", LinearBackend::DenseBlocked), ("sparse", LinearBackend::Sparse)]
+    {
+        let options = DcOptions { backend, ..DcOptions::default() };
+        let recorder = MemoryRecorder::new();
+        let mut engine = DcEngine::new(EngineOptions { threads: 1, ..EngineOptions::default() });
+        let circuit = grid_circuit(side, &vars, 0xD0);
+        let (cold, cold_seconds) = time(|| {
+            engine
+                .solve_traced(&circuit, source, sink, SUPPLY, &options, &recorder)
+                .expect("grid cold solve converges")
+        });
+        let mut warm = SampleSeries::new();
+        for rep in 0..warm_repeats {
+            let next = grid_circuit(side, &vars, 0xD1 + rep as u64);
+            let (_, seconds) = time(|| {
+                engine
+                    .solve_traced(&next, source, sink, SUPPLY, &options, &recorder)
+                    .expect("grid warm solve converges")
+            });
+            warm.record(seconds);
+        }
+        let solver = SolverShape::harvest(
+            &engine,
+            cold.iterations as u64,
+            recorder.counter("analog.dc.jacobian_factorizations"),
+        );
+        let warm_mean = warm.summary().map_or(f64::NAN, |s| s.mean);
+        eprintln!(
+            "grid {side}x{side} {requested}: cold {cold_seconds:.3}s warm {warm_mean:.3}s \
+             (I = {}, lu_nnz {})",
+            cold.source_current, solver.lu_nnz
+        );
+        backends.push(GridBackendRow { requested, cold_seconds, warm_mean_seconds: warm_mean, solver });
+    }
+    GridRow { side, warm_solves: warm_repeats, backends }
+}
+
+fn render_full(rows: &[SizeRow], grid: &GridRow, backend_label: &str, threads_available: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": 1,\n  \"mode\": \"full\",\n");
+    let _ = writeln!(out, "  \"backend\": \"{backend_label}\",");
     let _ = writeln!(out, "  \"threads_available\": {threads_available},");
     out.push_str("  \"sizes\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -136,20 +201,52 @@ fn render_full(rows: &[SizeRow], threads_available: usize) -> String {
         out.push_str("      ]\n");
         out.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"grid_comparison\": {\n");
+    let _ = writeln!(out, "    \"side\": {},", grid.side);
+    let _ = writeln!(out, "    \"nodes\": {},", grid.side * grid.side);
+    let _ = writeln!(out, "    \"edges\": {},", grid_edge_count(grid.side));
+    let _ = writeln!(out, "    \"warm_solves\": {},", grid.warm_solves);
+    out.push_str("    \"backends\": [\n");
+    for (i, b) in grid.backends.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"requested\": \"{}\", \"cold_seconds\": {:?}, \
+             \"warm_mean_seconds\": {:?}, \"solver\": {}}}",
+            b.requested, b.cold_seconds, b.warm_mean_seconds, b.solver.to_json()
+        );
+        out.push_str(if i + 1 < grid.backends.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]");
+    if let [dense, sparse] = &grid.backends[..] {
+        let _ = write!(
+            out,
+            ",\n    \"sparse_cold_speedup\": {:?},\n    \"sparse_warm_speedup\": {:?}\n",
+            dense.cold_seconds / sparse.cold_seconds,
+            dense.warm_mean_seconds / sparse.warm_mean_seconds
+        );
+    } else {
+        out.push('\n');
+    }
+    out.push_str("  }\n}\n");
     out
 }
 
-fn run_full() {
+fn run_full(backend: LinearBackend, backend_label: &str) {
     let reporter = JsonReporter::new("engine_bench");
     let threads_available = std::thread::available_parallelism().map_or(1, |p| p.get());
     // cold solves at n = 900 take minutes each, so the thread matrix
     // narrows as n grows — 1 vs 4 still brackets the scaling story
     let sizes: [(usize, &[usize], usize); 4] =
         [(100, &[1, 2, 4], 5), (200, &[1, 2, 4], 5), (400, &[1, 2, 4], 3), (900, &[1, 4], 2)];
-    let rows: Vec<SizeRow> =
-        sizes.iter().map(|&(n, threads, reps)| measure_size(n, threads, reps, &reporter)).collect();
-    let json = render_full(&rows, threads_available);
+    let rows: Vec<SizeRow> = sizes
+        .iter()
+        .map(|&(n, threads, reps)| measure_size(n, threads, reps, backend, &reporter))
+        .collect();
+    // the dense-vs-sparse comparison always measures both backends on
+    // the grid workload, whatever the crossbar matrix was forced to
+    let grid = measure_grid(30, 3);
+    let json = render_full(&rows, &grid, backend_label, threads_available);
     let path = write_json_report("engine", &json, BENCH_DIR).expect("write engine.json");
     eprintln!("wrote {}", path.display());
     let telemetry = write_json_report("engine-telemetry", &reporter.report().to_json(), BENCH_DIR)
@@ -181,10 +278,29 @@ fn run_smoke() {
     }
 }
 
+fn backend_flag() -> (LinearBackend, &'static str) {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            return match args.next().as_deref() {
+                Some("dense") => (LinearBackend::DenseBlocked, "dense"),
+                Some("sparse") => (LinearBackend::Sparse, "sparse"),
+                Some("auto") | None => (LinearBackend::Auto, "auto"),
+                Some(other) => {
+                    eprintln!("unknown --backend {other:?}; expected dense|sparse|auto");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    (LinearBackend::Auto, "auto")
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         run_smoke();
     } else {
-        run_full();
+        let (backend, label) = backend_flag();
+        run_full(backend, label);
     }
 }

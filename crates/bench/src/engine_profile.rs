@@ -7,6 +7,7 @@
 //! code, so a trajectory entry and a gate verdict always describe the
 //! same measurement.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
@@ -18,6 +19,7 @@ use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock};
 use ppuf_analog::montecarlo::gaussian;
 use ppuf_analog::solver::{Circuit, DcEngine, DcOptions, EngineOptions};
 use ppuf_analog::units::Volts;
+use ppuf_telemetry::MemoryRecorder;
 
 /// Default directory for engine benchmark reports.
 pub const BENCH_DIR: &str = "results/bench";
@@ -31,10 +33,14 @@ pub const SMOKE_REGRESSION_FACTOR: f64 = 2.0;
 /// Device size the smoke profile solves.
 pub const SMOKE_NODES: usize = 200;
 
-/// One device's σ(Vth) = 35 mV process draws, in dense edge order.
-pub fn device_variations(n: usize, seed: u64) -> Vec<BlockVariation> {
+/// Grid side length of the smoke profile's sparse workload; 16×16 gives
+/// 254 unknowns, comfortably past the backend's auto-sparse threshold.
+pub const SMOKE_GRID_SIDE: usize = 16;
+
+/// `count` independent σ(Vth) = 35 mV process draws.
+fn variations(count: usize, seed: u64) -> Vec<BlockVariation> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n * (n - 1))
+    (0..count)
         .map(|_| BlockVariation {
             delta_vth: [
                 Volts(0.035 * gaussian(&mut rng)),
@@ -44,6 +50,16 @@ pub fn device_variations(n: usize, seed: u64) -> Vec<BlockVariation> {
             ],
         })
         .collect()
+}
+
+/// One device's σ(Vth) = 35 mV process draws, in dense edge order.
+pub fn device_variations(n: usize, seed: u64) -> Vec<BlockVariation> {
+    variations(n * (n - 1), seed)
+}
+
+/// Process draws for a [`grid_circuit`] of the given side, in edge order.
+pub fn grid_variations(side: usize, seed: u64) -> Vec<BlockVariation> {
+    variations(grid_edge_count(side), seed)
 }
 
 /// A complete crossbar-like circuit for one device under one challenge:
@@ -72,6 +88,38 @@ pub fn challenge_circuit(
     circuit
 }
 
+/// A `side`×`side` grid device conducting rightward and downward — the
+/// locally-connected topology the sparse linear backend targets. Uses
+/// `2·side·(side−1)` variations from `vars` in edge order.
+pub fn grid_circuit(side: usize, vars: &[BlockVariation], challenge_seed: u64) -> Circuit<BuildingBlock> {
+    let mut rng = ChaCha8Rng::seed_from_u64(challenge_seed);
+    let mut circuit = Circuit::new(side * side);
+    let at = |r: usize, c: usize| (r * side + c) as u32;
+    let mut edge = 0;
+    let mut add = |circuit: &mut Circuit<BuildingBlock>, a: u32, b: u32, rng: &mut ChaCha8Rng| {
+        let bias = BlockBias::for_input(rng.gen::<bool>());
+        let block = BuildingBlock::new(BlockDesign::Serial, bias).with_variation(vars[edge]);
+        circuit.add_element(a, b, block).expect("valid grid edge");
+        edge += 1;
+    };
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                add(&mut circuit, at(r, c), at(r, c + 1), &mut rng);
+            }
+            if r + 1 < side {
+                add(&mut circuit, at(r, c), at(r + 1, c), &mut rng);
+            }
+        }
+    }
+    circuit
+}
+
+/// Number of edges [`grid_circuit`] stamps for a given side length.
+pub fn grid_edge_count(side: usize) -> usize {
+    2 * side * (side - 1)
+}
+
 /// Runs `f` and returns its value plus the elapsed wall-clock seconds.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -79,7 +127,112 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (value, start.elapsed().as_secs_f64())
 }
 
-/// The smoke profile's measurement: one engine-path cold solve.
+/// Shape of the linear-solver work inside one measured solve chain:
+/// which backend the binding resolved, the Newton effort, and (on the
+/// sparse backend) the pattern/fill counters that explain the cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverShape {
+    /// `"dense"` or `"sparse"` — the backend the binding resolved to.
+    pub backend: String,
+    /// Newton iterations of the measured cold solve.
+    pub newton_iterations: u64,
+    /// Jacobian factorizations across the measured chain.
+    pub jacobian_factorizations: u64,
+    /// Structural nonzeros of the Jacobian (k² when dense).
+    pub jacobian_nnz: u64,
+    /// Nonzeros in L + U, fill-in included (k² when dense).
+    pub lu_nnz: u64,
+    /// `lu_nnz / jacobian_nnz`; 1.0 on the dense backend.
+    pub fill_ratio: f64,
+    /// Numeric refactorizations that replayed the symbolic pattern.
+    pub symbolic_reuse_hits: u64,
+    /// Full factorizations with fresh pivoting.
+    pub full_factorizations: u64,
+}
+
+impl SolverShape {
+    /// Reads the shape off an engine after a measured solve chain.
+    pub fn harvest(engine: &DcEngine, newton_iterations: u64, factorizations: u64) -> Self {
+        match engine.sparse_stats() {
+            Some(stats) => SolverShape {
+                backend: "sparse".to_string(),
+                newton_iterations,
+                jacobian_factorizations: factorizations,
+                jacobian_nnz: stats.jacobian_nnz as u64,
+                lu_nnz: stats.lu_nnz as u64,
+                fill_ratio: stats.fill_ratio,
+                symbolic_reuse_hits: stats.symbolic_reuse_hits,
+                full_factorizations: stats.full_factorizations,
+            },
+            None => SolverShape {
+                backend: "dense".to_string(),
+                newton_iterations,
+                jacobian_factorizations: factorizations,
+                jacobian_nnz: 0,
+                lu_nnz: 0,
+                fill_ratio: 1.0,
+                symbolic_reuse_hits: 0,
+                full_factorizations: factorizations,
+            },
+        }
+    }
+
+    /// Single-line JSON object for the hand-rolled reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\": {:?}, \"newton_iterations\": {}, \"jacobian_factorizations\": {}, \
+             \"jacobian_nnz\": {}, \"lu_nnz\": {}, \"fill_ratio\": {:?}, \
+             \"symbolic_reuse_hits\": {}, \"full_factorizations\": {}}}",
+            self.backend,
+            self.newton_iterations,
+            self.jacobian_factorizations,
+            self.jacobian_nnz,
+            self.lu_nnz,
+            self.fill_ratio,
+            self.symbolic_reuse_hits,
+            self.full_factorizations,
+        )
+    }
+}
+
+/// The smoke profile's sparse-workload measurement: one grid device
+/// solved cold through the engine, then re-solved warm, so the symbolic
+/// reuse chain shows up in the counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSmoke {
+    /// Grid side length (`nodes = side²`).
+    pub side: u64,
+    /// Circuit nodes solved.
+    pub nodes: u64,
+    /// Cold-solve wall time, seconds.
+    pub cold_seconds: f64,
+    /// Mean warm re-solve wall time over the chain, seconds.
+    pub warm_mean_seconds: f64,
+    /// Correctness fingerprint of the cold operating point.
+    pub source_current_amps: f64,
+    /// Linear-solver shape of the chain (sparse for any healthy run).
+    pub solver: SolverShape,
+}
+
+impl GridSmoke {
+    /// JSON object used inside the smoke report.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"side\": {},\n    \"nodes\": {},\n    \"cold_seconds\": {:?},\n    \
+             \"warm_mean_seconds\": {:?},\n    \"source_current_amps\": {:?},\n    \
+             \"solver\": {}\n  }}",
+            self.side,
+            self.nodes,
+            self.cold_seconds,
+            self.warm_mean_seconds,
+            self.source_current_amps,
+            self.solver.to_json()
+        )
+    }
+}
+
+/// The smoke profile's measurement: one crossbar cold solve (the gated
+/// number) plus a sparse grid chain recording the linear-backend shape.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineSmoke {
     /// Circuit nodes solved.
@@ -89,35 +242,96 @@ pub struct EngineSmoke {
     /// The solved operating point's source current (a correctness
     /// fingerprint: it must not drift between runs of the same seed).
     pub source_current_amps: f64,
+    /// Linear-solver shape of the crossbar solve (dense for the complete
+    /// graph); `None` when read from a pre-shape baseline file.
+    pub solver: Option<SolverShape>,
+    /// The sparse-backend grid workload; `None` in pre-shape baselines.
+    pub sparse_grid: Option<GridSmoke>,
 }
 
 impl EngineSmoke {
     /// The flat JSON shape `engine-smoke.json` (and the committed
-    /// baseline) use.
+    /// baseline) use. The gated `cold_seconds` stays the first of its
+    /// name in the text, so the baseline reader keeps working.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\n  \"schema\": 1,\n  \"mode\": \"smoke\",\n  \"nodes\": {},\n  \
-             \"cold_seconds\": {:?},\n  \"source_current_amps\": {:?}\n}}\n",
+             \"cold_seconds\": {:?},\n  \"source_current_amps\": {:?}",
             self.nodes, self.cold_seconds, self.source_current_amps
-        )
+        );
+        if let Some(solver) = &self.solver {
+            let _ = write!(out, ",\n  \"solver\": {}", solver.to_json());
+        }
+        if let Some(grid) = &self.sparse_grid {
+            let _ = write!(out, ",\n  \"sparse_grid\": {}", grid.to_json());
+        }
+        out.push_str("\n}\n");
+        out
     }
 }
 
 /// Solves the n = 200 cold operating point through the batch engine —
-/// the exact code path `engine_bench --smoke` measures.
+/// the exact code path `engine_bench --smoke` measures — then runs the
+/// grid chain that exercises the sparse backend.
 pub fn run_engine_smoke() -> EngineSmoke {
     let n = SMOKE_NODES;
     let vars = device_variations(n, 0xE27 + n as u64);
     let circuit = challenge_circuit(n, &vars, 0xC0);
     let options = DcOptions::default();
+    let recorder = MemoryRecorder::new();
     let mut engine = DcEngine::new(EngineOptions { threads: 1, ..EngineOptions::default() });
     let (solution, cold_seconds) = time(|| {
-        engine.solve(&circuit, 0, n as u32 - 1, SUPPLY, &options).expect("smoke solve converges")
+        engine
+            .solve_traced(&circuit, 0, n as u32 - 1, SUPPLY, &options, &recorder)
+            .expect("smoke solve converges")
     });
+    let solver = SolverShape::harvest(
+        &engine,
+        solution.iterations as u64,
+        recorder.counter("analog.dc.jacobian_factorizations"),
+    );
+
+    let side = SMOKE_GRID_SIDE;
+    let grid_nodes = side * side;
+    let gvars = grid_variations(side, 0x61D + side as u64);
+    let grid = grid_circuit(side, &gvars, 0xD0);
+    let grecorder = MemoryRecorder::new();
+    let mut gengine = DcEngine::new(EngineOptions { threads: 1, ..EngineOptions::default() });
+    let (gsolution, grid_cold_seconds) = time(|| {
+        gengine
+            .solve_traced(&grid, 0, grid_nodes as u32 - 1, SUPPLY, &options, &grecorder)
+            .expect("grid smoke solve converges")
+    });
+    const GRID_WARM_SOLVES: usize = 3;
+    let mut warm_total = 0.0;
+    for rep in 0..GRID_WARM_SOLVES {
+        let next = grid_circuit(side, &gvars, 0xD1 + rep as u64);
+        let (_, seconds) = time(|| {
+            gengine
+                .solve_traced(&next, 0, grid_nodes as u32 - 1, SUPPLY, &options, &grecorder)
+                .expect("grid warm solve converges")
+        });
+        warm_total += seconds;
+    }
+    let grid_solver = SolverShape::harvest(
+        &gengine,
+        gsolution.iterations as u64,
+        grecorder.counter("analog.dc.jacobian_factorizations"),
+    );
+
     EngineSmoke {
         nodes: n as u64,
         cold_seconds,
         source_current_amps: solution.source_current.value(),
+        solver: Some(solver),
+        sparse_grid: Some(GridSmoke {
+            side: side as u64,
+            nodes: grid_nodes as u64,
+            cold_seconds: grid_cold_seconds,
+            warm_mean_seconds: warm_total / GRID_WARM_SOLVES as f64,
+            source_current_amps: gsolution.source_current.value(),
+            solver: grid_solver,
+        }),
     }
 }
 
@@ -179,7 +393,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ppuf-baseline-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("baseline.json");
-        let baseline = EngineSmoke { nodes: 200, cold_seconds: 10.0, source_current_amps: 1e-3 };
+        let baseline = EngineSmoke {
+            nodes: 200,
+            cold_seconds: 10.0,
+            source_current_amps: 1e-3,
+            solver: None,
+            sparse_grid: None,
+        };
         std::fs::write(&path, baseline.to_json()).unwrap();
         let path = path.to_string_lossy().into_owned();
 
@@ -193,7 +413,22 @@ mod tests {
 
     #[test]
     fn smoke_json_round_trips() {
-        let smoke = EngineSmoke { nodes: 200, cold_seconds: 9.5, source_current_amps: 2.5e-4 };
+        let smoke = EngineSmoke {
+            nodes: 200,
+            cold_seconds: 9.5,
+            source_current_amps: 2.5e-4,
+            solver: Some(SolverShape {
+                backend: "sparse".to_string(),
+                newton_iterations: 23,
+                jacobian_factorizations: 23,
+                jacobian_nnz: 1234,
+                lu_nnz: 2100,
+                fill_ratio: 1.7,
+                symbolic_reuse_hits: 22,
+                full_factorizations: 1,
+            }),
+            sparse_grid: None,
+        };
         let text = smoke.to_json();
         assert_eq!(extract_number(&text, "cold_seconds"), Some(9.5));
         let back: EngineSmoke = serde_json::from_str(&text).expect("smoke JSON parses");

@@ -181,7 +181,13 @@ mod tests {
             unix_time_s: 1_700_000_000,
             git_commit: "abc1234".into(),
             git_branch: "main".into(),
-            engine: EngineSmoke { nodes: 200, cold_seconds: cold, source_current_amps: 1e-3 },
+            engine: EngineSmoke {
+                nodes: 200,
+                cold_seconds: cold,
+                source_current_amps: 1e-3,
+                solver: None,
+                sparse_grid: None,
+            },
             service: ServiceSample {
                 total_requests: 100,
                 throughput_rps: rps,
