@@ -12,7 +12,11 @@
 //! - the engine cold solve regressed more than 2× against the committed
 //!   `results/bench/engine-smoke-baseline.json`;
 //! - any loadgen smoke invariant is violated — including the service
-//!   ending the run with an SLO health status other than `Ok`.
+//!   ending the run with an SLO health status other than `Ok`;
+//! - the async concurrency smoke (512 multiplexed connections against
+//!   one reactor process, binary wire) violates an invariant, or its
+//!   throughput/p99 regresses past the committed
+//!   `results/service/async-smoke-baseline.json`.
 //!
 //! On success it appends a [`TrajectoryEntry`] (git commit/branch, the
 //! engine point, the service point) and prints the delta against the
@@ -22,9 +26,10 @@
 use ppuf_bench::engine_profile::{check_smoke_baseline, run_engine_smoke, BENCH_DIR};
 use ppuf_bench::report::{section, write_json_report, SERVICE_DIR};
 use ppuf_bench::trajectory::{
-    git_metadata, ServiceSample, Trajectory, TrajectoryEntry, TRAJECTORY_PATH,
+    check_async_baseline, git_metadata, AsyncServiceSample, ServiceSample, Trajectory,
+    TrajectoryEntry, TRAJECTORY_PATH,
 };
-use ppuf_server::loadgen::{run_loadgen, LoadgenConfig};
+use ppuf_server::loadgen::{run_async_loadgen, run_loadgen, AsyncLoadgenConfig, LoadgenConfig};
 
 fn arg_after(flag: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -84,6 +89,64 @@ fn main() {
     }
     println!("  smoke invariants hold (health {:?})", report.health.status);
 
+    section("async concurrency smoke");
+    let async_config = AsyncLoadgenConfig::smoke();
+    println!(
+        "  {} connections x pipeline {} on the {:?} wire, {} rounds",
+        async_config.connections(),
+        async_config.pipeline,
+        async_config.wire,
+        async_config.total_rounds()
+    );
+    let async_report = match run_async_loadgen(&async_config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("async loadgen failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let request_latency =
+        async_report.request_latency.clone().expect("async run recorded request latency");
+    println!(
+        "  {} rounds in {:.2}s -> {:.1} rounds/s; request p50 {:.2} ms p99 {:.2} ms; \
+         peak {} conns, {} shed",
+        async_report.total_rounds,
+        async_report.duration_s,
+        async_report.throughput_rps,
+        request_latency.p50,
+        request_latency.p99,
+        async_report.peak_connections,
+        async_report.shed_requests
+    );
+    let path = write_json_report(&async_config.label, &async_report.to_json(), SERVICE_DIR)
+        .expect("write async service json");
+    println!("  report -> {}", path.display());
+    if let Err(violation) = async_report.check_smoke_invariants() {
+        eprintln!("async smoke invariant violated: {violation}");
+        std::process::exit(1);
+    }
+    let async_sample = AsyncServiceSample {
+        connections: async_config.connections() as u64,
+        pipeline: async_config.pipeline as u64,
+        wire: format!("{:?}", async_config.wire),
+        total_rounds: async_report.total_rounds as u64,
+        throughput_rps: async_report.throughput_rps,
+        request_p50_ms: request_latency.p50,
+        request_p99_ms: request_latency.p99,
+        peak_connections: async_report.peak_connections,
+        shed_requests: async_report.shed_requests,
+    };
+    let async_baseline_path = format!("{SERVICE_DIR}/async-smoke-baseline.json");
+    match check_async_baseline(&async_sample, &async_baseline_path) {
+        Ok(Some(baseline)) => println!("  within budget: baseline {baseline:.1} rounds/s"),
+        Ok(None) => println!("  no baseline at {async_baseline_path}; gate unarmed"),
+        Err(regression) => {
+            eprintln!("PERF REGRESSION: {regression}");
+            std::process::exit(1);
+        }
+    }
+    println!("  async smoke invariants hold");
+
     section("trajectory");
     let honest = report.honest.latency.expect("honest latency recorded");
     let (git_commit, git_branch) = git_metadata();
@@ -104,6 +167,7 @@ fn main() {
             p99_ms: honest.p99,
             health: format!("{:?}", report.health.status),
         },
+        async_service: Some(async_sample),
     };
     let trajectory = match Trajectory::append(&trajectory_path, entry) {
         Ok(trajectory) => trajectory,

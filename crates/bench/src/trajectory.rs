@@ -40,6 +40,32 @@ pub struct ServiceSample {
     pub health: String,
 }
 
+/// The async (multiplexed) concurrency smoke operating point distilled
+/// from an [`ppuf_server::loadgen::AsyncLoadgenReport`]-shaped run:
+/// hundreds of connections against one reactor process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsyncServiceSample {
+    /// Concurrent connections the run held open.
+    pub connections: u64,
+    /// Request streams pipelined per connection.
+    pub pipeline: u64,
+    /// Wire flavor (`Binary` / `Json`).
+    pub wire: String,
+    /// Challenge/answer rounds completed.
+    pub total_rounds: u64,
+    /// Completed rounds per second of traffic.
+    pub throughput_rps: f64,
+    /// Per-request wire latency p50, milliseconds.
+    pub request_p50_ms: f64,
+    /// Per-request wire latency p99, milliseconds.
+    pub request_p99_ms: f64,
+    /// Peak simultaneously-open server connections.
+    pub peak_connections: u64,
+    /// Requests shed `Overloaded` at the dispatch queue (expected under
+    /// a deliberate-overload profile; recorded so drifts are visible).
+    pub shed_requests: u64,
+}
+
 /// One measured commit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrajectoryEntry {
@@ -55,6 +81,9 @@ pub struct TrajectoryEntry {
     pub engine: EngineSmoke,
     /// The service smoke measurement.
     pub service: ServiceSample,
+    /// The async concurrency smoke, once the reactor tier exists
+    /// (`None` in entries measured before it).
+    pub async_service: Option<AsyncServiceSample>,
 }
 
 /// The whole trajectory file.
@@ -132,7 +161,7 @@ impl Trajectory {
                 (new - old) / old * 100.0
             }
         };
-        Some(format!(
+        let mut diff = format!(
             "vs {} ({}): engine cold {:.3}s -> {:.3}s ({:+.1}%), \
              service {:.1} -> {:.1} req/s ({:+.1}%), p99 {:.2} -> {:.2} ms ({:+.1}%)",
             prev.git_commit,
@@ -146,8 +175,59 @@ impl Trajectory {
             prev.service.p99_ms,
             last.service.p99_ms,
             pct(prev.service.p99_ms, last.service.p99_ms),
-        ))
+        );
+        if let (Some(p), Some(l)) = (&prev.async_service, &last.async_service) {
+            diff.push_str(&format!(
+                ", async {:.0} -> {:.0} rounds/s ({:+.1}%) at {} conns",
+                p.throughput_rps,
+                l.throughput_rps,
+                pct(p.throughput_rps, l.throughput_rps),
+                l.connections,
+            ));
+        }
+        Some(diff)
     }
+}
+
+/// Throughput may drop to 1/this and p99 grow to this× the committed
+/// async baseline before the gate fails — loose enough for noisy shared
+/// CI hosts, tight enough to catch a real event-loop regression.
+pub const ASYNC_REGRESSION_FACTOR: f64 = 3.0;
+
+/// Gates an async concurrency sample against the committed baseline at
+/// `baseline_path` (`results/service/async-smoke-baseline.json`).
+/// Returns `Ok(None)` when no baseline exists yet (first run), else the
+/// baseline throughput.
+///
+/// # Errors
+///
+/// Returns the regression description when throughput fell below
+/// baseline/[`ASYNC_REGRESSION_FACTOR`] or the per-request p99 exceeds
+/// [`ASYNC_REGRESSION_FACTOR`]× baseline.
+pub fn check_async_baseline(
+    sample: &AsyncServiceSample,
+    baseline_path: &str,
+) -> Result<Option<f64>, String> {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        return Ok(None);
+    };
+    let base_rps = crate::engine_profile::extract_number(&text, "throughput_rps")
+        .ok_or_else(|| format!("baseline {baseline_path} has no throughput_rps field"))?;
+    let base_p99 = crate::engine_profile::extract_number(&text, "request_p99_ms")
+        .ok_or_else(|| format!("baseline {baseline_path} has no request_p99_ms field"))?;
+    if sample.throughput_rps < base_rps / ASYNC_REGRESSION_FACTOR {
+        return Err(format!(
+            "async throughput {:.1} rounds/s fell below baseline {base_rps:.1} / {ASYNC_REGRESSION_FACTOR}",
+            sample.throughput_rps
+        ));
+    }
+    if sample.request_p99_ms > base_p99 * ASYNC_REGRESSION_FACTOR {
+        return Err(format!(
+            "async request p99 {:.2} ms exceeds {ASYNC_REGRESSION_FACTOR}x baseline {base_p99:.2} ms",
+            sample.request_p99_ms
+        ));
+    }
+    Ok(Some(base_rps))
 }
 
 /// `(short commit, branch)` of the current checkout, `unknown` outside
@@ -196,6 +276,17 @@ mod tests {
                 p99_ms: 12.0,
                 health: "Ok".into(),
             },
+            async_service: Some(AsyncServiceSample {
+                connections: 512,
+                pipeline: 2,
+                wire: "Binary".into(),
+                total_rounds: 1024,
+                throughput_rps: rps * 2.0,
+                request_p50_ms: 4.0,
+                request_p99_ms: 40.0,
+                peak_connections: 513,
+                shed_requests: 100,
+            }),
         }
     }
 
@@ -235,6 +326,25 @@ mod tests {
         let err = Trajectory::load(&path).unwrap_err();
         assert!(err.contains("schema 99"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn async_baseline_gate_passes_within_factor_and_fails_beyond() {
+        let dir = std::env::temp_dir().join(format!("ppuf-async-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("async-smoke-baseline.json");
+        std::fs::write(&path, "{\"throughput_rps\": 300.0, \"request_p99_ms\": 50.0}").unwrap();
+        let path = path.to_string_lossy().into_owned();
+
+        let sample = entry("a", 10.0, 50.0).async_service.unwrap();
+        let ok = AsyncServiceSample { throughput_rps: 150.0, request_p99_ms: 120.0, ..sample.clone() };
+        assert_eq!(check_async_baseline(&ok, &path), Ok(Some(300.0)));
+        let slow = AsyncServiceSample { throughput_rps: 50.0, ..sample.clone() };
+        assert!(check_async_baseline(&slow, &path).is_err());
+        let laggy = AsyncServiceSample { request_p99_ms: 200.0, ..sample.clone() };
+        assert!(check_async_baseline(&laggy, &path).is_err());
+        assert_eq!(check_async_baseline(&sample, "/no/such/baseline.json"), Ok(None));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

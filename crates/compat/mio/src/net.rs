@@ -1,0 +1,185 @@
+//! Raw-socket listener construction.
+//!
+//! `std::net::TcpListener::bind` hard-codes a listen backlog of 128,
+//! which quantizes a loopback connect storm to ~128 conns per SYN
+//! retransmit period once the accept queue fills — fatal for a
+//! single-core box where the accepting reactor and the connecting
+//! client timeshare one CPU. [`listen_with_backlog`] builds the same
+//! listener through the raw syscalls so the backlog is a parameter
+//! (the kernel still clamps it to `net.core.somaxconn`).
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::FromRawFd;
+use std::os::raw::{c_int, c_void};
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+
+#[repr(C)]
+struct sockaddr_in {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+#[repr(C)]
+struct sockaddr_in6 {
+    sin6_family: u16,
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
+extern "C" {
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        name: c_int,
+        value: *const c_void,
+        len: u32,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(result: c_int) -> io::Result<c_int> {
+    if result < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(result)
+    }
+}
+
+/// Binds `addr` and listens with the given `backlog` (clamped by the
+/// kernel to `net.core.somaxconn`), returning a standard
+/// [`TcpListener`] that owns the fd. `SO_REUSEADDR` is set, matching
+/// what `TcpListener::bind` does.
+///
+/// # Errors
+///
+/// Propagates the failing `socket`/`bind`/`listen` call.
+pub fn listen_with_backlog(addr: SocketAddr, backlog: i32) -> io::Result<TcpListener> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    let result = (|| {
+        let one: c_int = 1;
+        cvt(unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                (&one as *const c_int).cast::<c_void>(),
+                std::mem::size_of::<c_int>() as u32,
+            )
+        })?;
+        match addr {
+            SocketAddr::V4(v4) => {
+                let raw = sockaddr_in {
+                    sin_family: AF_INET as u16,
+                    sin_port: v4.port().to_be(),
+                    sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                    sin_zero: [0; 8],
+                };
+                cvt(unsafe {
+                    bind(
+                        fd,
+                        (&raw as *const sockaddr_in).cast::<c_void>(),
+                        std::mem::size_of::<sockaddr_in>() as u32,
+                    )
+                })?;
+            }
+            SocketAddr::V6(v6) => {
+                let raw = sockaddr_in6 {
+                    sin6_family: AF_INET6 as u16,
+                    sin6_port: v6.port().to_be(),
+                    sin6_flowinfo: v6.flowinfo(),
+                    sin6_addr: v6.ip().octets(),
+                    sin6_scope_id: v6.scope_id(),
+                };
+                cvt(unsafe {
+                    bind(
+                        fd,
+                        (&raw as *const sockaddr_in6).cast::<c_void>(),
+                        std::mem::size_of::<sockaddr_in6>() as u32,
+                    )
+                })?;
+            }
+        }
+        cvt(unsafe { listen(fd, backlog) })?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => Ok(unsafe { TcpListener::from_raw_fd(fd) }),
+        Err(e) => {
+            unsafe { close(fd) };
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn deep_backlog_listener_accepts_like_a_std_one() {
+        let listener =
+            listen_with_backlog("127.0.0.1:0".parse().unwrap(), 4096).expect("listen");
+        let addr = listener.local_addr().expect("local addr");
+        assert_eq!(addr.ip().to_string(), "127.0.0.1");
+        assert_ne!(addr.port(), 0);
+
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        client.write_all(b"ping").expect("write");
+        let (mut accepted, peer) = listener.accept().expect("accept");
+        assert_eq!(peer.ip(), addr.ip());
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn backlog_actually_queues_past_the_std_default() {
+        // 256 unaccepted connects would overflow std's 128 backlog; with
+        // a deeper queue every handshake completes without a retransmit.
+        let listener =
+            listen_with_backlog("127.0.0.1:0".parse().unwrap(), 1024).expect("listen");
+        let addr = listener.local_addr().expect("local addr");
+        let held: Vec<_> = (0..256)
+            .map(|i| std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+                panic!("connect {i} should queue in the backlog: {e}")
+            }))
+            .collect();
+        for _ in 0..held.len() {
+            listener.accept().expect("accept queued connection");
+        }
+    }
+
+    #[test]
+    fn ipv6_loopback_binds() {
+        match listen_with_backlog("[::1]:0".parse().unwrap(), 64) {
+            Ok(listener) => {
+                let addr = listener.local_addr().expect("local addr");
+                let _ = std::net::TcpStream::connect(addr).expect("v6 connect");
+                listener.accept().expect("v6 accept");
+            }
+            // environments without IPv6 loopback surface EADDRNOTAVAIL
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::AddrNotAvailable, "{e}"),
+        }
+    }
+}

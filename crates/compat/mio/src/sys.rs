@@ -1,0 +1,140 @@
+//! Thin Linux epoll/eventfd syscall layer.
+//!
+//! `std` already links the platform libc, so the handful of calls the
+//! reactor needs are declared directly as `extern "C"` items — no crates,
+//! no build script. Everything here is `pub(crate)`; the safe surface is
+//! in [`crate`].
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::raw::{c_int, c_void};
+
+pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+pub(crate) const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// Kernel ABI layout of `struct epoll_event`. x86-64 packs it so the
+/// 64-bit payload sits at offset 4; other architectures use natural
+/// alignment.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub(crate) struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(result: c_int) -> io::Result<c_int> {
+    if result < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(result)
+    }
+}
+
+/// A raw fd that closes itself on drop.
+#[derive(Debug)]
+pub(crate) struct OwnedFd(pub c_int);
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        // nothing sensible to do with a close error during teardown
+        unsafe { close(self.0) };
+    }
+}
+
+pub(crate) fn epoll_create() -> io::Result<OwnedFd> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) }).map(OwnedFd)
+}
+
+pub(crate) fn epoll_register(
+    epfd: c_int,
+    op: c_int,
+    fd: c_int,
+    events: u32,
+    key: u64,
+) -> io::Result<()> {
+    let mut event = epoll_event { events, u64: key };
+    let event_ptr =
+        if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut event as *mut epoll_event };
+    cvt(unsafe { epoll_ctl(epfd, op, fd, event_ptr) }).map(|_| ())
+}
+
+/// Waits for readiness, filling `buf`; returns the number of ready
+/// entries. A `timeout` of `None` blocks indefinitely. `EINTR` retries
+/// internally (with the timeout re-derived conservatively to zero —
+/// callers run in loops and simply poll again).
+pub(crate) fn epoll_poll(
+    epfd: c_int,
+    buf: &mut [epoll_event],
+    timeout_ms: Option<i32>,
+) -> io::Result<usize> {
+    let timeout = timeout_ms.unwrap_or(-1);
+    loop {
+        match cvt(unsafe {
+            epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout)
+        }) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                if timeout >= 0 {
+                    // don't risk over-waiting after a signal: report an
+                    // empty tick and let the caller's loop re-derive it
+                    return Ok(0);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+pub(crate) fn eventfd_create() -> io::Result<OwnedFd> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }).map(OwnedFd)
+}
+
+/// Adds 1 to an eventfd counter (the wakeup signal). A `WouldBlock`
+/// means the counter is saturated — which still leaves it readable, so
+/// the wakeup is already guaranteed and the error is ignored.
+pub(crate) fn eventfd_signal(fd: c_int) -> io::Result<()> {
+    let one: u64 = 1;
+    let n = unsafe { write(fd, (&one as *const u64).cast::<c_void>(), 8) };
+    if n == 8 {
+        return Ok(());
+    }
+    let e = io::Error::last_os_error();
+    if e.kind() == io::ErrorKind::WouldBlock {
+        Ok(())
+    } else {
+        Err(e)
+    }
+}
+
+/// Drains an eventfd counter back to zero so a level-triggered
+/// registration stops reporting it.
+pub(crate) fn eventfd_drain(fd: c_int) {
+    let mut buf: u64 = 0;
+    // a single read returns (and clears) the whole counter
+    unsafe { read(fd, (&mut buf as *mut u64).cast::<c_void>(), 8) };
+}

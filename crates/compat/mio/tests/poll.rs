@@ -1,0 +1,195 @@
+//! Readiness semantics of the vendored epoll poller: registration,
+//! level vs. edge triggering, peer-close reporting, and cross-thread
+//! wakeups.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use mio::{Events, Interest, Mode, Poll, Token, Waker};
+
+const TICK: Duration = Duration::from_millis(10);
+const PATIENCE: Duration = Duration::from_secs(5);
+
+/// A connected nonblocking socket pair over loopback.
+fn socket_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    client.set_nonblocking(true).unwrap();
+    server.set_nonblocking(true).unwrap();
+    (client, server)
+}
+
+/// Polls until `pred` matches some event or patience runs out, returning
+/// the matched events' tokens.
+fn poll_until(poll: &Poll, events: &mut Events, pred: impl Fn(&mio::Event) -> bool) -> Vec<Token> {
+    let start = Instant::now();
+    while start.elapsed() < PATIENCE {
+        poll.poll(events, Some(TICK)).unwrap();
+        let matched: Vec<Token> = events.iter().filter(|e| pred(e)).map(|e| e.token()).collect();
+        if !matched.is_empty() {
+            return matched;
+        }
+    }
+    panic!("no matching event within {PATIENCE:?}");
+}
+
+#[test]
+fn readable_when_peer_writes_and_not_before() {
+    let poll = Poll::new().unwrap();
+    let (client, mut server) = socket_pair();
+    poll.register(&client, Token(7), Interest::READABLE, Mode::Level).unwrap();
+
+    let mut events = Events::with_capacity(8);
+    poll.poll(&mut events, Some(TICK)).unwrap();
+    assert!(events.is_empty(), "nothing written yet, nothing ready");
+
+    server.write_all(b"ping").unwrap();
+    let tokens = poll_until(&poll, &mut events, |e| e.is_readable());
+    assert_eq!(tokens, vec![Token(7)]);
+}
+
+#[test]
+fn level_rereports_until_drained_edge_fires_once() {
+    let poll = Poll::new().unwrap();
+    let (mut client, mut server) = socket_pair();
+    let (mut client2, mut server2) = socket_pair();
+    poll.register(&client, Token(1), Interest::READABLE, Mode::Level).unwrap();
+    poll.register(&client2, Token(2), Interest::READABLE, Mode::Edge).unwrap();
+    server.write_all(b"xx").unwrap();
+    server2.write_all(b"yy").unwrap();
+
+    let mut events = Events::with_capacity(8);
+    // both report once (accumulated across polls: the one-shot edge event
+    // may share a poll with the level one or arrive separately)...
+    let mut seen = std::collections::HashSet::new();
+    let start = Instant::now();
+    while !(seen.contains(&Token(1)) && seen.contains(&Token(2))) {
+        assert!(start.elapsed() < PATIENCE, "only saw {seen:?} within {PATIENCE:?}");
+        poll.poll(&mut events, Some(TICK)).unwrap();
+        seen.extend(events.iter().map(|e| e.token()));
+    }
+    // ...but with the data left unread, only the level registration keeps
+    // reporting (give edge a couple of polls to prove it stays silent)
+    for _ in 0..3 {
+        poll.poll(&mut events, Some(TICK)).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(1)));
+        assert!(events.iter().all(|e| e.token() != Token(2)), "edge must not re-fire");
+    }
+    // draining silences level; fresh bytes re-arm both
+    let mut buf = [0u8; 16];
+    client.read(&mut buf).unwrap();
+    client2.read(&mut buf).unwrap();
+    poll.poll(&mut events, Some(TICK)).unwrap();
+    assert!(events.iter().all(|e| e.token() != Token(1)), "drained level source is quiet");
+    server.write_all(b"a").unwrap();
+    server2.write_all(b"b").unwrap();
+    let mut rearmed = std::collections::HashSet::new();
+    let start = Instant::now();
+    while !(rearmed.contains(&Token(1)) && rearmed.contains(&Token(2))) {
+        assert!(start.elapsed() < PATIENCE, "only saw {rearmed:?} re-arm within {PATIENCE:?}");
+        poll.poll(&mut events, Some(TICK)).unwrap();
+        rearmed.extend(events.iter().map(|e| e.token()));
+    }
+}
+
+#[test]
+fn writable_interest_and_reregister() {
+    let poll = Poll::new().unwrap();
+    let (client, _server) = socket_pair();
+    poll.register(&client, Token(3), Interest::READABLE, Mode::Level).unwrap();
+    let mut events = Events::with_capacity(8);
+    poll.poll(&mut events, Some(TICK)).unwrap();
+    assert!(events.is_empty(), "no read readiness on an idle socket");
+
+    // an idle socket's send buffer has room: writable fires immediately
+    poll.reregister(&client, Token(4), Interest::WRITABLE, Mode::Level).unwrap();
+    let tokens = poll_until(&poll, &mut events, |e| e.is_writable());
+    assert_eq!(tokens, vec![Token(4)], "reregistration replaced the token");
+
+    poll.deregister(&client).unwrap();
+    poll.poll(&mut events, Some(TICK)).unwrap();
+    assert!(events.is_empty(), "deregistered source reports nothing");
+}
+
+#[test]
+fn peer_close_reports_read_closed() {
+    let poll = Poll::new().unwrap();
+    let (client, server) = socket_pair();
+    poll.register(&client, Token(5), Interest::READABLE, Mode::Level).unwrap();
+    drop(server);
+    let mut events = Events::with_capacity(8);
+    let start = Instant::now();
+    loop {
+        poll.poll(&mut events, Some(TICK)).unwrap();
+        if let Some(event) = events.iter().find(|e| e.token() == Token(5)) {
+            assert!(event.is_read_closed(), "peer hangup must mark the event read-closed");
+            assert!(event.is_readable(), "hangup is surfaced through a read");
+            break;
+        }
+        assert!(start.elapsed() < PATIENCE, "no close event within {PATIENCE:?}");
+    }
+}
+
+#[test]
+fn listener_accept_readiness() {
+    let poll = Poll::new().unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.set_nonblocking(true).unwrap();
+    poll.register(&listener, Token(0), Interest::READABLE, Mode::Level).unwrap();
+
+    let mut events = Events::with_capacity(8);
+    poll.poll(&mut events, Some(TICK)).unwrap();
+    assert!(events.is_empty(), "no pending connection, no readiness");
+
+    let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+    poll_until(&poll, &mut events, |e| e.token() == Token(0) && e.is_readable());
+    let (accepted, _) = listener.accept().unwrap();
+    drop(accepted);
+}
+
+#[test]
+fn waker_wakes_a_blocked_poll_from_another_thread() {
+    let poll = Poll::new().unwrap();
+    let waker = Waker::new(&poll, Token(99)).unwrap();
+
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        waker.wake().unwrap();
+        waker // keep it alive past the wake
+    });
+
+    let mut events = Events::with_capacity(8);
+    let start = Instant::now();
+    // block "indefinitely": only the waker can end this poll
+    poll.poll(&mut events, Some(PATIENCE)).unwrap();
+    assert!(start.elapsed() < PATIENCE, "poll returned by wakeup, not timeout");
+    assert_eq!(events.len(), 1);
+    assert_eq!(events.iter().next().unwrap().token(), Token(99));
+
+    let waker = handle.join().unwrap();
+    // edge-triggered: with no further wake, the poller stays quiet...
+    poll.poll(&mut events, Some(TICK)).unwrap();
+    assert!(events.is_empty(), "a consumed wake must not re-report");
+    // ...and coalesced wakes deliver exactly one event
+    waker.wake().unwrap();
+    waker.wake().unwrap();
+    waker.wake().unwrap();
+    poll.poll(&mut events, Some(PATIENCE)).unwrap();
+    assert_eq!(events.len(), 1);
+    poll.poll(&mut events, Some(TICK)).unwrap();
+    assert!(events.is_empty());
+}
+
+#[test]
+fn zero_timeout_is_a_nonblocking_check() {
+    let poll = Poll::new().unwrap();
+    let (client, _server) = socket_pair();
+    poll.register(&client, Token(1), Interest::READABLE, Mode::Level).unwrap();
+    let mut events = Events::with_capacity(8);
+    let start = Instant::now();
+    poll.poll(&mut events, Some(Duration::ZERO)).unwrap();
+    assert!(start.elapsed() < Duration::from_millis(100), "zero timeout returns immediately");
+    assert!(events.is_empty());
+}

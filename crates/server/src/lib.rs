@@ -63,13 +63,17 @@
 //! ```
 
 pub mod cache;
+pub mod conn;
 pub mod health;
 pub mod loadgen;
+pub mod mux;
 pub mod pool;
+pub mod reactor;
 pub mod registry;
 pub mod service;
 pub mod tcp;
 pub mod wire;
+pub mod wire2;
 
 pub use cache::VerificationCache;
 pub use health::{
@@ -78,6 +82,7 @@ pub use health::{
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use pool::{SubmitError, VerifyOutcome, WorkerPool};
 pub use registry::{DeviceEntry, DeviceRegistry};
+pub use reactor::{AsyncConfig, AsyncServer};
 pub use service::{ServiceConfig, VerificationService};
 pub use tcp::{Client, PpufServer};
 pub use wire::{ErrorKind, Request, Response};

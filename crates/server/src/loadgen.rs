@@ -623,3 +623,677 @@ fn bogus_answer() -> ProverAnswer {
     let zero = Flow::from_edge_flows(NodeId::new(0), NodeId::new(1), 0.0, vec![0.0; 4]);
     ProverAnswer { response: true, flow_a: zero.clone(), flow_b: zero }
 }
+
+// ---------------------------------------------------------------------------
+// Async (multiplexed) load generation
+// ---------------------------------------------------------------------------
+
+use crate::mux::{self, Driver, MuxConfig, MuxStats, Outbound, WireFlavor};
+use crate::reactor::{AsyncConfig, AsyncServer};
+use crate::wire2;
+
+/// Parameters of one multiplexed load-generation run against the async
+/// serving tier.
+///
+/// Unlike [`LoadgenConfig`] (one thread per blocking client), this run
+/// drives *connections* from a single event-loop thread: every
+/// connection carries [`pipeline`](Self::pipeline) concurrent request
+/// streams, so `connections × pipeline` rounds are in flight at once
+/// against one [`AsyncServer`] process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsyncLoadgenConfig {
+    /// Free-text label written into the report.
+    pub label: String,
+    /// Device size (circuit nodes).
+    pub nodes: usize,
+    /// Control-grid side length.
+    pub grid: usize,
+    /// Seed for device generation and server challenge sampling.
+    pub seed: u64,
+    /// Server verifier worker threads.
+    pub workers: usize,
+    /// Server verification queue capacity.
+    pub queue_capacity: usize,
+    /// Server rotating challenge pool.
+    pub challenge_pool: usize,
+    /// Server answer deadline in seconds.
+    pub deadline_s: f64,
+    /// Connections running honest request streams.
+    pub honest_connections: usize,
+    /// Connections running impostor (deadline-violating) streams.
+    pub impostor_connections: usize,
+    /// Connections running garbage (malformed-traffic) streams.
+    pub garbage_connections: usize,
+    /// Concurrent request streams per connection.
+    pub pipeline: usize,
+    /// Challenge/answer rounds each stream completes.
+    pub rounds_per_stream: usize,
+    /// Protocol every cohort speaks.
+    pub wire: WireFlavor,
+    /// Server open-connection cap.
+    pub max_connections: usize,
+    /// Server dispatch-pool threads.
+    pub dispatch_threads: usize,
+    /// Server dispatch queue depth (overflow sheds `Overloaded`).
+    pub dispatch_queue: usize,
+}
+
+impl Default for AsyncLoadgenConfig {
+    fn default() -> Self {
+        AsyncLoadgenConfig {
+            label: "async-loadgen".into(),
+            nodes: 8,
+            grid: 2,
+            seed: 7,
+            workers: 2,
+            queue_capacity: 64,
+            challenge_pool: 4,
+            deadline_s: 2.0,
+            honest_connections: 48,
+            impostor_connections: 8,
+            garbage_connections: 8,
+            pipeline: 2,
+            rounds_per_stream: 1,
+            wire: WireFlavor::Binary,
+            max_connections: 10_000,
+            dispatch_threads: 4,
+            dispatch_queue: 64,
+        }
+    }
+}
+
+impl AsyncLoadgenConfig {
+    /// The CI concurrency smoke: 512 multiplexed connections (the full
+    /// profile raises this to 10k across two processes) on the binary
+    /// wire, pipeline depth 2.
+    pub fn smoke() -> Self {
+        AsyncLoadgenConfig {
+            label: "async-smoke".into(),
+            honest_connections: 472,
+            impostor_connections: 20,
+            garbage_connections: 20,
+            ..AsyncLoadgenConfig::default()
+        }
+    }
+
+    /// Total connections the run opens.
+    pub fn connections(&self) -> usize {
+        self.honest_connections + self.impostor_connections + self.garbage_connections
+    }
+
+    /// Total rounds the run completes.
+    pub fn total_rounds(&self) -> usize {
+        self.connections() * self.pipeline * self.rounds_per_stream
+    }
+
+    /// The impostor hold time: comfortably past the deadline.
+    fn impostor_delay(&self) -> Duration {
+        Duration::from_secs_f64(self.deadline_s * 1.5 + 0.05)
+    }
+}
+
+/// The JSON run report for an async run, written under
+/// `results/service/`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsyncLoadgenReport {
+    /// Echo of the run configuration.
+    pub config: AsyncLoadgenConfig,
+    /// Wall-clock duration of the traffic phase, seconds.
+    pub duration_s: f64,
+    /// Rounds completed across all cohorts.
+    pub total_rounds: usize,
+    /// Completed rounds per second of traffic.
+    pub throughput_rps: f64,
+    /// Honest cohort outcome.
+    pub honest: CohortReport,
+    /// Impostor cohort outcome.
+    pub impostor: CohortReport,
+    /// Garbage cohort outcome.
+    pub garbage: CohortReport,
+    /// Transport-level counters from the client engine, including the
+    /// correlation-id echo count the smoke gate checks.
+    pub mux: MuxStats,
+    /// Per-request wire latency (request written → response parsed) in
+    /// milliseconds across all cohorts — the serving tier's latency
+    /// under concurrent load.
+    pub request_latency: Option<SampleSummary>,
+    /// The sparse histogram behind [`request_latency`](Self::request_latency).
+    pub request_latency_hist: Option<HistogramSnapshot>,
+    /// Peak simultaneously-open server connections (from the reactor's
+    /// own accounting, scraped after the run).
+    pub peak_connections: u64,
+    /// Connections the server accepted over the run.
+    pub accepted_connections: u64,
+    /// Connections reaped for idle/read-deadline timeouts.
+    pub reaped_connections: u64,
+    /// Requests shed `Overloaded` at the dispatch queue.
+    pub shed_requests: u64,
+    /// The server's telemetry counters after the run.
+    pub server_counters: BTreeMap<String, u64>,
+    /// The server's telemetry warnings after the run.
+    pub server_warnings: Vec<String>,
+    /// Parsed samples from the final Prometheus scrape (validated, and
+    /// checked monotone against a scrape taken before traffic).
+    pub prometheus_samples: BTreeMap<String, f64>,
+    /// The server's SLO assessment after the traffic phase. Recorded,
+    /// not gated: a deliberate-overload concurrency run is *expected* to
+    /// push the latency and overload objectives past their thresholds.
+    pub health: HealthReport,
+}
+
+impl AsyncLoadgenReport {
+    /// Renders the report as indented JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Checks the invariants the async smoke promises: every honest
+    /// round accepted, every impostor round rejected on the deadline,
+    /// every garbage round answered with a structured error on a
+    /// *surviving* connection, zero transport failures, every binary
+    /// response carrying an echoed correlation id, the configured
+    /// connection count actually concurrently open on the server, and
+    /// the reactor's `ppuf_conn_*` gauges live in the Prometheus scrape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn check_smoke_invariants(&self) -> Result<(), String> {
+        let h = &self.honest;
+        if h.accepted != h.requests {
+            return Err(format!("honest: {}/{} accepted", h.accepted, h.requests));
+        }
+        let i = &self.impostor;
+        if i.rejected_deadline != i.requests {
+            return Err(format!(
+                "impostor: {}/{} rejected on deadline",
+                i.rejected_deadline, i.requests
+            ));
+        }
+        let g = &self.garbage;
+        if g.structured_errors != g.requests {
+            return Err(format!(
+                "garbage: {}/{} answered with structured errors",
+                g.structured_errors, g.requests
+            ));
+        }
+        for (name, cohort) in [("honest", h), ("impostor", i), ("garbage", g)] {
+            if cohort.io_errors != 0 {
+                return Err(format!("{name}: {} transport failures", cohort.io_errors));
+            }
+        }
+        if self.mux.responses == 0 {
+            return Err("no response ever arrived".into());
+        }
+        if self.config.wire == WireFlavor::Binary && self.mux.corr_echoed != self.mux.responses {
+            return Err(format!(
+                "correlation ids echoed on {}/{} binary responses",
+                self.mux.corr_echoed, self.mux.responses
+            ));
+        }
+        let want = self.config.connections() as u64;
+        if self.peak_connections < want {
+            return Err(format!(
+                "peak of {} concurrent connections, {want} configured",
+                self.peak_connections
+            ));
+        }
+        if self.server_counters.get("server.cache.hits").copied().unwrap_or(0) == 0 {
+            return Err("no verification was served from cache".into());
+        }
+        for required in [
+            "ppuf_conn_open",
+            "ppuf_conn_peak",
+            "ppuf_conn_accepted_total",
+            "ppuf_conn_shed_requests_total",
+            "ppuf_reactor_loops_total",
+        ] {
+            if !self.prometheus_samples.contains_key(required) {
+                return Err(format!("prometheus scrape is missing {required}"));
+            }
+        }
+        if !self.server_warnings.is_empty() {
+            return Err(format!("server warnings: {:?}", self.server_warnings));
+        }
+        Ok(())
+    }
+}
+
+/// Connection role in the async run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Honest,
+    Impostor,
+    Garbage,
+}
+
+/// Where one request stream stands in its current round.
+enum Phase {
+    /// Will open the next round at the next fill opportunity.
+    Ready,
+    /// Challenge requested, waiting for it.
+    AwaitChallenge { round_start: Instant },
+    /// Answer proven, held until `due` (the impostor's simulation gap).
+    Hold { nonce: u64, answer: Box<ProverAnswer>, due: Instant, round_start: Instant },
+    /// Final request of the round sent, waiting for the reply.
+    AwaitReply { round_start: Instant },
+    /// Shed `Overloaded`; retries with a fresh round once `due` passes.
+    Backoff { due: Instant },
+    /// All rounds completed.
+    Done,
+}
+
+struct StreamState {
+    phase: Phase,
+    rounds_left: usize,
+    retries: usize,
+    /// Garbage-case rotation counter.
+    case: usize,
+}
+
+/// The cohort traffic source/sink plugged into [`mux::drive`].
+struct CohortDriver<'a> {
+    ppuf: &'a Ppuf,
+    wire: WireFlavor,
+    pipeline: usize,
+    roles: Vec<Role>,
+    streams: Vec<StreamState>,
+    impostor_delay: Duration,
+    /// Streams not yet `Done`.
+    remaining: usize,
+    honest: CohortStats,
+    impostor: CohortStats,
+    garbage: CohortStats,
+    request_latency: LogHistogram,
+}
+
+impl<'a> CohortDriver<'a> {
+    fn new(config: &AsyncLoadgenConfig, ppuf: &'a Ppuf) -> Self {
+        let mut roles = Vec::with_capacity(config.connections());
+        roles.extend(std::iter::repeat(Role::Honest).take(config.honest_connections));
+        roles.extend(std::iter::repeat(Role::Impostor).take(config.impostor_connections));
+        roles.extend(std::iter::repeat(Role::Garbage).take(config.garbage_connections));
+        let streams = (0..roles.len() * config.pipeline)
+            .map(|i| StreamState {
+                phase: Phase::Ready,
+                rounds_left: config.rounds_per_stream,
+                retries: 0,
+                case: i, // stagger the garbage rotation across streams
+            })
+            .collect::<Vec<_>>();
+        let remaining = streams.len();
+        CohortDriver {
+            ppuf,
+            wire: config.wire,
+            pipeline: config.pipeline,
+            roles,
+            streams,
+            impostor_delay: config.impostor_delay(),
+            remaining,
+            honest: CohortStats::default(),
+            impostor: CohortStats::default(),
+            garbage: CohortStats::default(),
+            request_latency: LogHistogram::default(),
+        }
+    }
+
+    fn cohort(&mut self, role: Role) -> &mut CohortStats {
+        match role {
+            Role::Honest => &mut self.honest,
+            Role::Impostor => &mut self.impostor,
+            Role::Garbage => &mut self.garbage,
+        }
+    }
+
+    /// Ends the stream's current round and arms the next (or `Done`).
+    fn consume_round(&mut self, tag: usize) {
+        let stream = &mut self.streams[tag];
+        stream.rounds_left -= 1;
+        stream.retries = 0;
+        if stream.rounds_left == 0 {
+            stream.phase = Phase::Done;
+            self.remaining -= 1;
+        } else {
+            stream.phase = Phase::Ready;
+        }
+    }
+
+    /// One garbage request; every case must come back as a structured
+    /// error on a connection that stays up.
+    fn garbage_outbound(&self, case: usize, corr: u64) -> Outbound {
+        let typed = |case: usize| match case % 2 {
+            // a request for a device that does not exist
+            0 => Outbound::Request {
+                request: Request::GetChallenge { device_id: "no-such-device".into() },
+                trace: None,
+            },
+            // a well-formed answer for a nonce that was never issued
+            _ => Outbound::Request {
+                request: Request::SubmitAnswer {
+                    device_id: DEVICE_ID.into(),
+                    nonce: u64::MAX - case as u64,
+                    answer: bogus_answer(),
+                },
+                trace: None,
+            },
+        };
+        match (self.wire, case % 4) {
+            // frame-layer-valid, payload garbage — per wire flavor
+            (WireFlavor::Json, 0) => {
+                let mut frame = Vec::new();
+                crate::wire::write_frame(&mut frame, b"\x7bnot json at all")
+                    .expect("tiny frame cannot fail");
+                Outbound::Raw(frame)
+            }
+            (WireFlavor::Json, 1) => {
+                let mut frame = Vec::new();
+                crate::wire::write_frame(&mut frame, b"{\"Bogus\": {\"x\": 1}}")
+                    .expect("tiny frame cannot fail");
+                Outbound::Raw(frame)
+            }
+            // well-framed binary, undecodable payload
+            (WireFlavor::Binary, 0) => {
+                Outbound::Raw(wire2::encode_frame(wire2::opcode::GET_CHALLENGE, corr, &[0xFF; 3]))
+            }
+            // well-framed binary, unknown opcode
+            (WireFlavor::Binary, 1) => Outbound::Raw(wire2::encode_frame(0x55, corr, &[])),
+            (_, case) => typed(case),
+        }
+    }
+}
+
+impl Driver for CohortDriver<'_> {
+    fn next(&mut self, conn: usize, corr: u64) -> Option<(Outbound, u64)> {
+        let role = self.roles[conn];
+        let now = Instant::now();
+        for s in 0..self.pipeline {
+            let tag = conn * self.pipeline + s;
+            match &self.streams[tag].phase {
+                Phase::Ready => {}
+                Phase::Backoff { due } if now >= *due => {}
+                Phase::Hold { due, .. } if now >= *due => {
+                    let Phase::Hold { nonce, answer, round_start, .. } =
+                        std::mem::replace(&mut self.streams[tag].phase, Phase::Ready)
+                    else {
+                        unreachable!("matched Hold above");
+                    };
+                    self.streams[tag].phase = Phase::AwaitReply { round_start };
+                    return Some((
+                        Outbound::Request {
+                            request: Request::SubmitAnswer {
+                                device_id: DEVICE_ID.into(),
+                                nonce,
+                                answer: *answer,
+                            },
+                            trace: None,
+                        },
+                        tag as u64,
+                    ));
+                }
+                _ => continue,
+            }
+            // Ready (or expired backoff): open the round
+            if role == Role::Garbage {
+                let case = self.streams[tag].case;
+                self.streams[tag].case = case.wrapping_add(1);
+                self.streams[tag].phase = Phase::AwaitReply { round_start: now };
+                return Some((self.garbage_outbound(case, corr), tag as u64));
+            }
+            self.streams[tag].phase = Phase::AwaitChallenge { round_start: now };
+            return Some((
+                Outbound::Request {
+                    request: Request::GetChallenge { device_id: DEVICE_ID.into() },
+                    trace: None,
+                },
+                tag as u64,
+            ));
+        }
+        None
+    }
+
+    fn done(
+        &mut self,
+        conn: usize,
+        tag: u64,
+        response: Response,
+        _trace_echo: Option<u64>,
+        latency: Duration,
+    ) {
+        self.request_latency.record(latency.as_secs_f64() * 1e3);
+        let role = self.roles[conn];
+        let tag = tag as usize;
+        let now = Instant::now();
+        let phase = std::mem::replace(&mut self.streams[tag].phase, Phase::Ready);
+        // a shed round retries fresh (the session is spent) after the
+        // server-suggested backoff — up to the same cap the sync path uses
+        if let Response::Error { kind: ErrorKind::Overloaded, retry_after_ms, .. } = &response {
+            let backoff = Duration::from_millis(retry_after_ms.unwrap_or(50));
+            self.streams[tag].retries += 1;
+            let exhausted = self.streams[tag].retries > MAX_OVERLOAD_RETRIES;
+            self.cohort(role).overload_retries += 1;
+            if exhausted {
+                self.cohort(role).requests += 1;
+                self.cohort(role).io_errors += 1;
+                self.consume_round(tag);
+            } else {
+                self.streams[tag].phase = Phase::Backoff { due: now + backoff };
+            }
+            return;
+        }
+        match phase {
+            Phase::AwaitChallenge { round_start } => match response {
+                Response::Challenge { nonce, challenge, .. } => {
+                    match prove(&self.ppuf.executor(Environment::NOMINAL), &challenge) {
+                        Ok(answer) => {
+                            let due = match role {
+                                Role::Impostor => round_start + self.impostor_delay,
+                                _ => now,
+                            };
+                            self.streams[tag].phase = Phase::Hold {
+                                nonce,
+                                answer: Box::new(answer),
+                                due,
+                                round_start,
+                            };
+                        }
+                        Err(_) => {
+                            self.cohort(role).requests += 1;
+                            self.cohort(role).io_errors += 1;
+                            self.consume_round(tag);
+                        }
+                    }
+                }
+                _ => {
+                    self.cohort(role).requests += 1;
+                    self.cohort(role).structured_errors += 1;
+                    self.consume_round(tag);
+                }
+            },
+            Phase::AwaitReply { round_start } => {
+                let round_ms = round_start.elapsed().as_secs_f64() * 1e3;
+                let stats = self.cohort(role);
+                stats.requests += 1;
+                match (role, response) {
+                    (Role::Garbage, Response::Error { .. }) => {
+                        stats.structured_errors += 1;
+                        stats.latency.record(round_ms);
+                    }
+                    (Role::Garbage, _) => stats.rejected_other += 1,
+                    (_, Response::Verdict { accepted: true, .. }) => {
+                        stats.accepted += 1;
+                        if role == Role::Honest {
+                            stats.latency.record(round_ms);
+                        }
+                    }
+                    (_, Response::Verdict { report, .. }) => {
+                        if report.within_deadline {
+                            stats.rejected_other += 1;
+                        } else {
+                            stats.rejected_deadline += 1;
+                            if role == Role::Impostor {
+                                stats.latency.record(round_ms);
+                            }
+                        }
+                    }
+                    (_, _) => stats.structured_errors += 1,
+                }
+                self.consume_round(tag);
+            }
+            _ => {
+                // a response with no request outstanding on this stream
+                self.cohort(role).io_errors += 1;
+                self.streams[tag].phase = phase;
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Runs one full async load-generation session: async server up, one
+/// multiplexed client over `connections × pipeline` streams, report.
+///
+/// # Errors
+///
+/// Returns a message if the device cannot be generated, the server
+/// cannot bind, registration fails, or the transport breaks a protocol
+/// invariant (the engine treats those as hard errors, not counts).
+pub fn run_async_loadgen(config: &AsyncLoadgenConfig) -> Result<AsyncLoadgenReport, String> {
+    let service = VerificationService::new(ServiceConfig {
+        workers: config.workers,
+        queue_capacity: config.queue_capacity,
+        deadline: Some(Seconds(config.deadline_s)),
+        challenge_pool: config.challenge_pool,
+        seed: config.seed,
+        ..ServiceConfig::default()
+    });
+    let mut server = AsyncServer::bind(
+        "127.0.0.1:0",
+        Arc::new(service),
+        AsyncConfig {
+            max_connections: config.max_connections,
+            dispatch_threads: config.dispatch_threads,
+            dispatch_queue: config.dispatch_queue,
+            ..AsyncConfig::default()
+        },
+    )
+    .map_err(|e| format!("async server bind failed: {e}"))?;
+
+    let mut report = run_async_loadgen_at(server.local_addr(), config)?;
+
+    // in-process we can replace the scrape-derived transport and counter
+    // figures with the server's own accounting
+    let transport = Arc::clone(server.stats());
+    let mut snapshot = server.service().recorder().snapshot(&config.label);
+    server.shutdown();
+    for key in ["server.cache.hits", "server.cache.misses", "server.requests.malformed"] {
+        snapshot.counters.entry(key.into()).or_insert(0);
+    }
+    report.peak_connections = transport.peak();
+    report.accepted_connections = transport.accepted();
+    report.reaped_connections = transport.reaped();
+    report.shed_requests = transport.shed_requests();
+    report.server_counters = snapshot.counters;
+    report.server_warnings = snapshot.warnings;
+    Ok(report)
+}
+
+/// Drives the async cohorts against a server that is *already
+/// listening* at `addr` — the client half of the two-process
+/// high-connection-count demonstration (`ppuf_loadgen --serve` in one
+/// process, `--connect` in another, each staying inside its own file
+/// descriptor budget). Registers the device (derived deterministically
+/// from `config.seed`, so either side can recreate it) over the wire-1.x
+/// admin path first. Transport figures (`peak_connections`, sheds,
+/// reaps) and the cache counters are taken from the server's live
+/// Prometheus scrape; warnings are not observable cross-process and
+/// report empty.
+///
+/// # Errors
+///
+/// See [`run_async_loadgen`].
+pub fn run_async_loadgen_at(
+    addr: std::net::SocketAddr,
+    config: &AsyncLoadgenConfig,
+) -> Result<AsyncLoadgenReport, String> {
+    let ppuf = Ppuf::generate(PpufConfig::paper(config.nodes, config.grid), config.seed)
+        .map_err(|e| format!("device generation failed: {e}"))?;
+    let model = ppuf.public_model().map_err(|e| format!("model publication failed: {e}"))?;
+
+    // admin traffic rides the wire-1.x JSON path of the same async
+    // server — live proof the compat mode serves blocking clients
+    let mut registrar =
+        Client::connect(addr).map_err(|e| format!("registration connect failed: {e}"))?;
+    match registrar
+        .request(&Request::Register { device_id: DEVICE_ID.into(), model })
+        .map_err(|e| format!("registration failed: {e}"))?
+    {
+        Response::Registered { .. } => {}
+        other => return Err(format!("registration rejected: {other:?}")),
+    }
+    let scrape_before = scrape_prometheus(&mut registrar)?;
+    drop(registrar);
+
+    let mut driver = CohortDriver::new(config, &ppuf);
+    let mux_config = MuxConfig {
+        connections: config.connections(),
+        pipeline: config.pipeline,
+        wire: config.wire,
+        ..MuxConfig::default()
+    };
+    let started = Instant::now();
+    let mux_stats = mux::drive(addr, &mux_config, &mut driver)?;
+    let duration = started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut scraper =
+        Client::connect(addr).map_err(|e| format!("stats scrape connect failed: {e}"))?;
+    let prometheus_samples = scrape_prometheus(&mut scraper)?;
+    let health = match scraper
+        .request(&Request::Health)
+        .map_err(|e| format!("health scrape failed: {e}"))?
+    {
+        Response::Health { report } => report,
+        other => return Err(format!("expected health report, got {other:?}")),
+    };
+    drop(scraper);
+    prometheus::check_monotone(&scrape_before, &prometheus_samples)
+        .map_err(|e| format!("counter regressed between live scrapes: {e}"))?;
+
+    // cross-process view: transport figures and cache counters come off
+    // the live scrape (the in-process wrapper overwrites them with the
+    // server's own accounting)
+    let sample = |name: &str| prometheus_samples.get(name).copied().unwrap_or(0.0) as u64;
+    let mut server_counters = BTreeMap::new();
+    server_counters.insert("server.cache.hits".to_string(), sample("ppuf_cache_hits_total"));
+    server_counters.insert("server.cache.misses".to_string(), sample("ppuf_cache_misses_total"));
+
+    let CohortDriver { honest, impostor, garbage, request_latency, .. } = driver;
+    let total_rounds = honest.requests + impostor.requests + garbage.requests;
+    Ok(AsyncLoadgenReport {
+        config: config.clone(),
+        duration_s: duration,
+        total_rounds,
+        throughput_rps: total_rounds as f64 / duration,
+        honest: honest.into_report(config.honest_connections),
+        impostor: impostor.into_report(config.impostor_connections),
+        garbage: garbage.into_report(config.garbage_connections),
+        mux: mux_stats,
+        request_latency: request_latency.summary(),
+        request_latency_hist: if request_latency.is_empty() {
+            None
+        } else {
+            Some(request_latency.snapshot())
+        },
+        peak_connections: sample("ppuf_conn_peak"),
+        accepted_connections: sample("ppuf_conn_accepted_total"),
+        reaped_connections: sample("ppuf_conn_reaped_total"),
+        shed_requests: sample("ppuf_conn_shed_requests_total"),
+        server_counters,
+        server_warnings: Vec::new(),
+        prometheus_samples,
+        health,
+    })
+}

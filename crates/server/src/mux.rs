@@ -1,0 +1,410 @@
+//! Multiplexed async client: many connections, pipelined requests, one
+//! thread.
+//!
+//! [`drive`] opens [`MuxConfig::connections`] sockets against a server,
+//! keeps up to [`MuxConfig::pipeline`] requests in flight on each, and
+//! pumps them all from a single epoll event loop — the client-side twin
+//! of [`crate::reactor`]. Traffic content is delegated to a [`Driver`]:
+//! the engine asks it for the next outbound item whenever a connection
+//! has pipeline room and hands every response back with its measured
+//! latency, so cohort logic (honest / impostor / garbage, see
+//! [`crate::loadgen`]) stays out of the I/O machinery.
+//!
+//! On the binary wire the engine assigns each request a correlation id
+//! and **verifies the echo**: a response whose id was never issued (or
+//! was already answered) on that connection fails the run. On the JSON
+//! wire, responses are matched to requests in order — the wire-1.x
+//! contract the server's async tier preserves.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use mio::{Events, Interest, Mode, Poll, Token};
+use serde::{Deserialize, Serialize};
+
+use crate::wire::{self, Request, Response, TracedRequest, TracedResponse, MAX_FRAME_LEN};
+use crate::wire2;
+
+/// Which protocol to speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireFlavor {
+    /// Wire 1.x length-prefixed JSON.
+    Json,
+    /// Wire 2.0 binary frames with correlation ids.
+    Binary,
+}
+
+/// Tuning for one [`drive`] run.
+#[derive(Debug, Clone)]
+pub struct MuxConfig {
+    /// Sockets to open.
+    pub connections: usize,
+    /// Maximum requests in flight per connection.
+    pub pipeline: usize,
+    /// Protocol to speak on every connection.
+    pub wire: WireFlavor,
+    /// Poll timeout — the cadence at which time-gated drivers (e.g. an
+    /// impostor waiting out a deadline) are re-consulted.
+    pub poll_timeout: Duration,
+    /// A run with no forward progress for this long aborts.
+    pub stall_timeout: Duration,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig {
+            connections: 1,
+            pipeline: 1,
+            wire: WireFlavor::Json,
+            poll_timeout: Duration::from_millis(10),
+            stall_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One outbound item a [`Driver`] can emit.
+#[derive(Debug)]
+pub enum Outbound {
+    /// A typed request. On the JSON wire, `trace` wraps it in a wire-1.1
+    /// envelope; the binary wire ignores it (correlation ids already
+    /// match responses to requests).
+    Request {
+        /// The request to send.
+        request: Request,
+        /// Optional wire-1.1 trace envelope id (JSON wire only).
+        trace: Option<u64>,
+    },
+    /// Pre-encoded bytes sent verbatim — the driver is responsible for
+    /// correct framing (including the correlation id it was given, on
+    /// the binary wire). The engine still expects exactly one response.
+    Raw(Vec<u8>),
+}
+
+/// Supplies traffic to [`drive`] and consumes the responses.
+pub trait Driver {
+    /// Asks for the next item on connection `conn`. `corr` is the
+    /// correlation id the engine will use for it on the binary wire
+    /// (embed it when returning [`Outbound::Raw`] binary frames). Return
+    /// `None` when the connection has nothing to send *right now* — the
+    /// engine asks again every loop, so time-gated sends simply return
+    /// `None` until due. `tag` is returned with the matching response.
+    fn next(&mut self, conn: usize, corr: u64) -> Option<(Outbound, u64)>;
+
+    /// Delivers the response to the request tagged `tag` on `conn`,
+    /// with the request's wire latency and (JSON wire) any echoed
+    /// envelope trace id.
+    fn done(&mut self, conn: usize, tag: u64, response: Response, trace_echo: Option<u64>, latency: Duration);
+
+    /// `true` once every expected response has been consumed.
+    fn finished(&self) -> bool;
+}
+
+/// Transport-level outcome of a [`drive`] run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MuxStats {
+    /// Requests written to sockets.
+    pub requests_sent: u64,
+    /// Responses received and delivered to the driver.
+    pub responses: u64,
+    /// Binary responses whose correlation id matched an outstanding
+    /// request (equals `responses` on a correct binary-wire server).
+    pub corr_echoed: u64,
+    /// Peak simultaneously in-flight requests across all connections.
+    pub peak_in_flight: usize,
+    /// Connections opened.
+    pub connections: usize,
+}
+
+struct Pending {
+    tag: u64,
+    sent_at: Instant,
+}
+
+struct MConn {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    rbuf: Vec<u8>,
+    /// JSON wire: responses match requests in FIFO order.
+    json_pending: VecDeque<Pending>,
+    /// Binary wire: responses match by correlation id.
+    bin_pending: HashMap<u64, Pending>,
+    next_corr: u64,
+    reg_write: bool,
+}
+
+impl MConn {
+    fn in_flight(&self) -> usize {
+        self.json_pending.len() + self.bin_pending.len()
+    }
+
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "wrote 0 bytes")),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one multiplexed client session to completion.
+///
+/// # Errors
+///
+/// Returns a message on connect failure, transport failure, a protocol
+/// breach (unparseable response, correlation id never issued,
+/// unsolicited response, server EOF with requests outstanding), or a
+/// stall longer than [`MuxConfig::stall_timeout`].
+pub fn drive(addr: SocketAddr, config: &MuxConfig, driver: &mut dyn Driver) -> Result<MuxStats, String> {
+    let poll = Poll::new().map_err(|e| format!("poller creation failed: {e}"))?;
+    let mut conns = Vec::with_capacity(config.connections);
+    for i in 0..config.connections {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| format!("connect {i}/{} failed: {e}", config.connections))?;
+        stream.set_nonblocking(true).map_err(|e| format!("nonblocking failed: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        poll.register(&stream, Token(i), Interest::READABLE, Mode::Level)
+            .map_err(|e| format!("register failed: {e}"))?;
+        conns.push(MConn {
+            stream,
+            wbuf: Vec::new(),
+            wpos: 0,
+            rbuf: Vec::new(),
+            json_pending: VecDeque::new(),
+            bin_pending: HashMap::new(),
+            next_corr: 1,
+            reg_write: false,
+        });
+    }
+
+    let mut stats = MuxStats { connections: config.connections, ..MuxStats::default() };
+    let mut events = Events::with_capacity(1024.min(config.connections.max(8)));
+    let mut last_progress = Instant::now();
+    loop {
+        let mut progress = false;
+        // fill: give every connection with pipeline room fresh work
+        for i in 0..conns.len() {
+            progress |= fill(&mut conns[i], i, config, driver, &mut stats)
+                .map_err(|e| format!("conn {i}: {e}"))?;
+        }
+        let in_flight: usize = conns.iter().map(MConn::in_flight).sum();
+        stats.peak_in_flight = stats.peak_in_flight.max(in_flight);
+        if driver.finished() && in_flight == 0 {
+            break;
+        }
+
+        poll.poll(&mut events, Some(config.poll_timeout))
+            .map_err(|e| format!("poll failed: {e}"))?;
+        for event in &events {
+            let i = event.token().0;
+            let Some(conn) = conns.get_mut(i) else { continue };
+            if event.is_writable() {
+                conn.flush().map_err(|e| format!("conn {i}: write failed: {e}"))?;
+                progress = true;
+            }
+            if event.is_readable() {
+                progress |= pump_responses(conn, i, config, driver, &mut stats)?;
+            }
+        }
+        // keep write-interest registrations in step with buffered bytes
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let want = conn.wants_write();
+            if want != conn.reg_write {
+                let interest = if want {
+                    Interest::READABLE.add(Interest::WRITABLE)
+                } else {
+                    Interest::READABLE
+                };
+                poll.reregister(&conn.stream, Token(i), interest, Mode::Level)
+                    .map_err(|e| format!("reregister failed: {e}"))?;
+                conn.reg_write = want;
+            }
+        }
+
+        let now = Instant::now();
+        if progress {
+            last_progress = now;
+        } else if now.duration_since(last_progress) > config.stall_timeout {
+            return Err(format!(
+                "no progress for {:?} with {in_flight} requests outstanding",
+                config.stall_timeout
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+/// Pumps the driver into one connection until its pipeline is full (or
+/// the driver has nothing ready). Returns whether anything was sent.
+fn fill(
+    conn: &mut MConn,
+    idx: usize,
+    config: &MuxConfig,
+    driver: &mut dyn Driver,
+    stats: &mut MuxStats,
+) -> io::Result<bool> {
+    let mut sent = false;
+    while conn.in_flight() < config.pipeline {
+        let corr = conn.next_corr;
+        let Some((outbound, tag)) = driver.next(idx, corr) else { break };
+        conn.next_corr += 1;
+        let pending = Pending { tag, sent_at: Instant::now() };
+        match outbound {
+            Outbound::Request { request, trace } => match config.wire {
+                WireFlavor::Json => {
+                    let written = match trace {
+                        Some(id) => wire::send_message(
+                            &mut conn.wbuf,
+                            &TracedRequest::traced(id, request),
+                        ),
+                        None => wire::send_message(&mut conn.wbuf, &request),
+                    };
+                    written?;
+                    conn.json_pending.push_back(pending);
+                }
+                WireFlavor::Binary => {
+                    conn.wbuf.extend_from_slice(&wire2::encode_request(corr, &request));
+                    conn.bin_pending.insert(corr, pending);
+                }
+            },
+            Outbound::Raw(bytes) => {
+                conn.wbuf.extend_from_slice(&bytes);
+                match config.wire {
+                    WireFlavor::Json => conn.json_pending.push_back(pending),
+                    WireFlavor::Binary => {
+                        conn.bin_pending.insert(corr, pending);
+                    }
+                }
+            }
+        }
+        stats.requests_sent += 1;
+        sent = true;
+    }
+    if sent {
+        conn.flush()?;
+    }
+    Ok(sent)
+}
+
+/// Reads everything available on one connection and delivers complete
+/// responses to the driver. Returns whether any response arrived.
+fn pump_responses(
+    conn: &mut MConn,
+    idx: usize,
+    config: &MuxConfig,
+    driver: &mut dyn Driver,
+    stats: &mut MuxStats,
+) -> Result<bool, String> {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut eof = false;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("conn {idx}: read failed: {e}")),
+        }
+    }
+    let mut any = false;
+    let mut consumed = 0usize;
+    loop {
+        let frame = match config.wire {
+            WireFlavor::Json => parse_json_response(&conn.rbuf[consumed..])
+                .map_err(|e| format!("conn {idx}: {e}"))?,
+            WireFlavor::Binary => parse_binary_response(&conn.rbuf[consumed..])
+                .map_err(|e| format!("conn {idx}: {e}"))?,
+        };
+        let Some((used, corr, response, trace_echo)) = frame else { break };
+        consumed += used;
+        let pending = match config.wire {
+            WireFlavor::Json => conn.json_pending.pop_front(),
+            WireFlavor::Binary => {
+                let p = conn.bin_pending.remove(&corr);
+                if p.is_some() {
+                    stats.corr_echoed += 1;
+                }
+                p
+            }
+        };
+        let Some(pending) = pending else {
+            return Err(match config.wire {
+                WireFlavor::Json => format!("conn {idx}: unsolicited response"),
+                WireFlavor::Binary => {
+                    format!("conn {idx}: response for correlation id {corr} never issued")
+                }
+            });
+        };
+        stats.responses += 1;
+        any = true;
+        driver.done(idx, pending.tag, response, trace_echo, pending.sent_at.elapsed());
+    }
+    if consumed > 0 {
+        conn.rbuf.drain(..consumed);
+    }
+    if eof && (conn.in_flight() > 0 || !conn.rbuf.is_empty()) {
+        return Err(format!(
+            "conn {idx}: server closed with {} requests outstanding",
+            conn.in_flight()
+        ));
+    }
+    Ok(any)
+}
+
+/// Parses one JSON response frame off the front of `buf`: `Ok(None)` on
+/// a partial frame, else `(consumed, 0, response, trace_echo)`.
+fn parse_json_response(buf: &[u8]) -> io::Result<Option<(usize, u64, Response, Option<u64>)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("response frame length {len} exceeds cap"),
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let text = std::str::from_utf8(&buf[4..4 + len])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let envelope: TracedResponse = serde_json::from_str(text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))?;
+    Ok(Some((4 + len, 0, envelope.body, envelope.trace_id)))
+}
+
+/// Parses one binary response frame off the front of `buf`.
+fn parse_binary_response(buf: &[u8]) -> io::Result<Option<(usize, u64, Response, Option<u64>)>> {
+    match wire2::parse_frame(buf) {
+        Ok(None) => Ok(None),
+        Ok(Some((frame, used))) => {
+            let response = wire2::decode_response(&frame)?;
+            Ok(Some((used, frame.corr, response, None)))
+        }
+        Err(e) => Err(e.into()),
+    }
+}

@@ -119,6 +119,9 @@ pub struct VerificationService {
     /// Last dump time per trigger label — throttles each trigger to at
     /// most one dump per SLO window.
     dump_last: Mutex<std::collections::BTreeMap<&'static str, f64>>,
+    /// Transport-tier counters (set by the async front-end); their
+    /// `ppuf_conn_*` gauges join the Prometheus exposition.
+    transport: Mutex<Option<Arc<crate::conn::TransportStats>>>,
 }
 
 impl VerificationService {
@@ -157,7 +160,16 @@ impl VerificationService {
             flight,
             dump_seq: AtomicU64::new(0),
             dump_last: Mutex::new(std::collections::BTreeMap::new()),
+            transport: Mutex::new(None),
         }
+    }
+
+    /// Attaches a transport counter block (called by
+    /// [`AsyncServer::bind`](crate::reactor::AsyncServer::bind)); its
+    /// gauges appear in every later Prometheus scrape. A second
+    /// attachment replaces the first.
+    pub fn attach_transport(&self, stats: Arc<crate::conn::TransportStats>) {
+        *self.transport.lock().expect("transport lock") = Some(stats);
     }
 
     /// The service's telemetry recorder (counters, spans, warnings).
@@ -333,6 +345,9 @@ impl VerificationService {
                 ];
                 for verdict in &health.slos {
                     gauges.push((format!("ppuf_slo_{}", verdict.slo), verdict.value));
+                }
+                if let Some(transport) = self.transport.lock().expect("transport lock").as_ref() {
+                    gauges.extend(transport.gauges());
                 }
                 prometheus::render(&report, &gauges)
             }

@@ -1,7 +1,8 @@
 //! TCP front-end: the service behind `std::net`, plus a matching client.
 //!
-//! One accept thread (non-blocking accept + short sleeps so shutdown is
-//! prompt), one thread per connection. Connection threads poll with a
+//! One accept thread (blocked on an epoll readiness poll, woken
+//! instantly at shutdown through a [`Waker`] — no sleep polling), one
+//! thread per connection. Connection threads poll with a
 //! read timeout and re-check the shutdown flag between frames. A frame
 //! that is not valid JSON — or not a valid [`Request`] — is answered
 //! with a structured `Malformed` error on the same connection; only I/O
@@ -15,6 +16,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use mio::{Events, Interest, Mode, Poll, Token, Waker};
 use ppuf_telemetry::{next_trace_id, Recorder, TraceId};
 
 use crate::service::VerificationService;
@@ -22,8 +24,10 @@ use crate::wire::{
     recv_message, send_message, ErrorKind, Request, Response, TracedRequest, TracedResponse,
 };
 
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
 const READ_POLL: Duration = Duration::from_millis(100);
+
+const LISTENER_TOKEN: Token = Token(0);
+const SHUTDOWN_TOKEN: Token = Token(1);
 
 /// A listening PPUF verification server.
 ///
@@ -35,6 +39,7 @@ pub struct PpufServer {
     service: Arc<VerificationService>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: Waker,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -49,15 +54,18 @@ impl PpufServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let poll = Poll::new()?;
+        poll.register(&listener, LISTENER_TOKEN, Interest::READABLE, Mode::Level)?;
+        let waker = Waker::new(&poll, SHUTDOWN_TOKEN)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_thread = {
             let service = Arc::clone(&service);
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("ppuf-accept".into())
-                .spawn(move || accept_loop(&listener, &service, &shutdown))?
+                .spawn(move || accept_loop(&listener, &poll, &service, &shutdown))?
         };
-        Ok(PpufServer { service, local_addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(PpufServer { service, local_addr, shutdown, waker, accept_thread: Some(accept_thread) })
     }
 
     /// The bound address (with the real port when bound to port 0).
@@ -70,9 +78,12 @@ impl PpufServer {
         &self.service
     }
 
-    /// Stops accepting and signals connection threads to wind down.
+    /// Stops accepting and signals connection threads to wind down. The
+    /// accept thread is woken out of its readiness poll immediately — no
+    /// polling latency.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.waker.wake();
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -87,25 +98,35 @@ impl Drop for PpufServer {
 
 fn accept_loop(
     listener: &TcpListener,
+    poll: &Poll,
     service: &Arc<VerificationService>,
     shutdown: &Arc<AtomicBool>,
 ) {
+    let mut events = Events::with_capacity(8);
     while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                let conn_service = Arc::clone(service);
-                let conn_shutdown = Arc::clone(shutdown);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("ppuf-conn-{peer}"))
-                    .spawn(move || handle_connection(stream, &conn_service, &conn_shutdown));
-                if let Err(e) = spawned {
-                    service.recorder().warn(&format!("failed to spawn connection thread: {e}"));
+        // block until a connection is pending or the shutdown waker fires
+        // — zero CPU while idle, zero latency on either edge
+        if poll.poll(&mut events, None).is_err() {
+            break;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let conn_service = Arc::clone(service);
+                    let conn_shutdown = Arc::clone(shutdown);
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("ppuf-conn-{peer}"))
+                        .spawn(move || handle_connection(stream, &conn_service, &conn_shutdown));
+                    if let Err(e) = spawned {
+                        service.recorder().warn(&format!("failed to spawn connection thread: {e}"));
+                    }
                 }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(e) => {
-                service.recorder().warn(&format!("accept failed: {e}"));
-                std::thread::sleep(ACCEPT_POLL);
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    service.recorder().warn(&format!("accept failed: {e}"));
+                    break;
+                }
             }
         }
     }

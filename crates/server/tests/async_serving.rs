@@ -1,0 +1,321 @@
+//! Live tests of the async serving tier: wire-1.x byte compatibility,
+//! pipelined correlation, negotiation, slow-loris reaping, connection
+//! caps, and the end-to-end multiplexed smoke on both wires.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppuf_analog::units::Seconds;
+use ppuf_core::device::{Ppuf, PpufConfig};
+use ppuf_server::loadgen::{run_async_loadgen, AsyncLoadgenConfig};
+use ppuf_server::mux::WireFlavor;
+use ppuf_server::service::{ServiceConfig, VerificationService};
+use ppuf_server::tcp::{Client, PpufServer};
+use ppuf_server::wire::{Request, Response};
+use ppuf_server::wire2::{self, opcode};
+use ppuf_server::{AsyncConfig, AsyncServer};
+
+const SEED: u64 = 23;
+
+fn service(seed: u64) -> Arc<VerificationService> {
+    Arc::new(VerificationService::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        deadline: Some(Seconds(5.0)),
+        challenge_pool: 2,
+        seed,
+        ..ServiceConfig::default()
+    }))
+}
+
+fn bind_async(config: AsyncConfig) -> AsyncServer {
+    AsyncServer::bind("127.0.0.1:0", service(SEED), config).expect("async bind")
+}
+
+/// Registers the standard test device over the JSON compat path.
+fn register_device(addr: SocketAddr) -> Ppuf {
+    let ppuf = Ppuf::generate(PpufConfig::paper(8, 2), SEED).expect("device generation");
+    let model = ppuf.public_model().expect("model publication");
+    let mut client = Client::connect(addr).expect("connect");
+    match client.request(&Request::Register { device_id: "dev".into(), model }).expect("register") {
+        Response::Registered { .. } => ppuf,
+        other => panic!("registration rejected: {other:?}"),
+    }
+}
+
+/// Reads one length-prefixed JSON frame as raw bytes.
+fn read_json_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).expect("frame length");
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).expect("frame payload");
+    let mut frame = prefix.to_vec();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Sends pre-framed bytes and returns the raw response frame.
+fn raw_json_exchange(stream: &mut TcpStream, frame: &[u8]) -> Vec<u8> {
+    stream.write_all(frame).expect("write frame");
+    read_json_frame(stream)
+}
+
+fn json_frame_of(request: &Request) -> Vec<u8> {
+    let mut frame = Vec::new();
+    ppuf_server::wire::send_message(&mut frame, request).expect("encode");
+    frame
+}
+
+fn raw_frame_of(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::new();
+    ppuf_server::wire::write_frame(&mut frame, payload).expect("encode");
+    frame
+}
+
+/// The wire-1.x lock: a blocking client must receive byte-identical
+/// response frames from the legacy thread-per-connection server and the
+/// async reactor, across bare requests, malformed payloads, and the
+/// trace envelope.
+#[test]
+fn wire_1x_responses_are_byte_identical_to_the_legacy_server() {
+    let mut legacy = PpufServer::bind("127.0.0.1:0", service(SEED)).expect("legacy bind");
+    let reactor = bind_async(AsyncConfig::default());
+
+    let exchanges: Vec<Vec<u8>> = vec![
+        json_frame_of(&Request::Ping),
+        json_frame_of(&Request::GetChallenge { device_id: "no-such-device".into() }),
+        raw_frame_of(b"\x7bnot json at all"),
+        raw_frame_of(b"{\"Bogus\": {\"x\": 1}}"),
+        // wire-1.1 envelope: the response must come back enveloped
+        raw_frame_of(br#"{"trace_id": 7, "body": "Ping"}"#),
+        json_frame_of(&Request::Ping),
+    ];
+
+    let against = |addr: SocketAddr| -> Vec<Vec<u8>> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        exchanges.iter().map(|frame| raw_json_exchange(&mut stream, frame)).collect()
+    };
+    let from_legacy = against(legacy.local_addr());
+    let from_reactor = against(reactor.local_addr());
+    for (i, (a, b)) in from_legacy.iter().zip(&from_reactor).enumerate() {
+        assert_eq!(
+            a, b,
+            "exchange {i}: legacy {:?} vs reactor {:?}",
+            String::from_utf8_lossy(a),
+            String::from_utf8_lossy(b)
+        );
+    }
+    legacy.shutdown();
+}
+
+/// Pipelined binary requests complete out of order but every response
+/// carries the correlation id of its request.
+#[test]
+fn binary_pipelining_echoes_correlation_ids() {
+    let server = bind_async(AsyncConfig::default());
+    register_device(server.local_addr());
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    // three challenges pipelined back to back in one write
+    let mut burst = Vec::new();
+    for corr in [11u64, 22, 33] {
+        burst.extend_from_slice(&wire2::encode_request(
+            corr,
+            &Request::GetChallenge { device_id: "dev".into() },
+        ));
+    }
+    stream.write_all(&burst).expect("write burst");
+
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        let frame = wire2::read_frame2(&mut stream).expect("read").expect("frame");
+        assert_eq!(frame.opcode, opcode::CHALLENGE);
+        let response = wire2::decode_response(&frame).expect("decode");
+        assert!(matches!(response, Response::Challenge { .. }), "{response:?}");
+        seen.push(frame.corr);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, vec![11, 22, 33]);
+}
+
+/// JSON responses come back in request order even though the dispatch
+/// pool completes them concurrently — the wire-1.x ordering contract.
+#[test]
+fn json_pipelined_responses_stay_in_request_order() {
+    let server = bind_async(AsyncConfig::default());
+    register_device(server.local_addr());
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut burst = json_frame_of(&Request::GetChallenge { device_id: "dev".into() });
+    burst.extend_from_slice(&json_frame_of(&Request::Ping));
+    burst.extend_from_slice(&json_frame_of(&Request::GetChallenge {
+        device_id: "no-such-device".into(),
+    }));
+    stream.write_all(&burst).expect("write burst");
+
+    let expectations: [&dyn Fn(&Response) -> bool; 3] = [
+        &|r| matches!(r, Response::Challenge { .. }),
+        &|r| matches!(r, Response::Pong),
+        &|r| matches!(r, Response::Error { .. }),
+    ];
+    for (i, expect) in expectations.iter().enumerate() {
+        let frame = read_json_frame(&mut stream);
+        let text = std::str::from_utf8(&frame[4..]).expect("utf8");
+        let response: Response = serde_json::from_str(text).expect("decode");
+        assert!(expect(&response), "response {i} out of order: {response:?}");
+    }
+}
+
+/// A first byte that is neither JSON's length prefix nor the wire-2.0
+/// magic closes the connection without a response.
+#[test]
+fn garbage_first_bytes_close_the_connection() {
+    let server = bind_async(AsyncConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    let mut buf = [0u8; 64];
+    assert_eq!(stream.read(&mut buf).expect("read"), 0, "expected EOF, got data");
+    // the reactor accounted the close: nothing left open
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().open() != 0 {
+        assert!(Instant::now() < deadline, "connection still counted open");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().accepted(), 1);
+}
+
+/// A half-written frame trips the read deadline: the slow-loris is
+/// reaped and the open-connections gauge decrements.
+#[test]
+fn slow_loris_half_frame_is_reaped_and_gauge_decrements() {
+    let server = bind_async(AsyncConfig {
+        read_deadline: Duration::from_millis(200),
+        sweep_interval: Duration::from_millis(50),
+        ..AsyncConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+
+    // claim a 64-byte JSON frame, deliver only 3 bytes, then stall
+    stream.write_all(&64u32.to_be_bytes()).expect("write prefix");
+    stream.write_all(b"{\"G").expect("write stub");
+
+    let gauge = |stats: &ppuf_server::conn::TransportStats, name: &str| -> f64 {
+        stats
+            .gauges()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(f64::NAN)
+    };
+    // the connection shows up open ...
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while gauge(server.stats(), "ppuf_conn_open") < 1.0 {
+        assert!(Instant::now() < deadline, "connection never counted open");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // ... and the sweep reaps it without us sending another byte
+    let mut buf = [0u8; 16];
+    assert_eq!(stream.read(&mut buf).expect("read"), 0, "expected EOF after reap");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = server.stats();
+        if stats.reaped() == 1 && gauge(stats, "ppuf_conn_open") == 0.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reap not accounted: reaped={} open={}",
+            stats.reaped(),
+            gauge(stats, "ppuf_conn_open")
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Accepts beyond the connection cap are shed immediately; the cap
+/// protects the event loop's slab and file descriptors.
+#[test]
+fn connection_cap_sheds_excess_accepts() {
+    let server = bind_async(AsyncConfig { max_connections: 2, ..AsyncConfig::default() });
+    let addr = server.local_addr();
+    let mut keep = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        // prove the connection is live: a ping answers
+        stream.write_all(&json_frame_of(&Request::Ping)).expect("write");
+        let frame = read_json_frame(&mut stream);
+        assert!(std::str::from_utf8(&frame[4..]).expect("utf8").contains("Pong"));
+        keep.push(stream);
+    }
+    let mut third = TcpStream::connect(addr).expect("connect");
+    third.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let mut buf = [0u8; 16];
+    assert_eq!(third.read(&mut buf).expect("read"), 0, "expected EOF past the cap");
+    assert_eq!(server.stats().rejected(), 1);
+    assert_eq!(server.stats().open(), 2);
+}
+
+/// A binary frame trickled one byte at a time still parses and answers —
+/// the incremental parser holds state across arbitrarily torn reads.
+#[test]
+fn torn_binary_frame_over_live_socket_still_answers() {
+    let server = bind_async(AsyncConfig::default());
+    register_device(server.local_addr());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+
+    let frame = wire2::encode_request(99, &Request::GetChallenge { device_id: "dev".into() });
+    for byte in &frame {
+        stream.write_all(std::slice::from_ref(byte)).expect("write byte");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let response = wire2::read_frame2(&mut stream).expect("read").expect("frame");
+    assert_eq!(response.corr, 99);
+    assert_eq!(response.opcode, opcode::CHALLENGE);
+}
+
+fn small_async_profile(wire: WireFlavor) -> AsyncLoadgenConfig {
+    AsyncLoadgenConfig {
+        label: format!("async-it-{wire:?}"),
+        honest_connections: 12,
+        impostor_connections: 2,
+        garbage_connections: 2,
+        pipeline: 2,
+        rounds_per_stream: 1,
+        deadline_s: 2.0,
+        wire,
+        ..AsyncLoadgenConfig::default()
+    }
+}
+
+/// End-to-end multiplexed smoke on the binary wire: all cohorts over one
+/// event-loop client, correlation ids echoed on every response.
+#[test]
+fn async_loadgen_smoke_binary_wire() {
+    let report =
+        run_async_loadgen(&small_async_profile(WireFlavor::Binary)).expect("async loadgen");
+    report.check_smoke_invariants().expect("async smoke invariants");
+    assert_eq!(report.total_rounds, 32);
+    assert!(report.mux.corr_echoed > 0);
+    assert_eq!(report.mux.corr_echoed, report.mux.responses);
+}
+
+/// The same cohorts over wire-1.x JSON: pipelining works with in-order
+/// response matching and no correlation ids.
+#[test]
+fn async_loadgen_smoke_json_wire() {
+    let report = run_async_loadgen(&small_async_profile(WireFlavor::Json)).expect("async loadgen");
+    report.check_smoke_invariants().expect("async smoke invariants");
+    assert_eq!(report.total_rounds, 32);
+    assert_eq!(report.mux.corr_echoed, 0, "JSON wire has no correlation ids");
+}

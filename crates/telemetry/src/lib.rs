@@ -44,7 +44,8 @@ pub use hist::{HistBucket, HistogramSnapshot, LogHistogram, HIST_BUCKET_COUNT, H
 pub use report::{JsonReporter, Report, ReportError, SCHEMA_VERSION};
 pub use samples::{SampleSeries, SampleSummary};
 pub use trace::{
-    assemble, next_trace_id, record_interval, FinishedSpan, SpanContext, SpanId, TraceError,
+    assemble, next_trace_id, record_interval, record_root_interval, FinishedSpan, SpanContext,
+    SpanId, TraceError,
     TraceId, TraceNode, TracedSpan,
 };
 

@@ -241,6 +241,38 @@ pub fn record_interval(
     }
 }
 
+/// Records an already-elapsed interval as the **root** span of `trace` —
+/// for long-lived resources whose lifetime is measured with explicit
+/// timestamps rather than a live RAII guard (e.g. a network connection
+/// closed by an event loop long after it was opened). The requests the
+/// resource carried, having run as roots of the same trace, assemble
+/// into the same trace tree.
+///
+/// The flat `record_span` aggregate is always reported; the trace span
+/// only when the recorder has tracing enabled.
+pub fn record_root_interval(
+    recorder: &dyn Recorder,
+    trace: TraceId,
+    name: &str,
+    start: Instant,
+    end: Instant,
+    attrs: Vec<(String, String)>,
+) {
+    let duration = end.saturating_duration_since(start);
+    recorder.record_span(name, duration);
+    if recorder.trace_enabled() {
+        recorder.record_trace_span(FinishedSpan {
+            trace,
+            span: SpanId(fresh_id()),
+            parent: None,
+            name: name.to_string(),
+            start,
+            duration,
+            attrs,
+        });
+    }
+}
+
 /// One node of an assembled trace tree.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceNode {
