@@ -167,6 +167,9 @@ pub enum CloseReason {
     Frame(String),
     /// A read or write failed.
     Io(String),
+    /// Buffered response bytes exceeded the write-backlog cap: the peer
+    /// pipelines requests but does not read responses.
+    Backpressure,
     /// No request activity within the idle timeout.
     IdleTimeout,
     /// A frame stayed half-written past the read deadline (slow-loris).
@@ -183,6 +186,7 @@ impl CloseReason {
             CloseReason::Garbage => "garbage",
             CloseReason::Frame(_) => "frame_error",
             CloseReason::Io(_) => "io_error",
+            CloseReason::Backpressure => "backpressure",
             CloseReason::IdleTimeout => "idle_timeout",
             CloseReason::ReadDeadline => "read_deadline",
             CloseReason::Shutdown => "shutdown",
@@ -295,6 +299,12 @@ impl Conn {
     /// writability.
     pub(crate) fn wants_write(&self) -> bool {
         self.write_pos < self.write_buf.len()
+    }
+
+    /// Buffered response bytes not yet written to the socket — the
+    /// reactor closes the connection when this passes its backlog cap.
+    pub(crate) fn backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
     }
 
     /// `true` once the connection has nothing left to do: peer is gone
@@ -457,12 +467,16 @@ impl Conn {
     }
 
     /// Nonblocking write pump: pushes buffered bytes until the socket
-    /// would block or the buffer empties.
-    pub(crate) fn on_writable(&mut self) -> Result<(), CloseReason> {
+    /// would block or the buffer empties. Write progress counts as
+    /// activity, so only a peer that stops draining responses idles out.
+    pub(crate) fn on_writable(&mut self, now: Instant) -> Result<(), CloseReason> {
         while self.write_pos < self.write_buf.len() {
             match self.stream.write(&self.write_buf[self.write_pos..]) {
                 Ok(0) => return Err(CloseReason::Io("socket wrote 0 bytes".into())),
-                Ok(n) => self.write_pos += n,
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_activity = now;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(CloseReason::Io(e.to_string())),

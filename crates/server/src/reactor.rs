@@ -22,7 +22,11 @@
 //!   `Overloaded` (+ retry hint) from the event loop without blocking;
 //! - **slow-loris reaping** — a frame left half-written past
 //!   [`AsyncConfig::read_deadline`], or a connection idle past
-//!   [`AsyncConfig::idle_timeout`], is swept and closed.
+//!   [`AsyncConfig::idle_timeout`], is swept and closed;
+//! - **write backpressure** — a peer that pipelines requests but never
+//!   reads responses is closed once its unsent backlog passes
+//!   [`AsyncConfig::max_write_buf`] (write progress counts as activity,
+//!   so a fully stalled writer also idles out).
 //!
 //! Every connection runs under its own trace id: bare requests join it
 //! (so one connection's `server.request` trees share a trace), and a
@@ -65,6 +69,12 @@ pub struct AsyncConfig {
     pub dispatch_threads: usize,
     /// Bounded dispatch queue; overflow answers `Overloaded` inline.
     pub dispatch_queue: usize,
+    /// Per-connection cap on buffered, unsent response bytes: a peer
+    /// that keeps pipelining requests without reading responses is
+    /// closed once its backlog passes this. Soft — checked between
+    /// frames, so one frame may overshoot. Keep it ≥ the largest single
+    /// response (a frame is at most [`crate::wire::MAX_FRAME_LEN`]).
+    pub max_write_buf: usize,
     /// Poll timeout and timeout-sweep cadence.
     pub sweep_interval: Duration,
     /// Readiness events drained per poll.
@@ -85,6 +95,7 @@ impl Default for AsyncConfig {
             read_deadline: Duration::from_secs(10),
             dispatch_threads: 4,
             dispatch_queue: 256,
+            max_write_buf: 2 * crate::wire::MAX_FRAME_LEN,
             sweep_interval: Duration::from_millis(250),
             events_capacity: 1024,
             listen_backlog: 4096,
@@ -371,7 +382,7 @@ impl Reactor {
         let Some(slot) = token.0.checked_sub(TOKEN_BASE) else { return };
         let Some(Some(conn)) = self.conns.get_mut(slot) else { return };
         if writable {
-            if let Err(reason) = conn.on_writable() {
+            if let Err(reason) = conn.on_writable(now) {
                 self.close(slot, reason, now);
                 return;
             }
@@ -444,11 +455,12 @@ impl Reactor {
     }
 
     /// Pushes buffered bytes, fixes the write-interest registration, and
-    /// closes the connection if it has fully drained after peer EOF.
+    /// closes the connection if it has fully drained after peer EOF or
+    /// its unread-response backlog passed the cap.
     fn flush_and_settle(&mut self, slot: usize, now: Instant) {
         let Some(Some(conn)) = self.conns.get_mut(slot) else { return };
         if conn.wants_write() {
-            if let Err(reason) = conn.on_writable() {
+            if let Err(reason) = conn.on_writable(now) {
                 self.close(slot, reason, now);
                 return;
             }
@@ -456,6 +468,11 @@ impl Reactor {
         let Some(Some(conn)) = self.conns.get_mut(slot) else { return };
         if conn.drained() {
             self.close(slot, CloseReason::Eof, now);
+            return;
+        }
+        if conn.backlog() > self.config.max_write_buf {
+            self.stats.conn_reaped();
+            self.close(slot, CloseReason::Backpressure, now);
             return;
         }
         let want = conn.wants_write();
@@ -483,9 +500,11 @@ impl Reactor {
             {
                 Some(CloseReason::ReadDeadline)
             } else if conn.in_flight == 0
-                && !conn.wants_write()
                 && now.duration_since(conn.last_activity) >= self.config.idle_timeout
             {
+                // write progress refreshes last_activity, so a connection
+                // stuck with buffered responses the peer never reads is
+                // idle too — not exempt from reaping
                 Some(CloseReason::IdleTimeout)
             } else {
                 None

@@ -272,10 +272,20 @@ impl Enc {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn string(&mut self, s: &str) {
-        let len = u16::try_from(s.len()).expect("wire-2.0 strings fit in 64 KiB");
+    /// Fails (instead of panicking) when `s` exceeds the u16 length
+    /// prefix — the encoders fall back to JSON framing, so a hostile
+    /// 64 KiB+ device id echoed into a response can never kill the
+    /// reactor thread.
+    fn string(&mut self, s: &str) -> io::Result<()> {
+        let len = u16::try_from(s.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("string of {} bytes exceeds the wire-2.0 64 KiB string cap", s.len()),
+            )
+        })?;
         self.u16(len);
         self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 
     /// Bit-packed bools, 8 per byte, LSB first.
@@ -388,7 +398,16 @@ impl<'a> Dec<'a> {
     }
 
     fn bits(&mut self) -> io::Result<Vec<bool>> {
-        let count = self.counted(0)?;
+        let count = self.u32()? as usize;
+        // packed-size guard before the Vec<bool> allocation: a hostile
+        // count cannot force an allocation ~8x larger than the bytes the
+        // client actually sent
+        if count.div_ceil(8) > self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wire-2.0 bit count {count} larger than remaining payload"),
+            ));
+        }
         let bytes = self.take(count.div_ceil(8))?;
         Ok((0..count).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
     }
@@ -424,6 +443,34 @@ impl<'a> Dec<'a> {
     }
 }
 
+/// Longest device id a wire-2.0 request may carry, enforced at decode
+/// (both the fixed binary encodings and `JSON_REQUEST` frames). The
+/// service quotes device ids into error and echo responses, so capping
+/// them at ingress bounds every response string far below the binary
+/// wire's 64 KiB string limit.
+pub const MAX_DEVICE_ID_LEN: usize = 256;
+
+/// Rejects requests whose device id exceeds [`MAX_DEVICE_ID_LEN`].
+fn check_device_id(request: &Request) -> io::Result<()> {
+    let device_id = match request {
+        Request::Register { device_id, .. }
+        | Request::Revoke { device_id }
+        | Request::GetChallenge { device_id }
+        | Request::SubmitAnswer { device_id, .. } => device_id,
+        _ => return Ok(()),
+    };
+    if device_id.len() > MAX_DEVICE_ID_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "device id of {} bytes exceeds the wire-2.0 cap of {MAX_DEVICE_ID_LEN}",
+                device_id.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
 const ERROR_KINDS: [ErrorKind; 6] = [
     ErrorKind::UnknownDevice,
     ErrorKind::ReplayOrUnknownNonce,
@@ -437,16 +484,18 @@ fn error_kind_byte(kind: ErrorKind) -> u8 {
     ERROR_KINDS.iter().position(|&k| k == kind).expect("every kind is in the table") as u8
 }
 
-/// Encodes a request as one wire-2.0 frame under `corr`.
-pub fn encode_request(corr: u64, request: &Request) -> Vec<u8> {
+/// Fixed binary encoding of a hot-path request; `None` when the request
+/// has no binary form or a field exceeds a binary-wire bound — the
+/// caller falls back to JSON framing, which is lossless.
+fn try_encode_request(request: &Request) -> Option<(u8, Vec<u8>)> {
     let mut enc = Enc::default();
     let opcode = match request {
         Request::GetChallenge { device_id } => {
-            enc.string(device_id);
+            enc.string(device_id).ok()?;
             opcode::GET_CHALLENGE
         }
         Request::SubmitAnswer { device_id, nonce, answer } => {
-            enc.string(device_id);
+            enc.string(device_id).ok()?;
             enc.u64(*nonce);
             enc.u8(u8::from(answer.response));
             enc.flow(&answer.flow_a);
@@ -454,20 +503,30 @@ pub fn encode_request(corr: u64, request: &Request) -> Vec<u8> {
             opcode::SUBMIT_ANSWER
         }
         Request::Ping => opcode::PING,
-        other => {
-            enc.buf = serde_json::to_string(other).expect("requests serialize").into_bytes();
-            opcode::JSON_REQUEST
-        }
+        _ => return None,
     };
-    encode_frame(opcode, corr, &enc.buf)
+    Some((opcode, enc.buf))
 }
 
-/// Encodes a response as one wire-2.0 frame echoing `corr`.
-pub fn encode_response(corr: u64, response: &Response) -> Vec<u8> {
+/// Encodes a request as one wire-2.0 frame under `corr`. Requests whose
+/// fields do not fit the fixed binary encodings ride a
+/// [`opcode::JSON_REQUEST`] frame instead.
+pub fn encode_request(corr: u64, request: &Request) -> Vec<u8> {
+    let (opcode, payload) = try_encode_request(request).unwrap_or_else(|| {
+        let json = serde_json::to_string(request).expect("requests serialize").into_bytes();
+        (opcode::JSON_REQUEST, json)
+    });
+    encode_frame(opcode, corr, &payload)
+}
+
+/// Fixed binary encoding of a hot-path response; `None` when the
+/// response has no binary form or a field exceeds a binary-wire bound
+/// (see [`try_encode_request`]).
+fn try_encode_response(response: &Response) -> Option<(u8, Vec<u8>)> {
     let mut enc = Enc::default();
     let opcode = match response {
         Response::Challenge { device_id, nonce, challenge, deadline_s } => {
-            enc.string(device_id);
+            enc.string(device_id).ok()?;
             enc.u64(*nonce);
             match deadline_s {
                 Some(deadline) => {
@@ -480,7 +539,7 @@ pub fn encode_response(corr: u64, response: &Response) -> Vec<u8> {
             opcode::CHALLENGE
         }
         Response::Verdict { device_id, nonce, accepted, report, cached, elapsed_s } => {
-            enc.string(device_id);
+            enc.string(device_id).ok()?;
             enc.u64(*nonce);
             let mut flags = 0u8;
             for (bit, set) in [
@@ -511,16 +570,35 @@ pub fn encode_response(corr: u64, response: &Response) -> Vec<u8> {
                 }
                 None => enc.u8(0),
             }
-            enc.string(message);
+            enc.string(message).ok()?;
             opcode::ERROR
         }
         Response::Pong => opcode::PONG,
-        other => {
-            enc.buf = serde_json::to_string(other).expect("responses serialize").into_bytes();
-            opcode::JSON_RESPONSE
-        }
+        _ => return None,
     };
-    encode_frame(opcode, corr, &enc.buf)
+    Some((opcode, enc.buf))
+}
+
+/// Encodes a response as one wire-2.0 frame echoing `corr`. This never
+/// panics on any `Response` the service can build: oversized strings
+/// fall back to JSON framing, and a response no frame can carry (past
+/// [`MAX_FRAME_LEN`] even as JSON) is replaced by a compact `Internal`
+/// error so the connection — and the reactor thread encoding on it —
+/// stays alive.
+pub fn encode_response(corr: u64, response: &Response) -> Vec<u8> {
+    let (opcode, payload) = try_encode_response(response).unwrap_or_else(|| {
+        let json = serde_json::to_string(response).expect("responses serialize").into_bytes();
+        (opcode::JSON_RESPONSE, json)
+    });
+    if payload.len() > MAX_FRAME_LEN {
+        let fallback = Response::Error {
+            kind: ErrorKind::Internal,
+            message: format!("response of {} bytes exceeds the frame cap", payload.len()),
+            retry_after_ms: None,
+        };
+        return encode_response(corr, &fallback);
+    }
+    encode_frame(opcode, corr, &payload)
 }
 
 /// Decodes a request frame's payload.
@@ -528,9 +606,10 @@ pub fn encode_response(corr: u64, response: &Response) -> Vec<u8> {
 /// # Errors
 ///
 /// `InvalidData` for an unknown opcode, a truncated or trailing-bytes
-/// payload, or an unparseable JSON payload — the caller answers with a
-/// structured `Malformed` error, keeping the connection alive (matching
-/// the JSON wire's contract).
+/// payload, an unparseable JSON payload, or a device id past
+/// [`MAX_DEVICE_ID_LEN`] — the caller answers with a structured
+/// `Malformed` error, keeping the connection alive (matching the JSON
+/// wire's contract).
 pub fn decode_request(frame: &Frame2) -> io::Result<Request> {
     let mut dec = Dec::new(&frame.payload);
     let request = match frame.opcode {
@@ -551,8 +630,10 @@ pub fn decode_request(frame: &Frame2) -> io::Result<Request> {
         opcode::JSON_REQUEST => {
             let text = std::str::from_utf8(&frame.payload)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            return serde_json::from_str(text)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+            let request: Request = serde_json::from_str(text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            check_device_id(&request)?;
+            return Ok(request);
         }
         other => {
             return Err(io::Error::new(
@@ -562,6 +643,7 @@ pub fn decode_request(frame: &Frame2) -> io::Result<Request> {
         }
     };
     dec.finish()?;
+    check_device_id(&request)?;
     Ok(request)
 }
 
@@ -700,7 +782,7 @@ mod tests {
     fn hostile_counts_cannot_force_giant_allocations() {
         // a flow header claiming u32::MAX edges with no bytes behind it
         let mut enc = Enc::default();
-        enc.string("d");
+        enc.string("d").unwrap();
         enc.u64(1);
         enc.u8(1);
         enc.u32(0); // flow_a.source
@@ -711,5 +793,57 @@ mod tests {
         let err = decode_request(&frame).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn hostile_bit_counts_cannot_force_giant_allocations() {
+        // a bit count claiming u32::MAX bits with no packed bytes behind
+        // it must fail the packed-size guard, not allocate ~512 MiB
+        let payload = u32::MAX.to_le_bytes();
+        let mut dec = Dec::new(&payload);
+        let err = dec.bits().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bit count"), "{err}");
+    }
+
+    #[test]
+    fn oversized_strings_never_panic_the_response_encoder() {
+        // a response quoting a near-64-KiB string cannot use the binary
+        // string encoding; it must fall back to JSON framing losslessly
+        let big = "x".repeat(70_000);
+        let response = Response::error(ErrorKind::UnknownDevice, format!("device {big:?} is not registered"));
+        let bytes = encode_response(9, &response);
+        let (frame, _) = parse_frame(&bytes).unwrap().expect("complete frame");
+        assert_eq!(frame.opcode, opcode::JSON_RESPONSE);
+        assert_eq!(decode_response(&frame).unwrap(), response);
+
+        // same on the request side (client-side encoder)
+        let request = Request::GetChallenge { device_id: big };
+        let bytes = encode_request(3, &request);
+        let (frame, _) = parse_frame(&bytes).unwrap().expect("complete frame");
+        assert_eq!(frame.opcode, opcode::JSON_REQUEST);
+    }
+
+    #[test]
+    fn device_ids_past_the_cap_are_rejected_at_decode() {
+        let long_id = "d".repeat(MAX_DEVICE_ID_LEN + 1);
+        // fixed binary encoding
+        let mut enc = Enc::default();
+        enc.string(&long_id).unwrap();
+        let frame = Frame2 { opcode: opcode::GET_CHALLENGE, corr: 1, payload: enc.buf };
+        let err = decode_request(&frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("device id"), "{err}");
+        // JSON_REQUEST frames obey the same cap
+        let request = Request::Revoke { device_id: long_id };
+        let payload = serde_json::to_string(&request).unwrap().into_bytes();
+        let frame = Frame2 { opcode: opcode::JSON_REQUEST, corr: 1, payload };
+        let err = decode_request(&frame).unwrap_err();
+        assert!(err.to_string().contains("device id"), "{err}");
+        // ids at the cap still pass
+        let ok = Request::GetChallenge { device_id: "d".repeat(MAX_DEVICE_ID_LEN) };
+        let bytes = encode_request(2, &ok);
+        let (frame, _) = parse_frame(&bytes).unwrap().expect("complete frame");
+        assert_eq!(decode_request(&frame).unwrap(), ok);
     }
 }

@@ -240,6 +240,37 @@ fn slow_loris_half_frame_is_reaped_and_gauge_decrements() {
     }
 }
 
+/// A peer that pipelines requests but never reads responses is closed
+/// once its buffered-response backlog passes the write cap — the write
+/// buffer cannot grow without bound.
+#[test]
+fn write_backlog_past_the_cap_closes_the_connection() {
+    let server = bind_async(AsyncConfig {
+        max_write_buf: 256,
+        sweep_interval: Duration::from_millis(50),
+        ..AsyncConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    // never read: pipeline pings until the unread responses fill the
+    // kernel buffers, trip the cap, and the server closes on us (seen as
+    // a write error once the reset lands)
+    let burst: Vec<u8> = (0..64).flat_map(|i| wire2::encode_request(i, &Request::Ping)).collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "backlogged connection never closed");
+        if stream.write_all(&burst).is_err() {
+            break;
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().open() != 0 {
+        assert!(Instant::now() < deadline, "connection still counted open");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().reaped(), 1);
+}
+
 /// Accepts beyond the connection cap are shed immediately; the cap
 /// protects the event loop's slab and file descriptors.
 #[test]
