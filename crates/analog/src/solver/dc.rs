@@ -10,6 +10,7 @@
 //! fallback for hard instances.
 
 use std::fmt;
+use std::time::Instant;
 
 use ppuf_telemetry::{Recorder, Span, NOOP};
 
@@ -320,6 +321,7 @@ impl<E: TwoTerminal> Circuit<E> {
         E: Sync,
     {
         let _span = Span::enter(recorder, "analog.dc.solve");
+        let solve_t0 = Instant::now();
         for node in [source, sink] {
             if node as usize >= self.node_count {
                 return Err(SolveError::InvalidNode { node, node_count: self.node_count });
@@ -332,7 +334,12 @@ impl<E: TwoTerminal> Circuit<E> {
         ws.bind(self, source, sink, options.backend);
         ws.residual_trace.clear();
         let (stamp0, lu0) = (ws.stamp_time, ws.lu_time);
+        let (eval0, factor0, backsub0) = (ws.eval_time, ws.factor_time, ws.backsub_time);
         let (sp_hits0, sp_full0) = (ws.sp_reuse_hits, ws.sp_full_factors);
+        // all path strings below are static and pre-interned on first use,
+        // so a warm profiled solve allocates nothing extra
+        let profiler = recorder.profiler();
+        let _alloc_scope = profiler.map(|p| p.alloc_scope("analog.dc.solve"));
         let mut total_iterations = 0;
         let mut work = NewtonWork::default();
         let tol = options.residual_tolerance.value();
@@ -401,17 +408,38 @@ impl<E: TwoTerminal> Circuit<E> {
         recorder.record_span("analog.dc.stamp", ws.stamp_time - stamp0);
         recorder.record_span("analog.dc.lu", ws.lu_time - lu0);
         if let Some(stats) = ws.sparse_stats() {
-            recorder.counter_add(
-                "analog.sparse.symbolic_reuse_hits",
-                ws.sp_reuse_hits - sp_hits0,
-            );
-            recorder.counter_add(
-                "analog.sparse.full_factorizations",
-                ws.sp_full_factors - sp_full0,
-            );
+            recorder.counter_add("analog.sparse.symbolic_reuse_hits", ws.sp_reuse_hits - sp_hits0);
+            recorder
+                .counter_add("analog.sparse.full_factorizations", ws.sp_full_factors - sp_full0);
             recorder.observe("analog.sparse.jacobian_nnz", stats.jacobian_nnz as f64);
             recorder.observe("analog.sparse.lu_nnz", stats.lu_nnz as f64);
             recorder.observe("analog.sparse.fill_ratio", stats.fill_ratio);
+        }
+        if let Some(profiler) = profiler {
+            // per-phase call-path profile: stamp (with its device-eval
+            // inner pass) and the backend-tagged LU (factor vs triangular
+            // solves) nest under the solve; everything the phase timers
+            // missed shows up as the solve's own self time.
+            let wall = solve_t0.elapsed();
+            let stamp = ws.stamp_time - stamp0;
+            let lu = ws.lu_time - lu0;
+            let eval = ws.eval_time - eval0;
+            let factor = ws.factor_time - factor0;
+            let backsub = ws.backsub_time - backsub0;
+            let b = ws.sparse_resolved() as usize;
+            const LU: [&str; 2] = ["analog.dc.solve;lu_dense", "analog.dc.solve;lu_sparse"];
+            const FACTOR: [&str; 2] =
+                ["analog.dc.solve;lu_dense;factor", "analog.dc.solve;lu_sparse;factor"];
+            const BACKSUB: [&str; 2] = [
+                "analog.dc.solve;lu_dense;back_substitute",
+                "analog.dc.solve;lu_sparse;back_substitute",
+            ];
+            profiler.record_path("analog.dc.solve", wall, wall.saturating_sub(stamp + lu));
+            profiler.record_path("analog.dc.solve;stamp", stamp, stamp.saturating_sub(eval));
+            profiler.record_leaf("analog.dc.solve;stamp;device_eval", eval);
+            profiler.record_path(LU[b], lu, lu.saturating_sub(factor + backsub));
+            profiler.record_leaf(FACTOR[b], factor);
+            profiler.record_leaf(BACKSUB[b], backsub);
         }
         Ok((
             DcSolution {
@@ -754,6 +782,39 @@ mod tests {
         let span = recorder.span_stats("analog.dc.solve").unwrap();
         assert_eq!(span.count, 1);
         assert!(recorder.warnings().is_empty());
+    }
+
+    #[test]
+    fn profiled_solve_records_phase_paths() {
+        let mut recorder = ppuf_telemetry::MemoryRecorder::new();
+        let profiler = std::sync::Arc::new(ppuf_telemetry::Profiler::new());
+        recorder.set_profiler(profiler.clone());
+        let mut c = Circuit::new(3);
+        c.add_element(0, 1, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.add_element(1, 2, DirectedResistor(Resistor::new(Ohms(1e6)))).unwrap();
+        c.solve_dc_traced(0, 2, Volts(2.0), &DcOptions::default(), &recorder).unwrap();
+        let snap = profiler.snapshot();
+        // a 1-unknown system resolves dense, so the LU subtree is
+        // backend-tagged lu_dense
+        for path in [
+            "analog.dc.solve",
+            "analog.dc.solve;stamp",
+            "analog.dc.solve;stamp;device_eval",
+            "analog.dc.solve;lu_dense",
+            "analog.dc.solve;lu_dense;factor",
+            "analog.dc.solve;lu_dense;back_substitute",
+        ] {
+            let stats = snap.get(path).unwrap_or_else(|| panic!("missing path {path}: {snap:?}"));
+            assert_eq!(stats.count, 1, "{path}");
+            assert!(stats.self_s >= 0.0, "{path}");
+            assert!(stats.self_s <= stats.wall_s + 1e-12, "{path}");
+        }
+        assert_eq!(profiler.skew_clamps(), 0);
+        // the phase children fit inside the solve's wall time
+        let solve = &snap["analog.dc.solve"];
+        let stamp = &snap["analog.dc.solve;stamp"];
+        let lu = &snap["analog.dc.solve;lu_dense"];
+        assert!(stamp.wall_s + lu.wall_s <= solve.wall_s + 1e-9);
     }
 
     #[test]

@@ -165,8 +165,7 @@ impl CscMatrix {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         y.fill(0.0);
-        for c in 0..self.n {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }
@@ -260,7 +259,10 @@ pub fn min_degree_order(a: &CscMatrix) -> Vec<u32> {
                     }
                     (None, None) => break,
                 };
-                if candidate as usize != u && candidate as usize != v && !eliminated[candidate as usize] {
+                if candidate as usize != u
+                    && candidate as usize != v
+                    && !eliminated[candidate as usize]
+                {
                     scratch.push(candidate);
                 }
             }
@@ -343,7 +345,7 @@ impl SparseLu {
     /// Full symbolic + numeric factorization of `a` under the
     /// fill-reducing order `perm` (see [`min_degree_order`]), with
     /// threshold partial pivoting (diagonal preferred within
-    /// [`PIVOT_TOLERANCE`]). Records the elimination recipe for later
+    /// `PIVOT_TOLERANCE`). Records the elimination recipe for later
     /// [`refactor`](Self::refactor) calls.
     ///
     /// # Errors
@@ -373,8 +375,8 @@ impl SparseLu {
         for (k, &c) in perm.iter().enumerate() {
             step_of_col[c as usize] = k as u32;
         }
-        for k in 0..n {
-            let col = perm[k] as usize;
+        for (k, &perm_col) in perm.iter().enumerate() {
+            let col = perm_col as usize;
             let mut recipe = ColumnRecipe::default();
             // pattern = reach of A(:, col) through already-built L columns
             let mut order: Vec<u32> = Vec::new();
@@ -508,7 +510,7 @@ impl SparseLu {
     /// # Errors
     ///
     /// [`SparseError::PivotDecay`] when a frozen pivot has fallen below
-    /// [`REFACTOR_TOLERANCE`] × its column's magnitude (or underflowed
+    /// `REFACTOR_TOLERANCE` × its column's magnitude (or underflowed
     /// entirely) — run a fresh [`factor`](Self::factor) to re-pivot.
     pub fn refactor(&mut self, a: &CscMatrix) -> Result<(), SparseError> {
         let n = self.n;
@@ -525,7 +527,8 @@ impl SparseLu {
                 let src = self.columns[pos as usize].pivot_row as usize;
                 let x = self.work[src];
                 if x != 0.0 {
-                    for t in self.l_ptr[pos as usize] as usize..self.l_ptr[pos as usize + 1] as usize
+                    for t in
+                        self.l_ptr[pos as usize] as usize..self.l_ptr[pos as usize + 1] as usize
                     {
                         self.work[self.l_rows_flat[t] as usize] -= self.l_values[t] * x;
                     }
@@ -778,13 +781,7 @@ mod tests {
     #[test]
     fn singular_matrix_is_reported() {
         // column 2 is a multiple of column 1 → rank deficient
-        let t = vec![
-            (0u32, 0u32, 1.0),
-            (1, 0, 2.0),
-            (0, 1, 2.0),
-            (1, 1, 4.0),
-            (2, 2, 1.0),
-        ];
+        let t = vec![(0u32, 0u32, 1.0), (1, 0, 2.0), (0, 1, 2.0), (1, 1, 4.0), (2, 2, 1.0)];
         let a = CscMatrix::from_triplets(3, &t);
         let perm = min_degree_order(&a);
         assert!(matches!(SparseLu::factor(&a, &perm), Err(SparseError::Singular { .. })));

@@ -36,7 +36,7 @@ pub enum LinearBackend {
     /// binding, numeric refactorization per Newton iteration.
     Sparse,
     /// Decide per binding from the Jacobian's size and structural
-    /// density (see [`DcWorkspace::bind`]); the default.
+    /// density (see `DcWorkspace::bind`); the default.
     #[default]
     Auto,
 }
@@ -123,6 +123,13 @@ pub struct DcWorkspace {
     pub(crate) stamp_time: Duration,
     /// Cumulative wall time in LU factorization + triangular solves.
     pub(crate) lu_time: Duration,
+    /// Portion of `stamp_time` spent in device evaluation proper (the
+    /// `eval_edges` passes), excluding residual/Jacobian assembly.
+    pub(crate) eval_time: Duration,
+    /// Portion of `lu_time` spent factoring.
+    pub(crate) factor_time: Duration,
+    /// Portion of `lu_time` spent in the triangular back-substitutions.
+    pub(crate) backsub_time: Duration,
 }
 
 impl DcWorkspace {
@@ -216,9 +223,8 @@ impl DcWorkspace {
             LinearBackend::Sparse => k > 0,
             LinearBackend::Auto => k >= SPARSE_MIN_UNKNOWNS && (k + 2 * interior) * 4 < k * k,
         };
-        let same_binding = same_topology
-            && self.bound_terminals == (source, sink)
-            && self.sparse_active == sparse;
+        let same_binding =
+            same_topology && self.bound_terminals == (source, sink) && self.sparse_active == sparse;
         self.bound_terminals = (source, sink);
         self.sparse_active = sparse;
         if sparse {
@@ -352,7 +358,9 @@ impl DcWorkspace {
                 .map(|_| ())
                 .map_err(|_| SolveError::SingularJacobian)
         };
-        self.lu_time += t0.elapsed();
+        let dt = t0.elapsed();
+        self.lu_time += dt;
+        self.factor_time += dt;
         result
     }
 
@@ -367,7 +375,9 @@ impl DcWorkspace {
         } else {
             lu_solve_factored(&self.jac, &self.pivots, &mut self.delta);
         }
-        self.lu_time += t0.elapsed();
+        let dt = t0.elapsed();
+        self.lu_time += dt;
+        self.backsub_time += dt;
     }
 
     /// Whether the current binding resolved to the sparse backend.
@@ -482,6 +492,7 @@ impl DcWorkspace {
     ) {
         let t0 = std::time::Instant::now();
         self.eval_edges(circuit, voltages, temp, threads, false, false);
+        self.eval_time += t0.elapsed();
         self.assemble_residual();
         self.stamp_time += t0.elapsed();
     }
@@ -509,6 +520,7 @@ impl DcWorkspace {
     ) {
         let t0 = std::time::Instant::now();
         self.eval_edges(circuit, voltages, temp, threads, true, reuse_currents);
+        self.eval_time += t0.elapsed();
         if self.sparse_active {
             self.assemble_sparse_jacobian(extra_diag);
             self.stamp_time += t0.elapsed();

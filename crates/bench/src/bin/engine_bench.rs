@@ -11,14 +11,19 @@
 //! n = 200 cold operating point, writes `results/bench/engine-smoke.json`,
 //! and exits non-zero if the solve regressed more than 2× against the
 //! committed `results/bench/engine-smoke-baseline.json` — the CI perf
-//! gate.
+//! gate — or if the profiler's device-eval self-time share drifted out
+//! of the baseline's band. `--profile` (implies `--smoke`) additionally
+//! writes flamegraph-ready folded stacks to
+//! `results/profiles/engine-smoke.folded` plus the same measurement as a
+//! schema-versioned telemetry report with its `profile` section.
 
 use std::fmt::Write as _;
 
 use ppuf_analog::solver::{DcEngine, DcOptions, EngineOptions, LinearBackend};
 use ppuf_bench::engine_profile::{
-    challenge_circuit, check_smoke_baseline, device_variations, grid_circuit, grid_edge_count,
-    grid_variations, run_engine_smoke, time, SolverShape, BENCH_DIR, SUPPLY,
+    challenge_circuit, check_eval_share_baseline, check_smoke_baseline, device_variations,
+    grid_circuit, grid_edge_count, grid_variations, run_engine_smoke_profiled, time, SolverShape,
+    BENCH_DIR, PROFILES_DIR, SUPPLY,
 };
 use ppuf_bench::report::write_json_report;
 use ppuf_telemetry::{JsonReporter, MemoryRecorder, SampleSeries};
@@ -165,12 +170,22 @@ fn measure_grid(side: usize, warm_repeats: usize) -> GridRow {
              (I = {}, lu_nnz {})",
             cold.source_current, solver.lu_nnz
         );
-        backends.push(GridBackendRow { requested, cold_seconds, warm_mean_seconds: warm_mean, solver });
+        backends.push(GridBackendRow {
+            requested,
+            cold_seconds,
+            warm_mean_seconds: warm_mean,
+            solver,
+        });
     }
     GridRow { side, warm_solves: warm_repeats, backends }
 }
 
-fn render_full(rows: &[SizeRow], grid: &GridRow, backend_label: &str, threads_available: usize) -> String {
+fn render_full(
+    rows: &[SizeRow],
+    grid: &GridRow,
+    backend_label: &str,
+    threads_available: usize,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": 1,\n  \"mode\": \"full\",\n");
     let _ = writeln!(out, "  \"backend\": \"{backend_label}\",");
@@ -213,7 +228,10 @@ fn render_full(rows: &[SizeRow], grid: &GridRow, backend_label: &str, threads_av
             out,
             "      {{\"requested\": \"{}\", \"cold_seconds\": {:?}, \
              \"warm_mean_seconds\": {:?}, \"solver\": {}}}",
-            b.requested, b.cold_seconds, b.warm_mean_seconds, b.solver.to_json()
+            b.requested,
+            b.cold_seconds,
+            b.warm_mean_seconds,
+            b.solver.to_json()
         );
         out.push_str(if i + 1 < grid.backends.len() { ",\n" } else { "\n" });
     }
@@ -254,9 +272,9 @@ fn run_full(backend: LinearBackend, backend_label: &str) {
     eprintln!("wrote {}", telemetry.display());
 }
 
-fn run_smoke() {
+fn run_smoke(profile_mode: bool) {
     // the shared profile: the same measurement perf_trajectory records
-    let smoke = run_engine_smoke();
+    let (smoke, profiler) = run_engine_smoke_profiled();
     let path =
         write_json_report("engine-smoke", &smoke.to_json(), BENCH_DIR).expect("write smoke report");
     eprintln!(
@@ -265,6 +283,28 @@ fn run_smoke() {
         smoke.cold_seconds,
         path.display()
     );
+    if let Some(profile) = &smoke.profile {
+        eprintln!(
+            "profile: device-eval self share {:.1}%, {} paths, warm overhead {:.2}x",
+            100.0 * profile.device_eval_self_share,
+            profile.paths,
+            profile.warm_overhead_ratio()
+        );
+    }
+    if profile_mode {
+        std::fs::create_dir_all(PROFILES_DIR).expect("create profiles dir");
+        let folded_path = format!("{PROFILES_DIR}/engine-smoke.folded");
+        std::fs::write(&folded_path, profiler.fold()).expect("write folded stacks");
+        eprintln!("folded stacks -> {folded_path}");
+        // the same measurement as a schema-versioned telemetry report,
+        // profile section included
+        let mut recorder = MemoryRecorder::new();
+        recorder.set_profiler(profiler);
+        let report = recorder.snapshot("engine-smoke-profile");
+        let report_path = write_json_report("engine-smoke-profile", &report.to_json(), BENCH_DIR)
+            .expect("write profile report");
+        eprintln!("profile report -> {}", report_path.display());
+    }
     let baseline_path = format!("{BENCH_DIR}/engine-smoke-baseline.json");
     match check_smoke_baseline(&smoke, &baseline_path) {
         Ok(Some(baseline)) => eprintln!("within budget: baseline {baseline:.3}s"),
@@ -273,6 +313,14 @@ fn run_smoke() {
         ),
         Err(regression) => {
             eprintln!("PERF REGRESSION: {regression}");
+            std::process::exit(1);
+        }
+    }
+    match check_eval_share_baseline(&smoke, &baseline_path) {
+        Ok(Some(baseline)) => eprintln!("device-eval share within band of baseline {baseline:.3}"),
+        Ok(None) => eprintln!("no device_eval_self_share in the baseline; share gate unarmed"),
+        Err(drift) => {
+            eprintln!("PROFILE DRIFT: {drift}");
             std::process::exit(1);
         }
     }
@@ -297,8 +345,9 @@ fn backend_flag() -> (LinearBackend, &'static str) {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
-        run_smoke();
+    let profile_mode = std::env::args().any(|a| a == "--profile");
+    if std::env::args().any(|a| a == "--smoke") || profile_mode {
+        run_smoke(profile_mode);
     } else {
         let (backend, label) = backend_flag();
         run_full(backend, label);

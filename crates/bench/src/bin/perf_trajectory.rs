@@ -3,14 +3,18 @@
 //! result to the repo's append-only `BENCH_trajectory.json`.
 //!
 //! ```text
-//! cargo run --release --bin perf_trajectory -- --smoke [--label NAME]
-//!     [--trajectory PATH]
+//! cargo run --release --bin perf_trajectory -- --smoke [--profile]
+//!     [--label NAME] [--trajectory PATH]
 //! ```
+//!
+//! `--profile` additionally writes the run's flamegraph-ready folded
+//! stacks to `results/profiles/engine-smoke.folded`.
 //!
 //! The run exits non-zero if any gate fails:
 //!
 //! - the engine cold solve regressed more than 2× against the committed
-//!   `results/bench/engine-smoke-baseline.json`;
+//!   `results/bench/engine-smoke-baseline.json`, or the profiler's
+//!   device-eval self-time share drifted out of that baseline's band;
 //! - any loadgen smoke invariant is violated — including the service
 //!   ending the run with an SLO health status other than `Ok`;
 //! - the async concurrency smoke (512 multiplexed connections against
@@ -23,7 +27,10 @@
 //! previous entry, so a perf drift is visible in the diff of a single
 //! committed file rather than buried in CI logs.
 
-use ppuf_bench::engine_profile::{check_smoke_baseline, run_engine_smoke, BENCH_DIR};
+use ppuf_bench::engine_profile::{
+    check_eval_share_baseline, check_smoke_baseline, run_engine_smoke_profiled, BENCH_DIR,
+    PROFILES_DIR,
+};
 use ppuf_bench::report::{section, write_json_report, SERVICE_DIR};
 use ppuf_bench::trajectory::{
     check_async_baseline, git_metadata, AsyncServiceSample, ServiceSample, Trajectory,
@@ -45,24 +52,54 @@ fn main() {
     // only the smoke profile exists today; the flag keeps the CLI shape
     // of the other harness binaries (and room for a --full profile)
     if !std::env::args().any(|a| a == "--smoke") {
-        eprintln!("usage: perf_trajectory --smoke [--label NAME] [--trajectory PATH]");
+        eprintln!("usage: perf_trajectory --smoke [--profile] [--label NAME] [--trajectory PATH]");
         std::process::exit(2);
     }
     let label = arg_after("--label").unwrap_or_else(|| "ci-smoke".to_string());
     let trajectory_path = arg_after("--trajectory").unwrap_or_else(|| TRAJECTORY_PATH.to_string());
 
     section("engine smoke");
-    let engine = run_engine_smoke();
+    let (engine, profiler) = run_engine_smoke_profiled();
     println!("  n={} cold solve {:.3}s", engine.nodes, engine.cold_seconds);
+    if let Some(profile) = &engine.profile {
+        println!(
+            "  profile: device-eval self share {:.1}%, {} paths, warm overhead {:.2}x",
+            100.0 * profile.device_eval_self_share,
+            profile.paths,
+            profile.warm_overhead_ratio()
+        );
+    }
     let path =
         write_json_report("engine-smoke", &engine.to_json(), BENCH_DIR).expect("write smoke json");
     println!("  report -> {}", path.display());
+    if std::env::args().any(|a| a == "--profile") {
+        std::fs::create_dir_all(PROFILES_DIR).expect("create profiles dir");
+        let folded_path = format!("{PROFILES_DIR}/engine-smoke.folded");
+        std::fs::write(&folded_path, profiler.fold()).expect("write folded stacks");
+        println!("  folded stacks -> {folded_path}");
+    }
     let baseline_path = format!("{BENCH_DIR}/engine-smoke-baseline.json");
     match check_smoke_baseline(&engine, &baseline_path) {
         Ok(Some(baseline)) => println!("  within budget: baseline {baseline:.3}s"),
         Ok(None) => println!("  no baseline at {baseline_path}; gate unarmed"),
         Err(regression) => {
             eprintln!("PERF REGRESSION: {regression}");
+            std::process::exit(1);
+        }
+    }
+    match check_eval_share_baseline(&engine, &baseline_path) {
+        Ok(Some(baseline)) => println!("  device-eval share within band of baseline {baseline:.3}"),
+        Ok(None) => println!("  no device_eval_self_share in the baseline; share gate unarmed"),
+        Err(drift) => {
+            eprintln!("PROFILE DRIFT: {drift}");
+            std::process::exit(1);
+        }
+    }
+    // the always-on profiler must actually have measured the run
+    match &engine.profile {
+        Some(profile) if profile.paths > 0 && profile.device_eval_self_share > 0.0 => {}
+        _ => {
+            eprintln!("smoke invariant violated: engine smoke report has an empty profile section");
             std::process::exit(1);
         }
     }
@@ -105,8 +142,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let request_latency =
-        async_report.request_latency.clone().expect("async run recorded request latency");
+    let request_latency = async_report.request_latency.expect("async run recorded request latency");
     println!(
         "  {} rounds in {:.2}s -> {:.1} rounds/s; request p50 {:.2} ms p99 {:.2} ms; \
          peak {} conns, {} shed",

@@ -63,7 +63,8 @@ fn cohort_row(name: &str, cohort: &CohortReport) {
 /// Builds the async profile: `--connections` is split ~92/4/4 across
 /// honest/impostor/garbage cohorts (512 -> 472/20/20, the CI smoke).
 fn async_config(smoke: bool, connections: usize) -> AsyncLoadgenConfig {
-    let mut config = if smoke { AsyncLoadgenConfig::smoke() } else { AsyncLoadgenConfig::default() };
+    let mut config =
+        if smoke { AsyncLoadgenConfig::smoke() } else { AsyncLoadgenConfig::default() };
     let side = (connections / 25).max(1);
     config.impostor_connections = side;
     config.garbage_connections = side;

@@ -8,6 +8,7 @@
 //! same measurement.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
@@ -19,16 +20,26 @@ use ppuf_analog::block::{BlockBias, BlockDesign, BlockVariation, BuildingBlock};
 use ppuf_analog::montecarlo::gaussian;
 use ppuf_analog::solver::{Circuit, DcEngine, DcOptions, EngineOptions};
 use ppuf_analog::units::Volts;
-use ppuf_telemetry::MemoryRecorder;
+use ppuf_telemetry::{MemoryRecorder, Profiler};
 
 /// Default directory for engine benchmark reports.
 pub const BENCH_DIR: &str = "results/bench";
+
+/// Default directory for folded-stack profile exports.
+pub const PROFILES_DIR: &str = "results/profiles";
 
 /// Supply voltage every benchmark circuit solves under.
 pub const SUPPLY: Volts = Volts(2.0);
 
 /// Allowed cold-solve slowdown over the committed smoke baseline.
 pub const SMOKE_REGRESSION_FACTOR: f64 = 2.0;
+
+/// Allowed absolute drift of the measured device-eval self-time share
+/// against the committed baseline's share. The share is a ratio of two
+/// times from the same run, so it is far more machine-stable than the
+/// wall times themselves; a drift past this band means the solve's
+/// composition changed, not just the machine speed.
+pub const EVAL_SHARE_TOLERANCE: f64 = 0.20;
 
 /// Device size the smoke profile solves.
 pub const SMOKE_NODES: usize = 200;
@@ -91,7 +102,11 @@ pub fn challenge_circuit(
 /// A `side`×`side` grid device conducting rightward and downward — the
 /// locally-connected topology the sparse linear backend targets. Uses
 /// `2·side·(side−1)` variations from `vars` in edge order.
-pub fn grid_circuit(side: usize, vars: &[BlockVariation], challenge_seed: u64) -> Circuit<BuildingBlock> {
+pub fn grid_circuit(
+    side: usize,
+    vars: &[BlockVariation],
+    challenge_seed: u64,
+) -> Circuit<BuildingBlock> {
     let mut rng = ChaCha8Rng::seed_from_u64(challenge_seed);
     let mut circuit = Circuit::new(side * side);
     let at = |r: usize, c: usize| (r * side + c) as u32;
@@ -231,6 +246,43 @@ impl GridSmoke {
     }
 }
 
+/// What the always-on hierarchical profiler measured during the smoke:
+/// where the solve time actually goes, plus the profiler's own cost on
+/// the warm path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSummary {
+    /// Device-evaluation self time as a fraction of total profiled
+    /// `analog.dc.solve` wall time — the measured form of the ROADMAP's
+    /// "~90% of solve time is device evaluation" claim.
+    pub device_eval_self_share: f64,
+    /// Distinct call paths the profiler learned during the run.
+    pub paths: u64,
+    /// Mean grid warm re-solve wall time with the profiler attached.
+    pub warm_profiled_mean_seconds: f64,
+    /// Mean grid warm re-solve wall time with no profiler attached.
+    pub warm_unprofiled_mean_seconds: f64,
+}
+
+impl ProfileSummary {
+    /// Profiled over unprofiled warm mean — the profiler's measured
+    /// overhead on the warm-solve path (1.0 = free).
+    pub fn warm_overhead_ratio(&self) -> f64 {
+        self.warm_profiled_mean_seconds / self.warm_unprofiled_mean_seconds
+    }
+
+    /// JSON object used inside the smoke report.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"device_eval_self_share\": {:?}, \"paths\": {}, \
+             \"warm_profiled_mean_seconds\": {:?}, \"warm_unprofiled_mean_seconds\": {:?}}}",
+            self.device_eval_self_share,
+            self.paths,
+            self.warm_profiled_mean_seconds,
+            self.warm_unprofiled_mean_seconds,
+        )
+    }
+}
+
 /// The smoke profile's measurement: one crossbar cold solve (the gated
 /// number) plus a sparse grid chain recording the linear-backend shape.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -247,6 +299,9 @@ pub struct EngineSmoke {
     pub solver: Option<SolverShape>,
     /// The sparse-backend grid workload; `None` in pre-shape baselines.
     pub sparse_grid: Option<GridSmoke>,
+    /// The hierarchical profiler's measurement of the run; `None` in
+    /// pre-profiler baselines.
+    pub profile: Option<ProfileSummary>,
 }
 
 impl EngineSmoke {
@@ -265,6 +320,9 @@ impl EngineSmoke {
         if let Some(grid) = &self.sparse_grid {
             let _ = write!(out, ",\n  \"sparse_grid\": {}", grid.to_json());
         }
+        if let Some(profile) = &self.profile {
+            let _ = write!(out, ",\n  \"profile\": {}", profile.to_json());
+        }
         out.push_str("\n}\n");
         out
     }
@@ -274,11 +332,25 @@ impl EngineSmoke {
 /// the exact code path `engine_bench --smoke` measures — then runs the
 /// grid chain that exercises the sparse backend.
 pub fn run_engine_smoke() -> EngineSmoke {
+    run_engine_smoke_profiled().0
+}
+
+/// [`run_engine_smoke`] with the hierarchical profiler attached,
+/// returning it alongside the measurement so callers can export the
+/// folded stacks (`--profile` mode of the bench binaries).
+///
+/// The crossbar cold solve is profiled (that is where the device-eval
+/// share is measured); the grid warm chain runs once without and once
+/// with the profiler so the report carries the profiler's own measured
+/// overhead on the warm path.
+pub fn run_engine_smoke_profiled() -> (EngineSmoke, Arc<Profiler>) {
+    let profiler = Arc::new(Profiler::new());
     let n = SMOKE_NODES;
     let vars = device_variations(n, 0xE27 + n as u64);
     let circuit = challenge_circuit(n, &vars, 0xC0);
     let options = DcOptions::default();
-    let recorder = MemoryRecorder::new();
+    let mut recorder = MemoryRecorder::new();
+    recorder.set_profiler(Arc::clone(&profiler));
     let mut engine = DcEngine::new(EngineOptions { threads: 1, ..EngineOptions::default() });
     let (solution, cold_seconds) = time(|| {
         engine
@@ -319,7 +391,32 @@ pub fn run_engine_smoke() -> EngineSmoke {
         grecorder.counter("analog.dc.jacobian_factorizations"),
     );
 
-    EngineSmoke {
+    // the same warm chain again with the profiler attached: the pair of
+    // means is the profiler's measured warm-path overhead
+    let mut precorder = MemoryRecorder::new();
+    precorder.set_profiler(Arc::clone(&profiler));
+    let mut profiled_total = 0.0;
+    for rep in 0..GRID_WARM_SOLVES {
+        let next = grid_circuit(side, &gvars, 0xD1 + (GRID_WARM_SOLVES + rep) as u64);
+        let (_, seconds) = time(|| {
+            gengine
+                .solve_traced(&next, 0, grid_nodes as u32 - 1, SUPPLY, &options, &precorder)
+                .expect("profiled grid warm solve converges")
+        });
+        profiled_total += seconds;
+    }
+
+    let snapshot = profiler.snapshot();
+    let solve_wall = snapshot.get("analog.dc.solve").map_or(0.0, |s| s.wall_s);
+    let eval_self = snapshot.get("analog.dc.solve;stamp;device_eval").map_or(0.0, |s| s.self_s);
+    let profile = ProfileSummary {
+        device_eval_self_share: if solve_wall > 0.0 { eval_self / solve_wall } else { 0.0 },
+        paths: snapshot.len() as u64,
+        warm_profiled_mean_seconds: profiled_total / GRID_WARM_SOLVES as f64,
+        warm_unprofiled_mean_seconds: warm_total / GRID_WARM_SOLVES as f64,
+    };
+
+    let smoke = EngineSmoke {
         nodes: n as u64,
         cold_seconds,
         source_current_amps: solution.source_current.value(),
@@ -332,7 +429,9 @@ pub fn run_engine_smoke() -> EngineSmoke {
             source_current_amps: gsolution.source_current.value(),
             solver: grid_solver,
         }),
-    }
+        profile: Some(profile),
+    };
+    (smoke, profiler)
 }
 
 /// Extracts the first `"key": <number>` value from a JSON text. Enough
@@ -376,6 +475,39 @@ pub fn check_smoke_baseline(
     Ok(Some(baseline))
 }
 
+/// Gates the measured device-eval self-time share against the committed
+/// baseline's: `Ok(Some(baseline_share))` when within
+/// [`EVAL_SHARE_TOLERANCE`] absolute drift, `Ok(None)` when unarmed (no
+/// baseline file, a pre-profiler baseline, or a smoke without a profile).
+///
+/// # Errors
+///
+/// Returns the drift description when the share moved more than the
+/// tolerance — the solve's composition changed.
+pub fn check_eval_share_baseline(
+    smoke: &EngineSmoke,
+    baseline_path: &str,
+) -> Result<Option<f64>, String> {
+    let Some(profile) = &smoke.profile else {
+        return Ok(None);
+    };
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        return Ok(None);
+    };
+    let Some(baseline) = extract_number(&text, "device_eval_self_share") else {
+        return Ok(None);
+    };
+    let measured = profile.device_eval_self_share;
+    let drift = (measured - baseline).abs();
+    if drift > EVAL_SHARE_TOLERANCE {
+        return Err(format!(
+            "device-eval self-time share {measured:.3} drifted {drift:.3} from baseline \
+             {baseline:.3} (tolerance {EVAL_SHARE_TOLERANCE})"
+        ));
+    }
+    Ok(Some(baseline))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +531,7 @@ mod tests {
             source_current_amps: 1e-3,
             solver: None,
             sparse_grid: None,
+            profile: None,
         };
         std::fs::write(&path, baseline.to_json()).unwrap();
         let path = path.to_string_lossy().into_owned();
@@ -428,10 +561,48 @@ mod tests {
                 full_factorizations: 1,
             }),
             sparse_grid: None,
+            profile: Some(ProfileSummary {
+                device_eval_self_share: 0.91,
+                paths: 12,
+                warm_profiled_mean_seconds: 0.0034,
+                warm_unprofiled_mean_seconds: 0.0033,
+            }),
         };
         let text = smoke.to_json();
         assert_eq!(extract_number(&text, "cold_seconds"), Some(9.5));
+        assert_eq!(extract_number(&text, "device_eval_self_share"), Some(0.91));
         let back: EngineSmoke = serde_json::from_str(&text).expect("smoke JSON parses");
         assert_eq!(back, smoke);
+    }
+
+    #[test]
+    fn eval_share_gate_arms_only_on_profiled_baselines() {
+        let dir = std::env::temp_dir().join(format!("ppuf-share-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let profiled = |share: f64| EngineSmoke {
+            nodes: 200,
+            cold_seconds: 10.0,
+            source_current_amps: 1e-3,
+            solver: None,
+            sparse_grid: None,
+            profile: Some(ProfileSummary {
+                device_eval_self_share: share,
+                paths: 12,
+                warm_profiled_mean_seconds: 0.0034,
+                warm_unprofiled_mean_seconds: 0.0033,
+            }),
+        };
+        std::fs::write(&path, profiled(0.90).to_json()).unwrap();
+        let path = path.to_string_lossy().into_owned();
+
+        assert_eq!(check_eval_share_baseline(&profiled(0.85), &path), Ok(Some(0.90)));
+        assert!(check_eval_share_baseline(&profiled(0.55), &path).is_err());
+        // unarmed: no profile on the measurement, or a pre-profiler baseline
+        let unprofiled = EngineSmoke { profile: None, ..profiled(0.0) };
+        assert_eq!(check_eval_share_baseline(&unprofiled, &path), Ok(None));
+        std::fs::write(&path, unprofiled.to_json()).unwrap();
+        assert_eq!(check_eval_share_baseline(&profiled(0.55), &path), Ok(None));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

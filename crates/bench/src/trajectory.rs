@@ -267,6 +267,7 @@ mod tests {
                 source_current_amps: 1e-3,
                 solver: None,
                 sparse_grid: None,
+                profile: None,
             },
             service: ServiceSample {
                 total_requests: 100,
@@ -337,7 +338,8 @@ mod tests {
         let path = path.to_string_lossy().into_owned();
 
         let sample = entry("a", 10.0, 50.0).async_service.unwrap();
-        let ok = AsyncServiceSample { throughput_rps: 150.0, request_p99_ms: 120.0, ..sample.clone() };
+        let ok =
+            AsyncServiceSample { throughput_rps: 150.0, request_p99_ms: 120.0, ..sample.clone() };
         assert_eq!(check_async_baseline(&ok, &path), Ok(Some(300.0)));
         let slow = AsyncServiceSample { throughput_rps: 50.0, ..sample.clone() };
         assert!(check_async_baseline(&slow, &path).is_err());

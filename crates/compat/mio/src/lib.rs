@@ -6,7 +6,7 @@
 //! [`Token`], an [`Events`] buffer filled by [`Poll::poll`], level- or
 //! edge-triggered [`Interest`] registration, and a cross-thread
 //! [`Waker`] — built directly on `epoll(7)` and `eventfd(2)` through a
-//! thin `extern "C"` layer ([`sys`]), the same zero-dependency idiom as
+//! thin `extern "C"` layer (the private `sys` module), the same zero-dependency idiom as
 //! the sibling crossbeam/serde shims.
 //!
 //! Deviations from upstream:
@@ -257,10 +257,11 @@ impl Poll {
         });
         let n = sys::epoll_poll(self.epfd.0, &mut events.raw, timeout_ms)?;
         events.ready.clear();
-        events.ready.extend(events.raw[..n].iter().map(|raw| Event {
-            token: Token(raw.u64 as usize),
-            bits: raw.events,
-        }));
+        events.ready.extend(
+            events.raw[..n]
+                .iter()
+                .map(|raw| Event { token: Token(raw.u64 as usize), bits: raw.events }),
+        );
         Ok(())
     }
 }

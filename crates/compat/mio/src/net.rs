@@ -41,13 +41,7 @@ struct sockaddr_in6 {
 
 extern "C" {
     fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
-    fn setsockopt(
-        fd: c_int,
-        level: c_int,
-        name: c_int,
-        value: *const c_void,
-        len: u32,
-    ) -> c_int;
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_void, len: u32) -> c_int;
     fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
     fn listen(fd: c_int, backlog: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
@@ -138,8 +132,7 @@ mod tests {
 
     #[test]
     fn deep_backlog_listener_accepts_like_a_std_one() {
-        let listener =
-            listen_with_backlog("127.0.0.1:0".parse().unwrap(), 4096).expect("listen");
+        let listener = listen_with_backlog("127.0.0.1:0".parse().unwrap(), 4096).expect("listen");
         let addr = listener.local_addr().expect("local addr");
         assert_eq!(addr.ip().to_string(), "127.0.0.1");
         assert_ne!(addr.port(), 0);
@@ -157,13 +150,13 @@ mod tests {
     fn backlog_actually_queues_past_the_std_default() {
         // 256 unaccepted connects would overflow std's 128 backlog; with
         // a deeper queue every handshake completes without a retransmit.
-        let listener =
-            listen_with_backlog("127.0.0.1:0".parse().unwrap(), 1024).expect("listen");
+        let listener = listen_with_backlog("127.0.0.1:0".parse().unwrap(), 1024).expect("listen");
         let addr = listener.local_addr().expect("local addr");
         let held: Vec<_> = (0..256)
-            .map(|i| std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
-                panic!("connect {i} should queue in the backlog: {e}")
-            }))
+            .map(|i| {
+                std::net::TcpStream::connect(addr)
+                    .unwrap_or_else(|e| panic!("connect {i} should queue in the backlog: {e}"))
+            })
             .collect();
         for _ in 0..held.len() {
             listener.accept().expect("accept queued connection");

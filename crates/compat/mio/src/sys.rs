@@ -94,9 +94,7 @@ pub(crate) fn epoll_poll(
 ) -> io::Result<usize> {
     let timeout = timeout_ms.unwrap_or(-1);
     loop {
-        match cvt(unsafe {
-            epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout)
-        }) {
+        match cvt(unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout) }) {
             Ok(n) => return Ok(n as usize),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {
                 if timeout >= 0 {

@@ -79,8 +79,8 @@ fn level_rereports_until_drained_edge_fires_once() {
     }
     // draining silences level; fresh bytes re-arm both
     let mut buf = [0u8; 16];
-    client.read(&mut buf).unwrap();
-    client2.read(&mut buf).unwrap();
+    assert!(client.read(&mut buf).unwrap() > 0, "level source had data to drain");
+    assert!(client2.read(&mut buf).unwrap() > 0, "edge source had data to drain");
     poll.poll(&mut events, Some(TICK)).unwrap();
     assert!(events.iter().all(|e| e.token() != Token(1)), "drained level source is quiet");
     server.write_all(b"a").unwrap();

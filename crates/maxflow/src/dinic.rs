@@ -49,15 +49,21 @@ impl Dinic {
 
     /// The solve loop shared by the plain and traced entry points;
     /// `phases`, when present, collects one augmentation count per BFS
-    /// level-graph phase (the algorithm's convergence trace).
+    /// level-graph phase (the algorithm's convergence trace), and
+    /// `profiler`, when present, receives per-phase wall/self times under
+    /// `maxflow.dinic.solve` (level-graph BFS vs blocking-flow DFS).
     fn solve(
         &self,
         net: &FlowNetwork,
         source: NodeId,
         sink: NodeId,
         mut phases: Option<&mut Vec<f64>>,
+        profiler: Option<&ppuf_telemetry::Profiler>,
     ) -> Result<(Flow, SolveStats), MaxFlowError> {
         net.check_terminals(source, sink)?;
+        let solve_t0 = std::time::Instant::now();
+        let mut bfs_time = std::time::Duration::ZERO;
+        let mut blocking_time = std::time::Duration::ZERO;
         let mut arcs = ResidualArcs::new(net);
         let n = arcs.node_count();
         let (s, t) = (source.index(), sink.index());
@@ -69,9 +75,18 @@ impl Dinic {
             tol: self.tolerance,
             pushes: 0,
         };
-        while state.bfs(s, t) {
+        loop {
+            let t0 = profiler.map(|_| std::time::Instant::now());
+            let reachable = state.bfs(s, t);
+            if let Some(t0) = t0 {
+                bfs_time += t0.elapsed();
+            }
+            if !reachable {
+                break;
+            }
             stats.bfs_passes += 1;
             let phase_start = stats.augmenting_paths;
+            let t0 = profiler.map(|_| std::time::Instant::now());
             state.next.iter_mut().for_each(|x| *x = 0);
             loop {
                 let pushed = state.dfs(s, t, f64::INFINITY);
@@ -80,12 +95,26 @@ impl Dinic {
                 }
                 stats.augmenting_paths += 1;
             }
+            if let Some(t0) = t0 {
+                blocking_time += t0.elapsed();
+            }
             if let Some(trace) = phases.as_deref_mut() {
                 trace.push((stats.augmenting_paths - phase_start) as f64);
             }
         }
         stats.pushes = state.pushes;
-        Ok((arcs.into_flow(net, source, sink, self.tolerance), stats))
+        let flow = arcs.into_flow(net, source, sink, self.tolerance);
+        if let Some(profiler) = profiler {
+            let wall = solve_t0.elapsed();
+            profiler.record_path(
+                "maxflow.dinic.solve",
+                wall,
+                wall.saturating_sub(bfs_time + blocking_time),
+            );
+            profiler.record_leaf("maxflow.dinic.solve;bfs", bfs_time);
+            profiler.record_leaf("maxflow.dinic.solve;blocking_flow", blocking_time);
+        }
+        Ok((flow, stats))
     }
 }
 
@@ -159,12 +188,14 @@ impl MaxFlowSolver for Dinic {
         source: NodeId,
         sink: NodeId,
     ) -> Result<(Flow, SolveStats), MaxFlowError> {
-        self.solve(net, source, sink, None)
+        self.solve(net, source, sink, None, None)
     }
 
     /// Emits the standard counters, and — when the recorder collects
     /// events — one `maxflow.dinic.phase_augmentations` event per solve
-    /// whose values are the augmenting-path count of each BFS phase.
+    /// whose values are the augmenting-path count of each BFS phase. A
+    /// recorder with an attached profiler additionally gets the per-phase
+    /// wall-time profile under `maxflow.dinic.solve`.
     fn max_flow_traced(
         &self,
         net: &FlowNetwork,
@@ -174,7 +205,7 @@ impl MaxFlowSolver for Dinic {
     ) -> Result<(Flow, SolveStats), MaxFlowError> {
         let mut phases = Vec::new();
         let trace = if recorder.events_enabled() { Some(&mut phases) } else { None };
-        let (flow, stats) = self.solve(net, source, sink, trace)?;
+        let (flow, stats) = self.solve(net, source, sink, trace, recorder.profiler())?;
         stats.record(recorder, self.name());
         if !phases.is_empty() {
             recorder.record_event("maxflow.dinic.phase_augmentations", &phases);
@@ -298,6 +329,24 @@ mod tests {
         let total: f64 = trace.values.iter().sum();
         assert_eq!(total as u64, stats.augmenting_paths, "phases partition the augmentations");
         assert_eq!(recorder.counter("maxflow.dinic.bfs_passes"), stats.bfs_passes);
+    }
+
+    #[test]
+    fn traced_solve_with_profiler_records_phase_paths() {
+        let net = FlowNetwork::complete(6, |u, v| ((u.index() + 2 * v.index()) % 5) as f64 + 0.5)
+            .unwrap();
+        let mut recorder = ppuf_telemetry::MemoryRecorder::new();
+        let profiler = std::sync::Arc::new(ppuf_telemetry::Profiler::new());
+        recorder.set_profiler(profiler.clone());
+        Dinic::new().max_flow_traced(&net, NodeId::new(0), NodeId::new(5), &recorder).unwrap();
+        let snap = profiler.snapshot();
+        let solve = snap.get("maxflow.dinic.solve").expect("solve path recorded");
+        assert_eq!(solve.count, 1);
+        let bfs = snap.get("maxflow.dinic.solve;bfs").expect("bfs phase recorded");
+        let blocking =
+            snap.get("maxflow.dinic.solve;blocking_flow").expect("blocking phase recorded");
+        assert!(bfs.wall_s + blocking.wall_s <= solve.wall_s + 1e-9);
+        assert_eq!(profiler.skew_clamps(), 0);
     }
 
     #[test]

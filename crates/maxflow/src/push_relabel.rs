@@ -189,12 +189,17 @@ impl PrState {
     }
 }
 
-impl MaxFlowSolver for PushRelabel {
-    fn max_flow_with_stats(
+impl PushRelabel {
+    /// The solve loop shared by the plain and traced entry points;
+    /// `profiler`, when present, receives per-phase wall/self times under
+    /// `maxflow.push-relabel.solve` (exact-distance global relabels, the
+    /// FIFO discharge loop, and the final excess return).
+    fn solve(
         &self,
         net: &FlowNetwork,
         source: NodeId,
         sink: NodeId,
+        profiler: Option<&ppuf_telemetry::Profiler>,
     ) -> Result<(Flow, SolveStats), MaxFlowError> {
         net.check_terminals(source, sink)?;
         let arcs = ResidualArcs::new(net);
@@ -212,7 +217,14 @@ impl MaxFlowSolver for PushRelabel {
             t,
             stats: SolveStats::default(),
         };
+        let solve_t0 = std::time::Instant::now();
+        let mut global_time = std::time::Duration::ZERO;
+        let mut discharge_time = std::time::Duration::ZERO;
+        let t0 = profiler.map(|_| std::time::Instant::now());
         st.global_relabel();
+        if let Some(t0) = t0 {
+            global_time += t0.elapsed();
+        }
         // saturate all source arcs
         for i in 0..st.arcs.adj[s].len() {
             let a = st.arcs.adj[s][i];
@@ -227,6 +239,11 @@ impl MaxFlowSolver for PushRelabel {
         }
         let relabel_budget = if self.global_relabel { n.max(16) } else { usize::MAX };
         let mut relabels_since_global = 0usize;
+        // the discharge phase is timed as the whole FIFO loop minus the
+        // periodic global relabels inside it: one timestamp pair per pop
+        // would dominate the very operations being measured
+        let global_before_loop = global_time;
+        let loop_t0 = profiler.map(|_| std::time::Instant::now());
         while let Some(u) = st.active.pop_front() {
             let u = u as usize;
             st.in_queue[u] = false;
@@ -236,15 +253,63 @@ impl MaxFlowSolver for PushRelabel {
             }
             if relabels_since_global >= relabel_budget {
                 relabels_since_global = 0;
+                let t0 = profiler.map(|_| std::time::Instant::now());
                 st.global_relabel();
+                if let Some(t0) = t0 {
+                    global_time += t0.elapsed();
+                }
             }
+        }
+        if let Some(loop_t0) = loop_t0 {
+            let in_loop_globals = global_time - global_before_loop;
+            discharge_time += loop_t0.elapsed().saturating_sub(in_loop_globals);
         }
         // Excess stranded at lifted vertices must be returned to the source
         // so the extracted flow satisfies conservation: push back along
         // incoming arcs' twins via reverse BFS augmentations.
+        let t0 = profiler.map(|_| std::time::Instant::now());
         crate::residual_state::return_excess(&mut st.arcs, &mut st.excess, s, t, self.tolerance);
+        let return_time = t0.map_or(std::time::Duration::ZERO, |t0| t0.elapsed());
         let stats = st.stats;
-        Ok((st.arcs.into_flow(net, source, sink, self.tolerance), stats))
+        let flow = st.arcs.into_flow(net, source, sink, self.tolerance);
+        if let Some(profiler) = profiler {
+            let wall = solve_t0.elapsed();
+            profiler.record_path(
+                "maxflow.push-relabel.solve",
+                wall,
+                wall.saturating_sub(global_time + discharge_time + return_time),
+            );
+            profiler.record_leaf("maxflow.push-relabel.solve;global_relabel", global_time);
+            profiler.record_leaf("maxflow.push-relabel.solve;discharge", discharge_time);
+            profiler.record_leaf("maxflow.push-relabel.solve;return_excess", return_time);
+        }
+        Ok((flow, stats))
+    }
+}
+
+impl MaxFlowSolver for PushRelabel {
+    fn max_flow_with_stats(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
+        self.solve(net, source, sink, None)
+    }
+
+    /// Emits the standard counters; a recorder with an attached profiler
+    /// additionally gets the per-phase wall-time profile under
+    /// `maxflow.push-relabel.solve`.
+    fn max_flow_traced(
+        &self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        recorder: &dyn ppuf_telemetry::Recorder,
+    ) -> Result<(Flow, SolveStats), MaxFlowError> {
+        let (flow, stats) = self.solve(net, source, sink, recorder.profiler())?;
+        stats.record(recorder, self.name());
+        Ok((flow, stats))
     }
 
     fn name(&self) -> &'static str {
@@ -327,6 +392,30 @@ mod tests {
         let a = PushRelabel::new().max_flow(&net, s, t).unwrap();
         let b = PushRelabel::new().without_global_relabel().max_flow(&net, s, t).unwrap();
         assert!((a.value() - b.value()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn traced_solve_with_profiler_records_phase_paths() {
+        let net = FlowNetwork::complete(8, |u, v| 0.1 + ((u.index() + 3 * v.index()) % 5) as f64)
+            .unwrap();
+        let (s, t) = (NodeId::new(0), NodeId::new(7));
+        let mut recorder = ppuf_telemetry::MemoryRecorder::new();
+        let profiler = std::sync::Arc::new(ppuf_telemetry::Profiler::new());
+        recorder.set_profiler(profiler.clone());
+        let (traced, traced_stats) =
+            PushRelabel::new().max_flow_traced(&net, s, t, &recorder).unwrap();
+        let (plain, plain_stats) = PushRelabel::new().max_flow_with_stats(&net, s, t).unwrap();
+        assert_eq!(plain.value(), traced.value(), "profiling must not perturb the solve");
+        assert_eq!(plain_stats, traced_stats);
+        let snap = profiler.snapshot();
+        let solve = snap.get("maxflow.push-relabel.solve").expect("solve path recorded");
+        assert_eq!(solve.count, 1);
+        for phase in ["global_relabel", "discharge", "return_excess"] {
+            let path = format!("maxflow.push-relabel.solve;{phase}");
+            let stats = snap.get(&path).unwrap_or_else(|| panic!("missing {path}"));
+            assert!(stats.wall_s <= solve.wall_s + 1e-9, "{path} fits the solve");
+        }
+        assert_eq!(profiler.skew_clamps(), 0);
     }
 
     #[test]

@@ -365,16 +365,17 @@ impl Conn {
         }
         // a leftover partial frame starts (or keeps) the read-deadline
         // clock; an empty buffer clears it
-        self.frame_since = if self.read_buf.is_empty() {
-            None
-        } else {
-            Some(self.frame_since.unwrap_or(now))
-        };
+        self.frame_since =
+            if self.read_buf.is_empty() { None } else { Some(self.frame_since.unwrap_or(now)) };
         self.requests += items.len() as u64;
         result.map(|()| items)
     }
 
-    fn parse_binary(&mut self, items: &mut Vec<Inbound>, consumed: &mut usize) -> Result<(), CloseReason> {
+    fn parse_binary(
+        &mut self,
+        items: &mut Vec<Inbound>,
+        consumed: &mut usize,
+    ) -> Result<(), CloseReason> {
         loop {
             match wire2::parse_frame(&self.read_buf[*consumed..]) {
                 Ok(None) => return Ok(()),
@@ -391,12 +392,18 @@ impl Conn {
                 Err(e @ (Frame2Error::BadMagic(_) | Frame2Error::BadVersion(_))) => {
                     return Err(CloseReason::Frame(e.to_string()));
                 }
-                Err(e @ Frame2Error::Oversized(_)) => return Err(CloseReason::Frame(e.to_string())),
+                Err(e @ Frame2Error::Oversized(_)) => {
+                    return Err(CloseReason::Frame(e.to_string()))
+                }
             }
         }
     }
 
-    fn parse_json(&mut self, items: &mut Vec<Inbound>, consumed: &mut usize) -> Result<(), CloseReason> {
+    fn parse_json(
+        &mut self,
+        items: &mut Vec<Inbound>,
+        consumed: &mut usize,
+    ) -> Result<(), CloseReason> {
         loop {
             let buf = &self.read_buf[*consumed..];
             if buf.len() < 4 {
@@ -426,10 +433,7 @@ impl Conn {
                     // adopt the client's trace id when it sent one; bare
                     // requests join the connection's own trace
                     let trace_echo = envelope.trace_id;
-                    let trace = envelope
-                        .trace_id
-                        .and_then(TraceId::from_raw)
-                        .unwrap_or(self.trace);
+                    let trace = envelope.trace_id.and_then(TraceId::from_raw).unwrap_or(self.trace);
                     items.push(Inbound::Request {
                         corr: Corr::Json { seq, trace_echo },
                         request: envelope.body,
@@ -525,7 +529,11 @@ mod tests {
     }
 
     /// Feeds bytes through the peer socket and runs the read pump.
-    fn feed(conn: &mut Conn, peer: &mut TcpStream, bytes: &[u8]) -> Result<Vec<Inbound>, CloseReason> {
+    fn feed(
+        conn: &mut Conn,
+        peer: &mut TcpStream,
+        bytes: &[u8],
+    ) -> Result<Vec<Inbound>, CloseReason> {
         use std::io::Write as _;
         peer.write_all(bytes).unwrap();
         peer.flush().unwrap();
@@ -558,7 +566,11 @@ mod tests {
         assert_eq!(conn.mode(), WireMode::Json);
         assert!(matches!(
             items.as_slice(),
-            [Inbound::Request { corr: Corr::Json { seq: 0, trace_echo: None }, request: Request::Ping, .. }]
+            [Inbound::Request {
+                corr: Corr::Json { seq: 0, trace_echo: None },
+                request: Request::Ping,
+                ..
+            }]
         ));
 
         let (mut conn, mut peer) = test_conn();
@@ -628,10 +640,7 @@ mod tests {
         let (mut conn, mut peer) = test_conn();
         let frame = wire2::encode_frame(wire2::opcode::GET_CHALLENGE, 3, &[0xFF, 0xFF, 0x00]);
         let items = feed(&mut conn, &mut peer, &frame).unwrap();
-        assert!(matches!(
-            items.as_slice(),
-            [Inbound::Malformed { corr: Corr::Binary(3), .. }]
-        ));
+        assert!(matches!(items.as_slice(), [Inbound::Malformed { corr: Corr::Binary(3), .. }]));
         // json frame with unparseable payload
         let (mut conn, mut peer) = test_conn();
         let mut bytes = Vec::new();

@@ -81,8 +81,8 @@ pub use health::{
 };
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use pool::{SubmitError, VerifyOutcome, WorkerPool};
-pub use registry::{DeviceEntry, DeviceRegistry};
 pub use reactor::{AsyncConfig, AsyncServer};
+pub use registry::{DeviceEntry, DeviceRegistry};
 pub use service::{ServiceConfig, VerificationService};
 pub use tcp::{Client, PpufServer};
 pub use wire::{ErrorKind, Request, Response};

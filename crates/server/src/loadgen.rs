@@ -792,8 +792,10 @@ impl AsyncLoadgenReport {
     /// every garbage round answered with a structured error on a
     /// *surviving* connection, zero transport failures, every binary
     /// response carrying an echoed correlation id, the configured
-    /// connection count actually concurrently open on the server, and
-    /// the reactor's `ppuf_conn_*` gauges live in the Prometheus scrape.
+    /// connection count actually concurrently open on the server, the
+    /// reactor's `ppuf_conn_*` / `ppuf_reactor_*` gauges live in the
+    /// Prometheus scrape, and the always-on profiler exported at least
+    /// one `ppuf_profile_self_seconds_total` sample.
     ///
     /// # Errors
     ///
@@ -848,10 +850,18 @@ impl AsyncLoadgenReport {
             "ppuf_conn_accepted_total",
             "ppuf_conn_shed_requests_total",
             "ppuf_reactor_loops_total",
+            "ppuf_reactor_events_total",
         ] {
             if !self.prometheus_samples.contains_key(required) {
                 return Err(format!("prometheus scrape is missing {required}"));
             }
+        }
+        if !self
+            .prometheus_samples
+            .keys()
+            .any(|k| k.starts_with("ppuf_profile_self_seconds_total{"))
+        {
+            return Err("prometheus scrape carries no profile self-time samples".into());
         }
         if !self.server_warnings.is_empty() {
             return Err(format!("server warnings: {:?}", self.server_warnings));
@@ -911,9 +921,9 @@ struct CohortDriver<'a> {
 impl<'a> CohortDriver<'a> {
     fn new(config: &AsyncLoadgenConfig, ppuf: &'a Ppuf) -> Self {
         let mut roles = Vec::with_capacity(config.connections());
-        roles.extend(std::iter::repeat(Role::Honest).take(config.honest_connections));
-        roles.extend(std::iter::repeat(Role::Impostor).take(config.impostor_connections));
-        roles.extend(std::iter::repeat(Role::Garbage).take(config.garbage_connections));
+        roles.extend(std::iter::repeat_n(Role::Honest, config.honest_connections));
+        roles.extend(std::iter::repeat_n(Role::Impostor, config.impostor_connections));
+        roles.extend(std::iter::repeat_n(Role::Garbage, config.garbage_connections));
         let streams = (0..roles.len() * config.pipeline)
             .map(|i| StreamState {
                 phase: Phase::Ready,
@@ -1090,12 +1100,8 @@ impl Driver for CohortDriver<'_> {
                                 Role::Impostor => round_start + self.impostor_delay,
                                 _ => now,
                             };
-                            self.streams[tag].phase = Phase::Hold {
-                                nonce,
-                                answer: Box::new(answer),
-                                due,
-                                round_start,
-                            };
+                            self.streams[tag].phase =
+                                Phase::Hold { nonce, answer: Box::new(answer), due, round_start };
                         }
                         Err(_) => {
                             self.cohort(role).requests += 1;

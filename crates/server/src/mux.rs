@@ -95,7 +95,14 @@ pub trait Driver {
     /// Delivers the response to the request tagged `tag` on `conn`,
     /// with the request's wire latency and (JSON wire) any echoed
     /// envelope trace id.
-    fn done(&mut self, conn: usize, tag: u64, response: Response, trace_echo: Option<u64>, latency: Duration);
+    fn done(
+        &mut self,
+        conn: usize,
+        tag: u64,
+        response: Response,
+        trace_echo: Option<u64>,
+        latency: Duration,
+    );
 
     /// `true` once every expected response has been consumed.
     fn finished(&self) -> bool;
@@ -170,7 +177,11 @@ impl MConn {
 /// breach (unparseable response, correlation id never issued,
 /// unsolicited response, server EOF with requests outstanding), or a
 /// stall longer than [`MuxConfig::stall_timeout`].
-pub fn drive(addr: SocketAddr, config: &MuxConfig, driver: &mut dyn Driver) -> Result<MuxStats, String> {
+pub fn drive(
+    addr: SocketAddr,
+    config: &MuxConfig,
+    driver: &mut dyn Driver,
+) -> Result<MuxStats, String> {
     let poll = Poll::new().map_err(|e| format!("poller creation failed: {e}"))?;
     let mut conns = Vec::with_capacity(config.connections);
     for i in 0..config.connections {
@@ -198,9 +209,9 @@ pub fn drive(addr: SocketAddr, config: &MuxConfig, driver: &mut dyn Driver) -> R
     loop {
         let mut progress = false;
         // fill: give every connection with pipeline room fresh work
-        for i in 0..conns.len() {
-            progress |= fill(&mut conns[i], i, config, driver, &mut stats)
-                .map_err(|e| format!("conn {i}: {e}"))?;
+        for (i, conn) in conns.iter_mut().enumerate() {
+            progress |=
+                fill(conn, i, config, driver, &mut stats).map_err(|e| format!("conn {i}: {e}"))?;
         }
         let in_flight: usize = conns.iter().map(MConn::in_flight).sum();
         stats.peak_in_flight = stats.peak_in_flight.max(in_flight);
@@ -268,10 +279,9 @@ fn fill(
             Outbound::Request { request, trace } => match config.wire {
                 WireFlavor::Json => {
                     let written = match trace {
-                        Some(id) => wire::send_message(
-                            &mut conn.wbuf,
-                            &TracedRequest::traced(id, request),
-                        ),
+                        Some(id) => {
+                            wire::send_message(&mut conn.wbuf, &TracedRequest::traced(id, request))
+                        }
                         None => wire::send_message(&mut conn.wbuf, &request),
                     };
                     written?;
@@ -374,9 +384,13 @@ fn pump_responses(
     Ok(any)
 }
 
+/// One parsed response off the front of a read buffer:
+/// `(consumed, corr, response, trace_echo)`.
+type ParsedResponse = (usize, u64, Response, Option<u64>);
+
 /// Parses one JSON response frame off the front of `buf`: `Ok(None)` on
 /// a partial frame, else `(consumed, 0, response, trace_echo)`.
-fn parse_json_response(buf: &[u8]) -> io::Result<Option<(usize, u64, Response, Option<u64>)>> {
+fn parse_json_response(buf: &[u8]) -> io::Result<Option<ParsedResponse>> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -398,7 +412,7 @@ fn parse_json_response(buf: &[u8]) -> io::Result<Option<(usize, u64, Response, O
 }
 
 /// Parses one binary response frame off the front of `buf`.
-fn parse_binary_response(buf: &[u8]) -> io::Result<Option<(usize, u64, Response, Option<u64>)>> {
+fn parse_binary_response(buf: &[u8]) -> io::Result<Option<ParsedResponse>> {
     match wire2::parse_frame(buf) {
         Ok(None) => Ok(None),
         Ok(Some((frame, used))) => {

@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use mio::{Events, Interest, Mode, Poll, Token, Waker};
 use ppuf_telemetry::{next_trace_id, record_root_interval, Recorder, TraceId};
 
@@ -118,6 +118,31 @@ struct Done {
     gen: u64,
     corr: Corr,
     response: Response,
+}
+
+/// Where one reactor loop iteration spends its time, accumulated locally
+/// and flushed to the service [`Profiler`](ppuf_telemetry::Profiler) on
+/// the sweep cadence — the hot loop never touches the profiler's shared
+/// maps between flushes.
+#[derive(Debug, Default)]
+struct PhaseTimes {
+    /// Blocked in `epoll_wait`.
+    poll_wait: Duration,
+    /// Accepting and registering new connections.
+    accept: Duration,
+    /// Reading sockets and parsing frames into requests.
+    parse: Duration,
+    /// Routing parsed requests to the dispatch pool and encoding
+    /// completed responses back onto their connections.
+    dispatch: Duration,
+    /// Flushing buffered response bytes and settling write interest.
+    write: Duration,
+}
+
+impl PhaseTimes {
+    fn busy(&self) -> Duration {
+        self.accept + self.parse + self.dispatch + self.write
+    }
 }
 
 /// The async (epoll) front-end for a [`VerificationService`].
@@ -206,6 +231,7 @@ impl AsyncServer {
                 done_rx,
                 shutdown: Arc::clone(&shutdown),
                 next_gen: 1,
+                phases: PhaseTimes::default(),
             };
             std::thread::Builder::new().name("ppuf-reactor".into()).spawn(move || reactor.run())?
         };
@@ -292,6 +318,7 @@ struct Reactor {
     done_rx: Receiver<Done>,
     shutdown: Arc<AtomicBool>,
     next_gen: u64,
+    phases: PhaseTimes,
 }
 
 impl Reactor {
@@ -299,16 +326,22 @@ impl Reactor {
         let mut events = Events::with_capacity(self.config.events_capacity);
         let mut last_sweep = Instant::now();
         while !self.shutdown.load(Ordering::SeqCst) {
+            let wait_t0 = Instant::now();
             if let Err(e) = self.poll.poll(&mut events, Some(self.config.sweep_interval)) {
                 self.service.recorder().warn(&format!("reactor poll failed: {e}"));
                 break;
             }
+            self.phases.poll_wait += wait_t0.elapsed();
             self.stats.loop_tick(events.len());
             let now = Instant::now();
             for event in &events {
                 match event.token() {
                     WAKER_TOKEN => {} // completions drained below
-                    LISTENER_TOKEN => self.accept_ready(now),
+                    LISTENER_TOKEN => {
+                        let t0 = Instant::now();
+                        self.accept_ready(now);
+                        self.phases.accept += t0.elapsed();
+                    }
                     token => {
                         self.conn_ready(token, event.is_readable(), event.is_writable(), now);
                     }
@@ -317,6 +350,7 @@ impl Reactor {
             self.drain_completions(now);
             if now.duration_since(last_sweep) >= self.config.sweep_interval {
                 self.sweep(now);
+                self.flush_phase_profile();
                 last_sweep = now;
             }
         }
@@ -325,6 +359,26 @@ impl Reactor {
         for slot in 0..self.conns.len() {
             self.close(slot, CloseReason::Shutdown, now);
         }
+        self.flush_phase_profile();
+    }
+
+    /// Flushes the locally accumulated loop-phase times into the service
+    /// profiler under `server.reactor;*` paths. The parent's wall time is
+    /// the whole interval covered (wait + busy) with zero self time, so
+    /// folded stacks show exactly where the loop thread's time went.
+    fn flush_phase_profile(&mut self) {
+        let p = std::mem::take(&mut self.phases);
+        let busy = p.busy();
+        if p.poll_wait.is_zero() && busy.is_zero() {
+            return;
+        }
+        let profiler = self.service.profiler();
+        profiler.record_path("server.reactor", p.poll_wait + busy, Duration::ZERO);
+        profiler.record_leaf("server.reactor;poll_wait", p.poll_wait);
+        profiler.record_leaf("server.reactor;accept", p.accept);
+        profiler.record_leaf("server.reactor;parse", p.parse);
+        profiler.record_leaf("server.reactor;dispatch", p.dispatch);
+        profiler.record_leaf("server.reactor;write", p.write);
     }
 
     fn open_count(&self) -> usize {
@@ -382,17 +436,25 @@ impl Reactor {
         let Some(slot) = token.0.checked_sub(TOKEN_BASE) else { return };
         let Some(Some(conn)) = self.conns.get_mut(slot) else { return };
         if writable {
-            if let Err(reason) = conn.on_writable(now) {
+            let t0 = Instant::now();
+            let flushed = conn.on_writable(now);
+            self.phases.write += t0.elapsed();
+            if let Err(reason) = flushed {
                 self.close(slot, reason, now);
                 return;
             }
         }
         if readable {
-            match conn.on_readable(now) {
+            let t0 = Instant::now();
+            let parsed = conn.on_readable(now);
+            self.phases.parse += t0.elapsed();
+            match parsed {
                 Ok(items) => {
+                    let t0 = Instant::now();
                     for item in items {
                         self.handle_inbound(slot, item);
                     }
+                    self.phases.dispatch += t0.elapsed();
                 }
                 Err(reason) => {
                     self.close(slot, reason, now);
@@ -438,19 +500,16 @@ impl Reactor {
     /// Pulls every finished request off the completion channel and routes
     /// it to its (still-live) connection.
     fn drain_completions(&mut self, now: Instant) {
-        loop {
-            match self.done_rx.try_recv() {
-                Ok(done) => {
-                    let Some(Some(conn)) = self.conns.get_mut(done.slot) else { continue };
-                    if conn.gen != done.gen {
-                        continue; // slot recycled since dispatch: stale
-                    }
-                    conn.in_flight = conn.in_flight.saturating_sub(1);
-                    conn.complete(done.corr, &done.response);
-                    self.flush_and_settle(done.slot, now);
-                }
-                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+        while let Ok(done) = self.done_rx.try_recv() {
+            let t0 = Instant::now();
+            let Some(Some(conn)) = self.conns.get_mut(done.slot) else { continue };
+            if conn.gen != done.gen {
+                continue; // slot recycled since dispatch: stale
             }
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            conn.complete(done.corr, &done.response);
+            self.phases.dispatch += t0.elapsed();
+            self.flush_and_settle(done.slot, now);
         }
     }
 
@@ -458,6 +517,12 @@ impl Reactor {
     /// closes the connection if it has fully drained after peer EOF or
     /// its unread-response backlog passed the cap.
     fn flush_and_settle(&mut self, slot: usize, now: Instant) {
+        let t0 = Instant::now();
+        self.flush_and_settle_inner(slot, now);
+        self.phases.write += t0.elapsed();
+    }
+
+    fn flush_and_settle_inner(&mut self, slot: usize, now: Instant) {
         let Some(Some(conn)) = self.conns.get_mut(slot) else { return };
         if conn.wants_write() {
             if let Err(reason) = conn.on_writable(now) {
@@ -477,11 +542,8 @@ impl Reactor {
         }
         let want = conn.wants_write();
         if want != self.reg_write[slot] {
-            let interest = if want {
-                Interest::READABLE.add(Interest::WRITABLE)
-            } else {
-                Interest::READABLE
-            };
+            let interest =
+                if want { Interest::READABLE.add(Interest::WRITABLE) } else { Interest::READABLE };
             let token = Token(slot + TOKEN_BASE);
             if self.poll.reregister(conn.stream(), token, interest, Mode::Level).is_ok() {
                 self.reg_write[slot] = want;

@@ -24,15 +24,15 @@ use ppuf_core::protocol::clock::{Clock, SystemClock};
 use ppuf_core::protocol::issuer::{ChallengeIssuer, RedeemError, DEFAULT_SESSION_TTL};
 use ppuf_core::public_model::PublicModel;
 use ppuf_telemetry::{
-    next_trace_id, prometheus, FlightRecorder, MemoryRecorder, Recorder, Report, SpanContext,
-    TraceId, TracedSpan, DEFAULT_FLIGHT_EVENTS, DEFAULT_FLIGHT_TRACES,
+    next_trace_id, prometheus, FlightRecorder, MemoryRecorder, Profiler, Recorder, Report,
+    SpanContext, TraceId, TracedSpan, DEFAULT_FLIGHT_EVENTS, DEFAULT_FLIGHT_TRACES,
 };
 
 use crate::cache::VerificationCache;
 use crate::health::{HealthTracker, RequestOutcome, SloConfig};
 use crate::pool::{SubmitError, VerifyJob, WorkerPool};
 use crate::registry::{DeviceEntry, DeviceRegistry};
-use crate::wire::{ErrorKind, Request, Response, StatsFormat};
+use crate::wire::{ErrorKind, ProfileFormat, Request, Response, StatsFormat};
 
 /// Tunables for one [`VerificationService`].
 #[derive(Debug, Clone)]
@@ -78,6 +78,9 @@ pub struct ServiceConfig {
     /// Overloaded responses in the SLO window at which the
     /// pool-saturation trigger fires a flight-recorder dump.
     pub saturation_threshold: u64,
+    /// Newest post-mortem dumps kept on disk per dump directory; older
+    /// files are rotated out after each write. 0 disables rotation.
+    pub flightrec_keep: usize,
 }
 
 impl Default for ServiceConfig {
@@ -100,9 +103,14 @@ impl Default for ServiceConfig {
             flightrec_dir: None,
             failure_burst_threshold: 8,
             saturation_threshold: 8,
+            flightrec_keep: DEFAULT_FLIGHTREC_KEEP,
         }
     }
 }
+
+/// Default [`ServiceConfig::flightrec_keep`]: dumps retained per
+/// directory before rotation deletes the oldest.
+pub const DEFAULT_FLIGHTREC_KEEP: usize = 16;
 
 /// A running verification service (without a transport).
 #[derive(Debug)]
@@ -112,6 +120,9 @@ pub struct VerificationService {
     cache: Arc<VerificationCache>,
     pool: WorkerPool,
     recorder: Arc<MemoryRecorder>,
+    /// The always-on call-path profiler; fed by the recorder's finished
+    /// traces and by the analog/maxflow/reactor phase instrumentation.
+    profiler: Arc<Profiler>,
     clock: Arc<dyn Clock>,
     health: HealthTracker,
     flight: FlightRecorder,
@@ -135,7 +146,10 @@ impl VerificationService {
     /// exercise deadlines and expiry without sleeping.
     pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         let cache = Arc::new(VerificationCache::new(config.cache_shards, config.cache_capacity));
-        let recorder = Arc::new(MemoryRecorder::new());
+        let profiler = Arc::new(Profiler::new());
+        let mut recorder = MemoryRecorder::new();
+        recorder.set_profiler(Arc::clone(&profiler));
+        let recorder = Arc::new(recorder);
         warm_start_preflight(recorder.as_ref());
         let pool = WorkerPool::new(
             config.workers,
@@ -155,6 +169,7 @@ impl VerificationService {
             cache,
             pool,
             recorder,
+            profiler,
             clock,
             health,
             flight,
@@ -175,6 +190,12 @@ impl VerificationService {
     /// The service's telemetry recorder (counters, spans, warnings).
     pub fn recorder(&self) -> &Arc<MemoryRecorder> {
         &self.recorder
+    }
+
+    /// The always-on call-path profiler behind [`Request::Profile`];
+    /// transports hand it to their reactor loops for phase attribution.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
     }
 
     /// The sliding-window SLO tracker behind [`Request::Health`].
@@ -228,6 +249,7 @@ impl VerificationService {
                 Request::Stats { format } => self.stats(format),
                 Request::Health => self.health_response(),
                 Request::Dump => self.dump_response(),
+                Request::Profile { format } => self.profile_response(format),
             }
         };
         self.observe(kind, trace, started.elapsed().as_secs_f64(), &response);
@@ -302,6 +324,7 @@ impl VerificationService {
         match written {
             Ok(()) => {
                 self.recorder.counter_add("flightrec.dumps.written", 1);
+                self.rotate_dumps(dir);
                 Some(path.to_string_lossy().into_owned())
             }
             Err(_) => {
@@ -311,9 +334,60 @@ impl VerificationService {
         }
     }
 
+    /// Keeps the dump directory bounded: retains the newest
+    /// [`ServiceConfig::flightrec_keep`] `.json` dumps (by modification
+    /// time, then name) and deletes the rest. Errors are counted, never
+    /// fatal — rotation is best-effort housekeeping on the admin path.
+    fn rotate_dumps(&self, dir: &str) {
+        let keep = self.config.flightrec_keep;
+        if keep == 0 {
+            return;
+        }
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut dumps: Vec<(std::time::SystemTime, std::path::PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().is_some_and(|ext| ext == "json") {
+                    let modified = e
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    Some((modified, path))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if dumps.len() <= keep {
+            return;
+        }
+        dumps.sort();
+        let excess = dumps.len() - keep;
+        for (_, path) in dumps.into_iter().take(excess) {
+            match std::fs::remove_file(&path) {
+                Ok(()) => self.recorder.counter_add("flightrec.dumps.rotated", 1),
+                Err(_) => self.recorder.counter_add("flightrec.dumps.rotate_failed", 1),
+            }
+        }
+    }
+
     /// Assesses the SLO window right now ([`Request::Health`]).
     fn health_response(&self) -> Response {
         Response::Health { report: self.health.assess(self.clock.now().value()) }
+    }
+
+    /// Snapshots the live call-path profile ([`Request::Profile`]): the
+    /// per-path stats as a JSON object, or the folded-stack text ready to
+    /// pipe into `flamegraph.pl`.
+    fn profile_response(&self, format: ProfileFormat) -> Response {
+        let body = match format {
+            ProfileFormat::Json => ppuf_telemetry::profile_to_json(&self.profiler.snapshot()),
+            ProfileFormat::Folded => self.profiler.fold(),
+        };
+        Response::Profile { format, body }
     }
 
     /// Snapshots the flight recorder on demand ([`Request::Dump`]).
@@ -498,6 +572,7 @@ fn request_kind(request: &Request) -> &'static str {
         Request::Stats { .. } => "Stats",
         Request::Health => "Health",
         Request::Dump => "Dump",
+        Request::Profile { .. } => "Profile",
     }
 }
 
@@ -910,6 +985,75 @@ mod tests {
             }
             other => panic!("expected dump ack, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn profile_admin_command_serves_json_and_folded_renderings() {
+        let clock = Arc::new(ManualClock::new());
+        let (service, _ppuf) = service_with_device(ServiceConfig::default(), Arc::clone(&clock));
+        // the construction-time preflight already profiled three DC solves
+        let body = match service.handle(Request::Profile { format: ProfileFormat::Json }) {
+            Response::Profile { format: ProfileFormat::Json, body } => body,
+            other => panic!("expected json profile, got {other:?}"),
+        };
+        assert!(body.contains("\"analog.dc.solve\""), "preflight solves are profiled:\n{body}");
+        assert!(body.contains("\"count\""), "{body}");
+
+        let folded = match service.handle(Request::Profile { format: ProfileFormat::Folded }) {
+            Response::Profile { format: ProfileFormat::Folded, body } => body,
+            other => panic!("expected folded profile, got {other:?}"),
+        };
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (path, micros) = line.rsplit_once(' ').expect("folded line is `path micros`");
+            assert!(!path.is_empty());
+            micros.parse::<u64>().unwrap_or_else(|_| panic!("bad self-micros in {line:?}"));
+        }
+        assert!(
+            folded.lines().any(|l| l.starts_with("analog.dc.solve;stamp;device_eval ")),
+            "device-eval leaf present:\n{folded}"
+        );
+        // the live stats report carries the same profile as a section
+        let stats = match service.handle(Request::Stats { format: StatsFormat::Json }) {
+            Response::Stats { body, .. } => body,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        let report = ppuf_telemetry::Report::from_json(&stats).unwrap();
+        assert!(!report.profile.is_empty(), "stats report carries the profile section");
+        assert!(report.profile.contains_key("analog.dc.solve"));
+    }
+
+    #[test]
+    fn dump_rotation_keeps_only_the_newest_files() {
+        let clock = Arc::new(ManualClock::new());
+        let dir = temp_dump_dir("rotate");
+        let config = ServiceConfig {
+            challenge_pool: 1,
+            flightrec_dir: Some(dir.clone()),
+            flightrec_keep: 2,
+            ..ServiceConfig::default()
+        };
+        let (service, ppuf) = service_with_device(config, Arc::clone(&clock));
+        let (nonce, challenge) = get_challenge(&service);
+        let answer = prove(&ppuf.executor(Environment::NOMINAL), &challenge).unwrap();
+        service.handle(Request::SubmitAnswer { device_id: "dev".into(), nonce, answer });
+        let mut last_path = None;
+        for _ in 0..5 {
+            match service.handle(Request::Dump) {
+                Response::Dumped { path, .. } => last_path = path,
+                other => panic!("expected dump ack, got {other:?}"),
+            }
+        }
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dump directory exists")
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 2, "rotation keeps flightrec_keep files: {files:?}");
+        let newest = std::path::PathBuf::from(last_path.expect("dump path returned"));
+        assert!(files.contains(&newest), "the newest dump survives rotation: {files:?}");
+        assert_eq!(service.recorder().counter("flightrec.dumps.rotated"), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

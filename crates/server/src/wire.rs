@@ -42,8 +42,11 @@ pub const WIRE_VERSION_MAJOR: u32 = 1;
 ///
 /// 1.1 added the `trace_id` envelope and the [`Request::Stats`] admin
 /// command. 1.2 added the [`Request::Health`] SLO surface and the
-/// [`Request::Dump`] flight-recorder admin command.
-pub const WIRE_VERSION_MINOR: u32 = 2;
+/// [`Request::Dump`] flight-recorder admin command. 1.3 added the
+/// [`Request::Profile`] admin command exposing the always-on hierarchical
+/// profiler; every ≤1.2 message still encodes byte-identically (locked by
+/// test).
+pub const WIRE_VERSION_MINOR: u32 = 3;
 
 /// Writes one length-prefixed frame.
 ///
@@ -162,6 +165,23 @@ pub enum Request {
     /// Admin command: dump the flight recorder's retained traces and
     /// events to disk (and return the post-mortem inline).
     Dump,
+    /// Read-only admin command (wire 1.3): snapshot the server's live
+    /// call-path profile.
+    Profile {
+        /// Which rendering of the profile to return.
+        format: ProfileFormat,
+    },
+}
+
+/// Rendering of a [`Request::Profile`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileFormat {
+    /// Per-path stats as a JSON object (path → count/wall/self/min/max
+    /// plus allocation tallies), matching the report `profile` section.
+    Json,
+    /// Folded-stack text, one `path self_micros` line per call path,
+    /// ready for `flamegraph.pl`.
+    Folded,
 }
 
 /// Rendering of a [`Request::Stats`] snapshot.
@@ -254,6 +274,13 @@ pub enum Response {
     Health {
         /// Per-objective verdicts and the worst-of overall status.
         report: HealthReport,
+    },
+    /// The call-path profile answering a [`Request::Profile`].
+    Profile {
+        /// The format the profile was rendered in.
+        format: ProfileFormat,
+        /// The rendered profile (JSON map or folded-stack text).
+        body: String,
     },
     /// Acknowledgement of a [`Request::Dump`].
     Dumped {
@@ -495,6 +522,58 @@ mod tests {
         let back: Response =
             serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();
         assert_eq!(back, response);
+    }
+
+    #[test]
+    fn profile_admin_messages_roundtrip() {
+        for format in [ProfileFormat::Json, ProfileFormat::Folded] {
+            let request = Request::Profile { format };
+            let back: Request =
+                serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+            assert_eq!(back, request);
+        }
+        let response = Response::Profile {
+            format: ProfileFormat::Folded,
+            body: "server.request;verify 1200\n".into(),
+        };
+        let back: Response =
+            serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn wire_1_2_messages_encode_byte_identically_after_the_1_3_additions() {
+        // the 1.3 compatibility rule, locked: adding Request::Profile /
+        // Response::Profile must not change a single byte of any ≤1.2
+        // encoding, so pre-1.3 clients and servers interoperate unchanged
+        let cases: [(&str, String); 6] = [
+            ("\"Ping\"", serde_json::to_string(&Request::Ping).unwrap()),
+            ("\"Health\"", serde_json::to_string(&Request::Health).unwrap()),
+            ("\"Dump\"", serde_json::to_string(&Request::Dump).unwrap()),
+            (
+                "{\"Stats\":{\"format\":\"Prometheus\"}}",
+                serde_json::to_string(&Request::Stats { format: StatsFormat::Prometheus }).unwrap(),
+            ),
+            (
+                "{\"GetChallenge\":{\"device_id\":\"d\"}}",
+                serde_json::to_string(&Request::GetChallenge { device_id: "d".into() }).unwrap(),
+            ),
+            ("\"Pong\"", serde_json::to_string(&Response::Pong).unwrap()),
+        ];
+        for (expected, actual) in &cases {
+            assert_eq!(actual, expected, "a ≤1.2 message changed encoding");
+        }
+        let response = Response::Error {
+            kind: ErrorKind::Overloaded,
+            message: "queue full".into(),
+            retry_after_ms: Some(50),
+        };
+        let text = serde_json::to_string(&response).unwrap();
+        assert_eq!(
+            text,
+            "{\"Error\":{\"kind\":\"Overloaded\",\"message\":\"queue full\",\
+             \"retry_after_ms\":50}}"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! [`Response::Verdict`] / [`Response::Error`] answers, plus `Ping` /
 //! `Pong` — have fixed little-endian encodings, so a verification round
 //! never touches a JSON parser. Cold admin messages (`Register`,
-//! `Revoke`, `Stats`, `Health`, `Dump`) ride as JSON inside a
+//! `Revoke`, `Stats`, `Health`, `Dump`, `Profile`) ride as JSON inside a
 //! [`opcode::JSON_REQUEST`] / [`opcode::JSON_RESPONSE`] frame — full
 //! coverage without a binary schema for every message.
 //!
@@ -183,7 +183,12 @@ pub fn parse_frame(buf: &[u8]) -> Result<Option<(Frame2, usize)>, Frame2Error> {
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_frame2<W: Write>(writer: &mut W, opcode: u8, corr: u64, payload: &[u8]) -> io::Result<()> {
+pub fn write_frame2<W: Write>(
+    writer: &mut W,
+    opcode: u8,
+    corr: u64,
+    payload: &[u8],
+) -> io::Result<()> {
     writer.write_all(&encode_frame(opcode, corr, payload))?;
     writer.flush()
 }
@@ -222,7 +227,7 @@ pub fn read_frame2<R: Read>(reader: &mut R) -> io::Result<Option<Frame2>> {
                             || e.kind() == io::ErrorKind::TimedOut)
                             && !buf.is_empty() =>
                     {
-                        continue // mid-frame poll tick: keep the stream aligned
+                        continue; // mid-frame poll tick: keep the stream aligned
                     }
                     Err(e) => return Err(e),
                 };
@@ -301,7 +306,7 @@ impl Enc {
                 byte = 0;
             }
         }
-        if bits.len() % 8 != 0 {
+        if !bits.len().is_multiple_of(8) {
             self.u8(byte);
         }
     }
@@ -762,7 +767,10 @@ mod tests {
         let first = read_frame2(&mut cursor).unwrap().unwrap();
         assert_eq!((first.opcode, first.corr), (opcode::PING, 7));
         let second = read_frame2(&mut cursor).unwrap().unwrap();
-        assert_eq!((second.opcode, second.corr, second.payload), (opcode::PONG, 8, b"tail".to_vec()));
+        assert_eq!(
+            (second.opcode, second.corr, second.payload),
+            (opcode::PONG, 8, b"tail".to_vec())
+        );
         assert_eq!(read_frame2(&mut cursor).unwrap(), None);
     }
 
@@ -811,7 +819,8 @@ mod tests {
         // a response quoting a near-64-KiB string cannot use the binary
         // string encoding; it must fall back to JSON framing losslessly
         let big = "x".repeat(70_000);
-        let response = Response::error(ErrorKind::UnknownDevice, format!("device {big:?} is not registered"));
+        let response =
+            Response::error(ErrorKind::UnknownDevice, format!("device {big:?} is not registered"));
         let bytes = encode_response(9, &response);
         let (frame, _) = parse_frame(&bytes).unwrap().expect("complete frame");
         assert_eq!(frame.opcode, opcode::JSON_RESPONSE);
@@ -822,6 +831,28 @@ mod tests {
         let bytes = encode_request(3, &request);
         let (frame, _) = parse_frame(&bytes).unwrap().expect("complete frame");
         assert_eq!(frame.opcode, opcode::JSON_REQUEST);
+    }
+
+    #[test]
+    fn profile_admin_command_rides_the_json_opcode() {
+        use crate::wire::ProfileFormat;
+        // wire-1.3 additions need no new opcodes: they fall back to the
+        // JSON framing like every other cold admin message
+        for format in [ProfileFormat::Json, ProfileFormat::Folded] {
+            let request = Request::Profile { format };
+            let bytes = encode_request(11, &request);
+            let (frame, _) = parse_frame(&bytes).unwrap().expect("complete frame");
+            assert_eq!(frame.opcode, opcode::JSON_REQUEST);
+            assert_eq!(frame.corr, 11);
+            assert_eq!(decode_request(&frame).unwrap(), request);
+
+            let response =
+                Response::Profile { format, body: "analog.dc.solve;stamp 12\n".to_string() };
+            let bytes = encode_response(11, &response);
+            let (frame, _) = parse_frame(&bytes).unwrap().expect("complete frame");
+            assert_eq!(frame.opcode, opcode::JSON_RESPONSE);
+            assert_eq!(decode_response(&frame).unwrap(), response);
+        }
     }
 
     #[test]

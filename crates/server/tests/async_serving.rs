@@ -103,7 +103,8 @@ fn wire_1x_responses_are_byte_identical_to_the_legacy_server() {
     let from_reactor = against(reactor.local_addr());
     for (i, (a, b)) in from_legacy.iter().zip(&from_reactor).enumerate() {
         assert_eq!(
-            a, b,
+            a,
+            b,
             "exchange {i}: legacy {:?} vs reactor {:?}",
             String::from_utf8_lossy(a),
             String::from_utf8_lossy(b)
@@ -159,11 +160,10 @@ fn json_pipelined_responses_stay_in_request_order() {
     }));
     stream.write_all(&burst).expect("write burst");
 
-    let expectations: [&dyn Fn(&Response) -> bool; 3] = [
-        &|r| matches!(r, Response::Challenge { .. }),
-        &|r| matches!(r, Response::Pong),
-        &|r| matches!(r, Response::Error { .. }),
-    ];
+    let expectations: [&dyn Fn(&Response) -> bool; 3] =
+        [&|r| matches!(r, Response::Challenge { .. }), &|r| matches!(r, Response::Pong), &|r| {
+            matches!(r, Response::Error { .. })
+        }];
     for (i, expect) in expectations.iter().enumerate() {
         let frame = read_json_frame(&mut stream);
         let text = std::str::from_utf8(&frame[4..]).expect("utf8");
@@ -208,12 +208,7 @@ fn slow_loris_half_frame_is_reaped_and_gauge_decrements() {
     stream.write_all(b"{\"G").expect("write stub");
 
     let gauge = |stats: &ppuf_server::conn::TransportStats, name: &str| -> f64 {
-        stats
-            .gauges()
-            .into_iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
-            .unwrap_or(f64::NAN)
+        stats.gauges().into_iter().find(|(n, _)| n == name).map(|(_, v)| v).unwrap_or(f64::NAN)
     };
     // the connection shows up open ...
     let deadline = Instant::now() + Duration::from_secs(5);
@@ -313,6 +308,39 @@ fn torn_binary_frame_over_live_socket_still_answers() {
     let response = wire2::read_frame2(&mut stream).expect("read").expect("frame");
     assert_eq!(response.corr, 99);
     assert_eq!(response.opcode, opcode::CHALLENGE);
+}
+
+/// The reactor attributes its loop time into the service profiler:
+/// after serving traffic, `server.reactor;*` phase paths are present
+/// with self times bounded by the loop's wall time.
+#[test]
+fn reactor_phase_times_reach_the_service_profiler() {
+    let service = service(SEED);
+    let mut server = AsyncServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        AsyncConfig { sweep_interval: Duration::from_millis(25), ..AsyncConfig::default() },
+    )
+    .expect("async bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    stream.write_all(&json_frame_of(&Request::Ping)).expect("write");
+    let frame = read_json_frame(&mut stream);
+    assert!(std::str::from_utf8(&frame[4..]).expect("utf8").contains("Pong"));
+    drop(stream);
+    // teardown flushes the partial accumulators, so the snapshot is
+    // complete without waiting out a sweep interval
+    server.shutdown();
+
+    let profile = service.profiler().snapshot();
+    let root = profile.get("server.reactor").expect("reactor root path");
+    assert!(root.wall_s > 0.0, "reactor wall time recorded");
+    for phase in ["poll_wait", "accept", "parse", "dispatch", "write"] {
+        let stats = profile
+            .get(&format!("server.reactor;{phase}"))
+            .unwrap_or_else(|| panic!("missing reactor phase {phase}"));
+        assert!(stats.self_s <= root.wall_s + 1e-9, "{phase} self time exceeds loop wall");
+    }
 }
 
 fn small_async_profile(wire: WireFlavor) -> AsyncLoadgenConfig {

@@ -12,8 +12,8 @@ use ppuf_server::wire2::{
     self, decode_request, decode_response, encode_frame, encode_request, encode_response,
     parse_frame, Frame2Error, HEADER_LEN, MAGIC,
 };
-use proptest::prelude::*;
 use proptest::collection::vec;
+use proptest::prelude::*;
 
 fn flow(source: u32, sink: u32, value: f64, edges: Vec<f64>) -> Flow {
     Flow::from_edge_flows(NodeId::new(source), NodeId::new(sink), value, edges)

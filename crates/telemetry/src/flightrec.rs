@@ -201,6 +201,7 @@ fn snapshot_locked(state: &FlightState, events: &EventLog, label: &str) -> Repor
         warnings: Vec::new(),
         samples: BTreeMap::new(),
         hists: BTreeMap::new(),
+        profile: BTreeMap::new(),
         events: events
             .snapshot()
             .into_iter()

@@ -29,24 +29,25 @@
 pub mod events;
 pub mod flightrec;
 pub mod hist;
+pub mod profile;
 pub mod prometheus;
 pub mod report;
 pub mod samples;
 pub mod trace;
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 pub use events::{Event, EventLog, DEFAULT_EVENT_CAPACITY};
 pub use flightrec::{FlightRecorder, RecordedTrace, DEFAULT_FLIGHT_EVENTS, DEFAULT_FLIGHT_TRACES};
 pub use hist::{HistBucket, HistogramSnapshot, LogHistogram, HIST_BUCKET_COUNT, HIST_MIN_VALUE};
-pub use report::{JsonReporter, Report, ReportError, SCHEMA_VERSION};
+pub use profile::{AllocScope, PathId, ProfileStats, Profiler};
+pub use report::{profile_to_json, JsonReporter, Report, ReportError, SCHEMA_VERSION};
 pub use samples::{SampleSeries, SampleSummary};
 pub use trace::{
     assemble, next_trace_id, record_interval, record_root_interval, FinishedSpan, SpanContext,
-    SpanId, TraceError,
-    TraceId, TraceNode, TracedSpan,
+    SpanId, TraceError, TraceId, TraceNode, TracedSpan,
 };
 
 /// Default number of traces a [`MemoryRecorder`] retains before evicting
@@ -101,6 +102,15 @@ pub trait Recorder: Send + Sync {
     /// event log. Discarded by default.
     fn record_event(&self, name: &str, values: &[f64]) {
         let _ = (name, values);
+    }
+
+    /// The hierarchical [`Profiler`] attached to this recorder, if any.
+    /// Instrumented code uses this to record per-phase call paths
+    /// ([`Profiler::record_path`]) without each layer threading its own
+    /// profiler handle; the default (`None`) keeps disabled recorders
+    /// free of profiling cost.
+    fn profiler(&self) -> Option<&Profiler> {
+        None
     }
 
     /// Starts a wall-clock span ended when the guard drops.
@@ -235,6 +245,7 @@ pub struct MemoryRecorder {
     state: Mutex<MemoryState>,
     events: EventLog,
     trace_capacity: usize,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl Default for MemoryRecorder {
@@ -243,6 +254,7 @@ impl Default for MemoryRecorder {
             state: Mutex::default(),
             events: EventLog::default(),
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            profiler: None,
         }
     }
 }
@@ -263,7 +275,18 @@ impl MemoryRecorder {
             state: Mutex::default(),
             events: EventLog::new(events),
             trace_capacity: traces.max(1),
+            profiler: None,
         }
+    }
+
+    /// Attaches a hierarchical [`Profiler`]. Once attached, every root
+    /// span that finishes feeds its whole subtree into the profiler
+    /// ([`Profiler::observe_root`]) — spans finish child-before-parent,
+    /// so the subtree is complete when the root arrives — and
+    /// [`snapshot`](MemoryRecorder::snapshot) carries the profile
+    /// section. Called before the recorder is shared (it takes `&mut`).
+    pub fn set_profiler(&mut self, profiler: Arc<Profiler>) {
+        self.profiler = Some(profiler);
     }
 
     /// Current value of a counter; 0 when never touched.
@@ -363,10 +386,21 @@ impl MemoryRecorder {
             .filter_map(|id| state.traces.get(id).map(|spans| (*id, spans)))
             .map(|(id, spans)| (format!("{id:016x}"), trace_records(spans)))
             .collect();
+        let mut counters = state.counters.clone();
+        let profile = match &self.profiler {
+            Some(profiler) => {
+                let skew = profiler.skew_clamps();
+                if skew > 0 {
+                    counters.insert("telemetry.profile.skew_clamps".to_string(), skew);
+                }
+                profiler.snapshot()
+            }
+            None => BTreeMap::new(),
+        };
         Report {
             schema_version: SCHEMA_VERSION,
             label: label.to_string(),
-            counters: state.counters.clone(),
+            counters,
             histograms: state.histograms.clone(),
             spans: state.spans.clone(),
             warnings: state.warnings.clone(),
@@ -381,6 +415,7 @@ impl MemoryRecorder {
                 .filter(|(_, h)| !h.is_empty())
                 .map(|(name, h)| (name.clone(), h.snapshot()))
                 .collect(),
+            profile,
             events,
             traces,
         }
@@ -447,6 +482,7 @@ impl Recorder for MemoryRecorder {
     }
 
     fn record_trace_span(&self, span: FinishedSpan) {
+        let root = span.parent.is_none().then_some(span.span);
         let mut state = self.lock();
         let key = span.trace.get();
         if !state.traces.contains_key(&key) {
@@ -469,7 +505,23 @@ impl Recorder for MemoryRecorder {
             spans.push(span);
         } else {
             *state.counters.entry("telemetry.trace_spans.dropped".to_string()).or_insert(0) += 1;
+            return;
         }
+        // a root finishing means its subtree is complete (spans always
+        // finish child-before-parent), so feed it to the profiler now;
+        // traces with several roots (a connection carrying requests)
+        // profile each root's subtree as it completes
+        if let (Some(root_id), Some(profiler)) = (root, &self.profiler) {
+            if let Some(spans) = state.traces.get(&key) {
+                if let Some(root_span) = spans.iter().rev().find(|s| s.span == root_id) {
+                    profiler.observe_root(root_span, spans);
+                }
+            }
+        }
+    }
+
+    fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_deref()
     }
 
     fn events_enabled(&self) -> bool {

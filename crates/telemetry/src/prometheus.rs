@@ -8,7 +8,11 @@
 //! report cannot carry (queue depth, cache entries, `ppuf_slo_*` health)
 //! are passed in as gauges. A handful of protocol-level counters are
 //! always emitted — zero when never touched — so dashboards and the
-//! smoke-test scraper can rely on their presence.
+//! smoke-test scraper can rely on their presence. Reports carrying a
+//! hierarchical `profile` section additionally expose the top-K call
+//! paths by self time as `ppuf_profile_self_seconds_total{path="..."}`
+//! counters (K = [`crate::profile::DEFAULT_TOP_K`], so profile label
+//! cardinality stays bounded).
 //!
 //! [`validate`] parses an exposition back into a name→value map (bucket
 //! samples keyed with their `{le="..."}` label) and rejects drift: bad
@@ -130,8 +134,40 @@ pub fn render(report: &Report, gauges: &[(String, f64)]) -> String {
             }
         }
     }
+    // hierarchical profile: the top-K call paths by cumulative self
+    // time, as labeled counters. Bounding at K keeps the scrape's label
+    // cardinality fixed no matter how many paths the profiler learns.
+    if !report.profile.is_empty() {
+        let mut entries: Vec<(&str, f64)> =
+            report.profile.iter().map(|(path, s)| (path.as_str(), s.self_s)).collect();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        entries.truncate(crate::profile::DEFAULT_TOP_K);
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        out.push_str("# TYPE ppuf_profile_self_seconds_total counter\n");
+        for (path, self_s) in entries {
+            out.push_str(&format!(
+                "ppuf_profile_self_seconds_total{{path=\"{}\"}} {}\n",
+                escape_label(path),
+                format_value(self_s)
+            ));
+        }
+    }
     for (name, value) in gauges {
         out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", format_value(*value)));
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -481,6 +517,34 @@ mod tests {
         )
         .unwrap_err();
         assert!(shrunk.contains("went backwards"), "{shrunk}");
+    }
+
+    #[test]
+    fn profile_paths_export_as_bounded_labeled_counters() {
+        let mut r = MemoryRecorder::new();
+        let profiler = std::sync::Arc::new(crate::Profiler::new());
+        r.set_profiler(profiler.clone());
+        // more paths than the export bound, with distinct self times
+        for i in 0..(crate::profile::DEFAULT_TOP_K + 5) {
+            profiler
+                .record_leaf(&format!("layer;phase{i:02}"), Duration::from_micros(i as u64 + 1));
+        }
+        let text = render(&r.snapshot("test"), &[]);
+        let samples = validate(&text).expect("profile exposition should validate");
+        let profile_lines =
+            samples.keys().filter(|k| k.starts_with("ppuf_profile_self_seconds_total{")).count();
+        assert_eq!(profile_lines, crate::profile::DEFAULT_TOP_K, "cardinality is bounded");
+        // the largest self-time path survives the cut, the smallest does not
+        let biggest = format!(
+            "ppuf_profile_self_seconds_total{{path=\"layer;phase{:02}\"}}",
+            crate::profile::DEFAULT_TOP_K + 4
+        );
+        assert!(samples.contains_key(&biggest), "{text}");
+        assert!(!samples.contains_key("ppuf_profile_self_seconds_total{path=\"layer;phase00\"}"));
+        // scraping twice keeps the labeled counters monotone
+        profiler.record_leaf("layer;phase24", Duration::from_micros(50));
+        let after = validate(&render(&r.snapshot("again"), &[])).unwrap();
+        check_monotone(&samples, &after).expect("profile counters only grow");
     }
 
     #[test]

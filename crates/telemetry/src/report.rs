@@ -19,6 +19,7 @@
 //!   "warnings":   [ "..." ],
 //!   "samples":    { "engine.solve_seconds": {"count":3,"min":0.001,"max":0.003,"mean":0.002,"p50":0.002,"p95":0.003,"p99":0.003} },
 //!   "hists":      { "dc.solve": {"count":1,"sum":0.0031,"min":0.0031,"max":0.0031,"buckets":[{"le":0.0031113,"count":1}]} },
+//!   "profile":    { "analog.dc.solve;stamp": {"count":1,"wall_s":0.002,"self_s":0.0005,"min_s":0.002,"max_s":0.002,"alloc_count":0,"alloc_bytes":0} },
 //!   "events":     [ {"seq":0,"name":"analog.dc.residual_trace","values":[1e-3,1e-7,1e-12]} ],
 //!   "traces":     { "00c0ffee00c0ffee": [ {"span":"0000000000000001","parent":null,"name":"server.request","start_s":0.0,"duration_s":0.002,"attrs":{"kind":"SubmitAnswer"}} ] }
 //! }
@@ -32,10 +33,13 @@
 //! diagnostic ring buffer ([`crate::EventLog`]) and `traces` the retained
 //! span trees, keyed by zero-padded hex trace id with span ids as hex
 //! strings (full-range `u64` ids do not survive JSON's `f64` numbers) and
-//! per-trace timestamps rebased to the earliest span. All four sections
-//! are optional on parse: v1 reports — written before `events`/`traces`
-//! existed — and v2 reports written before `hists` still load, which is
-//! why these are compatible additions rather than version bumps.
+//! per-trace timestamps rebased to the earliest span. The `profile`
+//! section carries hierarchical profiler statistics keyed by
+//! `;`-separated call path ([`crate::profile`]) and is written only when
+//! non-empty. All of these sections are optional on parse: v1 reports —
+//! written before `events`/`traces` existed — and v2 reports written
+//! before `hists`/`profile` still load, which is why these are
+//! compatible additions rather than version bumps.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -44,6 +48,7 @@ use std::path::Path;
 use std::time::Duration;
 
 use crate::hist::{HistBucket, HistogramSnapshot};
+use crate::profile::ProfileStats;
 use crate::{MemoryRecorder, Recorder, SampleSeries, SampleSummary, Summary};
 
 /// Version written into every report; parsers accept
@@ -104,6 +109,11 @@ pub struct Report {
     /// name for recorder snapshots (empty for reports written before the
     /// section existed; optional on parse like `samples`).
     pub hists: BTreeMap<String, HistogramSnapshot>,
+    /// Hierarchical profiler statistics keyed by `;`-separated call path
+    /// (see [`crate::profile`]). Written only when non-empty and
+    /// optional on parse, so reports from recorders without an attached
+    /// profiler are byte-identical to pre-profiler reports.
+    pub profile: BTreeMap<String, ProfileStats>,
     /// Retained diagnostic events, oldest first (empty for v1 reports).
     pub events: Vec<EventRecord>,
     /// Retained trace span sets keyed by zero-padded hex trace id
@@ -146,6 +156,10 @@ impl Report {
         write_sample_map(&mut out, "samples", &self.samples);
         out.push_str(",\n");
         write_hist_map(&mut out, "hists", &self.hists);
+        if !self.profile.is_empty() {
+            out.push_str(",\n");
+            write_profile_map(&mut out, "profile", &self.profile);
+        }
         out.push_str(",\n  \"events\": [");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
@@ -267,6 +281,10 @@ impl Report {
             Some((_, v)) => parse_hist_map(v)?,
             None => BTreeMap::new(),
         };
+        let profile = match map.iter().find(|(k, _)| k == "profile") {
+            Some((_, v)) => parse_profile_map(v)?,
+            None => BTreeMap::new(),
+        };
         let events = match map.iter().find(|(k, _)| k == "events") {
             Some((_, v)) => parse_events(v)?,
             None => Vec::new(),
@@ -284,6 +302,7 @@ impl Report {
             warnings,
             samples,
             hists,
+            profile,
             events,
             traces,
         })
@@ -567,6 +586,80 @@ fn write_sample_map(out: &mut String, key: &str, map: &BTreeMap<String, SampleSu
     out.push('}');
 }
 
+fn write_profile_map(out: &mut String, key: &str, map: &BTreeMap<String, ProfileStats>) {
+    let _ = write!(out, "  \"{key}\": ");
+    write_profile_object(out, map);
+}
+
+/// Renders a profile snapshot as a standalone JSON object
+/// (`{"<path>": {"count": …, "wall_s": …, …}}`), entry-for-entry identical
+/// to the report's `profile` section — the body of a wire
+/// `Profile {format: Json}` admin response.
+pub fn profile_to_json(map: &BTreeMap<String, ProfileStats>) -> String {
+    let mut out = String::new();
+    write_profile_object(&mut out, map);
+    out
+}
+
+fn write_profile_object(out: &mut String, map: &BTreeMap<String, ProfileStats>) {
+    out.push('{');
+    for (i, (path, p)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {}: {{\"count\": {}, \"wall_s\": {}, \"self_s\": {}, \"min_s\": {}, \"max_s\": {}, \"alloc_count\": {}, \"alloc_bytes\": {}}}",
+            json_string(path),
+            p.count,
+            json_f64(p.wall_s),
+            json_f64(p.self_s),
+            json_f64(p.min_s),
+            json_f64(p.max_s),
+            p.alloc_count,
+            p.alloc_bytes,
+        );
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+fn parse_profile_map(value: &json::Value) -> Result<BTreeMap<String, ProfileStats>, ReportError> {
+    let entries = value.as_map().ok_or_else(|| ReportError("profile is not an object".into()))?;
+    entries
+        .iter()
+        .map(|(path, v)| {
+            let fields = v
+                .as_map()
+                .ok_or_else(|| ReportError(format!("profile entry {path:?} is not an object")))?;
+            let number = |key: &str| {
+                get(fields, key)?
+                    .as_f64()
+                    .ok_or_else(|| ReportError(format!("profile.{path}.{key} is not a number")))
+            };
+            let integer = |key: &str| {
+                get(fields, key)?
+                    .as_u64()
+                    .ok_or_else(|| ReportError(format!("profile.{path}.{key} is not an integer")))
+            };
+            Ok((
+                path.clone(),
+                ProfileStats {
+                    count: integer("count")?,
+                    wall_s: number("wall_s")?,
+                    self_s: number("self_s")?,
+                    min_s: number("min_s")?,
+                    max_s: number("max_s")?,
+                    alloc_count: integer("alloc_count")?,
+                    alloc_bytes: integer("alloc_bytes")?,
+                },
+            ))
+        })
+        .collect()
+}
+
 fn write_hist_map(out: &mut String, key: &str, map: &BTreeMap<String, HistogramSnapshot>) {
     let _ = write!(out, "  \"{key}\": {{");
     for (i, (name, h)) in map.iter().enumerate() {
@@ -697,6 +790,10 @@ impl Recorder for JsonReporter {
 
     fn record_event(&self, name: &str, values: &[f64]) {
         self.recorder.record_event(name, values);
+    }
+
+    fn profiler(&self) -> Option<&crate::Profiler> {
+        self.recorder.profiler()
     }
 }
 
@@ -1050,6 +1147,41 @@ mod tests {
         let back = Report::from_json(&report.to_json()).unwrap();
         assert_eq!(back.events, report.events);
         assert_eq!(back.traces, report.traces);
+    }
+
+    #[test]
+    fn profile_section_round_trips_and_is_omitted_when_empty() {
+        // no profiler attached → no "profile" key in the JSON at all
+        let plain = sample_report();
+        assert!(plain.profile.is_empty());
+        assert!(!plain.to_json().contains("\"profile\""));
+
+        let mut recorder = MemoryRecorder::new();
+        let profiler = std::sync::Arc::new(crate::Profiler::new());
+        recorder.set_profiler(profiler.clone());
+        profiler.record_path(
+            "analog.dc.solve;stamp",
+            Duration::from_millis(2),
+            Duration::from_micros(500),
+        );
+        // a skewed derivation surfaces as a counter in the snapshot
+        profiler.record_path("bad", Duration::from_micros(1), Duration::from_micros(9));
+        let report = recorder.snapshot("profiled");
+        let entry = report.profile.get("analog.dc.solve;stamp").expect("profile entry");
+        assert_eq!(entry.count, 1);
+        assert!((entry.self_s - 500e-6).abs() < 1e-9);
+        assert_eq!(report.counters.get("telemetry.profile.skew_clamps"), Some(&1));
+        let back = Report::from_json(&report.to_json()).expect("profiled report parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_profile_section_still_parse() {
+        let legacy = "{\"schema_version\": 2, \"label\": \"pre-profile\", \"counters\": {},\
+             \"histograms\": {}, \"spans\": {}, \"warnings\": [], \"samples\": {},\
+             \"hists\": {}, \"events\": [], \"traces\": {}}";
+        let report = Report::from_json(legacy).expect("pre-profile v2 report should parse");
+        assert!(report.profile.is_empty());
     }
 
     #[test]

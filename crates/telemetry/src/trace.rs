@@ -68,6 +68,11 @@ impl SpanId {
     pub fn get(self) -> u64 {
         self.0
     }
+
+    /// Wraps a wire-carried identifier; `None` for the reserved value 0.
+    pub fn from_raw(raw: u64) -> Option<SpanId> {
+        (raw != 0).then_some(SpanId(raw))
+    }
 }
 
 /// The (trace, span) pair a child span needs to attach itself under a

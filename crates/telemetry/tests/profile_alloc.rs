@@ -1,0 +1,48 @@
+//! Allocation attribution through the `profile-alloc` counting
+//! allocator: run with
+//! `cargo test -p ppuf-telemetry --features profile-alloc`.
+
+#![cfg(feature = "profile-alloc")]
+
+use ppuf_telemetry::profile::{alloc, Profiler};
+
+#[test]
+fn alloc_scope_attributes_allocations_to_the_path() {
+    let profiler = Profiler::new();
+    {
+        let _scope = profiler.alloc_scope("bench.allocating_phase");
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        std::hint::black_box(&v);
+        let s = String::from("attributed");
+        std::hint::black_box(&s);
+    }
+    let snap = profiler.snapshot();
+    let entry = snap.get("bench.allocating_phase").expect("alloc-only path appears in snapshot");
+    assert!(entry.alloc_count >= 2, "at least the Vec and the String: {entry:?}");
+    assert!(entry.alloc_bytes >= 4096, "the 4 KiB Vec is charged: {entry:?}");
+}
+
+#[test]
+fn scopes_delta_against_per_thread_totals() {
+    let (allocs_before, bytes_before) = alloc::thread_totals();
+    let v: Vec<u64> = Vec::with_capacity(512);
+    std::hint::black_box(&v);
+    let (allocs_after, bytes_after) = alloc::thread_totals();
+    assert!(allocs_after > allocs_before);
+    assert!(bytes_after >= bytes_before + 512 * 8);
+
+    // another thread's allocations do not leak into this thread's scope
+    let profiler = Profiler::new();
+    {
+        let _scope = profiler.alloc_scope("main_thread_only");
+        std::thread::spawn(|| {
+            let big: Vec<u8> = Vec::with_capacity(1 << 20);
+            std::hint::black_box(&big);
+        })
+        .join()
+        .unwrap();
+    }
+    let snap = profiler.snapshot();
+    let entry = snap.get("main_thread_only").expect("scope recorded");
+    assert!(entry.alloc_bytes < 1 << 20, "the worker's 1 MiB stays unattributed: {entry:?}");
+}

@@ -1,0 +1,136 @@
+//! Property tests for the profiler's timing invariants: for any
+//! reassembled trace, each span's children's wall-time sum fits inside
+//! the parent's wall time (so derived self time is non-negative without
+//! clamping), and when spans carry adversarially-skewed durations the
+//! profiler clamps self time to zero and counts the skew instead of ever
+//! reporting negative time.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use ppuf_telemetry::profile::Profiler;
+use ppuf_telemetry::{
+    assemble, next_trace_id, FinishedSpan, MemoryRecorder, SpanId, TraceId, TraceNode, TracedSpan,
+};
+
+fn drive(parent: &TracedSpan<'_>, node: usize, children: &[Vec<usize>], names: &[String]) {
+    for &c in &children[node] {
+        let child = parent.child(&names[c]);
+        drive(&child, c, children, names);
+    }
+}
+
+/// Sum of the immediate children's durations at every node must fit the
+/// node's own duration.
+fn children_sums_contained(node: &TraceNode) -> bool {
+    let sum: Duration = node.children.iter().map(|c| c.span.duration).sum();
+    sum <= node.span.duration && node.children.iter().all(children_sums_contained)
+}
+
+proptest! {
+    /// Real nested RAII spans: any tree shape satisfies the timing
+    /// invariant by construction, so observing the trace derives
+    /// non-negative self time with zero skew clamps.
+    #[test]
+    fn nested_spans_never_need_a_skew_clamp(raw in proptest::collection::vec(any::<u64>(), 0..24)) {
+        let n = raw.len() + 1;
+        let parents: Vec<usize> =
+            raw.iter().enumerate().map(|(i, r)| (*r as usize) % (i + 1)).collect();
+        let mut children = vec![Vec::new(); n];
+        for (i, p) in parents.iter().enumerate() {
+            children[*p].push(i + 1);
+        }
+        let names: Vec<String> = (0..n).map(|i| format!("span{i}")).collect();
+
+        let mut recorder = MemoryRecorder::new();
+        let profiler = Arc::new(Profiler::new());
+        recorder.set_profiler(profiler.clone());
+        let trace = next_trace_id();
+        {
+            let root = TracedSpan::root(&recorder, &names[0], trace);
+            drive(&root, 0, &children, &names);
+        }
+
+        let spans = recorder.trace_spans(trace);
+        let tree = match assemble(&spans) {
+            Ok(tree) => tree,
+            Err(err) => return Err(TestCaseError::fail(format!("assembly failed: {err}"))),
+        };
+        prop_assert!(
+            children_sums_contained(&tree),
+            "children's wall-time sum must fit the parent's wall time"
+        );
+        // the root finishing fed the subtree into the profiler already
+        prop_assert_eq!(profiler.skew_clamps(), 0, "well-nested spans never clamp");
+        let snap = profiler.snapshot();
+        prop_assert_eq!(snap.len(), n, "unique names give one path per span");
+        for (path, stats) in &snap {
+            prop_assert!(stats.self_s >= 0.0, "negative self time at {path}");
+            prop_assert!(
+                stats.self_s <= stats.wall_s + 1e-12,
+                "self above wall at {path}: {} > {}", stats.self_s, stats.wall_s
+            );
+        }
+    }
+
+    /// Synthetic spans with arbitrary (possibly skewed) durations: self
+    /// time still never goes negative — overshoot clamps to zero and is
+    /// counted in `skew_clamps`.
+    #[test]
+    fn skewed_durations_clamp_to_zero_self(
+        raw in proptest::collection::vec((any::<u64>(), 0u64..5_000), 1..16)
+    ) {
+        let n = raw.len() + 1;
+        let parents: Vec<usize> =
+            raw.iter().enumerate().map(|(i, (r, _))| (*r as usize) % (i + 1)).collect();
+        let origin = Instant::now();
+        let trace = TraceId::from_raw(1).unwrap();
+        let mut spans: Vec<FinishedSpan> = vec![FinishedSpan {
+            trace,
+            span: SpanId::from_raw(1).unwrap(),
+            parent: None,
+            name: "root".to_string(),
+            start: origin,
+            duration: Duration::from_micros(1_000),
+            attrs: Vec::new(),
+        }];
+        for (i, (_, micros)) in raw.iter().enumerate() {
+            spans.push(FinishedSpan {
+                trace,
+                span: SpanId::from_raw(i as u64 + 2).unwrap(),
+                parent: SpanId::from_raw(parents[i] as u64 + 1),
+                name: format!("s{}", i + 1),
+                start: origin,
+                duration: Duration::from_micros(*micros),
+                attrs: Vec::new(),
+            });
+        }
+
+        let profiler = Profiler::new();
+        profiler.observe_root(&spans[0], &spans);
+        let snap = profiler.snapshot();
+        prop_assert_eq!(snap.len(), n, "every span records under its own path");
+        for (path, stats) in &snap {
+            prop_assert!(stats.self_s >= 0.0, "negative self time at {path}");
+        }
+        // count how many nodes are actually skewed and demand agreement
+        let mut skewed = 0u64;
+        for span in &spans {
+            let child_sum: Duration = spans
+                .iter()
+                .filter(|s| s.parent == Some(span.span))
+                .map(|s| s.duration)
+                .sum();
+            if child_sum > span.duration {
+                skewed += 1;
+            }
+        }
+        prop_assert_eq!(
+            profiler.skew_clamps(),
+            skewed,
+            "each over-budget parent clamps exactly once"
+        );
+    }
+}
